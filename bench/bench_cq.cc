@@ -1,0 +1,130 @@
+// Experiment E13 (related work, [CM93]/[ASU79]/[JK83]): QL concepts are a
+// naturally occurring class of conjunctive queries with a *polynomial*
+// containment problem. We check that the calculus (empty Σ) agrees with
+// classical Chandra–Merlin containment, and compare costs: the
+// homomorphism search is exponential in the worst case, the calculus is
+// not.
+#include <cstdio>
+#include <memory>
+
+#include "base/rng.h"
+#include "base/strings.h"
+#include "bench_util.h"
+#include "calculus/subsumption.h"
+#include "cq/cq.h"
+#include "gen/generators.h"
+#include "ql/term_factory.h"
+
+namespace {
+
+using namespace oodb;
+
+// Bouquet family: C is a conjunction of agreement loops of EVEN lengths
+// (2 and 4) through one object, so its frozen database only has
+// even-length closed p-walks; D is an agreement loop of ODD length k.
+// No homomorphism exists, and the backtracking search must explore every
+// partial walk through the bouquet (~2^(k/2) of them) before giving up —
+// exactly the NP behaviour [CM93] predicts for cyclic patterns. The
+// calculus refutes the same containment in polynomial time.
+struct BouquetCase {
+  SymbolTable symbols;
+  std::unique_ptr<ql::TermFactory> terms;
+  std::unique_ptr<schema::Schema> sigma;
+  ql::ConceptId c, d;
+
+  explicit BouquetCase(size_t k) {
+    terms = std::make_unique<ql::TermFactory>(&symbols);
+    sigma = std::make_unique<schema::Schema>(terms.get());
+    c = terms->And(Loop(2), Loop(4));
+    d = Loop(k);
+  }
+
+  ql::ConceptId Loop(size_t n) {
+    std::vector<ql::Restriction> steps(
+        n, ql::Restriction{ql::Attr{symbols.Intern("p"), false},
+                           terms->Top()});
+    return terms->Agree(terms->MakePath(std::move(steps)));
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::Section("E13a: agreement with Chandra–Merlin (random, empty Σ)");
+  {
+    Rng rng(90210);
+    int total = 0, agree = 0;
+    double calculus_us = 0, cq_us = 0;
+    for (int round = 0; round < 250; ++round) {
+      SymbolTable symbols;
+      ql::TermFactory f(&symbols);
+      schema::Schema sigma(&f);
+      gen::SchemaGenOptions no_axioms;
+      no_axioms.isa_prob = 0;
+      no_axioms.value_restrictions = 0;
+      no_axioms.typing_prob = 0;
+      gen::GeneratedSchema sig = gen::GenerateSchema(&sigma, rng, no_axioms);
+      ql::ConceptId c = gen::GenerateConcept(sig, &f, rng);
+      ql::ConceptId d = gen::GenerateConcept(sig, &f, rng);
+
+      calculus::SubsumptionChecker checker(sigma);
+      bool via_calculus = false;
+      calculus_us += bench::TimeUs([&] {
+        via_calculus = *checker.Subsumes(c, d);
+      });
+      auto q1 = cq::ConceptToCq(f, c, &symbols);
+      auto q2 = cq::ConceptToCq(f, d, &symbols);
+      bool via_cq = false;
+      cq_us += bench::TimeUs([&] { via_cq = cq::CqContained(*q1, *q2); });
+      ++total;
+      if (via_calculus == via_cq) ++agree;
+    }
+    std::printf("  %d/%d verdicts agree (%.1f%%); mean time: calculus "
+                "%.1fus, hom. search %.1fus\n",
+                agree, total, 100.0 * agree / total, calculus_us / total,
+                cq_us / total);
+  }
+
+  bench::Section("E13b: bouquet family — polynomial calculus vs backtracking");
+  {
+    bench::Table table({"even loops |C|", "odd loop |D|", "contained",
+                        "calculus(us)", "hom. search(us)"});
+    std::vector<double> ks, cq_times, calc_times;
+    for (size_t k : {5u, 9u, 13u, 17u, 21u, 25u, 29u, 33u}) {
+      BouquetCase kase(k);
+      calculus::SubsumptionChecker checker(*kase.sigma);
+      bool via_calculus = false;
+      double calc_us = bench::TimeUsAveraged([&] {
+        via_calculus = *checker.Subsumes(kase.c, kase.d);
+      });
+      auto q1 = cq::ConceptToCq(*kase.terms, kase.c, &kase.symbols);
+      auto q2 = cq::ConceptToCq(*kase.terms, kase.d, &kase.symbols);
+      bool via_cq = false;
+      double hom_us = bench::TimeUs([&] {
+        via_cq = cq::CqContained(*q1, *q2);
+      });
+      if (via_calculus != via_cq) {
+        std::printf("  DISAGREEMENT at k=%zu!\n", k);
+        return 1;
+      }
+      table.AddRow({"2+4", std::to_string(k),
+                    via_cq ? "yes" : "no", bench::Fmt(calc_us),
+                    bench::Fmt(hom_us)});
+      ks.push_back(static_cast<double>(k));
+      cq_times.push_back(hom_us);
+      calc_times.push_back(calc_us);
+    }
+    table.Print();
+    double per_step =
+        std::pow(cq_times.back() / cq_times.front(),
+                 1.0 / (ks.back() - ks.front()));
+    std::printf(
+        "\n  homomorphism search grows ×%.2f per loop step (exponential); "
+        "the calculus's\n  fitted growth is k^%.1f (polynomial).\n"
+        "  paper claim: containment of general conjunctive queries is "
+        "NP-hard even\n  over binary predicates [CM93], while QL "
+        "containment is polynomial (Thm. 4.9).\n",
+        per_step, bench::LogLogSlope(ks, calc_times));
+  }
+  return 0;
+}

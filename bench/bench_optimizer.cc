@@ -1,0 +1,350 @@
+// Experiment E11 (the paper's motivation, Sect. 1/6): evaluating a query
+// by filtering a subsuming materialized view beats evaluating it from
+// scratch. Synthetic medical databases of growing size; the query is
+// QueryPatient, the view ViewPatient (Figures 3 and 5).
+#include <cstdio>
+#include <memory>
+
+#include "base/rng.h"
+#include "base/strings.h"
+#include "bench_util.h"
+#include "calculus/services.h"
+#include "calculus/subsumption.h"
+#include "db/database.h"
+#include "db/evaluator.h"
+#include "dl/analyzer.h"
+#include "dl/translate.h"
+#include "schema/schema.h"
+#include "views/views.h"
+
+namespace {
+
+using namespace oodb;
+
+// Prevents the compiler from discarding benchmark results.
+volatile size_t g_benchmark_sink = 0;
+template <typename T>
+inline void benchmarkKeep(T* v) { g_benchmark_sink += v->ok() ? (*v)->size() : 0; }
+
+constexpr const char* kSchemaSource = R"(
+Class Person with
+  attribute, necessary, single
+    name: String
+end Person
+Class Patient isA Person with
+  attribute
+    takes: Drug
+    consults: Doctor
+  attribute, necessary
+    suffers: Disease
+  constraint:
+    not (this in Doctor)
+end Patient
+Class Doctor isA Person with
+  attribute
+    skilled_in: Disease
+end Doctor
+Class Male isA Person with
+end Male
+Class Female isA Person with
+end Female
+Class Drug with
+end Drug
+Class Disease isA Topic with
+end Disease
+Class String with
+end String
+Class Topic with
+end Topic
+Attribute skilled_in with
+  domain: Person
+  range: Topic
+  inverse: specialist
+end skilled_in
+Attribute takes with
+  domain: Patient
+  range: Drug
+end takes
+Attribute consults with
+  domain: Patient
+  range: Doctor
+end consults
+Attribute suffers with
+  domain: Patient
+  range: Disease
+end suffers
+Attribute name with
+  domain: Person
+  range: String
+end name
+QueryClass QueryPatient isA Male, Patient with
+  derived
+    l1: (consults: Female)
+    l2: suffers.(specialist: Doctor)
+  where
+    l1 = l2
+  constraint:
+    forall d/Drug not (this takes d) or (d = Aspirin)
+end QueryPatient
+QueryClass ViewPatient isA Patient with
+  derived
+    (name: String)
+    l1: (consults: Doctor).(skilled_in: Disease)
+    l2: (suffers: Disease)
+  where
+    l1 = l2
+end ViewPatient
+)";
+
+struct Workload {
+  SymbolTable symbols;
+  std::unique_ptr<ql::TermFactory> terms;
+  std::unique_ptr<schema::Schema> sigma;
+  std::unique_ptr<dl::Model> model;
+  std::unique_ptr<dl::Translator> translator;
+  std::unique_ptr<db::Database> database;
+
+  explicit Workload(size_t num_patients, Rng& rng) {
+    terms = std::make_unique<ql::TermFactory>(&symbols);
+    sigma = std::make_unique<schema::Schema>(terms.get());
+    auto m = dl::ParseAndAnalyze(kSchemaSource, &symbols);
+    model = std::make_unique<dl::Model>(std::move(m).value());
+    translator = std::make_unique<dl::Translator>(*model, terms.get());
+    (void)translator->BuildSchema(sigma.get());
+    database = std::make_unique<db::Database>(*model, &symbols);
+
+    auto S = [&](const char* s) { return symbols.Intern(s); };
+    size_t num_doctors = std::max<size_t>(4, num_patients / 20);
+    size_t num_diseases = std::max<size_t>(4, num_patients / 50);
+
+    std::vector<db::ObjectId> diseases, doctors, drugs;
+    for (size_t i = 0; i < num_diseases; ++i) {
+      auto o = *database->CreateObject(StrCat("disease", i));
+      (void)database->AddToClass(o, S("Disease"));
+      diseases.push_back(o);
+    }
+    auto aspirin = *database->CreateObject("Aspirin");
+    (void)database->AddToClass(aspirin, S("Drug"));
+    drugs.push_back(aspirin);
+    for (size_t i = 0; i < 5; ++i) {
+      auto o = *database->CreateObject(StrCat("drug", i));
+      (void)database->AddToClass(o, S("Drug"));
+      drugs.push_back(o);
+    }
+    for (size_t i = 0; i < num_doctors; ++i) {
+      auto o = *database->CreateObject(StrCat("doctor", i));
+      (void)database->AddToClass(o, S("Doctor"));
+      (void)database->AddToClass(o, rng.Bernoulli(0.5) ? S("Female")
+                                                       : S("Male"));
+      AddName(o, i, "doc");
+      // Each doctor is skilled in a couple of diseases.
+      for (int k = 0; k < 2; ++k) {
+        (void)database->AddAttr(o, S("skilled_in"), rng.Pick(diseases));
+      }
+      doctors.push_back(o);
+    }
+    for (size_t i = 0; i < num_patients; ++i) {
+      auto o = *database->CreateObject(StrCat("patient", i));
+      (void)database->AddToClass(o, S("Patient"));
+      (void)database->AddToClass(o, rng.Bernoulli(0.5) ? S("Male")
+                                                       : S("Female"));
+      AddName(o, i, "pat");
+      (void)database->AddAttr(o, S("suffers"), rng.Pick(diseases));
+      (void)database->AddAttr(o, S("consults"), rng.Pick(doctors));
+      if (rng.Bernoulli(0.7)) {
+        (void)database->AddAttr(o, S("takes"),
+                                rng.Bernoulli(0.5) ? aspirin
+                                                   : rng.Pick(drugs));
+      }
+    }
+  }
+
+  void AddName(db::ObjectId o, size_t i, const char* prefix) {
+    auto n = *database->CreateObject(StrCat(prefix, "_name", i));
+    (void)database->AddToClass(n, symbols.Intern("String"));
+    (void)database->AddAttr(o, symbols.Intern("name"), n);
+  }
+};
+
+}  // namespace
+
+namespace {
+
+// E11b: the cooperative scenario of Sect. 6 — several users' queries
+// share structure; one synthesized common-subsumer view serves them all.
+void RunWorkloadSynthesis() {
+  bench::Section(
+      "E11b: one synthesized view serving a query workload (Sect. 6)");
+  bench::Table table({"objects", "workload", "naive(us)",
+                      "via synthesized view(us)", "speedup",
+                      "view extent"});
+  for (size_t patients : {2000u, 8000u, 32000u}) {
+    // Three user queries over the shared patient set. All structural
+    // variants of ViewPatient; the synthesized subsumer captures the
+    // common join.
+    const char* extra = R"(
+      QueryClass MalePatients isA Male, Patient with
+        derived
+          (name: String)
+          l1: (consults: Doctor).(skilled_in: Disease)
+          l2: (suffers: Disease)
+        where
+          l1 = l2
+      end MalePatients
+      QueryClass FemalePatients isA Female, Patient with
+        derived
+          (name: String)
+          l1: (consults: Doctor).(skilled_in: Disease)
+          l2: (suffers: Disease)
+        where
+          l1 = l2
+      end FemalePatients
+    )";
+    // The workload queries were not part of the original schema source;
+    // reparse the combined source.
+    SymbolTable symbols;
+    ql::TermFactory terms(&symbols);
+    schema::Schema sigma(&terms);
+    std::string combined = StrCat(kSchemaSource, extra);
+    auto model_result = dl::ParseAndAnalyze(combined, &symbols);
+    dl::Model model = std::move(model_result).value();
+    dl::Translator translator(model, &terms);
+    (void)translator.BuildSchema(&sigma);
+    db::Database database(model, &symbols);
+    // Populate directly (same generator logic as Workload).
+    Rng prng(33);
+    auto S = [&](const char* s) { return symbols.Intern(s); };
+    size_t num_doctors = std::max<size_t>(4, patients / 20);
+    size_t num_diseases = std::max<size_t>(4, patients / 50);
+    std::vector<db::ObjectId> diseases, doctors;
+    for (size_t i = 0; i < num_diseases; ++i) {
+      auto o = *database.CreateObject(StrCat("disease", i));
+      (void)database.AddToClass(o, S("Disease"));
+      diseases.push_back(o);
+    }
+    auto add_name = [&](db::ObjectId o, size_t i, const char* prefix) {
+      auto n = *database.CreateObject(StrCat(prefix, "_name", i));
+      (void)database.AddToClass(n, S("String"));
+      (void)database.AddAttr(o, S("name"), n);
+    };
+    for (size_t i = 0; i < num_doctors; ++i) {
+      auto o = *database.CreateObject(StrCat("doctor", i));
+      (void)database.AddToClass(o, S("Doctor"));
+      (void)database.AddToClass(o, prng.Bernoulli(0.5) ? S("Female")
+                                                       : S("Male"));
+      add_name(o, i, "doc");
+      for (int k = 0; k < 2; ++k) {
+        (void)database.AddAttr(o, S("skilled_in"), prng.Pick(diseases));
+      }
+      doctors.push_back(o);
+    }
+    for (size_t i = 0; i < patients; ++i) {
+      auto o = *database.CreateObject(StrCat("patient", i));
+      (void)database.AddToClass(o, S("Patient"));
+      (void)database.AddToClass(o, prng.Bernoulli(0.5) ? S("Male")
+                                                       : S("Female"));
+      add_name(o, i, "pat");
+      (void)database.AddAttr(o, S("suffers"), prng.Pick(diseases));
+      (void)database.AddAttr(o, S("consults"), prng.Pick(doctors));
+    }
+
+    std::vector<const char*> workload = {"MalePatients", "FemalePatients",
+                                         "ViewPatient"};
+    db::QueryEvaluator evaluator(database);
+    double naive_us = bench::TimeUs([&] {
+      for (const char* q : workload) {
+        auto answers = evaluator.Evaluate(S(q));
+        benchmarkKeep(&answers);
+      }
+    });
+
+    // Synthesize one view from the workload concepts and answer through
+    // the optimizer.
+    calculus::SubsumptionChecker checker(sigma);
+    std::vector<ql::ConceptId> concepts;
+    for (const char* q : workload) {
+      concepts.push_back(*translator.QueryConcept(S(q)));
+    }
+    auto subsumer =
+        *calculus::CommonSubsumer(checker, &terms, concepts);
+    views::ViewCatalog catalog(&database, &translator);
+    (void)catalog.DefineConceptView(S("WorkloadView"), subsumer);
+    views::Optimizer optimizer(&database, &catalog, sigma, &translator);
+    double via_view_us = bench::TimeUs([&] {
+      for (const char* q : workload) {
+        auto answers = optimizer.Execute(S(q));
+        benchmarkKeep(&answers);
+      }
+    });
+    table.AddRow({std::to_string(database.num_objects()),
+                  std::to_string(workload.size()) + " queries",
+                  bench::Fmt(naive_us), bench::Fmt(via_view_us),
+                  bench::Fmt(naive_us / via_view_us, 2) + "x",
+                  std::to_string(catalog.Find(S("WorkloadView"))
+                                     ->extent.size())});
+  }
+  table.Print();
+  std::printf(
+      "\n  paper claim (Sect. 6): users cooperating on shared object sets "
+      "can be served\n  by one memorized view; \"a new query is then "
+      "checked for subsumption against\n  such views.\" measured: one "
+      "synthesized common-subsumer view answers the whole\n  workload.\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::Section(
+      "E11: filtering a materialized view vs evaluating from scratch");
+
+  bench::Table table({"objects", "base pool", "view extent", "answers",
+                      "naive(us)", "optimized(us)", "speedup",
+                      "materialize(us)"});
+  Rng rng(7);
+  for (size_t patients : {500u, 2000u, 8000u, 32000u}) {
+    Workload w(patients, rng);
+    db::QueryEvaluator evaluator(*w.database);
+    Symbol query = w.symbols.Find("QueryPatient");
+
+    db::EvalStats naive_stats;
+    std::vector<db::ObjectId> naive_answers;
+    double naive_us = bench::TimeUs([&] {
+      naive_answers = *evaluator.Evaluate(query, &naive_stats);
+    });
+
+    views::ViewCatalog catalog(w.database.get(), w.translator.get());
+    double materialize_us = bench::TimeUs([&] {
+      (void)catalog.DefineView(w.symbols.Find("ViewPatient"));
+    });
+    views::Optimizer optimizer(w.database.get(), &catalog, *w.sigma,
+                               w.translator.get());
+    views::QueryPlan plan;
+    db::EvalStats opt_stats;
+    std::vector<db::ObjectId> opt_answers;
+    double opt_us = bench::TimeUs([&] {
+      opt_answers = *optimizer.Execute(query, &plan, &opt_stats);
+    });
+
+    if (opt_answers != naive_answers) {
+      std::printf("  ANSWER MISMATCH at %zu patients!\n", patients);
+      return 1;
+    }
+    table.AddRow({std::to_string(w.database->num_objects()),
+                  std::to_string(naive_stats.candidates_examined),
+                  std::to_string(catalog.views()[0].extent.size()),
+                  std::to_string(naive_answers.size()),
+                  bench::Fmt(naive_us), bench::Fmt(opt_us),
+                  bench::Fmt(naive_us / opt_us, 2) + "x",
+                  bench::Fmt(materialize_us)});
+  }
+  table.Print();
+  RunWorkloadSynthesis();
+  std::printf(
+      "\n  paper claim (Sect. 1): \"subsumption can be exploited to speed "
+      "up evaluation\n  ... by filtering the stored objects, instead of "
+      "computing the answers from\n  scratch.\" measured: the optimizer "
+      "answers from the view extent; the first\n  materialization is the "
+      "price of the first query (Sect. 6: the view comes\n  \"for free\" "
+      "as the structural part of a query).\n");
+  return 0;
+}

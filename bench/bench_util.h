@@ -1,0 +1,101 @@
+// Shared helpers for the experiment binaries: wall-clock timing, aligned
+// table printing, and growth-rate estimation.
+#ifndef OODB_BENCH_BENCH_UTIL_H_
+#define OODB_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace oodb::bench {
+
+// Microseconds spent in `fn` (single shot; callers loop if needed).
+inline double TimeUs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+// Runs `fn` repeatedly until ~20ms elapsed, returns mean microseconds.
+inline double TimeUsAveraged(const std::function<void()>& fn) {
+  double total = 0;
+  int runs = 0;
+  while (total < 20000.0 && runs < 1000) {
+    total += TimeUs(fn);
+    ++runs;
+  }
+  return total / runs;
+}
+
+// Fixed-width table printing.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("  ");
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::vector<std::string> rule;
+    for (size_t w : widths) rule.push_back(std::string(w, '-'));
+    print_row(rule);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+// Least-squares slope of log(y) over log(x): the polynomial degree
+// estimate for a scaling series. Ignores non-positive points.
+inline double LogLogSlope(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    if (xs[i] <= 0 || ys[i] <= 0) continue;
+    double lx = std::log(xs[i]);
+    double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+inline void Section(const char* title) {
+  std::printf("\n=== %s ===\n\n", title);
+}
+
+}  // namespace oodb::bench
+
+#endif  // OODB_BENCH_BENCH_UTIL_H_

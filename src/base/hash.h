@@ -1,0 +1,26 @@
+// Hash combining helpers for POD aggregate keys.
+#ifndef OODB_BASE_HASH_H_
+#define OODB_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace oodb {
+
+// Mixes `v` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline void HashCombine(size_t& seed, size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+}
+
+// Hashes a sequence of integral values.
+template <typename... Ts>
+size_t HashValues(Ts... vs) {
+  size_t seed = 0xcbf29ce484222325ULL;
+  (HashCombine(seed, static_cast<size_t>(vs)), ...);
+  return seed;
+}
+
+}  // namespace oodb
+
+#endif  // OODB_BASE_HASH_H_

@@ -1,0 +1,133 @@
+// Error handling without exceptions: Status and Result<T>.
+//
+// Public APIs that can fail (parsing, validation, database updates) return
+// Status or Result<T>. Internal invariant violations use assert/abort.
+#ifndef OODB_BASE_STATUS_H_
+#define OODB_BASE_STATUS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace oodb {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (syntax errors, bad parameters)
+  kNotFound,          // named entity does not exist
+  kAlreadyExists,     // duplicate declaration / object
+  kFailedPrecondition,// operation not valid in current state
+  kOutOfRange,        // index/limit violation
+  kUnimplemented,     // feature outside the supported fragment
+  kInternal,          // invariant violation
+  kResourceExhausted, // configured limit hit (e.g. expansion budget)
+};
+
+// Returns a stable lowercase name for `code` ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (empty message).
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+// A value or an error. Accessing the value of an error Result aborts.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "use the value constructor for success");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      // Deliberate hard stop: callers must check ok() first.
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates errors to the caller: `OODB_RETURN_IF_ERROR(expr);`
+#define OODB_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::oodb::Status oodb_status_tmp_ = (expr);        \
+    if (!oodb_status_tmp_.ok()) return oodb_status_tmp_; \
+  } while (false)
+
+// Assigns the value of a Result or propagates its error:
+// `OODB_ASSIGN_OR_RETURN(auto x, MakeX());`
+#define OODB_ASSIGN_OR_RETURN(decl, expr)                \
+  OODB_ASSIGN_OR_RETURN_IMPL_(                           \
+      OODB_STATUS_CONCAT_(oodb_result_, __LINE__), decl, expr)
+#define OODB_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  decl = std::move(tmp).value()
+#define OODB_STATUS_CONCAT_(a, b) OODB_STATUS_CONCAT_IMPL_(a, b)
+#define OODB_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace oodb
+
+#endif  // OODB_BASE_STATUS_H_

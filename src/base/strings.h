@@ -1,0 +1,75 @@
+// Small string utilities in the spirit of absl/strings, enough for this
+// project: StrCat, StrJoin, simple predicates.
+#ifndef OODB_BASE_STRINGS_H_
+#define OODB_BASE_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oodb {
+
+namespace internal_strings {
+
+inline void AppendOne(std::ostringstream& os, std::string_view v) { os << v; }
+inline void AppendOne(std::ostringstream& os, const std::string& v) {
+  os << v;
+}
+inline void AppendOne(std::ostringstream& os, const char* v) { os << v; }
+inline void AppendOne(std::ostringstream& os, char v) { os << v; }
+inline void AppendOne(std::ostringstream& os, bool v) {
+  os << (v ? "true" : "false");
+}
+template <typename T>
+void AppendOne(std::ostringstream& os, const T& v) {
+  os << v;
+}
+
+}  // namespace internal_strings
+
+// Concatenates the printable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (internal_strings::AppendOne(os, args), ...);
+  return os.str();
+}
+
+// Joins the elements of `parts` with `sep`. Elements must be streamable or
+// convertible to string_view.
+template <typename Container>
+std::string StrJoin(const Container& parts, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    first = false;
+    internal_strings::AppendOne(os, p);
+  }
+  return os.str();
+}
+
+// Joins after applying `fn` to each element.
+template <typename Container, typename Fn>
+std::string StrJoinMapped(const Container& parts, std::string_view sep,
+                          Fn&& fn) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    first = false;
+    internal_strings::AppendOne(os, fn(p));
+  }
+  return os.str();
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Splits on a single character, keeping empty pieces.
+std::vector<std::string_view> StrSplit(std::string_view s, char sep);
+
+}  // namespace oodb
+
+#endif  // OODB_BASE_STRINGS_H_

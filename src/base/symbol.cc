@@ -1,0 +1,40 @@
+#include "base/symbol.h"
+
+#include <cassert>
+
+#include "base/strings.h"
+
+namespace oodb {
+
+SymbolTable::SymbolTable() {
+  names_.emplace_back("<invalid>");  // id 0 is the invalid sentinel.
+}
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return Symbol(it->second);
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return Symbol(id);
+}
+
+Symbol SymbolTable::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Symbol();
+  return Symbol(it->second);
+}
+
+const std::string& SymbolTable::Name(Symbol s) const {
+  assert(s.id() < names_.size());
+  return names_[s.id()];
+}
+
+Symbol SymbolTable::Fresh(std::string_view prefix) {
+  for (;;) {
+    std::string candidate = StrCat(prefix, "#", ++fresh_counter_);
+    if (index_.find(candidate) == index_.end()) return Intern(candidate);
+  }
+}
+
+}  // namespace oodb

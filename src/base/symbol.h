@@ -1,0 +1,85 @@
+// Interned string symbols.
+//
+// All names in the system (class names, attribute names, constants, labels)
+// are interned into a SymbolTable and referred to by a small integral
+// Symbol. Symbols from the same table compare in O(1) and can be used as
+// hash-map keys directly.
+#ifndef OODB_BASE_SYMBOL_H_
+#define OODB_BASE_SYMBOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace oodb {
+
+// A handle to an interned string. Value-semantic, trivially copyable.
+// Symbol{} (id 0) is the reserved invalid symbol.
+class Symbol {
+ public:
+  constexpr Symbol() : id_(0) {}
+  constexpr explicit Symbol(uint32_t id) : id_(id) {}
+
+  constexpr uint32_t id() const { return id_; }
+  constexpr bool valid() const { return id_ != 0; }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) {
+    return a.id_ == b.id_;
+  }
+  friend constexpr bool operator!=(Symbol a, Symbol b) {
+    return a.id_ != b.id_;
+  }
+  friend constexpr bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+ private:
+  uint32_t id_;
+};
+
+// Interns strings and hands out Symbols. Not thread-safe; each engine
+// instance owns one table.
+class SymbolTable {
+ public:
+  SymbolTable();
+
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the symbol for `name`, interning it if necessary.
+  Symbol Intern(std::string_view name);
+
+  // Returns the symbol for `name` if present, or the invalid symbol.
+  Symbol Find(std::string_view name) const;
+
+  // Returns the string for a valid symbol of this table.
+  const std::string& Name(Symbol s) const;
+
+  // Creates a fresh symbol guaranteed not to collide with any user-interned
+  // name. Used for skolem constants and generated variables. The name is
+  // `<prefix>#<n>`; '#' never appears in parsed identifiers.
+  Symbol Fresh(std::string_view prefix);
+
+  // Number of interned symbols (excluding the invalid sentinel).
+  size_t size() const { return names_.size() - 1; }
+
+ private:
+  // A deque never relocates its elements, so string_view keys into the
+  // stored strings stay valid as the table grows (short strings live in
+  // the SSO buffer inside the string object itself).
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace oodb
+
+template <>
+struct std::hash<oodb::Symbol> {
+  size_t operator()(oodb::Symbol s) const noexcept {
+    return std::hash<uint32_t>()(s.id());
+  }
+};
+
+#endif  // OODB_BASE_SYMBOL_H_

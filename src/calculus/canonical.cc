@@ -1,0 +1,84 @@
+#include "calculus/canonical.h"
+
+#include <vector>
+
+#include "ql/term.h"
+
+namespace oodb::calculus {
+
+Result<CanonicalModel> BuildCanonicalModel(const CompletionEngine& engine,
+                                           const schema::Schema& sigma) {
+  if (engine.clash()) {
+    return FailedPreconditionError(
+        "canonical model requires a clash-free completion");
+  }
+  const ConstraintSystem& facts = engine.facts();
+  const ql::TermFactory& terms = sigma.terms();
+
+  CanonicalModel model;
+  // Collect every canonical-representative individual appearing in F.
+  std::vector<Ind> inds;
+  auto touch = [&](Ind i) {
+    Ind r = engine.Find(i);
+    if (model.ind_to_element.emplace(r.id, 0).second) inds.push_back(r);
+  };
+  for (const MembFact& m : facts.membs()) touch(m.s);
+  for (const AttrFact& a : facts.attrs()) {
+    touch(a.s);
+    touch(a.t);
+  }
+  for (const PathFact& p : facts.paths()) {
+    touch(p.s);
+    touch(p.t);
+  }
+
+  model.interpretation = interp::Interpretation(inds.size() + 1);
+  for (size_t i = 0; i < inds.size(); ++i) {
+    model.ind_to_element[inds[i].id] = static_cast<int>(i);
+  }
+  model.u_element = static_cast<int>(inds.size());
+  model.interpretation.MarkUniversal(model.u_element);
+
+  // Constants interpret themselves (UNA holds by construction: distinct
+  // constants are distinct representatives in a clash-free system).
+  for (Ind i : inds) {
+    if (engine.inds().IsConstant(i)) {
+      OODB_RETURN_IF_ERROR(model.interpretation.AssignConstant(
+          engine.inds().ConstantSymbol(i), model.ind_to_element[i.id]));
+    }
+  }
+
+  // Primitive memberships and attribute fillers from F.
+  for (const MembFact& m : facts.membs()) {
+    const ql::ConceptNode& n = terms.node(m.c);
+    if (n.kind == ql::ConceptKind::kPrimitive) {
+      model.interpretation.AddToConcept(
+          n.sym, model.ind_to_element[engine.Find(m.s).id]);
+    }
+  }
+  for (const AttrFact& a : facts.attrs()) {
+    model.interpretation.AddEdge(a.p,
+                                 model.ind_to_element[engine.Find(a.s).id],
+                                 model.ind_to_element[engine.Find(a.t).id]);
+  }
+
+  // (s, u) ∈ P^I for every s with no P-filler in F but some A with
+  // s:A ∈ F and A ⊑ ∃P ∈ Σ.
+  for (Ind s : inds) {
+    for (ql::ConceptId c : facts.ConceptsOf(s)) {
+      const ql::ConceptNode& n = terms.node(c);
+      if (n.kind != ql::ConceptKind::kPrimitive) continue;
+      for (Symbol p : sigma.NecessaryAttrs(n.sym)) {
+        if (!facts.HasAnyPrimFiller(s, p)) {
+          model.interpretation.AddEdge(p, model.ind_to_element[s.id],
+                                       model.u_element);
+        }
+      }
+    }
+  }
+
+  model.goal_element = model.ind_to_element[engine.GoalInd().id];
+  return model;
+}
+
+}  // namespace oodb::calculus

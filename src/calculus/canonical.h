@@ -1,0 +1,36 @@
+// The canonical interpretation I_F of a completed, clash-free fact set
+// (paper Sect. 4.2): the witness structure behind the completeness proof.
+//
+// If the completion of {x:C}:{x:D} is clash-free and o:D ∉ F, then I_F is
+// a Σ-model in which o ∈ C^I but o ∉ D^I — a concrete countermodel that
+// explains a NotSubsumed verdict.
+#ifndef OODB_CALCULUS_CANONICAL_H_
+#define OODB_CALCULUS_CANONICAL_H_
+
+#include <unordered_map>
+
+#include "base/status.h"
+#include "calculus/engine.h"
+#include "interp/interpretation.h"
+
+namespace oodb::calculus {
+
+struct CanonicalModel {
+  interp::Interpretation interpretation{0};
+  // Canonical representative individual id → domain element.
+  std::unordered_map<uint32_t, int> ind_to_element;
+  // The extra element u compensating for necessary attributes whose
+  // fillers the guarded rule S5 did not materialize.
+  int u_element = -1;
+  // Element of the goal individual o.
+  int goal_element = -1;
+};
+
+// Builds I_F from the engine's completed facts. The engine must have been
+// Run and be clash-free (kFailedPrecondition otherwise).
+Result<CanonicalModel> BuildCanonicalModel(const CompletionEngine& engine,
+                                           const schema::Schema& sigma);
+
+}  // namespace oodb::calculus
+
+#endif  // OODB_CALCULUS_CANONICAL_H_

@@ -1,0 +1,146 @@
+#include "calculus/constraint.h"
+
+#include <cassert>
+
+#include "base/strings.h"
+
+namespace oodb::calculus {
+
+namespace {
+const std::vector<Ind> kNoInds;
+const std::vector<ql::ConceptId> kNoConcepts;
+}  // namespace
+
+IndTable::IndTable() = default;
+
+Ind IndTable::Constant(Symbol a) {
+  auto it = constants_.find(a);
+  if (it != constants_.end()) return it->second;
+  Ind i{static_cast<uint32_t>(infos_.size())};
+  Info info;
+  info.is_constant = true;
+  info.sym = a;
+  infos_.push_back(std::move(info));
+  constants_.emplace(a, i);
+  return i;
+}
+
+Ind IndTable::FreshVar(const std::string& prefix) {
+  return NamedVar(StrCat(prefix, ++var_counter_));
+}
+
+Ind IndTable::NamedVar(const std::string& name) {
+  Ind i{static_cast<uint32_t>(infos_.size())};
+  Info info;
+  info.name = name;
+  infos_.push_back(std::move(info));
+  ++num_variables_;
+  return i;
+}
+
+bool ConstraintSystem::AddMemb(Ind s, ql::ConceptId c) {
+  assert(c != ql::kInvalidConcept);
+  if (!memb_set_.insert(MembKey(s, c)).second) return false;
+  membs_.push_back(MembFact{s, c});
+  concepts_of_[s.id].push_back(c);
+  return true;
+}
+
+bool ConstraintSystem::AddAttrPrim(Ind s, Symbol p, Ind t) {
+  if (!attr_set_.insert(AttrKey(s, p, t)).second) return false;
+  attrs_.push_back(AttrFact{s, p, t});
+  prim_fillers_[PairKey(s, p.id())].push_back(t);
+  inv_fillers_[PairKey(t, p.id())].push_back(s);
+  neighbors_[s.id].push_back(t);
+  if (t != s) neighbors_[t.id].push_back(s);
+  return true;
+}
+
+bool ConstraintSystem::AddAttr(Ind s, const ql::Attr& r, Ind t) {
+  if (r.inverted) return AddAttrPrim(t, r.prim, s);
+  return AddAttrPrim(s, r.prim, t);
+}
+
+bool ConstraintSystem::AddPath(Ind s, ql::PathId p, Ind t) {
+  assert(p != ql::kEmptyPath);
+  if (!path_set_.insert(PathKey(s, p, t)).second) return false;
+  paths_.push_back(PathFact{s, p, t});
+  path_targets_[PairKey(s, p)].push_back(t);
+  return true;
+}
+
+bool ConstraintSystem::HasMemb(Ind s, ql::ConceptId c) const {
+  return memb_set_.count(MembKey(s, c)) > 0;
+}
+
+bool ConstraintSystem::HasAttrPrim(Ind s, Symbol p, Ind t) const {
+  return attr_set_.count(AttrKey(s, p, t)) > 0;
+}
+
+bool ConstraintSystem::HasAttr(Ind s, const ql::Attr& r, Ind t) const {
+  if (r.inverted) return HasAttrPrim(t, r.prim, s);
+  return HasAttrPrim(s, r.prim, t);
+}
+
+bool ConstraintSystem::HasPath(Ind s, ql::PathId p, Ind t) const {
+  return path_set_.count(PathKey(s, p, t)) > 0;
+}
+
+bool ConstraintSystem::HasPathFrom(Ind s, ql::PathId p) const {
+  auto it = path_targets_.find(PairKey(s, p));
+  return it != path_targets_.end() && !it->second.empty();
+}
+
+const std::vector<ql::ConceptId>& ConstraintSystem::ConceptsOf(Ind s) const {
+  auto it = concepts_of_.find(s.id);
+  return it == concepts_of_.end() ? kNoConcepts : it->second;
+}
+
+std::vector<Ind> ConstraintSystem::Fillers(Ind s, const ql::Attr& r) const {
+  if (!r.inverted) return PrimFillers(s, r.prim);
+  auto it = inv_fillers_.find(PairKey(s, r.prim.id()));
+  return it == inv_fillers_.end() ? kNoInds : it->second;
+}
+
+const std::vector<Ind>& ConstraintSystem::PrimFillers(Ind s, Symbol p) const {
+  auto it = prim_fillers_.find(PairKey(s, p.id()));
+  return it == prim_fillers_.end() ? kNoInds : it->second;
+}
+
+bool ConstraintSystem::HasAnyPrimFiller(Ind s, Symbol p) const {
+  auto it = prim_fillers_.find(PairKey(s, p.id()));
+  return it != prim_fillers_.end() && !it->second.empty();
+}
+
+const std::vector<Ind>& ConstraintSystem::PathTargets(Ind s,
+                                                      ql::PathId p) const {
+  auto it = path_targets_.find(PairKey(s, p));
+  return it == path_targets_.end() ? kNoInds : it->second;
+}
+
+const std::vector<Ind>& ConstraintSystem::Neighbors(Ind s) const {
+  auto it = neighbors_.find(s.id);
+  return it == neighbors_.end() ? kNoInds : it->second;
+}
+
+void ConstraintSystem::Substitute(const std::function<Ind(Ind)>& map) {
+  std::vector<MembFact> membs = std::move(membs_);
+  std::vector<AttrFact> attrs = std::move(attrs_);
+  std::vector<PathFact> paths = std::move(paths_);
+  membs_.clear();
+  attrs_.clear();
+  paths_.clear();
+  memb_set_.clear();
+  attr_set_.clear();
+  path_set_.clear();
+  concepts_of_.clear();
+  prim_fillers_.clear();
+  inv_fillers_.clear();
+  path_targets_.clear();
+  neighbors_.clear();
+  for (const MembFact& m : membs) AddMemb(map(m.s), m.c);
+  for (const AttrFact& a : attrs) AddAttrPrim(map(a.s), a.p, map(a.t));
+  for (const PathFact& p : paths) AddPath(map(p.s), p.p, map(p.t));
+}
+
+}  // namespace oodb::calculus

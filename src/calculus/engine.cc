@@ -1,0 +1,681 @@
+#include "calculus/engine.h"
+
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+#include "base/strings.h"
+#include "ql/print.h"
+
+namespace oodb::calculus {
+
+namespace {
+using ql::ConceptId;
+using ql::ConceptKind;
+using ql::ConceptNode;
+using ql::PathId;
+using ql::Restriction;
+}  // namespace
+
+Status ValidateQlConcept(const ql::TermFactory& f, ql::ConceptId c) {
+  for (ConceptId sub : f.Subconcepts(c)) {
+    ConceptKind kind = f.node(sub).kind;
+    if (kind == ConceptKind::kAll || kind == ConceptKind::kAtMostOne) {
+      return InvalidArgumentError(
+          StrCat("not a QL concept (contains the SL-only construct '",
+                 ql::ConceptToString(f, sub),
+                 "'; universal quantification in queries is NP-hard, "
+                 "Prop. 4.11)"));
+    }
+  }
+  return Status::Ok();
+}
+
+CompletionEngine::CompletionEngine(const schema::Schema& sigma,
+                                   Options options)
+    : sigma_(sigma), terms_(&sigma.terms()), options_(options) {}
+
+Ind CompletionEngine::Find(Ind i) const {
+  uint32_t id = i.id;
+  while (parents_[id] != id) id = parents_[id];
+  return Ind{id};
+}
+
+void CompletionEngine::SyncParents() {
+  size_t old = parents_.size();
+  parents_.resize(inds_.size());
+  for (size_t i = old; i < parents_.size(); ++i) {
+    parents_[i] = static_cast<uint32_t>(i);
+  }
+}
+
+Ind CompletionEngine::FreshVar() {
+  Ind y = inds_.FreshVar();
+  SyncParents();
+  return y;
+}
+
+void CompletionEngine::ResetAllMarks() {
+  decomp_marks_ = PassMarks{};
+  goal_marks_ = PassMarks{};
+  comp_marks_ = PassMarks{};
+  schema_marks_ = PassMarks{};
+}
+
+void CompletionEngine::Union(Ind from, Ind to) {
+  Ind rf = Find(from);
+  Ind rt = Find(to);
+  if (rf == rt) return;
+  parents_[rf.id] = rt.id;
+  auto find_fn = [this](Ind i) { return Find(i); };
+  facts_.Substitute(find_fn);
+  goals_.Substitute(find_fn);
+  // The stores were rebuilt: every pass must rescan from scratch.
+  ResetAllMarks();
+}
+
+void CompletionEngine::SetClash(std::string reason) {
+  clash_ = true;
+  clash_reason_ = std::move(reason);
+}
+
+void CompletionEngine::Record(Rule rule, std::string text) {
+  Count(rule);
+  if (options_.record_trace) {
+    trace_.push_back(TraceEvent{rule, std::move(text)});
+  }
+}
+
+// Lazy tracing: the (expensive) text expression is evaluated only when
+// trace recording is enabled.
+#define OODB_TRACE(rule, ...)                          \
+  do {                                                 \
+    Count(rule);                                       \
+    if (options_.record_trace) {                       \
+      trace_.push_back(TraceEvent{rule, __VA_ARGS__}); \
+    }                                                  \
+  } while (false)
+
+void CompletionEngine::Count(Rule rule) {
+  ++stats_.rule_applications[static_cast<size_t>(rule)];
+}
+
+std::string CompletionEngine::IndName(Ind i) const {
+  Ind r = Find(i);
+  if (inds_.IsConstant(r)) {
+    return terms_->symbols().Name(inds_.ConstantSymbol(r));
+  }
+  return inds_.Name(r);
+}
+
+Status CompletionEngine::CheckLimits() const {
+  if (inds_.size() > options_.max_individuals) {
+    return ResourceExhaustedError(
+        StrCat("individual cap exceeded: ", inds_.size()));
+  }
+  if (facts_.size() + goals_.size() > options_.max_constraints) {
+    return ResourceExhaustedError(
+        StrCat("constraint cap exceeded: ", facts_.size() + goals_.size()));
+  }
+  return Status::Ok();
+}
+
+Status CompletionEngine::Run(ql::ConceptId c, ql::ConceptId d) {
+  std::vector<ql::ConceptId> ds;
+  if (d != ql::kInvalidConcept) ds.push_back(d);
+  return RunBatch(c, ds);
+}
+
+Status CompletionEngine::RunBatch(ql::ConceptId c,
+                                  const std::vector<ql::ConceptId>& ds) {
+  auto start = std::chrono::steady_clock::now();
+  OODB_RETURN_IF_ERROR(ValidateQlConcept(*terms_, c));
+  for (ql::ConceptId d : ds) {
+    OODB_RETURN_IF_ERROR(ValidateQlConcept(*terms_, d));
+  }
+
+  x0_ = inds_.NamedVar("x");
+  SyncParents();
+  d_ = ds.empty() ? ql::kInvalidConcept : ds[0];
+  facts_.AddMemb(x0_, c);
+  for (ql::ConceptId d : ds) goals_.AddMemb(x0_, d);
+
+  for (;;) {
+    ++stats_.rounds;
+    OODB_RETURN_IF_ERROR(CheckLimits());
+
+    // Decomposition rules have absolute priority; run them to fixpoint.
+    bool changed = false;
+    for (;;) {
+      PassResult r = DecompositionPass();
+      if (clash_) break;
+      if (r == PassResult::kNoChange) break;
+      changed = true;
+    }
+    if (clash_) break;
+
+    changed |= GoalPass();
+    changed |= CompositionPass();
+    // Only when facts and goals are otherwise quiescent may schema rules
+    // fire (this subsumes the paper's decomposition-before-schema
+    // priority).
+    if (changed) continue;
+
+    PassResult r = SchemaPass();
+    if (clash_) break;
+    if (r == PassResult::kNoChange) break;
+  }
+
+  stats_.individuals = inds_.size();
+  stats_.variables = inds_.num_variables();
+  stats_.facts = facts_.size();
+  stats_.goals = goals_.size();
+  stats_.clash = clash_;
+  stats_.duration = std::chrono::steady_clock::now() - start;
+  return Status::Ok();
+}
+
+bool CompletionEngine::GoalFactHolds() const {
+  if (d_ == ql::kInvalidConcept) return false;
+  return GoalFactHoldsFor(d_);
+}
+
+bool CompletionEngine::GoalFactHoldsFor(ql::ConceptId d) const {
+  return facts_.HasMemb(Find(x0_), d);
+}
+
+// --------------------------------------------------------------------------
+// Decomposition rules (Figure 7)
+// --------------------------------------------------------------------------
+
+CompletionEngine::PassResult CompletionEngine::DecompositionPass() {
+  if (!options_.semi_naive) decomp_marks_ = PassMarks{};
+  bool changed = false;
+
+  // D1: s:C⊓D ∈ F  ⇒  F += {s:C, s:D}.
+  // D3: y:{a} ∈ F  ⇒  substitute y := a (clash if y is another constant).
+  // D4: s:∃p ∈ F (p≠ε), no t with spt ∈ F  ⇒  F += {s p y}, y fresh.
+  // D5: s:∃p≐ε ∈ F (p≠ε)  ⇒  F += {s p s}.
+  while (decomp_marks_.memb < facts_.membs().size()) {
+    const MembFact m = facts_.membs()[decomp_marks_.memb++];
+    // Copy: interning below may reallocate the concept arena.
+    const ConceptNode n = terms_->node(m.c);
+    switch (n.kind) {
+      case ConceptKind::kAnd: {
+        bool added = facts_.AddMemb(m.s, n.lhs);
+        added |= facts_.AddMemb(m.s, n.rhs);
+        if (added) {
+          changed = true;
+          OODB_TRACE(Rule::kD1,
+                 StrCat("F += ", IndName(m.s), ":",
+                        ql::ConceptToString(*terms_, n.lhs), ", ",
+                        IndName(m.s), ":",
+                        ql::ConceptToString(*terms_, n.rhs)));
+        }
+        break;
+      }
+      case ConceptKind::kSingleton: {
+        if (inds_.IsConstant(m.s)) {
+          if (inds_.ConstantSymbol(m.s) != n.sym) {
+            SetClash(StrCat("clash: ", IndName(m.s), ":{",
+                            terms_->symbols().Name(n.sym), "}"));
+            return PassResult::kRestart;
+          }
+          break;
+        }
+        Ind a = inds_.Constant(n.sym);
+        SyncParents();
+        OODB_TRACE(Rule::kD3, StrCat("[", inds_.Name(m.s), " := ",
+                                 terms_->symbols().Name(n.sym), "]"));
+        Union(m.s, a);
+        return PassResult::kRestart;
+      }
+      case ConceptKind::kExists: {
+        if (n.path == ql::kEmptyPath) break;  // ∃ε is trivially true.
+        if (facts_.HasPathFrom(m.s, n.path)) break;
+        Ind y = FreshVar();
+        facts_.AddPath(m.s, n.path, y);
+        changed = true;
+        OODB_TRACE(Rule::kD4, StrCat("F += ", IndName(m.s), " ",
+                                 ql::PathToString(*terms_, n.path), " ",
+                                 IndName(y)));
+        break;
+      }
+      case ConceptKind::kAgree: {
+        if (n.path == ql::kEmptyPath) break;  // ∃ε≐ε is trivially true.
+        if (facts_.AddPath(m.s, n.path, m.s)) {
+          changed = true;
+          OODB_TRACE(Rule::kD5, StrCat("F += ", IndName(m.s), " ",
+                                   ql::PathToString(*terms_, n.path), " ",
+                                   IndName(m.s)));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // D6: s(R:C)pt ∈ F (p≠ε), no witness t' with {sRt', t':C, t'pt} ⊆ F
+  //     ⇒ F += {sRy, y:C, ypt}, y fresh.
+  // D7: s(R:C)t ∈ F  ⇒  F += {sRt, t:C}.
+  while (decomp_marks_.path < facts_.paths().size()) {
+    const PathFact pf = facts_.paths()[decomp_marks_.path++];
+    // Copy: Suffix below may grow the path arena.
+    const Restriction head = terms_->path(pf.p)[0];
+    if (terms_->path_length(pf.p) == 1) {
+      bool added = facts_.AddAttr(pf.s, head.attr, pf.t);
+      added |= facts_.AddMemb(pf.t, head.filter);
+      if (added) {
+        changed = true;
+        OODB_TRACE(Rule::kD7,
+               StrCat("F += ", IndName(pf.s), " ",
+                      ql::AttrToString(*terms_, head.attr), " ",
+                      IndName(pf.t), ", ", IndName(pf.t), ":",
+                      ql::ConceptToString(*terms_, head.filter)));
+      }
+      continue;
+    }
+    PathId tail = terms_->Suffix(pf.p, 1);
+    bool witness = false;
+    for (Ind t2 : facts_.Fillers(pf.s, head.attr)) {
+      if (facts_.HasMemb(t2, head.filter) &&
+          facts_.HasPath(t2, tail, pf.t)) {
+        witness = true;
+        break;
+      }
+    }
+    if (witness) continue;
+    Ind y = FreshVar();
+    facts_.AddAttr(pf.s, head.attr, y);
+    facts_.AddMemb(y, head.filter);
+    facts_.AddPath(y, tail, pf.t);
+    changed = true;
+    OODB_TRACE(Rule::kD6,
+           StrCat("F += ", IndName(pf.s), " ",
+                  ql::AttrToString(*terms_, head.attr), " ", IndName(y),
+                  ", ", IndName(y), ":",
+                  ql::ConceptToString(*terms_, head.filter), ", ",
+                  IndName(y), " ", ql::PathToString(*terms_, tail), " ",
+                  IndName(pf.t)));
+  }
+
+  return changed ? PassResult::kChanged : PassResult::kNoChange;
+}
+
+// --------------------------------------------------------------------------
+// Schema rules (Figure 8 + the derived rule S6; see trace.h)
+// --------------------------------------------------------------------------
+
+CompletionEngine::PassResult CompletionEngine::CheckFunctional(
+    Ind s, Symbol p, Symbol concept_name) {
+  const auto& fillers = facts_.PrimFillers(s, p);
+  if (fillers.size() < 2) return PassResult::kNoChange;
+  Ind u = fillers[0];
+  Ind v = fillers[1];
+  if (inds_.IsConstant(u) && inds_.IsConstant(v)) {
+    SetClash(StrCat("clash: ", IndName(s), " has two distinct ",
+                    terms_->symbols().Name(p), "-values ", IndName(u), ", ",
+                    IndName(v), " but ",
+                    terms_->symbols().Name(concept_name), " ⊑ (≤1 ",
+                    terms_->symbols().Name(p), ")"));
+    return PassResult::kRestart;
+  }
+  Ind from = inds_.IsConstant(u) ? v : u;
+  Ind to = inds_.IsConstant(u) ? u : v;
+  OODB_TRACE(Rule::kS4, StrCat("[", IndName(from), " := ", IndName(to), "]"));
+  Union(from, to);
+  return PassResult::kRestart;
+}
+
+bool CompletionEngine::ApplyS5For(Ind s, ql::ConceptId goal_concept) {
+  // Copy: interning below may reallocate the concept arena.
+  const ConceptNode n = terms_->node(goal_concept);
+  if (n.kind != ConceptKind::kExists && n.kind != ConceptKind::kAgree) {
+    return false;
+  }
+  if (n.path == ql::kEmptyPath) return false;
+  const Restriction head = terms_->path(n.path)[0];
+  if (head.attr.inverted) return false;  // S5 needs a primitive first step.
+  Symbol p = head.attr.prim;
+  if (facts_.HasAnyPrimFiller(s, p)) return false;
+  bool required = false;
+  for (ConceptId c : facts_.ConceptsOf(s)) {
+    const ConceptNode& cn = terms_->node(c);
+    if (cn.kind == ConceptKind::kPrimitive &&
+        sigma_.IsNecessaryFor(cn.sym, p)) {
+      required = true;
+      break;
+    }
+  }
+  if (!required) return false;
+  Ind y = FreshVar();
+  facts_.AddAttrPrim(s, p, y);
+  OODB_TRACE(Rule::kS5, StrCat("F += ", IndName(s), " ",
+                           terms_->symbols().Name(p), " ", IndName(y)));
+  return true;
+}
+
+CompletionEngine::PassResult CompletionEngine::SchemaPass() {
+  if (!options_.semi_naive) schema_marks_ = PassMarks{};
+  bool changed = false;
+
+  // Ablation mode: unguarded witness generation for every necessary
+  // attribute (see EngineOptions::eager_witnesses). Kept as a full scan:
+  // it exists to demonstrate divergence, not to be fast.
+  if (options_.eager_witnesses) {
+    for (size_t i = 0; i < facts_.membs().size(); ++i) {
+      const MembFact m = facts_.membs()[i];
+      // Copy: interning below may reallocate the concept arena.
+    const ConceptNode n = terms_->node(m.c);
+      if (n.kind != ConceptKind::kPrimitive) continue;
+      for (Symbol p : sigma_.NecessaryAttrs(n.sym)) {
+        if (facts_.HasAnyPrimFiller(m.s, p)) continue;
+        Ind y = FreshVar();
+        facts_.AddAttrPrim(m.s, p, y);
+        changed = true;
+        Count(Rule::kS5);
+        if (inds_.size() > options_.max_individuals) {
+          return changed ? PassResult::kChanged : PassResult::kNoChange;
+        }
+      }
+    }
+  }
+
+  // Trigger: new primitive memberships.
+  //   S1: A₁ ⊑ A₂          ⇒ s:A₂
+  //   S6: A ⊑ ∃P, P ⊑ A₁×A₂ ⇒ s:A₁
+  //   S2 (memb side): A₁ ⊑ ∀P.A₂, existing sPt ⇒ t:A₂
+  //   S4: A ⊑ (≤1 P) with two fillers ⇒ merge/clash
+  //   S5: existing goals at s may now be entitled to a witness
+  while (schema_marks_.memb < facts_.membs().size()) {
+    const MembFact m = facts_.membs()[schema_marks_.memb++];
+    // Copy: interning below may reallocate the concept arena.
+    const ConceptNode n = terms_->node(m.c);
+    if (n.kind != ConceptKind::kPrimitive) continue;
+    for (Symbol super : sigma_.SuperPrimitives(n.sym)) {
+      if (facts_.AddMemb(m.s, Prim(super))) {
+        changed = true;
+        OODB_TRACE(Rule::kS1, StrCat("F += ", IndName(m.s), ":",
+                                 terms_->symbols().Name(super)));
+      }
+    }
+    for (Symbol p : sigma_.NecessaryAttrs(n.sym)) {
+      for (const schema::TypingAxiom& typing : sigma_.TypingsOf(p)) {
+        if (facts_.AddMemb(m.s, Prim(typing.domain))) {
+          changed = true;
+          OODB_TRACE(Rule::kS6, StrCat("F += ", IndName(m.s), ":",
+                                   terms_->symbols().Name(typing.domain)));
+        }
+      }
+    }
+    for (const auto& [p, range] : sigma_.ValueRestrictionsOf(n.sym)) {
+      // Copy: AddMemb may grow the filler index when s has a self-loop.
+      const std::vector<Ind> fillers = facts_.PrimFillers(m.s, p);
+      for (Ind t : fillers) {
+        if (facts_.AddMemb(t, Prim(range))) {
+          changed = true;
+          OODB_TRACE(Rule::kS2, StrCat("F += ", IndName(t), ":",
+                                   terms_->symbols().Name(range)));
+        }
+      }
+    }
+    for (Symbol p : sigma_.FunctionalAttrs(n.sym)) {
+      PassResult r = CheckFunctional(m.s, p, n.sym);
+      if (r == PassResult::kRestart) return r;
+    }
+    // S5 re-check for goals already sitting at s.
+    const std::vector<ConceptId> goal_concepts = goals_.ConceptsOf(m.s);
+    for (ConceptId g : goal_concepts) changed |= ApplyS5For(m.s, g);
+  }
+
+  // Trigger: new attribute facts.
+  //   S2 (attr side), S3 (typing), S4 (functional membs of s).
+  while (schema_marks_.attr < facts_.attrs().size()) {
+    const AttrFact a = facts_.attrs()[schema_marks_.attr++];
+    // Copy: AddMemb below may grow the underlying index when a.s == a.t.
+    const std::vector<ConceptId> source_concepts = facts_.ConceptsOf(a.s);
+    for (ConceptId c : source_concepts) {
+      // Copy: interning below may reallocate the concept arena.
+      const ConceptNode n = terms_->node(c);
+      if (n.kind != ConceptKind::kPrimitive) continue;
+      for (Symbol range : sigma_.ValueRestrictions(n.sym, a.p)) {
+        if (facts_.AddMemb(a.t, Prim(range))) {
+          changed = true;
+          OODB_TRACE(Rule::kS2, StrCat("F += ", IndName(a.t), ":",
+                                   terms_->symbols().Name(range)));
+        }
+      }
+      if (sigma_.IsFunctionalFor(n.sym, a.p)) {
+        PassResult r = CheckFunctional(a.s, a.p, n.sym);
+        if (r == PassResult::kRestart) return r;
+      }
+    }
+    for (const schema::TypingAxiom& typing : sigma_.TypingsOf(a.p)) {
+      bool added = facts_.AddMemb(a.s, Prim(typing.domain));
+      added |= facts_.AddMemb(a.t, Prim(typing.range));
+      if (added) {
+        changed = true;
+        OODB_TRACE(Rule::kS3,
+               StrCat("F += ", IndName(a.s), ":",
+                      terms_->symbols().Name(typing.domain), ", ",
+                      IndName(a.t), ":",
+                      terms_->symbols().Name(typing.range)));
+      }
+    }
+  }
+
+  // Trigger: new goals — S5.
+  while (schema_marks_.goal < goals_.membs().size()) {
+    const MembFact g = goals_.membs()[schema_marks_.goal++];
+    changed |= ApplyS5For(g.s, g.c);
+  }
+
+  return changed ? PassResult::kChanged : PassResult::kNoChange;
+}
+
+// --------------------------------------------------------------------------
+// Goal rules (Figure 9)
+// --------------------------------------------------------------------------
+
+bool CompletionEngine::ApplyGoalStepRules(Ind s, ql::ConceptId goal_concept) {
+  // Copy: interning below may reallocate the concept arena.
+  const ConceptNode n = terms_->node(goal_concept);
+  switch (n.kind) {
+    // G1: s:C⊓D ∈ G  ⇒  G += {s:C, s:D}.
+    case ConceptKind::kAnd: {
+      bool added = goals_.AddMemb(s, n.lhs);
+      added |= goals_.AddMemb(s, n.rhs);
+      if (added) {
+        OODB_TRACE(Rule::kG1,
+               StrCat("G += ", IndName(s), ":",
+                      ql::ConceptToString(*terms_, n.lhs), ", ", IndName(s),
+                      ":", ql::ConceptToString(*terms_, n.rhs)));
+      }
+      return added;
+    }
+    // G2: s:∃(R:C) ∈ G (or ≐ε) and sRt ∈ F   ⇒  G += t:C.
+    // G3: s:∃(R:C)p ∈ G (or ≐ε), p≠ε, sRt ∈ F ⇒  G += {t:C, t:∃p}.
+    case ConceptKind::kExists:
+    case ConceptKind::kAgree: {
+      if (n.path == ql::kEmptyPath) return false;
+      // Copy: Suffix below may grow the path arena.
+      const Restriction head = terms_->path(n.path)[0];
+      const bool is_last = terms_->path_length(n.path) == 1;
+      ConceptId tail_goal = ql::kInvalidConcept;
+      if (!is_last) {
+        tail_goal = terms_->Exists(terms_->Suffix(n.path, 1));
+      }
+      bool changed = false;
+      for (Ind t : facts_.Fillers(s, head.attr)) {
+        bool added = goals_.AddMemb(t, head.filter);
+        if (!is_last) added |= goals_.AddMemb(t, tail_goal);
+        if (added) {
+          changed = true;
+          OODB_TRACE(is_last ? Rule::kG2 : Rule::kG3,
+                 StrCat("G += ", IndName(t), ":",
+                        ql::ConceptToString(*terms_, head.filter),
+                        is_last ? ""
+                                : StrCat(", ", IndName(t), ":",
+                                         ql::ConceptToString(*terms_,
+                                                             tail_goal))));
+        }
+      }
+      return changed;
+    }
+    default:
+      return false;
+  }
+}
+
+bool CompletionEngine::GoalPass() {
+  if (!options_.semi_naive) goal_marks_ = PassMarks{};
+  bool changed = false;
+  // Trigger: new goals (against all current fillers).
+  while (goal_marks_.goal < goals_.membs().size()) {
+    const MembFact g = goals_.membs()[goal_marks_.goal++];
+    changed |= ApplyGoalStepRules(g.s, g.c);
+  }
+  // Trigger: new attribute facts (against existing goals at both ends).
+  while (goal_marks_.attr < facts_.attrs().size()) {
+    const AttrFact a = facts_.attrs()[goal_marks_.attr++];
+    for (Ind u : {a.s, a.t}) {
+      const std::vector<ConceptId> goal_concepts = goals_.ConceptsOf(u);
+      for (ConceptId g : goal_concepts) {
+        changed |= ApplyGoalStepRules(u, g);
+      }
+    }
+  }
+  return changed;
+}
+
+// --------------------------------------------------------------------------
+// Composition rules (Figure 10)
+// --------------------------------------------------------------------------
+
+bool CompletionEngine::ComposeForGoal(Ind s, ql::ConceptId goal_concept) {
+  // Copy: interning below may reallocate the concept arena.
+  const ConceptNode n = terms_->node(goal_concept);
+  bool changed = false;
+  switch (n.kind) {
+    // C1: {s:C, s:D} ⊆ F and s:C⊓D ∈ G  ⇒  F += s:C⊓D.
+    case ConceptKind::kAnd: {
+      if (facts_.HasMemb(s, n.lhs) && facts_.HasMemb(s, n.rhs) &&
+          facts_.AddMemb(s, goal_concept)) {
+        changed = true;
+        OODB_TRACE(Rule::kC1, StrCat("F += ", IndName(s), ":",
+                                 ql::ConceptToString(*terms_,
+                                                     goal_concept)));
+      }
+      break;
+    }
+    // C2: s:⊤ ∈ G  ⇒  F += s:⊤.
+    case ConceptKind::kTop: {
+      if (facts_.AddMemb(s, goal_concept)) {
+        changed = true;
+        OODB_TRACE(Rule::kC2, StrCat("F += ", IndName(s), ":⊤"));
+      }
+      break;
+    }
+    case ConceptKind::kExists:
+    case ConceptKind::kAgree: {
+      const bool is_agree = n.kind == ConceptKind::kAgree;
+      // C5/C6: compose path facts requested by the goal.
+      if (n.path != ql::kEmptyPath) {
+        // Copy: Suffix below may grow the path arena.
+        const Restriction head = terms_->path(n.path)[0];
+        if (terms_->path_length(n.path) == 1) {
+          // C6: sRt ∈ F, t:C ∈ F  ⇒  F += s(R:C)t.
+          for (Ind t : facts_.Fillers(s, head.attr)) {
+            if (facts_.HasMemb(t, head.filter) &&
+                facts_.AddPath(s, n.path, t)) {
+              changed = true;
+              OODB_TRACE(Rule::kC6,
+                     StrCat("F += ", IndName(s), " ",
+                            ql::PathToString(*terms_, n.path), " ",
+                            IndName(t)));
+            }
+          }
+        } else {
+          // C5: sRt' ∈ F, t':C ∈ F, t'pt ∈ F  ⇒  F += s(R:C)pt.
+          PathId tail = terms_->Suffix(n.path, 1);
+          for (Ind t2 : facts_.Fillers(s, head.attr)) {
+            if (!facts_.HasMemb(t2, head.filter)) continue;
+            const std::vector<Ind> targets = facts_.PathTargets(t2, tail);
+            for (Ind t : targets) {
+              if (facts_.AddPath(s, n.path, t)) {
+                changed = true;
+                OODB_TRACE(Rule::kC5,
+                       StrCat("F += ", IndName(s), " ",
+                              ql::PathToString(*terms_, n.path), " ",
+                              IndName(t)));
+              }
+            }
+          }
+        }
+      }
+      // C3: s:∃p ∈ G and (p = ε or spt ∈ F)  ⇒  F += s:∃p.
+      // C4: s:∃p≐ε ∈ G and (p = ε or sps ∈ F)  ⇒  F += s:∃p≐ε.
+      bool satisfied;
+      if (n.path == ql::kEmptyPath) {
+        satisfied = true;
+      } else if (is_agree) {
+        satisfied = facts_.HasPath(s, n.path, s);
+      } else {
+        satisfied = facts_.HasPathFrom(s, n.path);
+      }
+      if (satisfied && facts_.AddMemb(s, goal_concept)) {
+        changed = true;
+        OODB_TRACE(is_agree ? Rule::kC4 : Rule::kC3,
+               StrCat("F += ", IndName(s), ":",
+                      ql::ConceptToString(*terms_, goal_concept)));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return changed;
+}
+
+bool CompletionEngine::RecheckGoalsAt(Ind u) {
+  bool changed = false;
+  // Copy: compositions may append to the goal-concept index of u.
+  const std::vector<ConceptId> goal_concepts = goals_.ConceptsOf(u);
+  for (ConceptId g : goal_concepts) changed |= ComposeForGoal(u, g);
+  return changed;
+}
+
+bool CompletionEngine::CompositionPass() {
+  if (!options_.semi_naive) comp_marks_ = PassMarks{};
+  bool changed = false;
+
+  // Trigger: new goals — evaluate their conditions directly.
+  while (comp_marks_.goal < goals_.membs().size()) {
+    const MembFact g = goals_.membs()[comp_marks_.goal++];
+    changed |= ComposeForGoal(g.s, g.c);
+  }
+  // Trigger: new facts. A new membership or path fact at t' can enable
+  // C1/C3/C4 at t' itself and C5/C6 at attribute-predecessors of t'; a
+  // new attribute fact can enable compositions at both of its endpoints.
+  while (comp_marks_.memb < facts_.membs().size()) {
+    const MembFact m = facts_.membs()[comp_marks_.memb++];
+    changed |= RecheckGoalsAt(m.s);
+    const std::vector<Ind> neighbors = facts_.Neighbors(m.s);
+    for (Ind u : neighbors) changed |= RecheckGoalsAt(u);
+  }
+  while (comp_marks_.attr < facts_.attrs().size()) {
+    const AttrFact a = facts_.attrs()[comp_marks_.attr++];
+    changed |= RecheckGoalsAt(a.s);
+    changed |= RecheckGoalsAt(a.t);
+  }
+  while (comp_marks_.path < facts_.paths().size()) {
+    const PathFact p = facts_.paths()[comp_marks_.path++];
+    changed |= RecheckGoalsAt(p.s);
+    const std::vector<Ind> neighbors = facts_.Neighbors(p.s);
+    for (Ind u : neighbors) changed |= RecheckGoalsAt(u);
+  }
+  return changed;
+}
+
+}  // namespace oodb::calculus

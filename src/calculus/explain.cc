@@ -1,0 +1,88 @@
+#include "calculus/explain.h"
+
+#include "base/strings.h"
+#include "calculus/engine.h"
+#include "interp/eval.h"
+#include "ql/print.h"
+
+namespace oodb::calculus {
+
+std::string RenderCountermodel(const schema::Schema& sigma,
+                               const CanonicalModel& model,
+                               const interp::Signature& sig,
+                               ql::ConceptId c, ql::ConceptId d) {
+  const ql::TermFactory& terms = sigma.terms();
+  const interp::Interpretation& interp = model.interpretation;
+  std::string out;
+  out += StrCat("countermodel (", interp.domain_size(),
+                " elements; e", model.u_element,
+                " is the universal element u):\n");
+  for (size_t e = 0; e < interp.domain_size(); ++e) {
+    int x = static_cast<int>(e);
+    std::vector<std::string> concepts;
+    if (interp.IsUniversal(x)) {
+      concepts.push_back("⟨everything⟩");
+    } else {
+      for (Symbol a : sig.concepts) {
+        if (interp.InConcept(a, x)) {
+          concepts.push_back(terms.symbols().Name(a));
+        }
+      }
+    }
+    out += StrCat("  e", e, ": {", StrJoin(concepts, ", "), "}",
+                  x == model.goal_element ? "   ← the witness object o" : "",
+                  "\n");
+  }
+  for (Symbol p : sig.attrs) {
+    for (size_t s = 0; s < interp.domain_size(); ++s) {
+      for (int t : interp.Successors(p, static_cast<int>(s))) {
+        if (interp.IsUniversal(static_cast<int>(s))) continue;
+        out += StrCat("  e", s, " —", terms.symbols().Name(p), "→ e", t,
+                      "\n");
+      }
+    }
+  }
+  out += StrCat("  o = e", model.goal_element, " satisfies  ",
+                ql::ConceptToString(terms, c), "\n");
+  out += StrCat("  o = e", model.goal_element, " violates   ",
+                ql::ConceptToString(terms, d), "\n");
+  return out;
+}
+
+Result<Explanation> ExplainSubsumption(const schema::Schema& sigma,
+                                       ql::ConceptId c, ql::ConceptId d) {
+  CompletionEngine::Options options;
+  options.record_trace = true;
+  CompletionEngine engine(sigma, options);
+  OODB_RETURN_IF_ERROR(engine.Run(c, d));
+
+  const ql::TermFactory& terms = sigma.terms();
+  Explanation explanation;
+  explanation.subsumed = engine.clash() || engine.GoalFactHolds();
+
+  if (engine.clash()) {
+    explanation.text = StrCat(
+        ql::ConceptToString(terms, c), " is Σ-unsatisfiable (",
+        engine.clash_reason(),
+        "), hence subsumed by every concept (Thm. 4.7).\n");
+    return explanation;
+  }
+
+  if (explanation.subsumed) {
+    std::string out = StrCat("derivation of o:D (", engine.trace().size(),
+                             " rule applications):\n");
+    for (const TraceEvent& event : engine.trace()) {
+      out += StrCat("  [", RuleName(event.rule), "] ", event.text, "\n");
+    }
+    explanation.text = std::move(out);
+    return explanation;
+  }
+
+  OODB_ASSIGN_OR_RETURN(CanonicalModel model,
+                        BuildCanonicalModel(engine, sigma));
+  interp::Signature sig = interp::CollectSignature(terms, {c, d}, &sigma);
+  explanation.text = RenderCountermodel(sigma, model, sig, c, d);
+  return explanation;
+}
+
+}  // namespace oodb::calculus

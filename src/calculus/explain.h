@@ -1,0 +1,38 @@
+// Human-readable explanations of subsumption verdicts: a derivation
+// summary for positive answers, and a rendered canonical countermodel
+// (Prop. 4.5/4.6) for negative ones.
+#ifndef OODB_CALCULUS_EXPLAIN_H_
+#define OODB_CALCULUS_EXPLAIN_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "calculus/canonical.h"
+#include "calculus/subsumption.h"
+#include "interp/signature.h"
+#include "schema/schema.h"
+
+namespace oodb::calculus {
+
+// A complete, displayable explanation of one subsumption question.
+struct Explanation {
+  bool subsumed = false;
+  // Multi-line text: for YES, the derivation trace with per-family rule
+  // counts; for NO, the canonical countermodel with the witness object.
+  std::string text;
+};
+
+// Decides C ⊑_Σ D and explains the verdict. Runs with tracing enabled.
+Result<Explanation> ExplainSubsumption(const schema::Schema& sigma,
+                                       ql::ConceptId c, ql::ConceptId d);
+
+// Renders the countermodel structure: one line per element with its
+// primitive concepts, one per attribute edge, and the witness statement.
+std::string RenderCountermodel(const schema::Schema& sigma,
+                               const CanonicalModel& model,
+                               const interp::Signature& sig,
+                               ql::ConceptId c, ql::ConceptId d);
+
+}  // namespace oodb::calculus
+
+#endif  // OODB_CALCULUS_EXPLAIN_H_

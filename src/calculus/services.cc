@@ -1,0 +1,295 @@
+#include "calculus/services.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+#include "ql/print.h"
+
+namespace oodb::calculus {
+
+namespace {
+
+// Flattens an ⊓-tree into its conjunct list.
+void Conjuncts(const ql::TermFactory& f, ql::ConceptId c,
+               std::vector<ql::ConceptId>* out) {
+  const ql::ConceptNode& n = f.node(c);
+  if (n.kind == ql::ConceptKind::kAnd) {
+    Conjuncts(f, n.lhs, out);
+    Conjuncts(f, n.rhs, out);
+  } else {
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+Result<ql::ConceptId> MinimizeConcept(const SubsumptionChecker& checker,
+                                      ql::TermFactory* terms,
+                                      ql::ConceptId c) {
+  std::vector<ql::ConceptId> conjuncts;
+  Conjuncts(*terms, c, &conjuncts);
+
+  // Phase 1: drop conjuncts implied by the rest.
+  bool changed = true;
+  while (changed && conjuncts.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      std::vector<ql::ConceptId> rest;
+      for (size_t j = 0; j < conjuncts.size(); ++j) {
+        if (j != i) rest.push_back(conjuncts[j]);
+      }
+      ql::ConceptId candidate = terms->AndAll(rest);
+      OODB_ASSIGN_OR_RETURN(bool implied,
+                            checker.Subsumes(candidate, conjuncts[i]));
+      if (implied) {
+        conjuncts = std::move(rest);
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // Phase 2: weaken path filters to ⊤ where the rest of the concept
+  // already implies them (the weakened whole must subsume-back).
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    const ql::ConceptNode n = terms->node(conjuncts[i]);
+    if (n.kind != ql::ConceptKind::kExists &&
+        n.kind != ql::ConceptKind::kAgree) {
+      continue;
+    }
+    std::vector<ql::Restriction> steps = terms->path(n.path);
+    bool any = false;
+    for (size_t k = 0; k < steps.size(); ++k) {
+      if (steps[k].filter == terms->Top()) continue;
+      std::vector<ql::Restriction> weakened_steps = steps;
+      weakened_steps[k].filter = terms->Top();
+      ql::PathId weakened_path = terms->MakePath(weakened_steps);
+      ql::ConceptId weakened_conjunct =
+          n.kind == ql::ConceptKind::kExists ? terms->Exists(weakened_path)
+                                             : terms->Agree(weakened_path);
+      std::vector<ql::ConceptId> candidate_list = conjuncts;
+      candidate_list[i] = weakened_conjunct;
+      ql::ConceptId candidate = terms->AndAll(candidate_list);
+      // Weakening gives c ⊑ candidate for free; equality needs the
+      // converse.
+      OODB_ASSIGN_OR_RETURN(bool back, checker.Subsumes(candidate, c));
+      if (back) {
+        steps = std::move(weakened_steps);
+        any = true;
+      }
+    }
+    if (any) {
+      ql::PathId path = terms->MakePath(std::move(steps));
+      conjuncts[i] = n.kind == ql::ConceptKind::kExists
+                         ? terms->Exists(path)
+                         : terms->Agree(path);
+    }
+  }
+
+  ql::ConceptId result = terms->AndAll(conjuncts);
+  // Safety net: the result must be Σ-equivalent to the input.
+  OODB_ASSIGN_OR_RETURN(bool equivalent, checker.Equivalent(result, c));
+  if (!equivalent) return c;
+  return result;
+}
+
+Result<ql::ConceptId> CommonSubsumer(const SubsumptionChecker& checker,
+                                     ql::TermFactory* terms,
+                                     const std::vector<ql::ConceptId>& cs) {
+  if (cs.empty()) return terms->Top();
+  // Candidate conjuncts: every top-level conjunct of every input.
+  std::vector<ql::ConceptId> candidates;
+  for (ql::ConceptId c : cs) Conjuncts(*terms, c, &candidates);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<ql::ConceptId> kept;
+  for (ql::ConceptId candidate : candidates) {
+    bool common = true;
+    for (ql::ConceptId c : cs) {
+      OODB_ASSIGN_OR_RETURN(bool sub, checker.Subsumes(c, candidate));
+      if (!sub) {
+        common = false;
+        break;
+      }
+    }
+    if (common) kept.push_back(candidate);
+  }
+  return MinimizeConcept(checker, terms, terms->AndAll(kept));
+}
+
+Result<std::optional<ql::ConceptId>> ResidualFilter(
+    const SubsumptionChecker& checker, ql::TermFactory* terms,
+    ql::ConceptId q, ql::ConceptId v) {
+  OODB_ASSIGN_OR_RETURN(bool subsumed, checker.Subsumes(q, v));
+  if (!subsumed) return std::optional<ql::ConceptId>();
+
+  std::vector<ql::ConceptId> residual;
+  Conjuncts(*terms, q, &residual);
+  // Greedy deletion: Q ⊑ V and Q ⊑ ⋀R' give Q ⊑ V ⊓ R' for free, so only
+  // the converse V ⊓ R' ⊑ Q needs checking.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < residual.size(); ++i) {
+      std::vector<ql::ConceptId> rest;
+      for (size_t j = 0; j < residual.size(); ++j) {
+        if (j != i) rest.push_back(residual[j]);
+      }
+      ql::ConceptId candidate = terms->And(v, terms->AndAll(rest));
+      OODB_ASSIGN_OR_RETURN(bool exact, checker.Subsumes(candidate, q));
+      if (exact) {
+        residual = std::move(rest);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return std::optional<ql::ConceptId>(terms->AndAll(residual));
+}
+
+Status Classifier::Add(Symbol name, ql::ConceptId concept_id) {
+  if (nodes_.count(name) > 0) {
+    return AlreadyExistsError("concept name already classified");
+  }
+  Node node;
+  node.concept_id = concept_id;
+  nodes_.emplace(name, std::move(node));
+  names_.push_back(name);
+  classified_ = false;
+  return Status::Ok();
+}
+
+Status Classifier::Classify() {
+  const size_t n = names_.size();
+  // Full subsumption matrix (n² checks, each polynomial).
+  std::vector<std::vector<bool>> below(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        below[i][j] = true;
+        continue;
+      }
+      OODB_ASSIGN_OR_RETURN(
+          bool sub, checker_.Subsumes(nodes_.at(names_[i]).concept_id,
+                                      nodes_.at(names_[j]).concept_id));
+      below[i][j] = sub;
+    }
+  }
+  for (auto& [name, node] : nodes_) {
+    node.parents.clear();
+    node.children.clear();
+    node.equivalents.clear();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Node& node = nodes_.at(names_[i]);
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (below[i][j] && below[j][i]) {
+        node.equivalents.push_back(names_[j]);
+        continue;
+      }
+      if (!below[i][j]) continue;
+      // j is a strict subsumer of i; direct iff no strict k between.
+      bool direct = true;
+      for (size_t k = 0; k < n && direct; ++k) {
+        if (k == i || k == j) continue;
+        if (below[i][k] && !below[k][i] && below[k][j] && !below[j][k]) {
+          direct = false;
+        }
+      }
+      if (direct) {
+        node.parents.push_back(names_[j]);
+        nodes_.at(names_[j]).children.push_back(names_[i]);
+      }
+    }
+  }
+  classified_ = true;
+  return Status::Ok();
+}
+
+std::vector<Symbol> Classifier::Parents(Symbol name) const {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? std::vector<Symbol>{} : it->second.parents;
+}
+
+std::vector<Symbol> Classifier::Children(Symbol name) const {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? std::vector<Symbol>{} : it->second.children;
+}
+
+std::vector<Symbol> Classifier::Equivalents(Symbol name) const {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? std::vector<Symbol>{} : it->second.equivalents;
+}
+
+Result<std::vector<Symbol>> Classifier::SubsumersOf(
+    ql::ConceptId concept_id) const {
+  // Collect subsumers, then order children-before-parents so callers can
+  // take the first (most specific) hit.
+  std::vector<Symbol> subsumers;
+  for (Symbol name : names_) {
+    OODB_ASSIGN_OR_RETURN(
+        bool sub, checker_.Subsumes(concept_id, nodes_.at(name).concept_id));
+    if (sub) subsumers.push_back(name);
+  }
+  std::vector<Symbol> ordered;
+  std::unordered_map<Symbol, bool> placed;
+  // Repeatedly emit subsumers all of whose (subsumer-)children are placed.
+  while (ordered.size() < subsumers.size()) {
+    bool progress = false;
+    for (Symbol name : subsumers) {
+      if (placed[name]) continue;
+      bool ready = true;
+      for (Symbol child : nodes_.at(name).children) {
+        if (std::find(subsumers.begin(), subsumers.end(), child) !=
+                subsumers.end() &&
+            !placed[child]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        ordered.push_back(name);
+        placed[name] = true;
+        progress = true;
+      }
+    }
+    if (!progress) {  // equivalence cycles: emit the rest in input order
+      for (Symbol name : subsumers) {
+        if (!placed[name]) {
+          ordered.push_back(name);
+          placed[name] = true;
+        }
+      }
+    }
+  }
+  return ordered;
+}
+
+std::string Classifier::ToString(const SymbolTable& symbols) const {
+  std::string out;
+  for (Symbol name : names_) {
+    const Node& node = nodes_.at(name);
+    out += StrCat(symbols.Name(name), "\n");
+    if (!node.equivalents.empty()) {
+      out += StrCat("  ≡ ", StrJoinMapped(node.equivalents, ", ",
+                                          [&](Symbol s) {
+                                            return symbols.Name(s);
+                                          }),
+                    "\n");
+    }
+    out += StrCat("  parents: ",
+                  node.parents.empty()
+                      ? "⊤"
+                      : StrJoinMapped(node.parents, ", ",
+                                      [&](Symbol s) {
+                                        return symbols.Name(s);
+                                      }),
+                  "\n");
+  }
+  return out;
+}
+
+}  // namespace oodb::calculus

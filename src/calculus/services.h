@@ -1,0 +1,97 @@
+// Higher-level reasoning services built on the subsumption checker:
+// concept minimization (the semantic-optimization use of containment the
+// related work pursues: remove redundant conjuncts) and classification of
+// named concepts into a subsumption DAG (the classic DL reasoner service;
+// the view catalog uses it to find most-specific subsuming views).
+#ifndef OODB_CALCULUS_SERVICES_H_
+#define OODB_CALCULUS_SERVICES_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "calculus/subsumption.h"
+#include "ql/term.h"
+
+namespace oodb::calculus {
+
+// Removes parts of `c` that are redundant under Σ while preserving
+// Σ-equivalence:
+//   * conjuncts implied by the remaining conjuncts
+//   * path filters implied by the rest of the concept (weakened to ⊤)
+// Runs polynomially many subsumption checks. The result is Σ-equivalent
+// to the input (verified internally; on any anomaly the input is
+// returned unchanged).
+Result<ql::ConceptId> MinimizeConcept(const SubsumptionChecker& checker,
+                                      ql::TermFactory* terms,
+                                      ql::ConceptId c);
+
+// The paper's first open problem (Sect. 6): "We are interested in a
+// minimal filter query which intersected with the view results exactly in
+// the subsumed query."
+//
+// Given Q ⊑_Σ V, returns a minimal-by-greedy-deletion subset R of Q's
+// conjuncts with V ⊓ R ≡_Σ Q (always exists: R = Q works). An optimizer
+// can then test view candidates against R alone instead of all of Q.
+// Returns nullopt if Q ⋢_Σ V.
+Result<std::optional<ql::ConceptId>> ResidualFilter(
+    const SubsumptionChecker& checker, ql::TermFactory* terms,
+    ql::ConceptId q, ql::ConceptId v);
+
+// A common subsumer of a query workload: S with Cᵢ ⊑_Σ S for every input
+// (not necessarily the least one). Built from the conjuncts of the inputs
+// that subsume every input, then Σ-minimized. The paper's cooperative
+// scenario (Sect. 6: users sharing object sets) materializes such an S as
+// one view serving the whole workload; if nothing is shared the result
+// degrades to ⊤ (not worth materializing — callers should check).
+Result<ql::ConceptId> CommonSubsumer(const SubsumptionChecker& checker,
+                                     ql::TermFactory* terms,
+                                     const std::vector<ql::ConceptId>& cs);
+
+// Classifies named concepts into a subsumption hierarchy.
+class Classifier {
+ public:
+  explicit Classifier(const SubsumptionChecker& checker)
+      : checker_(checker) {}
+
+  // Adds a named concept. Names must be unique.
+  Status Add(Symbol name, ql::ConceptId concept_id);
+
+  // Computes the DAG. Call after all Add()s (idempotent; re-runs after
+  // further insertions).
+  Status Classify();
+
+  // Direct (transitively reduced) super-concepts of `name`.
+  std::vector<Symbol> Parents(Symbol name) const;
+  // Direct sub-concepts.
+  std::vector<Symbol> Children(Symbol name) const;
+  // Names whose concepts are Σ-equivalent to `name` (excluding itself).
+  std::vector<Symbol> Equivalents(Symbol name) const;
+  // Every added name whose concept subsumes `concept_id`, most specific
+  // first (parents follow children).
+  Result<std::vector<Symbol>> SubsumersOf(ql::ConceptId concept_id) const;
+
+  const std::vector<Symbol>& names() const { return names_; }
+
+  // Multi-line rendering of the hierarchy.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  struct Node {
+    ql::ConceptId concept_id = ql::kInvalidConcept;
+    std::vector<Symbol> parents;
+    std::vector<Symbol> children;
+    std::vector<Symbol> equivalents;
+  };
+
+  const SubsumptionChecker& checker_;
+  std::vector<Symbol> names_;
+  std::unordered_map<Symbol, Node> nodes_;
+  bool classified_ = false;
+};
+
+}  // namespace oodb::calculus
+
+#endif  // OODB_CALCULUS_SERVICES_H_

@@ -1,0 +1,60 @@
+#include "calculus/subsumption.h"
+
+namespace oodb::calculus {
+
+Result<bool> SubsumptionChecker::Subsumes(ql::ConceptId c,
+                                          ql::ConceptId d) const {
+  const uint64_t key =
+      (static_cast<uint64_t>(c) << 32) | static_cast<uint64_t>(d);
+  if (options_.memoize) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+  }
+  OODB_ASSIGN_OR_RETURN(SubsumptionOutcome outcome, SubsumesDetailed(c, d));
+  if (options_.memoize) cache_.emplace(key, outcome.subsumed);
+  return outcome.subsumed;
+}
+
+Result<SubsumptionOutcome> SubsumptionChecker::SubsumesDetailed(
+    ql::ConceptId c, ql::ConceptId d) const {
+  CompletionEngine::Options engine_options = options_.engine;
+  engine_options.record_trace = options_.record_trace;
+  CompletionEngine engine(sigma_, engine_options);
+  OODB_RETURN_IF_ERROR(engine.Run(c, d));
+  SubsumptionOutcome outcome;
+  outcome.via_clash = engine.clash();
+  outcome.subsumed = engine.clash() || engine.GoalFactHolds();
+  outcome.stats = engine.stats();
+  outcome.trace = engine.trace();
+  return outcome;
+}
+
+Result<std::vector<bool>> SubsumptionChecker::SubsumesBatch(
+    ql::ConceptId c, const std::vector<ql::ConceptId>& ds) const {
+  CompletionEngine engine(sigma_, options_.engine);
+  OODB_RETURN_IF_ERROR(engine.RunBatch(c, ds));
+  std::vector<bool> verdicts;
+  verdicts.reserve(ds.size());
+  for (ql::ConceptId d : ds) {
+    verdicts.push_back(engine.clash() || engine.GoalFactHoldsFor(d));
+  }
+  return verdicts;
+}
+
+Result<bool> SubsumptionChecker::Satisfiable(ql::ConceptId c) const {
+  CompletionEngine engine(sigma_, options_.engine);
+  OODB_RETURN_IF_ERROR(engine.Run(c, ql::kInvalidConcept));
+  return !engine.clash();
+}
+
+Result<bool> SubsumptionChecker::Equivalent(ql::ConceptId c,
+                                            ql::ConceptId d) const {
+  OODB_ASSIGN_OR_RETURN(bool forward, Subsumes(c, d));
+  if (!forward) return false;
+  return Subsumes(d, c);
+}
+
+}  // namespace oodb::calculus

@@ -1,0 +1,82 @@
+// Public API of the paper's core result: deciding C ⊑_Σ D in polynomial
+// time (Theorems 4.7 and 4.9).
+#ifndef OODB_CALCULUS_SUBSUMPTION_H_
+#define OODB_CALCULUS_SUBSUMPTION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "calculus/engine.h"
+#include "calculus/trace.h"
+#include "schema/schema.h"
+
+namespace oodb::calculus {
+
+// Result of a subsumption check, with run statistics and (optionally) the
+// completion trace for Figure-11 style reproduction.
+struct SubsumptionOutcome {
+  bool subsumed = false;
+  // True iff subsumption holds because C is Σ-unsatisfiable (the clash
+  // branch of Theorem 4.7).
+  bool via_clash = false;
+  RunStats stats;
+  std::vector<TraceEvent> trace;
+};
+
+// Decides Σ-subsumption of QL concepts. Stateless between calls; one
+// checker per (schema, factory) pair. Subsumption checks are sound but —
+// by design — complete only for the structural fragment: non-structural
+// query parts never reach this layer (paper Sect. 3).
+struct CheckerOptions {
+  bool record_trace = false;
+  // Memoize (C, D) → verdict across calls. Sound because Σ and the term
+  // factory are append-only for the checker's lifetime and concept ids
+  // are stable. Catalog scans and classification repeat many pairs.
+  bool memoize = true;
+  EngineOptions engine;
+};
+
+class SubsumptionChecker {
+ public:
+  using Options = CheckerOptions;
+
+  explicit SubsumptionChecker(const schema::Schema& sigma,
+                              Options options = Options())
+      : sigma_(sigma), options_(options) {}
+
+  // Whether C ⊑_Σ D. Fails on non-QL inputs or resource caps.
+  Result<bool> Subsumes(ql::ConceptId c, ql::ConceptId d) const;
+
+  // Decides C ⊑_Σ Dᵢ for every Dᵢ with a SINGLE completion run (the
+  // catalog-scan fast path; see CompletionEngine::RunBatch for why this
+  // is sound). Returns one verdict per input, in order.
+  Result<std::vector<bool>> SubsumesBatch(
+      ql::ConceptId c, const std::vector<ql::ConceptId>& ds) const;
+
+  // Subsumes with statistics and optional trace.
+  Result<SubsumptionOutcome> SubsumesDetailed(ql::ConceptId c,
+                                              ql::ConceptId d) const;
+
+  // Whether C is Σ-satisfiable (no clash in the completion of {x:C} : ∅).
+  Result<bool> Satisfiable(ql::ConceptId c) const;
+
+  // Whether C ≡_Σ D (mutual subsumption).
+  Result<bool> Equivalent(ql::ConceptId c, ql::ConceptId d) const;
+
+  const schema::Schema& sigma() const { return sigma_; }
+
+  // Memoization statistics (0 when memoize is off).
+  size_t cache_hits() const { return cache_hits_; }
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  const schema::Schema& sigma_;
+  Options options_;
+  mutable std::unordered_map<uint64_t, bool> cache_;
+  mutable size_t cache_hits_ = 0;
+};
+
+}  // namespace oodb::calculus
+
+#endif  // OODB_CALCULUS_SUBSUMPTION_H_

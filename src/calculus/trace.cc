@@ -1,0 +1,34 @@
+#include "calculus/trace.h"
+
+namespace oodb::calculus {
+
+const char* RuleName(Rule rule) {
+  switch (rule) {
+    case Rule::kD1: return "D1";
+    case Rule::kD2: return "D2";
+    case Rule::kD3: return "D3";
+    case Rule::kD4: return "D4";
+    case Rule::kD5: return "D5";
+    case Rule::kD6: return "D6";
+    case Rule::kD7: return "D7";
+    case Rule::kS1: return "S1";
+    case Rule::kS2: return "S2";
+    case Rule::kS3: return "S3";
+    case Rule::kS4: return "S4";
+    case Rule::kS5: return "S5";
+    case Rule::kS6: return "S6";
+    case Rule::kG1: return "G1";
+    case Rule::kG2: return "G2";
+    case Rule::kG3: return "G3";
+    case Rule::kC1: return "C1";
+    case Rule::kC2: return "C2";
+    case Rule::kC3: return "C3";
+    case Rule::kC4: return "C4";
+    case Rule::kC5: return "C5";
+    case Rule::kC6: return "C6";
+    case Rule::kCount: break;
+  }
+  return "??";
+}
+
+}  // namespace oodb::calculus

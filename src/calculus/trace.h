@@ -1,0 +1,57 @@
+// Rule identifiers, trace recording and run statistics for the calculus.
+#ifndef OODB_CALCULUS_TRACE_H_
+#define OODB_CALCULUS_TRACE_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oodb::calculus {
+
+// The 21 rules of Figures 7-10 (D2 is implicit in canonical attribute
+// storage but still reported when an inverse-oriented fact is recorded).
+// S6 is ours, not the paper's: if s:A ∈ F, A ⊑ ∃P ∈ Σ and P ⊑ A₁×A₂ ∈ Σ,
+// then s:A₁ — the necessary filler's edge types its own source. The paper's
+// rules miss this consequence (its canonical interpretation would violate
+// the typing axiom on the (s, u) edges it adds for necessary attributes);
+// S6 is sound, monotone and restores Prop. 4.5.
+enum class Rule : uint8_t {
+  kD1, kD2, kD3, kD4, kD5, kD6, kD7,
+  kS1, kS2, kS3, kS4, kS5, kS6,
+  kG1, kG2, kG3,
+  kC1, kC2, kC3, kC4, kC5, kC6,
+  kCount,
+};
+
+// "D1", "S5", ...
+const char* RuleName(Rule rule);
+
+// One recorded rule application, e.g. {kD1, "F += x:Male, x:Patient"}.
+struct TraceEvent {
+  Rule rule;
+  std::string text;
+};
+
+// Aggregate statistics of a completion run.
+struct RunStats {
+  std::array<uint64_t, static_cast<size_t>(Rule::kCount)> rule_applications{};
+  size_t individuals = 0;       // constants + variables created
+  size_t variables = 0;
+  size_t facts = 0;             // |F| at completion
+  size_t goals = 0;             // |G| at completion
+  size_t rounds = 0;            // outer fixpoint rounds
+  bool clash = false;
+  std::chrono::nanoseconds duration{0};
+
+  uint64_t TotalApplications() const {
+    uint64_t total = 0;
+    for (uint64_t n : rule_applications) total += n;
+    return total;
+  }
+};
+
+}  // namespace oodb::calculus
+
+#endif  // OODB_CALCULUS_TRACE_H_

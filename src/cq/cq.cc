@@ -1,0 +1,340 @@
+#include "cq/cq.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "base/strings.h"
+
+namespace oodb::cq {
+
+namespace {
+
+// Orderable key for a CqTerm.
+std::pair<int, uint32_t> TermKey(const CqTerm& t) {
+  return {t.kind == CqTerm::Kind::kVar ? 0 : 1, t.name.id()};
+}
+
+// Union-find over terms used to eliminate singletons by unification.
+// Constants win as representatives; uniting two distinct constants marks
+// the query inconsistent.
+class TermUnifier {
+ public:
+  CqTerm Find(const CqTerm& t) {
+    auto it = parent_.find(TermKey(t));
+    if (it == parent_.end()) return t;
+    CqTerm root = Find(it->second);
+    parent_[TermKey(t)] = root;
+    return root;
+  }
+
+  void Unite(const CqTerm& a, const CqTerm& b) {
+    CqTerm ra = Find(a);
+    CqTerm rb = Find(b);
+    if (ra == rb) return;
+    bool ca = ra.kind == CqTerm::Kind::kConst;
+    bool cb = rb.kind == CqTerm::Kind::kConst;
+    if (ca && cb) {
+      inconsistent_ = true;  // a ≐ b for distinct constants (UNA).
+      return;
+    }
+    if (ca) {
+      parent_[TermKey(rb)] = ra;
+    } else {
+      parent_[TermKey(ra)] = rb;
+    }
+  }
+
+  bool inconsistent() const { return inconsistent_; }
+
+ private:
+  std::map<std::pair<int, uint32_t>, CqTerm> parent_;
+  bool inconsistent_ = false;
+};
+
+class Translator {
+ public:
+  Translator(const ql::TermFactory& f, SymbolTable* symbols)
+      : f_(f), symbols_(symbols) {}
+
+  Status Translate(ql::ConceptId c, const CqTerm& at) {
+    const ql::ConceptNode& n = f_.node(c);
+    switch (n.kind) {
+      case ql::ConceptKind::kTop:
+        return Status::Ok();
+      case ql::ConceptKind::kPrimitive:
+        q_.unary.push_back(UnaryAtom{n.sym, at});
+        return Status::Ok();
+      case ql::ConceptKind::kSingleton:
+        uf_.Unite(at, CqTerm::Const(n.sym));
+        return Status::Ok();
+      case ql::ConceptKind::kAnd:
+        OODB_RETURN_IF_ERROR(Translate(n.lhs, at));
+        return Translate(n.rhs, at);
+      case ql::ConceptKind::kExists:
+        return Chain(n.path, at, /*close_at_start=*/false);
+      case ql::ConceptKind::kAgree:
+        return Chain(n.path, at, /*close_at_start=*/true);
+      case ql::ConceptKind::kAll:
+      case ql::ConceptKind::kAtMostOne:
+        return InvalidArgumentError(
+            "SL-only construct has no conjunctive translation");
+    }
+    return InternalError("unreachable");
+  }
+
+  ConjunctiveQuery Finish(const CqTerm& free) {
+    ConjunctiveQuery out;
+    out.inconsistent = uf_.inconsistent();
+    out.free = uf_.Find(free);
+    std::set<std::pair<uint32_t, std::pair<int, uint32_t>>> seen_unary;
+    for (const UnaryAtom& a : q_.unary) {
+      UnaryAtom r{a.pred, uf_.Find(a.arg)};
+      if (seen_unary.insert({r.pred.id(), TermKey(r.arg)}).second) {
+        out.unary.push_back(r);
+      }
+    }
+    std::set<std::tuple<uint32_t, std::pair<int, uint32_t>,
+                        std::pair<int, uint32_t>>>
+        seen_binary;
+    for (const BinaryAtom& a : q_.binary) {
+      BinaryAtom r{a.pred, uf_.Find(a.lhs), uf_.Find(a.rhs)};
+      if (seen_binary.insert({r.pred.id(), TermKey(r.lhs), TermKey(r.rhs)})
+              .second) {
+        out.binary.push_back(r);
+      }
+    }
+    return out;
+  }
+
+ private:
+  Status Chain(ql::PathId p, const CqTerm& start, bool close_at_start) {
+    const auto& restrictions = f_.path(p);
+    CqTerm cur = start;
+    for (size_t i = 0; i < restrictions.size(); ++i) {
+      const ql::Restriction& r = restrictions[i];
+      CqTerm next = (close_at_start && i + 1 == restrictions.size())
+                        ? start
+                        : CqTerm::Var(symbols_->Fresh("v"));
+      if (r.attr.inverted) {
+        q_.binary.push_back(BinaryAtom{r.attr.prim, next, cur});
+      } else {
+        q_.binary.push_back(BinaryAtom{r.attr.prim, cur, next});
+      }
+      OODB_RETURN_IF_ERROR(Translate(r.filter, next));
+      cur = next;
+    }
+    return Status::Ok();
+  }
+
+  const ql::TermFactory& f_;
+  SymbolTable* symbols_;
+  ConjunctiveQuery q_;
+  TermUnifier uf_;
+};
+
+}  // namespace
+
+std::vector<Symbol> ConjunctiveQuery::Variables() const {
+  std::vector<Symbol> vars;
+  auto add = [&](const CqTerm& t) {
+    if (t.kind != CqTerm::Kind::kVar) return;
+    if (std::find(vars.begin(), vars.end(), t.name) == vars.end()) {
+      vars.push_back(t.name);
+    }
+  };
+  add(free);
+  for (const UnaryAtom& a : unary) add(a.arg);
+  for (const BinaryAtom& a : binary) {
+    add(a.lhs);
+    add(a.rhs);
+  }
+  return vars;
+}
+
+std::string ConjunctiveQuery::ToString(const SymbolTable& symbols) const {
+  auto term = [&](const CqTerm& t) { return symbols.Name(t.name); };
+  std::vector<std::string> atoms;
+  for (const UnaryAtom& a : unary) {
+    atoms.push_back(StrCat(symbols.Name(a.pred), "(", term(a.arg), ")"));
+  }
+  for (const BinaryAtom& a : binary) {
+    atoms.push_back(StrCat(symbols.Name(a.pred), "(", term(a.lhs), ", ",
+                           term(a.rhs), ")"));
+  }
+  return StrCat("q(", term(free), ") :- ",
+                inconsistent ? "⊥" : StrJoin(atoms, ", "));
+}
+
+Result<ConjunctiveQuery> ConceptToCq(const ql::TermFactory& f,
+                                     ql::ConceptId c, SymbolTable* symbols) {
+  Translator tr(f, symbols);
+  CqTerm free = CqTerm::Var(symbols->Fresh("v"));
+  OODB_RETURN_IF_ERROR(tr.Translate(c, free));
+  return tr.Finish(free);
+}
+
+namespace {
+
+// The canonical ("frozen") database of a query: one element per distinct
+// term; constants keep their identity.
+struct FrozenDb {
+  std::map<std::pair<int, uint32_t>, int> elem_of_term;
+  std::unordered_map<uint32_t, int> elem_of_const;
+  std::set<std::pair<uint32_t, int>> unary_facts;
+  std::set<std::tuple<uint32_t, int, int>> binary_facts;
+  int num_elements = 0;
+
+  int Elem(const CqTerm& t) {
+    auto [it, inserted] = elem_of_term.emplace(TermKey(t), num_elements);
+    if (inserted) {
+      ++num_elements;
+      if (t.kind == CqTerm::Kind::kConst) {
+        elem_of_const[t.name.id()] = it->second;
+      }
+    }
+    return it->second;
+  }
+};
+
+FrozenDb Freeze(const ConjunctiveQuery& q) {
+  FrozenDb db;
+  db.Elem(q.free);
+  for (const UnaryAtom& a : q.unary) {
+    db.unary_facts.insert({a.pred.id(), db.Elem(a.arg)});
+  }
+  for (const BinaryAtom& a : q.binary) {
+    db.binary_facts.insert({a.pred.id(), db.Elem(a.lhs), db.Elem(a.rhs)});
+  }
+  return db;
+}
+
+// Backtracking homomorphism search: maps variables of q2 into the frozen
+// database of q1, with the free term pinned and constants fixed.
+class HomSearch {
+ public:
+  HomSearch(const ConjunctiveQuery& q2, FrozenDb db) : q2_(q2), db_(std::move(db)) {}
+
+  bool Exists(int free_target) {
+    // Pin the free term.
+    if (q2_.free.kind == CqTerm::Kind::kVar) {
+      assignment_[q2_.free.name.id()] = free_target;
+    } else {
+      auto it = db_.elem_of_const.find(q2_.free.name.id());
+      if (it == db_.elem_of_const.end() || it->second != free_target) {
+        return false;
+      }
+    }
+    vars_ = q2_.Variables();
+    // Drop the pinned free variable from the search.
+    vars_.erase(std::remove_if(vars_.begin(), vars_.end(),
+                               [&](Symbol v) {
+                                 return assignment_.count(v.id()) > 0;
+                               }),
+                vars_.end());
+    return Try(0);
+  }
+
+ private:
+  // Resolves a q2 term to an element, or -1 if not yet assigned /
+  // unresolvable constant.
+  int Resolve(const CqTerm& t, bool& unassigned) {
+    if (t.kind == CqTerm::Kind::kConst) {
+      auto it = db_.elem_of_const.find(t.name.id());
+      if (it == db_.elem_of_const.end()) return -1;  // no facts about it
+      return it->second;
+    }
+    auto it = assignment_.find(t.name.id());
+    if (it == assignment_.end()) {
+      unassigned = true;
+      return -1;
+    }
+    return it->second;
+  }
+
+  // Checks all atoms whose terms are fully assigned.
+  bool Consistent() {
+    for (const UnaryAtom& a : q2_.unary) {
+      bool unassigned = false;
+      int e = Resolve(a.arg, unassigned);
+      if (unassigned) continue;
+      if (e < 0 || db_.unary_facts.count({a.pred.id(), e}) == 0) return false;
+    }
+    for (const BinaryAtom& a : q2_.binary) {
+      bool unassigned = false;
+      int l = Resolve(a.lhs, unassigned);
+      int r = Resolve(a.rhs, unassigned);
+      if (unassigned) continue;
+      if (l < 0 || r < 0 ||
+          db_.binary_facts.count({a.pred.id(), l, r}) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Try(size_t i) {
+    if (!Consistent()) return false;
+    if (i == vars_.size()) return true;
+    for (int e = 0; e < db_.num_elements; ++e) {
+      assignment_[vars_[i].id()] = e;
+      if (Try(i + 1)) return true;
+    }
+    assignment_.erase(vars_[i].id());
+    return false;
+  }
+
+  const ConjunctiveQuery& q2_;
+  FrozenDb db_;
+  std::vector<Symbol> vars_;
+  std::unordered_map<uint32_t, int> assignment_;
+};
+
+}  // namespace
+
+bool CqContained(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  if (q1.inconsistent) return true;   // empty answer set
+  if (q2.inconsistent) return false;  // q1 is satisfiable, q2 never answers
+  FrozenDb db = Freeze(q1);
+  int free_target = db.elem_of_term.at(TermKey(q1.free));
+  HomSearch search(q2, std::move(db));
+  return search.Exists(free_target);
+}
+
+bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return CqContained(q1, q2) && CqContained(q2, q1);
+}
+
+ConjunctiveQuery Minimize(const ConjunctiveQuery& q) {
+  if (q.inconsistent) return q;
+  ConjunctiveQuery cur = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < cur.unary.size(); ++i) {
+      ConjunctiveQuery candidate = cur;
+      candidate.unary.erase(candidate.unary.begin() + i);
+      if (CqContained(candidate, cur)) {  // the reverse always holds
+        cur = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    for (size_t i = 0; i < cur.binary.size(); ++i) {
+      ConjunctiveQuery candidate = cur;
+      candidate.binary.erase(candidate.binary.begin() + i);
+      if (CqContained(candidate, cur)) {
+        cur = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace oodb::cq

@@ -1,0 +1,82 @@
+// Conjunctive queries over unary and binary predicates with one free
+// variable — the fragment QL concepts translate into (paper Sect. 2.2 and
+// the related-work comparison with [CM93]).
+//
+// Containment of general conjunctive queries is NP-complete; the
+// homomorphism check here is the classical Chandra–Merlin procedure and
+// serves as the schema-less baseline for experiment E13.
+#ifndef OODB_CQ_CQ_H_
+#define OODB_CQ_CQ_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/symbol.h"
+#include "ql/term.h"
+#include "ql/term_factory.h"
+
+namespace oodb::cq {
+
+// A term: variable or constant. Variables and constants are in separate
+// name spaces.
+struct CqTerm {
+  enum class Kind : uint8_t { kVar, kConst };
+  Kind kind = Kind::kVar;
+  Symbol name;
+
+  static CqTerm Var(Symbol s) { return {Kind::kVar, s}; }
+  static CqTerm Const(Symbol s) { return {Kind::kConst, s}; }
+
+  friend bool operator==(const CqTerm& a, const CqTerm& b) {
+    return a.kind == b.kind && a.name == b.name;
+  }
+};
+
+struct UnaryAtom {
+  Symbol pred;
+  CqTerm arg;
+};
+
+struct BinaryAtom {
+  Symbol pred;
+  CqTerm lhs;
+  CqTerm rhs;
+};
+
+// q(x) :- atoms…, with existentially quantified non-free variables.
+struct ConjunctiveQuery {
+  CqTerm free;  // the answer variable (or a constant after unification)
+  std::vector<UnaryAtom> unary;
+  std::vector<BinaryAtom> binary;
+  // True if translation derived a = b for distinct constants: the query
+  // is unsatisfiable and its answer is empty in every database.
+  bool inconsistent = false;
+
+  // All distinct variables, free variable first if it is a variable.
+  std::vector<Symbol> Variables() const;
+  size_t size() const { return unary.size() + binary.size(); }
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+// Translates a QL concept into an equivalent conjunctive query (Table 1,
+// column 2, with singletons eliminated by unification). Fails on SL-only
+// constructs (∀P.A, ≤1 P), which are not conjunctive.
+Result<ConjunctiveQuery> ConceptToCq(const ql::TermFactory& f,
+                                     ql::ConceptId c, SymbolTable* symbols);
+
+// Whether q1 ⊆ q2 holds in every database (no schema): freezes q1 into
+// its canonical database and searches for a homomorphism from q2
+// (Chandra–Merlin; exponential worst case).
+bool CqContained(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+// Equivalence under containment both ways.
+bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+// Removes redundant atoms while preserving equivalence (core computation
+// by greedy deletion).
+ConjunctiveQuery Minimize(const ConjunctiveQuery& q);
+
+}  // namespace oodb::cq
+
+#endif  // OODB_CQ_CQ_H_

@@ -1,0 +1,330 @@
+#include "cq/multihead.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/strings.h"
+
+namespace oodb::cq {
+
+namespace {
+
+std::pair<int, uint32_t> TermKey(const CqTerm& t) {
+  return {t.kind == CqTerm::Kind::kVar ? 0 : 1, t.name.id()};
+}
+
+// Builds the atoms of a query class into `out`, rooted at `root`.
+// Labels of the *top-level* class bind to the vars in `label_vars`;
+// labels of inlined query classes get fresh vars.
+class Builder {
+ public:
+  Builder(const dl::Model& model, SymbolTable* symbols,
+          MultiHeadQuery* out)
+      : model_(model), symbols_(symbols), out_(out) {}
+
+  Status Emit(Symbol query_class, const CqTerm& root, bool top_level) {
+    const dl::ClassDef* def = model_.FindClass(query_class);
+    if (def == nullptr) {
+      return NotFoundError(StrCat("unknown class '",
+                                  symbols_->Name(query_class), "'"));
+    }
+    if (!def->is_query) {
+      out_->unary.push_back(UnaryAtom{query_class, root});
+      return Status::Ok();
+    }
+    if (!def->IsStructural()) {
+      return FailedPreconditionError(
+          StrCat("query class '", symbols_->Name(query_class),
+                 "' has a non-structural part or path variables"));
+    }
+    if (!visiting_.insert(query_class).second) {
+      return FailedPreconditionError(
+          StrCat("recursive reference to '",
+                 symbols_->Name(query_class), "'"));
+    }
+
+    for (Symbol super : def->supers) {
+      if (super == model_.object_class) continue;
+      OODB_RETURN_IF_ERROR(Emit(super, root, /*top_level=*/false));
+    }
+
+    // Labels: endpoints of labeled paths; where-equalities identify them.
+    std::map<Symbol, CqTerm> labels;
+    for (const dl::ResolvedPath& path : def->derived) {
+      OODB_ASSIGN_OR_RETURN(CqTerm end, Chain(path, root, Fresh()));
+      if (path.label.valid()) labels.emplace(path.label, end);
+    }
+    for (const auto& [l, r] : def->where) {
+      // Both paths end at the same object: emit equality by unification —
+      // add a linking variable via two extra atoms is unnecessary; we
+      // rewrite r's endpoint to l's after the fact.
+      Rewrite(labels.at(r), labels.at(l));
+      labels[r] = labels.at(l);
+    }
+    if (top_level) {
+      for (const dl::ResolvedPath& path : def->derived) {
+        if (!path.label.valid()) continue;
+        out_->heads.push_back(labels.at(path.label));
+        out_->head_names.push_back(path.label);
+      }
+    }
+    visiting_.erase(query_class);
+    return Status::Ok();
+  }
+
+ private:
+  CqTerm Fresh() { return CqTerm::Var(symbols_->Fresh("w")); }
+
+  // Emits the chain and returns the *effective* endpoint term (the given
+  // `end` variable, or the constant a last-step filter rewrote it into).
+  Result<CqTerm> Chain(const dl::ResolvedPath& path, const CqTerm& start,
+                       const CqTerm& end) {
+    CqTerm cur = start;
+    for (size_t i = 0; i < path.steps.size(); ++i) {
+      const dl::ResolvedStep& step = path.steps[i];
+      CqTerm next = (i + 1 == path.steps.size()) ? end : Fresh();
+      if (step.attr.inverted) {
+        out_->binary.push_back(BinaryAtom{step.attr.prim, next, cur});
+      } else {
+        out_->binary.push_back(BinaryAtom{step.attr.prim, cur, next});
+      }
+      switch (step.filter.kind) {
+        case dl::ResolvedFilter::Kind::kClass:
+          if (step.filter.name != model_.object_class) {
+            OODB_RETURN_IF_ERROR(
+                Emit(step.filter.name, next, /*top_level=*/false));
+          }
+          break;
+        case dl::ResolvedFilter::Kind::kConstant:
+          Rewrite(next, CqTerm::Const(step.filter.name));
+          if (next.kind == CqTerm::Kind::kVar) {
+            next = CqTerm::Const(step.filter.name);
+          }
+          break;
+        case dl::ResolvedFilter::Kind::kVariable:
+          return FailedPreconditionError("path variables are unsupported");
+      }
+      cur = next;
+    }
+    return cur;
+  }
+
+  // Replaces every occurrence of `from` with `to` in the atoms and heads.
+  void Rewrite(const CqTerm& from, const CqTerm& to) {
+    auto fix = [&](CqTerm& t) {
+      if (t == from) t = to;
+    };
+    for (UnaryAtom& a : out_->unary) fix(a.arg);
+    for (BinaryAtom& a : out_->binary) {
+      fix(a.lhs);
+      fix(a.rhs);
+    }
+    for (CqTerm& h : out_->heads) fix(h);
+  }
+
+  const dl::Model& model_;
+  SymbolTable* symbols_;
+  MultiHeadQuery* out_;
+  std::unordered_set<Symbol> visiting_;
+};
+
+}  // namespace
+
+std::string MultiHeadQuery::ToString(const SymbolTable& symbols) const {
+  auto term = [&](const CqTerm& t) { return symbols.Name(t.name); };
+  std::vector<std::string> head_strs;
+  for (const CqTerm& h : heads) head_strs.push_back(term(h));
+  std::vector<std::string> atoms;
+  for (const UnaryAtom& a : unary) {
+    atoms.push_back(StrCat(symbols.Name(a.pred), "(", term(a.arg), ")"));
+  }
+  for (const BinaryAtom& a : binary) {
+    atoms.push_back(StrCat(symbols.Name(a.pred), "(", term(a.lhs), ", ",
+                           term(a.rhs), ")"));
+  }
+  return StrCat("q(", StrJoin(head_strs, ", "), ") :- ",
+                inconsistent ? "⊥" : StrJoin(atoms, ", "));
+}
+
+Result<MultiHeadQuery> QueryClassToMultiHeadCq(const dl::Model& model,
+                                               Symbol query_class,
+                                               SymbolTable* symbols) {
+  MultiHeadQuery q;
+  CqTerm self = CqTerm::Var(symbols->Fresh("w"));
+  q.heads.push_back(self);
+  q.head_names.push_back(symbols->Intern("this"));
+  Builder builder(model, symbols, &q);
+  OODB_RETURN_IF_ERROR(builder.Emit(query_class, self, /*top_level=*/true));
+  return q;
+}
+
+namespace {
+
+// Frozen database of q1 plus a pinned homomorphism search for q2 —
+// the multi-pin generalization of CqContained.
+struct Frozen {
+  std::map<std::pair<int, uint32_t>, int> elem_of_term;
+  std::unordered_map<uint32_t, int> elem_of_const;
+  std::set<std::pair<uint32_t, int>> unary_facts;
+  std::set<std::tuple<uint32_t, int, int>> binary_facts;
+  int num_elements = 0;
+
+  int Elem(const CqTerm& t) {
+    auto [it, inserted] = elem_of_term.emplace(TermKey(t), num_elements);
+    if (inserted) {
+      ++num_elements;
+      if (t.kind == CqTerm::Kind::kConst) {
+        elem_of_const[t.name.id()] = it->second;
+      }
+    }
+    return it->second;
+  }
+};
+
+Frozen Freeze(const MultiHeadQuery& q) {
+  Frozen db;
+  for (const CqTerm& h : q.heads) db.Elem(h);
+  for (const UnaryAtom& a : q.unary) {
+    db.unary_facts.insert({a.pred.id(), db.Elem(a.arg)});
+  }
+  for (const BinaryAtom& a : q.binary) {
+    db.binary_facts.insert({a.pred.id(), db.Elem(a.lhs), db.Elem(a.rhs)});
+  }
+  return db;
+}
+
+class PinnedHom {
+ public:
+  PinnedHom(const MultiHeadQuery& q2, const Frozen& db)
+      : q2_(q2), db_(db) {}
+
+  // pins: q2 head index → element of db.
+  bool Exists(const std::vector<int>& pins) {
+    assignment_.clear();
+    for (size_t i = 0; i < q2_.heads.size(); ++i) {
+      const CqTerm& h = q2_.heads[i];
+      if (h.kind == CqTerm::Kind::kConst) {
+        auto it = db_.elem_of_const.find(h.name.id());
+        if (it == db_.elem_of_const.end() || it->second != pins[i]) {
+          return false;
+        }
+        continue;
+      }
+      auto [it, inserted] = assignment_.emplace(h.name.id(), pins[i]);
+      if (!inserted && it->second != pins[i]) return false;  // head reuse
+    }
+    vars_.clear();
+    CollectVars();
+    return Try(0);
+  }
+
+ private:
+  void CollectVars() {
+    auto add = [&](const CqTerm& t) {
+      if (t.kind != CqTerm::Kind::kVar) return;
+      if (assignment_.count(t.name.id()) > 0) return;
+      if (std::find(vars_.begin(), vars_.end(), t.name) == vars_.end()) {
+        vars_.push_back(t.name);
+      }
+    };
+    for (const UnaryAtom& a : q2_.unary) add(a.arg);
+    for (const BinaryAtom& a : q2_.binary) {
+      add(a.lhs);
+      add(a.rhs);
+    }
+  }
+
+  int Resolve(const CqTerm& t, bool& unassigned) const {
+    if (t.kind == CqTerm::Kind::kConst) {
+      auto it = db_.elem_of_const.find(t.name.id());
+      return it == db_.elem_of_const.end() ? -1 : it->second;
+    }
+    auto it = assignment_.find(t.name.id());
+    if (it == assignment_.end()) {
+      unassigned = true;
+      return -1;
+    }
+    return it->second;
+  }
+
+  bool Consistent() const {
+    for (const UnaryAtom& a : q2_.unary) {
+      bool unassigned = false;
+      int e = Resolve(a.arg, unassigned);
+      if (unassigned) continue;
+      if (e < 0 || db_.unary_facts.count({a.pred.id(), e}) == 0) {
+        return false;
+      }
+    }
+    for (const BinaryAtom& a : q2_.binary) {
+      bool unassigned = false;
+      int l = Resolve(a.lhs, unassigned);
+      int r = Resolve(a.rhs, unassigned);
+      if (unassigned) continue;
+      if (l < 0 || r < 0 ||
+          db_.binary_facts.count({a.pred.id(), l, r}) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Try(size_t i) {
+    if (!Consistent()) return false;
+    if (i == vars_.size()) return true;
+    for (int e = 0; e < db_.num_elements; ++e) {
+      assignment_[vars_[i].id()] = e;
+      if (Try(i + 1)) return true;
+    }
+    assignment_.erase(vars_[i].id());
+    return false;
+  }
+
+  const MultiHeadQuery& q2_;
+  const Frozen& db_;
+  std::vector<Symbol> vars_;
+  std::unordered_map<uint32_t, int> assignment_;
+};
+
+}  // namespace
+
+bool MultiHeadContained(const MultiHeadQuery& q1, const MultiHeadQuery& q2) {
+  if (q1.heads.size() != q2.heads.size()) return false;
+  if (q1.inconsistent) return true;
+  if (q2.inconsistent) return false;
+  Frozen db = Freeze(q1);
+  std::vector<int> pins;
+  for (const CqTerm& h : q1.heads) pins.push_back(db.Elem(h));
+  PinnedHom hom(q2, db);
+  return hom.Exists(pins);
+}
+
+std::optional<std::vector<size_t>> ContainedUnderPermutation(
+    const MultiHeadQuery& q1, const MultiHeadQuery& q2) {
+  if (q1.heads.size() != q2.heads.size()) return std::nullopt;
+  const size_t n = q1.heads.size();
+  // Permute label positions 1..n-1; position 0 (the answer object) is
+  // structural identity and stays fixed.
+  std::vector<size_t> label_positions;
+  for (size_t i = 1; i < n; ++i) label_positions.push_back(i);
+  Frozen db = Freeze(q1);
+  std::vector<int> base_pins;
+  for (const CqTerm& h : q1.heads) base_pins.push_back(db.Elem(h));
+  PinnedHom hom(q2, db);
+  do {
+    // π maps q2 head position → q1 head position.
+    std::vector<size_t> pi(n);
+    pi[0] = 0;
+    for (size_t i = 1; i < n; ++i) pi[i] = label_positions[i - 1];
+    std::vector<int> pins(n);
+    for (size_t i = 0; i < n; ++i) pins[i] = base_pins[pi[i]];
+    if (q1.inconsistent || hom.Exists(pins)) return pi;
+  } while (std::next_permutation(label_positions.begin(),
+                                 label_positions.end()));
+  return std::nullopt;
+}
+
+}  // namespace oodb::cq

@@ -1,0 +1,59 @@
+// Complex answers — the paper's first open problem (Sect. 6): "answers
+// are just sets of object identifiers without any derived answer
+// attributes. These attributes are needed by application programs, and by
+// permutation of parameters they entail additional subsumptions between
+// queries."
+//
+// This module implements that extension at the conjunctive-query level:
+// queries with an answer *tuple* (the answer object plus its exported
+// labels), containment with positionally aligned heads, and containment
+// up to a permutation of the output parameters. Containment here is with
+// respect to the empty schema (the classical CQ setting); the schema-aware
+// single-head case remains the calculus's job.
+#ifndef OODB_CQ_MULTIHEAD_H_
+#define OODB_CQ_MULTIHEAD_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "cq/cq.h"
+#include "dl/model.h"
+
+namespace oodb::cq {
+
+// A conjunctive query with an answer tuple. heads[0] is the answer
+// object (`this`); the remaining heads are the exported labels, in
+// declaration order.
+struct MultiHeadQuery {
+  std::vector<CqTerm> heads;
+  std::vector<Symbol> head_names;  // "this", then label names (display)
+  std::vector<UnaryAtom> unary;
+  std::vector<BinaryAtom> binary;
+  bool inconsistent = false;
+
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+// Builds the multi-head CQ of a query class: `this` plus every labeled
+// derived path's endpoint become answer positions. Structural parts only;
+// query-class superclasses and path filters are inlined (their labels are
+// not exported). Fails on non-structural queries or path variables.
+Result<MultiHeadQuery> QueryClassToMultiHeadCq(const dl::Model& model,
+                                               Symbol query_class,
+                                               SymbolTable* symbols);
+
+// q1 ⊑ q2 with heads aligned positionally (answer tuples of q1 are
+// answer tuples of q2 in every database). Head counts must match.
+bool MultiHeadContained(const MultiHeadQuery& q1, const MultiHeadQuery& q2);
+
+// Searches for a permutation π of q2's *label* positions (position 0,
+// the answer object, stays fixed) such that q1 ⊑ π(q2). Returns the
+// permutation over all head positions (π[0] == 0) or nullopt.
+std::optional<std::vector<size_t>> ContainedUnderPermutation(
+    const MultiHeadQuery& q1, const MultiHeadQuery& q2);
+
+}  // namespace oodb::cq
+
+#endif  // OODB_CQ_MULTIHEAD_H_

@@ -1,0 +1,58 @@
+#include "db/concept_eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace oodb::db {
+
+std::vector<ObjectId> ConceptPathReach(const Database& database,
+                                       const ql::TermFactory& f,
+                                       ql::PathId p, ObjectId o) {
+  std::vector<ObjectId> frontier = {o};
+  for (const ql::Restriction& r : f.path(p)) {
+    std::unordered_set<ObjectId> next;
+    for (ObjectId s : frontier) {
+      for (ObjectId t : database.AttrValues(s, r.attr)) {
+        if (ConceptHolds(database, f, r.filter, t)) next.insert(t);
+      }
+    }
+    frontier.assign(next.begin(), next.end());
+    if (frontier.empty()) break;
+  }
+  std::sort(frontier.begin(), frontier.end());
+  return frontier;
+}
+
+bool ConceptHolds(const Database& database, const ql::TermFactory& f,
+                  ql::ConceptId c, ObjectId o) {
+  const ql::ConceptNode& n = f.node(c);
+  switch (n.kind) {
+    case ql::ConceptKind::kTop:
+      return true;
+    case ql::ConceptKind::kPrimitive:
+      return database.InClass(o, n.sym);
+    case ql::ConceptKind::kSingleton: {
+      auto named = database.FindObject(n.sym);
+      return named.has_value() && *named == o;
+    }
+    case ql::ConceptKind::kAnd:
+      return ConceptHolds(database, f, n.lhs, o) &&
+             ConceptHolds(database, f, n.rhs, o);
+    case ql::ConceptKind::kExists:
+      return !ConceptPathReach(database, f, n.path, o).empty();
+    case ql::ConceptKind::kAgree: {
+      std::vector<ObjectId> reach =
+          ConceptPathReach(database, f, n.path, o);
+      return std::binary_search(reach.begin(), reach.end(), o);
+    }
+    case ql::ConceptKind::kAll:
+    case ql::ConceptKind::kAtMostOne:
+      // SL-only forms never occur in translated query concepts.
+      assert(false && "SL-only concept evaluated over a database state");
+      return false;
+  }
+  return false;
+}
+
+}  // namespace oodb::db

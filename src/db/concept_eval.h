@@ -1,0 +1,37 @@
+// Direct evaluation of QL concepts over a database state: the state is
+// read as the interpretation whose primitive-concept extensions are the
+// class extents and whose attribute relations are the stored triples.
+//
+// For *deeply structural* query classes this coincides with the DL query
+// evaluator (tested as a property), which lets the optimizer evaluate a
+// residual filter concept (Sect. 6's "minimal filter query") against
+// materialized view candidates without re-running the full query.
+//
+// Caveat: skolem singletons (from path variables) do not denote stored
+// objects; concepts containing them must not be evaluated here — the
+// optimizer only takes this path for variable-free queries.
+#ifndef OODB_DB_CONCEPT_EVAL_H_
+#define OODB_DB_CONCEPT_EVAL_H_
+
+#include <vector>
+
+#include "db/database.h"
+#include "ql/term.h"
+#include "ql/term_factory.h"
+
+namespace oodb::db {
+
+// Whether object `o` satisfies concept `c` in the state `database`.
+// Primitive concepts are class extents (query classes should have been
+// inlined by the translator); singletons are named objects.
+bool ConceptHolds(const Database& database, const ql::TermFactory& f,
+                  ql::ConceptId c, ObjectId o);
+
+// Objects reachable from `o` along path `p` in the state.
+std::vector<ObjectId> ConceptPathReach(const Database& database,
+                                       const ql::TermFactory& f,
+                                       ql::PathId p, ObjectId o);
+
+}  // namespace oodb::db
+
+#endif  // OODB_DB_CONCEPT_EVAL_H_

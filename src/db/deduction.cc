@@ -1,0 +1,58 @@
+#include "db/deduction.h"
+
+#include "base/strings.h"
+
+namespace oodb::db {
+
+Result<DeductionStats> DeductiveClosure(Database* database) {
+  const dl::Model& model = database->model();
+  DeductionStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (++stats.rounds > 10000) {
+      return InternalError("deductive closure did not converge");
+    }
+    // Class-level attribute typing: members' attribute values fall into
+    // the declared range class.
+    for (const dl::ClassDef& def : model.classes()) {
+      if (def.is_query) continue;
+      for (const dl::ClassDef::AttrSpec& spec : def.attrs) {
+        if (spec.range == model.object_class) continue;
+        for (ObjectId o : database->ClassExtent(def.name)) {
+          for (ObjectId v :
+               database->AttrValues(o, ql::Attr{spec.attr, false})) {
+            if (!database->InClass(v, spec.range)) {
+              OODB_RETURN_IF_ERROR(database->AddToClass(v, spec.range));
+              ++stats.derived_memberships;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    // Attribute declarations: every edge types its endpoints.
+    for (const dl::AttributeDef& def : model.attributes()) {
+      const bool domain_trivial = def.domain == model.object_class;
+      const bool range_trivial = def.range == model.object_class;
+      if (domain_trivial && range_trivial) continue;
+      for (ObjectId o : database->AllObjects()) {
+        for (ObjectId v : database->AttrValues(o, ql::Attr{def.name, false})) {
+          if (!domain_trivial && !database->InClass(o, def.domain)) {
+            OODB_RETURN_IF_ERROR(database->AddToClass(o, def.domain));
+            ++stats.derived_memberships;
+            changed = true;
+          }
+          if (!range_trivial && !database->InClass(v, def.range)) {
+            OODB_RETURN_IF_ERROR(database->AddToClass(v, def.range));
+            ++stats.derived_memberships;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace oodb::db

@@ -1,0 +1,32 @@
+// Deductive completion of a database state (paper Sect. 2.1: "either all
+// facts are explicitly stated, or some schema formulas are employed as
+// deductive rules, by which additional facts are derived" — the
+// ConceptBase mode of [SNJ93]).
+//
+// Applies the implication-shaped structural formulas as derivation rules
+// until fixpoint:
+//   * class-level typing   s ∈ C, (s,a,t)  ⊢  t ∈ range(C.a)
+//   * attribute typing     (s,a,t)         ⊢  s ∈ domain(a), t ∈ range(a)
+//   * isA                  closed on insertion already, re-closed here
+// `necessary` and `single` are genuine integrity constraints (they cannot
+// be satisfied by deriving memberships) and are left to CheckLegalState.
+#ifndef OODB_DB_DEDUCTION_H_
+#define OODB_DB_DEDUCTION_H_
+
+#include "base/status.h"
+#include "db/database.h"
+
+namespace oodb::db {
+
+struct DeductionStats {
+  size_t derived_memberships = 0;
+  size_t rounds = 0;
+};
+
+// Runs the derivation to fixpoint. After it, CheckLegalState can only
+// report `necessary`/`single` violations.
+Result<DeductionStats> DeductiveClosure(Database* database);
+
+}  // namespace oodb::db
+
+#endif  // OODB_DB_DEDUCTION_H_

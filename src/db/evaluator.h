@@ -1,0 +1,77 @@
+// Evaluation of DL query classes over a database state (paper Sect. 2.2):
+// answer objects are existing objects satisfying the superclass
+// memberships, the derived labeled paths, the where equalities AND the
+// non-structural constraint clause. This is the component whose work the
+// subsumption optimizer reduces.
+#ifndef OODB_DB_EVALUATOR_H_
+#define OODB_DB_EVALUATOR_H_
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "db/database.h"
+#include "dl/model.h"
+
+namespace oodb::db {
+
+struct EvalStats {
+  // Objects tested for full query membership (the candidate pool).
+  size_t candidates_examined = 0;
+  size_t answers = 0;
+};
+
+class QueryEvaluator {
+ public:
+  explicit QueryEvaluator(const Database& db) : db_(db) {}
+
+  // All answers of `query_class`, scanning the smallest superclass extent
+  // as the candidate pool.
+  Result<std::vector<ObjectId>> Evaluate(Symbol query_class,
+                                         EvalStats* stats = nullptr) const;
+
+  // Evaluates `query_class` over an explicit candidate pool (the
+  // optimizer passes a materialized view extent here).
+  Result<std::vector<ObjectId>> EvaluateOver(
+      Symbol query_class, const std::vector<ObjectId>& candidates,
+      EvalStats* stats = nullptr) const;
+
+  // Whether `o` is an answer of `query_class`.
+  Result<bool> IsAnswer(Symbol query_class, ObjectId o) const;
+
+ private:
+  struct Context {
+    // Cycle guard for query classes referenced from path filters.
+    std::unordered_set<Symbol> in_progress;
+  };
+  using Binding = std::unordered_map<Symbol, ObjectId>;
+
+  Result<bool> IsAnswerImpl(Symbol query_class, ObjectId o,
+                            Context& ctx) const;
+  Result<bool> CheckFilter(const dl::ResolvedFilter& filter, ObjectId v,
+                           Binding& binding, bool* bound_here,
+                           Context& ctx) const;
+  Result<bool> SolvePaths(const dl::ClassDef& def, ObjectId o, size_t index,
+                          Binding& binding, Context& ctx) const;
+  Result<bool> TraverseSteps(const std::vector<dl::ResolvedStep>& steps,
+                             size_t index, ObjectId cur, Binding& binding,
+                             Context& ctx,
+                             const std::function<Result<bool>(ObjectId)>&
+                                 on_endpoint) const;
+  Result<bool> EvalConstraint(const dl::CFormula& f, ObjectId self,
+                              Binding& binding, Binding& quantified,
+                              Context& ctx) const;
+  Result<std::optional<ObjectId>> ResolveTerm(const dl::CTerm& term,
+                                              ObjectId self,
+                                              const Binding& binding,
+                                              const Binding& quantified) const;
+
+  const Database& db_;
+};
+
+}  // namespace oodb::db
+
+#endif  // OODB_DB_EVALUATOR_H_

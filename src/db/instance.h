@@ -1,0 +1,42 @@
+// Textual database states. The paper (Sect. 2.1) leaves state syntax
+// open, suggesting "similar frame-like constructs relating objects to
+// classes by instance-relationships and to each other by assigning values
+// to attributes" — this is that format:
+//
+//   Object bob in Patient, Male with
+//     suffers: flu
+//     consults: alice
+//   end bob
+//
+// Objects may be referenced before their own declaration (two-pass load).
+#ifndef OODB_DB_INSTANCE_H_
+#define OODB_DB_INSTANCE_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "db/database.h"
+
+namespace oodb::db {
+
+struct LoadStats {
+  size_t objects = 0;
+  size_t memberships = 0;
+  size_t attributes = 0;
+};
+
+// Parses `source` and populates `database`. Referenced objects that have
+// no declaration of their own are created implicitly. Fails on syntax
+// errors, unknown classes/attributes, or duplicate object declarations;
+// the database may be partially populated on failure.
+Result<LoadStats> LoadInstance(std::string_view source, Database* database);
+
+// Renders the complete state in the same format (round-trips through
+// LoadInstance). Memberships are emitted closed under isA, which reload
+// re-closes idempotently.
+std::string DumpInstance(const Database& database);
+
+}  // namespace oodb::db
+
+#endif  // OODB_DB_INSTANCE_H_

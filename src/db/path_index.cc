@@ -1,0 +1,56 @@
+#include "db/path_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "db/concept_eval.h"
+
+namespace oodb::db {
+
+PathIndex::PathIndex(const Database& database, const ql::TermFactory& f,
+                     ql::PathId path)
+    : db_(&database), f_(&f), path_(path), version_(database.version() - 1) {
+  Refresh();
+}
+
+void PathIndex::Refresh() {
+  if (version_ == db_->version()) return;
+  size_t n = db_->num_objects();
+  endpoints_.assign(n, {});
+  entries_ = 0;
+  for (ObjectId o = 0; o < n; ++o) {
+    endpoints_[o] = ConceptPathReach(*db_, *f_, path_, o);
+    entries_ += endpoints_[o].size();
+  }
+  version_ = db_->version();
+  ++refresh_count_;
+}
+
+const std::vector<ObjectId>& PathIndex::Endpoints(ObjectId o) const {
+  assert(!stale() && "Refresh() the index after database mutations");
+  static const std::vector<ObjectId> kEmpty;
+  if (o >= endpoints_.size()) return kEmpty;
+  return endpoints_[o];
+}
+
+std::vector<ObjectId> PathIndex::Sources() const {
+  assert(!stale());
+  std::vector<ObjectId> out;
+  for (ObjectId o = 0; o < endpoints_.size(); ++o) {
+    if (!endpoints_[o].empty()) out.push_back(o);
+  }
+  return out;
+}
+
+std::vector<ObjectId> PathIndex::LoopSources() const {
+  assert(!stale());
+  std::vector<ObjectId> out;
+  for (ObjectId o = 0; o < endpoints_.size(); ++o) {
+    if (std::binary_search(endpoints_[o].begin(), endpoints_[o].end(), o)) {
+      out.push_back(o);
+    }
+  }
+  return out;
+}
+
+}  // namespace oodb::db

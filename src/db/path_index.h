@@ -1,0 +1,66 @@
+// Path indexes — the related-work baseline (paper Sect. 5): ObjectStore
+// "concentrates on indexes for path expressions", GOM materializes
+// functions over attribute chains. A PathIndex stores, for every object,
+// the endpoints reachable along one fixed (filtered) attribute chain, so
+// path-existence and path-join queries become lookups.
+//
+// Unlike the paper's views (which store *answers of a whole query*), a
+// path index accelerates a single chain; bench_pathindex compares the
+// two against naive traversal.
+#ifndef OODB_DB_PATH_INDEX_H_
+#define OODB_DB_PATH_INDEX_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "db/database.h"
+#include "ql/term.h"
+#include "ql/term_factory.h"
+
+namespace oodb::db {
+
+class PathIndex {
+ public:
+  // `database` and `f` must outlive the index. The path may use inverses
+  // and class/singleton filters (skolem-free).
+  PathIndex(const Database& database, const ql::TermFactory& f,
+            ql::PathId path);
+
+  ql::PathId path() const { return path_; }
+
+  // Recomputes all entries from the current state (cheap no-op when the
+  // database version is unchanged).
+  void Refresh();
+
+  // Whether the index reflects the current database version.
+  bool stale() const { return version_ != db_->version(); }
+
+  // Endpoints reachable from `o` along the path (sorted). The reference
+  // is valid until the next Refresh. Requires !stale().
+  const std::vector<ObjectId>& Endpoints(ObjectId o) const;
+
+  // All objects with at least one endpoint — the extent of ∃path.
+  // Requires !stale().
+  std::vector<ObjectId> Sources() const;
+
+  // Objects whose endpoints contain the object itself — the extent of
+  // ∃path ≐ ε. Requires !stale().
+  std::vector<ObjectId> LoopSources() const;
+
+  // Total stored (source, endpoint) pairs.
+  size_t entries() const { return entries_; }
+  size_t refresh_count() const { return refresh_count_; }
+
+ private:
+  const Database* db_;
+  const ql::TermFactory* f_;
+  ql::PathId path_;
+  std::vector<std::vector<ObjectId>> endpoints_;
+  uint64_t version_;
+  size_t entries_ = 0;
+  size_t refresh_count_ = 0;
+};
+
+}  // namespace oodb::db
+
+#endif  // OODB_DB_PATH_INDEX_H_

@@ -1,0 +1,105 @@
+// Raw (unresolved) syntax tree for the concrete database language DL
+// (paper Sect. 2): Class / QueryClass / Attribute declarations with
+// isA lists, attribute sections, derived labeled paths, where clauses and
+// first-order constraint clauses.
+#ifndef OODB_DL_AST_H_
+#define OODB_DL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oodb::dl::ast {
+
+// --- Constraint formulas ---------------------------------------------------
+
+struct Term {
+  enum class Kind { kThis, kIdent };
+  Kind kind = Kind::kIdent;
+  std::string name;  // empty for `this`
+  int line = 0;
+};
+
+struct Formula;
+using FormulaPtr = std::unique_ptr<Formula>;
+
+struct Formula {
+  enum class Kind {
+    kForall,  // forall var/Class body
+    kExists,  // exists var/Class body
+    kNot,
+    kAnd,
+    kOr,
+    kIn,    // (t in Class)
+    kAttr,  // (t1 attr t2)
+    kEq,    // (t1 = t2)
+  };
+  Kind kind;
+  std::string var;   // quantifiers
+  std::string cls;   // quantifiers, kIn
+  std::string attr;  // kAttr
+  Term t1, t2;
+  std::vector<FormulaPtr> children;
+  int line = 0;
+};
+
+// --- Declarations ------------------------------------------------------------
+
+// One `a: C` entry of an attribute section, with the section's flags.
+struct AttrEntry {
+  std::string attr;
+  std::string range;
+  bool necessary = false;
+  bool single = false;
+  int line = 0;
+};
+
+// A step of a labeled path: `a` (bare), `(a: C)`, `(a: {c})`, `(a: ?x)`.
+struct PathStep {
+  enum class Filter { kNone, kClass, kConstant, kVariable };
+  std::string attr;
+  Filter filter_kind = Filter::kNone;
+  std::string filter;  // class / constant / variable name
+  int line = 0;
+};
+
+struct DerivedPath {
+  std::optional<std::string> label;
+  std::vector<PathStep> steps;
+  int line = 0;
+};
+
+struct WhereEq {
+  std::string lhs;
+  std::string rhs;
+  int line = 0;
+};
+
+struct ClassDecl {
+  bool is_query = false;
+  std::string name;
+  std::vector<std::string> supers;
+  std::vector<AttrEntry> attrs;        // schema classes
+  std::vector<DerivedPath> derived;    // query classes
+  std::vector<WhereEq> where;
+  FormulaPtr constraint;               // may be null
+  int line = 0;
+};
+
+struct AttributeDecl {
+  std::string name;
+  std::string domain;  // empty = Object
+  std::string range;   // empty = Object
+  std::string inverse; // optional synonym name
+  int line = 0;
+};
+
+struct File {
+  std::vector<ClassDecl> classes;
+  std::vector<AttributeDecl> attributes;
+};
+
+}  // namespace oodb::dl::ast
+
+#endif  // OODB_DL_AST_H_

@@ -1,0 +1,78 @@
+#include "dl/lexer.h"
+
+#include <cctype>
+
+#include "base/strings.h"
+
+namespace oodb::dl {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text) {
+    tokens.push_back(Token{kind, std::move(text), line, column});
+  };
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++column;
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < source.size() && IsIdentChar(source[i])) ++i;
+      push(TokenKind::kIdent, std::string(source.substr(start, i - start)));
+      column += static_cast<int>(i - start);
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case ',': kind = TokenKind::kComma; break;
+      case ':': kind = TokenKind::kColon; break;
+      case '.': kind = TokenKind::kDot; break;
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '=': kind = TokenKind::kEquals; break;
+      case '/': kind = TokenKind::kSlash; break;
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '?': kind = TokenKind::kQuestion; break;
+      default:
+        return InvalidArgumentError(StrCat("line ", line, ":", column,
+                                           ": unexpected character '", c,
+                                           "'"));
+    }
+    push(kind, std::string(1, c));
+    ++column;
+    ++i;
+  }
+  push(TokenKind::kEof, "");
+  return tokens;
+}
+
+}  // namespace oodb::dl

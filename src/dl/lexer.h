@@ -1,0 +1,43 @@
+// Tokenizer for DL source text. All words lex as identifiers; keywords are
+// contextual (so `name`, `domain` or `single` remain usable as attribute
+// and class names). `//` starts a line comment.
+#ifndef OODB_DL_LEXER_H_
+#define OODB_DL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace oodb::dl {
+
+enum class TokenKind : uint8_t {
+  kIdent,
+  kComma,     // ,
+  kColon,     // :
+  kDot,       // .
+  kLParen,    // (
+  kRParen,    // )
+  kEquals,    // =
+  kSlash,     // /
+  kLBrace,    // {
+  kRBrace,    // }
+  kQuestion,  // ?
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int line = 0;
+  int column = 0;
+};
+
+// Tokenizes `source`. Fails with kInvalidArgument on an illegal character.
+// The result always ends with a kEof token.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace oodb::dl
+
+#endif  // OODB_DL_LEXER_H_

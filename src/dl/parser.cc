@@ -1,0 +1,392 @@
+#include "dl/parser.h"
+
+#include <utility>
+
+#include "base/strings.h"
+#include "dl/lexer.h"
+
+namespace oodb::dl {
+
+namespace {
+
+using ast::Formula;
+using ast::FormulaPtr;
+
+// Identifiers that end an attribute/derived/where entry list when they
+// start the next section.
+bool IsSectionKeyword(const std::string& word) {
+  return word == "attribute" || word == "derived" || word == "where" ||
+         word == "constraint" || word == "end";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ast::File> ParseFileBody() {
+    ast::File file;
+    while (!AtEof()) {
+      const Token& t = Peek();
+      if (IsWord("Class") || IsWord("QueryClass")) {
+        OODB_ASSIGN_OR_RETURN(ast::ClassDecl decl, ParseClass());
+        file.classes.push_back(std::move(decl));
+      } else if (IsWord("Attribute")) {
+        OODB_ASSIGN_OR_RETURN(ast::AttributeDecl decl, ParseAttribute());
+        file.attributes.push_back(std::move(decl));
+      } else {
+        return Error(t, "expected Class, QueryClass or Attribute");
+      }
+    }
+    return file;
+  }
+
+  Result<FormulaPtr> ParseTopLevelFormula() {
+    OODB_ASSIGN_OR_RETURN(FormulaPtr f, ParseFormulaExpr());
+    if (!AtEof()) return Error(Peek(), "trailing input after formula");
+    return f;
+  }
+
+ private:
+  // --- token helpers -----------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;  // the EOF token
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEof() const { return Peek().kind == TokenKind::kEof; }
+  bool Is(TokenKind k, size_t ahead = 0) const { return Peek(ahead).kind == k; }
+  bool IsWord(std::string_view w, size_t ahead = 0) const {
+    return Is(TokenKind::kIdent, ahead) && Peek(ahead).text == w;
+  }
+  bool ConsumeWord(std::string_view w) {
+    if (!IsWord(w)) return false;
+    Advance();
+    return true;
+  }
+  bool Consume(TokenKind k) {
+    if (!Is(k)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(const Token& t, std::string_view message) const {
+    return InvalidArgumentError(
+        StrCat("line ", t.line, ": ", message, " (got '",
+               t.kind == TokenKind::kEof ? "<eof>" : t.text, "')"));
+  }
+
+  Result<std::string> ExpectIdent(std::string_view what) {
+    if (!Is(TokenKind::kIdent)) {
+      return Status(StatusCode::kInvalidArgument,
+                    Error(Peek(), StrCat("expected ", what)).message());
+    }
+    return Advance().text;
+  }
+
+  Status Expect(TokenKind k, std::string_view what) {
+    if (!Consume(k)) return Error(Peek(), StrCat("expected ", what));
+    return Status::Ok();
+  }
+
+  // --- declarations -------------------------------------------------------
+
+  Result<ast::ClassDecl> ParseClass() {
+    ast::ClassDecl decl;
+    decl.line = Peek().line;
+    decl.is_query = Peek().text == "QueryClass";
+    Advance();  // Class / QueryClass
+    OODB_ASSIGN_OR_RETURN(decl.name, ExpectIdent("class name"));
+    if (ConsumeWord("isA")) {
+      do {
+        OODB_ASSIGN_OR_RETURN(std::string super, ExpectIdent("superclass"));
+        decl.supers.push_back(std::move(super));
+      } while (Consume(TokenKind::kComma));
+    }
+    OODB_RETURN_IF_ERROR(ExpectWord("with"));
+    while (!IsWord("end")) {
+      if (AtEof()) return Error(Peek(), "expected section or end");
+      if (IsWord("attribute")) {
+        OODB_RETURN_IF_ERROR(ParseAttrSection(&decl));
+      } else if (IsWord("derived")) {
+        OODB_RETURN_IF_ERROR(ParseDerivedSection(&decl));
+      } else if (IsWord("where")) {
+        OODB_RETURN_IF_ERROR(ParseWhereSection(&decl));
+      } else if (IsWord("constraint")) {
+        Advance();
+        OODB_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'"));
+        if (decl.constraint != nullptr) {
+          return Error(Peek(), "duplicate constraint clause");
+        }
+        OODB_ASSIGN_OR_RETURN(decl.constraint, ParseFormulaExpr());
+      } else {
+        return Error(Peek(),
+                     "expected attribute, derived, where, constraint or end");
+      }
+    }
+    Advance();  // end
+    // Optional trailing class name.
+    if (Is(TokenKind::kIdent) && Peek().text == decl.name) Advance();
+    return decl;
+  }
+
+  Status ExpectWord(std::string_view w) {
+    if (!ConsumeWord(w)) return Error(Peek(), StrCat("expected '", w, "'"));
+    return Status::Ok();
+  }
+
+  Status ParseAttrSection(ast::ClassDecl* decl) {
+    Advance();  // attribute
+    bool necessary = false;
+    bool single = false;
+    while (Consume(TokenKind::kComma)) {
+      if (ConsumeWord("necessary")) {
+        necessary = true;
+      } else if (ConsumeWord("single")) {
+        single = true;
+      } else {
+        return Error(Peek(), "expected 'necessary' or 'single'");
+      }
+    }
+    // Entries: `a : C` until the next section keyword / end.
+    while (Is(TokenKind::kIdent) && !IsSectionKeyword(Peek().text)) {
+      ast::AttrEntry entry;
+      entry.line = Peek().line;
+      entry.necessary = necessary;
+      entry.single = single;
+      OODB_ASSIGN_OR_RETURN(entry.attr, ExpectIdent("attribute name"));
+      OODB_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'"));
+      OODB_ASSIGN_OR_RETURN(entry.range, ExpectIdent("range class"));
+      decl->attrs.push_back(std::move(entry));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseDerivedSection(ast::ClassDecl* decl) {
+    Advance();  // derived
+    for (;;) {
+      if (Is(TokenKind::kIdent) && IsSectionKeyword(Peek().text)) break;
+      if (!Is(TokenKind::kIdent) && !Is(TokenKind::kLParen)) break;
+      ast::DerivedPath path;
+      path.line = Peek().line;
+      // `label : path` iff an identifier is directly followed by ':' and
+      // the token after it starts a path (identifier or '(').
+      if (Is(TokenKind::kIdent) && Is(TokenKind::kColon, 1)) {
+        path.label = Advance().text;
+        Advance();  // ':'
+      }
+      OODB_ASSIGN_OR_RETURN(path.steps, ParsePathSteps());
+      decl->derived.push_back(std::move(path));
+    }
+    return Status::Ok();
+  }
+
+  Result<std::vector<ast::PathStep>> ParsePathSteps() {
+    std::vector<ast::PathStep> steps;
+    do {
+      ast::PathStep step;
+      step.line = Peek().line;
+      if (Consume(TokenKind::kLParen)) {
+        OODB_ASSIGN_OR_RETURN(step.attr, ExpectIdent("attribute name"));
+        OODB_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'"));
+        if (Consume(TokenKind::kLBrace)) {
+          step.filter_kind = ast::PathStep::Filter::kConstant;
+          OODB_ASSIGN_OR_RETURN(step.filter, ExpectIdent("constant"));
+          OODB_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'"));
+        } else if (Consume(TokenKind::kQuestion)) {
+          step.filter_kind = ast::PathStep::Filter::kVariable;
+          OODB_ASSIGN_OR_RETURN(step.filter, ExpectIdent("variable"));
+        } else {
+          step.filter_kind = ast::PathStep::Filter::kClass;
+          OODB_ASSIGN_OR_RETURN(step.filter, ExpectIdent("class name"));
+        }
+        OODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      } else {
+        OODB_ASSIGN_OR_RETURN(step.attr, ExpectIdent("attribute name"));
+        step.filter_kind = ast::PathStep::Filter::kNone;
+      }
+      steps.push_back(std::move(step));
+    } while (Consume(TokenKind::kDot));
+    return steps;
+  }
+
+  Status ParseWhereSection(ast::ClassDecl* decl) {
+    Advance();  // where
+    while (Is(TokenKind::kIdent) && !IsSectionKeyword(Peek().text)) {
+      ast::WhereEq eq;
+      eq.line = Peek().line;
+      OODB_ASSIGN_OR_RETURN(eq.lhs, ExpectIdent("label"));
+      OODB_RETURN_IF_ERROR(Expect(TokenKind::kEquals, "'='"));
+      OODB_ASSIGN_OR_RETURN(eq.rhs, ExpectIdent("label"));
+      decl->where.push_back(std::move(eq));
+    }
+    return Status::Ok();
+  }
+
+  Result<ast::AttributeDecl> ParseAttribute() {
+    ast::AttributeDecl decl;
+    decl.line = Peek().line;
+    Advance();  // Attribute
+    OODB_ASSIGN_OR_RETURN(decl.name, ExpectIdent("attribute name"));
+    OODB_RETURN_IF_ERROR(ExpectWord("with"));
+    while (!IsWord("end")) {
+      if (AtEof()) return Error(Peek(), "expected attribute property or end");
+      std::string prop;
+      OODB_ASSIGN_OR_RETURN(prop, ExpectIdent("attribute property"));
+      OODB_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'"));
+      std::string value;
+      OODB_ASSIGN_OR_RETURN(value, ExpectIdent("property value"));
+      if (prop == "domain") {
+        decl.domain = value;
+      } else if (prop == "range") {
+        decl.range = value;
+      } else if (prop == "inverse") {
+        decl.inverse = value;
+      } else {
+        return InvalidArgumentError(
+            StrCat("line ", decl.line, ": unknown attribute property '", prop,
+                   "' (expected domain, range or inverse)"));
+      }
+    }
+    Advance();  // end
+    if (Is(TokenKind::kIdent) && Peek().text == decl.name) Advance();
+    return decl;
+  }
+
+  // --- constraint formulas -------------------------------------------------
+
+  Result<FormulaPtr> ParseFormulaExpr() {
+    // Quantifiers scope maximally to the right (paper Fig. 3).
+    if (IsWord("forall") || IsWord("exists")) {
+      auto f = std::make_unique<Formula>();
+      f->line = Peek().line;
+      f->kind = Peek().text == "forall" ? Formula::Kind::kForall
+                                        : Formula::Kind::kExists;
+      Advance();
+      OODB_ASSIGN_OR_RETURN(f->var, ExpectIdent("quantified variable"));
+      OODB_RETURN_IF_ERROR(Expect(TokenKind::kSlash, "'/'"));
+      OODB_ASSIGN_OR_RETURN(f->cls, ExpectIdent("class name"));
+      OODB_ASSIGN_OR_RETURN(FormulaPtr body, ParseFormulaExpr());
+      f->children.push_back(std::move(body));
+      return f;
+    }
+    return ParseOr();
+  }
+
+  Result<FormulaPtr> ParseOr() {
+    OODB_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseAnd());
+    while (IsWord("or")) {
+      int line = Advance().line;
+      OODB_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseAnd());
+      auto f = std::make_unique<Formula>();
+      f->kind = Formula::Kind::kOr;
+      f->line = line;
+      f->children.push_back(std::move(lhs));
+      f->children.push_back(std::move(rhs));
+      lhs = std::move(f);
+    }
+    return lhs;
+  }
+
+  Result<FormulaPtr> ParseAnd() {
+    OODB_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseUnary());
+    while (IsWord("and")) {
+      int line = Advance().line;
+      OODB_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseUnary());
+      auto f = std::make_unique<Formula>();
+      f->kind = Formula::Kind::kAnd;
+      f->line = line;
+      f->children.push_back(std::move(lhs));
+      f->children.push_back(std::move(rhs));
+      lhs = std::move(f);
+    }
+    return lhs;
+  }
+
+  Result<FormulaPtr> ParseUnary() {
+    if (IsWord("not")) {
+      int line = Advance().line;
+      OODB_ASSIGN_OR_RETURN(FormulaPtr inner, ParseUnary());
+      auto f = std::make_unique<Formula>();
+      f->kind = Formula::Kind::kNot;
+      f->line = line;
+      f->children.push_back(std::move(inner));
+      return f;
+    }
+    if (IsWord("forall") || IsWord("exists")) return ParseFormulaExpr();
+    if (!Is(TokenKind::kLParen)) {
+      return Error(Peek(), "expected '(', 'not' or a quantifier");
+    }
+    // '(' starts either an atom or a parenthesized formula. An atom begins
+    // with a term (`this` or an identifier) followed by `in`, `=` or an
+    // attribute name.
+    bool atom = false;
+    if (IsWord("this", 1) || Is(TokenKind::kIdent, 1)) {
+      if (IsWord("forall", 1) || IsWord("exists", 1) || IsWord("not", 1)) {
+        atom = false;
+      } else if (Is(TokenKind::kIdent, 2) || Is(TokenKind::kEquals, 2)) {
+        atom = true;
+      }
+    }
+    if (atom) return ParseAtom();
+    Advance();  // '('
+    OODB_ASSIGN_OR_RETURN(FormulaPtr inner, ParseFormulaExpr());
+    OODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    return inner;
+  }
+
+  Result<ast::Term> ParseTerm() {
+    ast::Term t;
+    t.line = Peek().line;
+    if (ConsumeWord("this")) {
+      t.kind = ast::Term::Kind::kThis;
+      return t;
+    }
+    t.kind = ast::Term::Kind::kIdent;
+    OODB_ASSIGN_OR_RETURN(t.name, ExpectIdent("term"));
+    return t;
+  }
+
+  Result<FormulaPtr> ParseAtom() {
+    int line = Peek().line;
+    OODB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    auto f = std::make_unique<Formula>();
+    f->line = line;
+    OODB_ASSIGN_OR_RETURN(f->t1, ParseTerm());
+    if (Consume(TokenKind::kEquals)) {
+      f->kind = Formula::Kind::kEq;
+      OODB_ASSIGN_OR_RETURN(f->t2, ParseTerm());
+    } else if (ConsumeWord("in")) {
+      f->kind = Formula::Kind::kIn;
+      OODB_ASSIGN_OR_RETURN(f->cls, ExpectIdent("class name"));
+    } else if (Is(TokenKind::kIdent)) {
+      f->kind = Formula::Kind::kAttr;
+      f->attr = Advance().text;
+      OODB_ASSIGN_OR_RETURN(f->t2, ParseTerm());
+    } else {
+      return Error(Peek(), "expected 'in', '=' or an attribute name");
+    }
+    OODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    return f;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ast::File> ParseFile(std::string_view source) {
+  OODB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseFileBody();
+}
+
+Result<ast::FormulaPtr> ParseFormula(std::string_view source) {
+  OODB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseTopLevelFormula();
+}
+
+}  // namespace oodb::dl

@@ -1,0 +1,171 @@
+#include "dl/printer.h"
+
+#include "base/strings.h"
+
+namespace oodb::dl {
+
+namespace {
+
+// Renders an attribute occurrence in query syntax: the primitive name, or
+// the declared inverse synonym for inverted attributes (the analyzer only
+// produces inversions through synonyms, so one always exists).
+std::string AttrName(const Model& model, const SymbolTable& symbols,
+                     const ql::Attr& attr) {
+  if (!attr.inverted) return symbols.Name(attr.prim);
+  const AttributeDef* def = model.FindAttribute(attr.prim);
+  if (def != nullptr && def->inverse.valid()) {
+    return symbols.Name(def->inverse);
+  }
+  // Unreachable for analyzer-produced models; degrade readably.
+  return StrCat(symbols.Name(attr.prim), "_inverse");
+}
+
+std::string TermToSource(const SymbolTable& symbols, const CTerm& term) {
+  if (term.kind == CTerm::Kind::kThis) return "this";
+  return symbols.Name(term.name);
+}
+
+bool NeedsParens(const CFormula& f) {
+  switch (f.kind) {
+    case CFormula::Kind::kAnd:
+    case CFormula::Kind::kOr:
+    case CFormula::Kind::kForall:
+    case CFormula::Kind::kExists:
+      return true;
+    default:
+      return false;  // atoms carry their own parentheses; `not` binds tight
+  }
+}
+
+std::string StepToSource(const Model& model, const SymbolTable& symbols,
+                         const ResolvedStep& step) {
+  std::string attr = AttrName(model, symbols, step.attr);
+  switch (step.filter.kind) {
+    case ResolvedFilter::Kind::kClass:
+      if (step.filter.name == model.object_class) return attr;
+      return StrCat("(", attr, ": ", symbols.Name(step.filter.name), ")");
+    case ResolvedFilter::Kind::kConstant:
+      return StrCat("(", attr, ": {", symbols.Name(step.filter.name), "})");
+    case ResolvedFilter::Kind::kVariable:
+      return StrCat("(", attr, ": ?", symbols.Name(step.filter.name), ")");
+  }
+  return attr;
+}
+
+}  // namespace
+
+std::string FormulaToSource(const Model& model, const SymbolTable& symbols,
+                            const CFormula& formula) {
+  auto child = [&](const CFormula& c) {
+    std::string rendered = FormulaToSource(model, symbols, c);
+    return NeedsParens(c) ? StrCat("(", rendered, ")") : rendered;
+  };
+  switch (formula.kind) {
+    case CFormula::Kind::kForall:
+    case CFormula::Kind::kExists:
+      return StrCat(
+          formula.kind == CFormula::Kind::kForall ? "forall " : "exists ",
+          symbols.Name(formula.var), "/", symbols.Name(formula.cls), " ",
+          FormulaToSource(model, symbols, *formula.children[0]));
+    case CFormula::Kind::kNot:
+      return StrCat("not ", child(*formula.children[0]));
+    case CFormula::Kind::kAnd:
+      return StrJoinMapped(formula.children, " and ",
+                           [&](const CFormulaPtr& c) { return child(*c); });
+    case CFormula::Kind::kOr:
+      return StrJoinMapped(formula.children, " or ",
+                           [&](const CFormulaPtr& c) { return child(*c); });
+    case CFormula::Kind::kIn:
+      return StrCat("(", TermToSource(symbols, formula.t1), " in ",
+                    symbols.Name(formula.cls), ")");
+    case CFormula::Kind::kAttr:
+      return StrCat("(", TermToSource(symbols, formula.t1), " ",
+                    AttrName(model, symbols, formula.attr), " ",
+                    TermToSource(symbols, formula.t2), ")");
+    case CFormula::Kind::kEq:
+      return StrCat("(", TermToSource(symbols, formula.t1), " = ",
+                    TermToSource(symbols, formula.t2), ")");
+  }
+  return "";
+}
+
+std::string ClassToSource(const Model& model, const SymbolTable& symbols,
+                          const ClassDef& def) {
+  std::string out = def.is_query ? "QueryClass " : "Class ";
+  out += symbols.Name(def.name);
+  if (!def.supers.empty()) {
+    out += StrCat(" isA ",
+                  StrJoinMapped(def.supers, ", ", [&](Symbol s) {
+                    return symbols.Name(s);
+                  }));
+  }
+  out += " with\n";
+
+  // Attribute sections grouped by flag combination, in first-use order.
+  for (int flags = 0; flags < 4; ++flags) {
+    bool necessary = (flags & 1) != 0;
+    bool single = (flags & 2) != 0;
+    std::string section;
+    for (const ClassDef::AttrSpec& spec : def.attrs) {
+      if (spec.necessary != necessary || spec.single != single) continue;
+      section += StrCat("    ", symbols.Name(spec.attr), ": ",
+                        symbols.Name(spec.range), "\n");
+    }
+    if (section.empty()) continue;
+    out += "  attribute";
+    if (necessary) out += ", necessary";
+    if (single) out += ", single";
+    out += "\n" + section;
+  }
+
+  if (!def.derived.empty()) {
+    out += "  derived\n";
+    for (const ResolvedPath& path : def.derived) {
+      out += "    ";
+      if (path.label.valid()) out += StrCat(symbols.Name(path.label), ": ");
+      out += StrJoinMapped(path.steps, ".",
+                           [&](const ResolvedStep& step) {
+                             return StepToSource(model, symbols, step);
+                           });
+      out += "\n";
+    }
+  }
+  if (!def.where.empty()) {
+    out += "  where\n";
+    for (const auto& [l, r] : def.where) {
+      out += StrCat("    ", symbols.Name(l), " = ", symbols.Name(r), "\n");
+    }
+  }
+  if (def.constraint != nullptr) {
+    out += StrCat("  constraint:\n    ",
+                  FormulaToSource(model, symbols, *def.constraint), "\n");
+  }
+  out += StrCat("end ", symbols.Name(def.name), "\n");
+  return out;
+}
+
+std::string AttributeToSource(const SymbolTable& symbols,
+                              const AttributeDef& def) {
+  std::string out = StrCat("Attribute ", symbols.Name(def.name), " with\n");
+  out += StrCat("  domain: ", symbols.Name(def.domain), "\n");
+  out += StrCat("  range: ", symbols.Name(def.range), "\n");
+  if (def.inverse.valid()) {
+    out += StrCat("  inverse: ", symbols.Name(def.inverse), "\n");
+  }
+  out += StrCat("end ", symbols.Name(def.name), "\n");
+  return out;
+}
+
+std::string ModelToSource(const Model& model, const SymbolTable& symbols) {
+  std::string out;
+  for (const ClassDef& def : model.classes()) {
+    if (def.name == model.object_class) continue;  // builtin
+    out += ClassToSource(model, symbols, def) + "\n";
+  }
+  for (const AttributeDef& def : model.attributes()) {
+    out += AttributeToSource(symbols, def) + "\n";
+  }
+  return out;
+}
+
+}  // namespace oodb::dl

@@ -1,0 +1,32 @@
+// Rendering a resolved Model back into DL source text. Round-trips:
+// Analyze(Print(model)) yields an equivalent model (tested), which makes
+// schemas first-class, dumpable artifacts like database states.
+#ifndef OODB_DL_PRINTER_H_
+#define OODB_DL_PRINTER_H_
+
+#include <string>
+
+#include "dl/model.h"
+
+namespace oodb::dl {
+
+// The whole model: attribute declarations, schema classes, query classes.
+// The builtin Object class and implicit declarations are included (they
+// re-parse to the same model).
+std::string ModelToSource(const Model& model, const SymbolTable& symbols);
+
+// One class declaration (schema or query).
+std::string ClassToSource(const Model& model, const SymbolTable& symbols,
+                          const ClassDef& def);
+
+// One attribute declaration.
+std::string AttributeToSource(const SymbolTable& symbols,
+                              const AttributeDef& def);
+
+// A constraint formula in DL syntax.
+std::string FormulaToSource(const Model& model, const SymbolTable& symbols,
+                            const CFormula& formula);
+
+}  // namespace oodb::dl
+
+#endif  // OODB_DL_PRINTER_H_

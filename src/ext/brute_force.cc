@@ -1,0 +1,202 @@
+#include "ext/brute_force.h"
+
+namespace oodb::ext {
+
+bool XEval(const interp::Interpretation& interp, const XConceptPtr& c,
+           int d) {
+  switch (c->kind) {
+    case XConcept::Kind::kTop:
+      return true;
+    case XConcept::Kind::kPrim:
+      return interp.InConcept(c->sym, d);
+    case XConcept::Kind::kSingleton: {
+      auto v = interp.ConstantValue(c->sym);
+      return v.has_value() && *v == d;
+    }
+    case XConcept::Kind::kNotPrim:
+      return !interp.InConcept(c->sym, d);
+    case XConcept::Kind::kAnd:
+      for (const XConceptPtr& child : c->children) {
+        if (!XEval(interp, child, d)) return false;
+      }
+      return true;
+    case XConcept::Kind::kOr:
+      for (const XConceptPtr& child : c->children) {
+        if (XEval(interp, child, d)) return true;
+      }
+      return false;
+    case XConcept::Kind::kExists:
+    case XConcept::Kind::kAll: {
+      std::vector<int> fillers = c->attr.inverted
+                                     ? interp.Predecessors(c->attr.prim, d)
+                                     : interp.Successors(c->attr.prim, d);
+      if (c->kind == XConcept::Kind::kExists) {
+        for (int t : fillers) {
+          if (XEval(interp, c->children[0], t)) return true;
+        }
+        return false;
+      }
+      for (int t : fillers) {
+        if (!XEval(interp, c->children[0], t)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SatisfiesExtSchema(const interp::Interpretation& interp,
+                        const ExtSchema& sigma) {
+  const size_t n = interp.domain_size();
+  for (const ExtAxiom& ax : sigma.axioms()) {
+    for (size_t i = 0; i < n; ++i) {
+      int d = static_cast<int>(i);
+      if (!interp.InConcept(ax.lhs, d)) continue;
+      switch (ax.kind) {
+        case ExtAxiom::Kind::kIsA:
+          if (!interp.InConcept(ax.rhs, d)) return false;
+          break;
+        case ExtAxiom::Kind::kAll: {
+          std::vector<int> fillers =
+              ax.attr.inverted ? interp.Predecessors(ax.attr.prim, d)
+                               : interp.Successors(ax.attr.prim, d);
+          for (int t : fillers) {
+            if (!interp.InConcept(ax.rhs, t)) return false;
+          }
+          break;
+        }
+        case ExtAxiom::Kind::kExists:
+          if (interp.Successors(ax.attr.prim, d).empty()) return false;
+          break;
+        case ExtAxiom::Kind::kExistsQ: {
+          bool witnessed = false;
+          for (int t : interp.Successors(ax.attr.prim, d)) {
+            if (interp.InConcept(ax.rhs, t)) {
+              witnessed = true;
+              break;
+            }
+          }
+          if (!witnessed) return false;
+          break;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Visits every interpretation over the signature with the given domain
+// size, calling `visit(interp)` until it returns true (found) or the
+// budget is exhausted. Returns {found, budget_hit}.
+template <typename Visit>
+std::pair<bool, bool> Enumerate(size_t domain,
+                                const std::vector<Symbol>& concepts,
+                                const std::vector<Symbol>& attrs,
+                                const std::vector<Symbol>& constants,
+                                uint64_t* interpretations, uint64_t cap,
+                                Visit&& visit) {
+  const size_t concept_bits = concepts.size() * domain;
+  const size_t attr_bits = attrs.size() * domain * domain;
+  std::vector<char> bits(concept_bits + attr_bits, 0);
+  for (;;) {
+    if (++*interpretations > cap) return {false, true};
+    interp::Interpretation interp(domain);
+    bool una_ok = true;
+    for (size_t i = 0; i < constants.size(); ++i) {
+      if (!interp.AssignConstant(constants[i], static_cast<int>(i)).ok()) {
+        una_ok = false;
+        break;
+      }
+    }
+    if (una_ok) {
+      size_t bit = 0;
+      for (Symbol a : concepts) {
+        for (size_t d = 0; d < domain; ++d, ++bit) {
+          if (bits[bit]) interp.AddToConcept(a, static_cast<int>(d));
+        }
+      }
+      for (Symbol p : attrs) {
+        for (size_t s = 0; s < domain; ++s) {
+          for (size_t t = 0; t < domain; ++t, ++bit) {
+            if (bits[bit]) {
+              interp.AddEdge(p, static_cast<int>(s), static_cast<int>(t));
+            }
+          }
+        }
+      }
+      if (visit(interp)) return {true, false};
+    }
+    // Odometer increment.
+    size_t i = 0;
+    while (i < bits.size() && bits[i] == 1) bits[i++] = 0;
+    if (i == bits.size()) return {false, false};
+    bits[i] = 1;
+  }
+}
+
+}  // namespace
+
+BruteForceResult BruteForceSubsumes(
+    const ExtSchema& sigma, const XConceptPtr& c, const XConceptPtr& d,
+    const std::vector<Symbol>& concepts, const std::vector<Symbol>& attrs,
+    const std::vector<Symbol>& constants, const BruteForceOptions& options) {
+  BruteForceResult result;
+  for (size_t domain = std::max<size_t>(1, constants.size());
+       domain <= options.max_domain; ++domain) {
+    auto [found, budget_hit] = Enumerate(
+        domain, concepts, attrs, constants, &result.interpretations,
+        options.max_interpretations,
+        [&](const interp::Interpretation& interp) {
+          if (!SatisfiesExtSchema(interp, sigma)) return false;
+          for (size_t e = 0; e < interp.domain_size(); ++e) {
+            int x = static_cast<int>(e);
+            if (XEval(interp, c, x) && !XEval(interp, d, x)) return true;
+          }
+          return false;
+        });
+    if (budget_hit) return result;  // undecided
+    if (found) {
+      result.decided = true;
+      result.subsumed = false;
+      result.countermodel_domain = domain;
+      return result;
+    }
+  }
+  result.decided = true;
+  result.subsumed = true;  // no countermodel up to the domain bound
+  return result;
+}
+
+BruteForceResult BruteForceSatisfiable(
+    const ExtSchema& sigma, const XConceptPtr& c,
+    const std::vector<Symbol>& concepts, const std::vector<Symbol>& attrs,
+    const std::vector<Symbol>& constants, const BruteForceOptions& options) {
+  BruteForceResult result;
+  for (size_t domain = std::max<size_t>(1, constants.size());
+       domain <= options.max_domain; ++domain) {
+    auto [found, budget_hit] = Enumerate(
+        domain, concepts, attrs, constants, &result.interpretations,
+        options.max_interpretations,
+        [&](const interp::Interpretation& interp) {
+          if (!SatisfiesExtSchema(interp, sigma)) return false;
+          for (size_t e = 0; e < interp.domain_size(); ++e) {
+            if (XEval(interp, c, static_cast<int>(e))) return true;
+          }
+          return false;
+        });
+    if (budget_hit) return result;
+    if (found) {
+      result.decided = true;
+      result.subsumed = true;  // reused as "satisfiable"
+      result.countermodel_domain = domain;
+      return result;
+    }
+  }
+  result.decided = true;
+  result.subsumed = false;  // unsatisfiable up to the bound
+  return result;
+}
+
+}  // namespace oodb::ext

@@ -1,0 +1,62 @@
+// Brute-force model enumeration for the extended language: the only
+// generally applicable decision procedure once ∀, ⊔ or ¬ enter the query
+// language — and deliberately exponential (experiments E8/E9).
+//
+// Enumerates every interpretation over the given signature with domain
+// size 1..max_domain and evaluates the concepts directly. Sound for
+// refutation (a found countermodel definitely kills the subsumption).
+// Complete only up to the domain bound; for core SL/QL inputs the paper's
+// canonical-model argument bounds countermodels by M·N+1 elements, so a
+// matching bound makes the answer exact on small inputs.
+#ifndef OODB_EXT_BRUTE_FORCE_H_
+#define OODB_EXT_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/symbol.h"
+#include "ext/chase.h"
+#include "ext/xconcept.h"
+#include "interp/interpretation.h"
+
+namespace oodb::ext {
+
+struct BruteForceOptions {
+  size_t max_domain = 3;
+  // Cap on enumerated interpretations (the count grows doubly
+  // exponentially in signature × domain).
+  uint64_t max_interpretations = 1ull << 26;
+};
+
+struct BruteForceResult {
+  bool decided = false;        // false = enumeration cap was hit
+  bool subsumed = false;       // meaningful when decided
+  uint64_t interpretations = 0;
+  size_t countermodel_domain = 0;  // domain size of the countermodel if any
+};
+
+// Evaluates an extended concept over an interpretation at element d.
+bool XEval(const interp::Interpretation& interp, const XConceptPtr& c, int d);
+
+// Whether `interp` satisfies every axiom of the extended schema.
+bool SatisfiesExtSchema(const interp::Interpretation& interp,
+                        const ExtSchema& sigma);
+
+// Decides C ⊑_Σ D by enumerating Σ-models over the signature
+// (concepts/attrs/constants must cover Σ, C and D).
+BruteForceResult BruteForceSubsumes(
+    const ExtSchema& sigma, const XConceptPtr& c, const XConceptPtr& d,
+    const std::vector<Symbol>& concepts, const std::vector<Symbol>& attrs,
+    const std::vector<Symbol>& constants,
+    const BruteForceOptions& options = BruteForceOptions());
+
+// Satisfiability of C w.r.t. Σ by the same enumeration.
+BruteForceResult BruteForceSatisfiable(
+    const ExtSchema& sigma, const XConceptPtr& c,
+    const std::vector<Symbol>& concepts, const std::vector<Symbol>& attrs,
+    const std::vector<Symbol>& constants,
+    const BruteForceOptions& options = BruteForceOptions());
+
+}  // namespace oodb::ext
+
+#endif  // OODB_EXT_BRUTE_FORCE_H_

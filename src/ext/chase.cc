@@ -1,0 +1,165 @@
+#include "ext/chase.h"
+
+#include <unordered_set>
+
+#include "base/hash.h"
+
+namespace oodb::ext {
+
+namespace {
+const std::vector<ExtAxiom> kNoAxioms;
+}  // namespace
+
+void ExtSchema::AddIsA(Symbol a, Symbol b) {
+  ExtAxiom ax{ExtAxiom::Kind::kIsA, a, ql::Attr{}, b};
+  axioms_.push_back(ax);
+  by_lhs_[a].push_back(ax);
+}
+
+void ExtSchema::AddAll(Symbol a, ql::Attr r, Symbol b) {
+  ExtAxiom ax{ExtAxiom::Kind::kAll, a, r, b};
+  axioms_.push_back(ax);
+  by_lhs_[a].push_back(ax);
+}
+
+void ExtSchema::AddExists(Symbol a, Symbol p) {
+  ExtAxiom ax{ExtAxiom::Kind::kExists, a, ql::Attr{p, false}, Symbol()};
+  axioms_.push_back(ax);
+  by_lhs_[a].push_back(ax);
+}
+
+void ExtSchema::AddExistsQualified(Symbol a, Symbol p, Symbol b) {
+  ExtAxiom ax{ExtAxiom::Kind::kExistsQ, a, ql::Attr{p, false}, b};
+  axioms_.push_back(ax);
+  by_lhs_[a].push_back(ax);
+}
+
+const std::vector<ExtAxiom>& ExtSchema::AxiomsOf(Symbol a) const {
+  auto it = by_lhs_.find(a);
+  return it == by_lhs_.end() ? kNoAxioms : it->second;
+}
+
+namespace {
+
+// The chase's working structure: a growing prototype interpretation.
+struct Proto {
+  // memberships[i] = set of concept symbols of individual i.
+  std::vector<std::vector<Symbol>> memberships;
+  std::vector<std::unordered_set<Symbol>> membership_sets;
+  // edges per attribute symbol: adjacency both ways.
+  std::unordered_map<Symbol, std::vector<std::vector<uint32_t>>> fwd;
+  std::unordered_map<Symbol, std::vector<std::vector<uint32_t>>> bwd;
+  size_t edges = 0;
+
+  uint32_t NewInd() {
+    memberships.emplace_back();
+    membership_sets.emplace_back();
+    for (auto& [p, adj] : fwd) adj.resize(memberships.size());
+    for (auto& [p, adj] : bwd) adj.resize(memberships.size());
+    return static_cast<uint32_t>(memberships.size() - 1);
+  }
+
+  bool AddMemb(uint32_t i, Symbol a) {
+    if (!membership_sets[i].insert(a).second) return false;
+    memberships[i].push_back(a);
+    return true;
+  }
+
+  bool HasMemb(uint32_t i, Symbol a) const {
+    return membership_sets[i].count(a) > 0;
+  }
+
+  void AddEdge(Symbol p, uint32_t s, uint32_t t) {
+    auto& f = fwd[p];
+    auto& b = bwd[p];
+    f.resize(memberships.size());
+    b.resize(memberships.size());
+    f[s].push_back(t);
+    b[t].push_back(s);
+    ++edges;
+  }
+
+  const std::vector<uint32_t>& Fillers(const ql::Attr& r, uint32_t s) {
+    static const std::vector<uint32_t> kEmpty;
+    auto& table = r.inverted ? bwd : fwd;
+    auto it = table.find(r.prim);
+    if (it == table.end() || it->second.size() <= s) return kEmpty;
+    return it->second[s];
+  }
+};
+
+}  // namespace
+
+ChaseResult UnguardedChase(const ExtSchema& sigma, Symbol start, Symbol goal,
+                           const ChaseLimits& limits) {
+  ChaseResult result;
+  Proto proto;
+  uint32_t x = proto.NewInd();
+  proto.AddMemb(x, start);
+
+  bool changed = true;
+  while (changed) {
+    if (++result.rounds > limits.max_rounds ||
+        proto.memberships.size() > limits.max_individuals) {
+      result.individuals = proto.memberships.size();
+      result.edges = proto.edges;
+      return result;  // completed stays false
+    }
+    changed = false;
+    // Scan individuals (new ones are picked up in the next round).
+    size_t n = proto.memberships.size();
+    for (uint32_t i = 0; i < n; ++i) {
+      // Copy: additions may grow the membership vector of i itself.
+      std::vector<Symbol> concepts = proto.memberships[i];
+      for (Symbol a : concepts) {
+        for (const ExtAxiom& ax : sigma.AxiomsOf(a)) {
+          switch (ax.kind) {
+            case ExtAxiom::Kind::kIsA:
+              changed |= proto.AddMemb(i, ax.rhs);
+              break;
+            case ExtAxiom::Kind::kAll: {
+              const std::vector<uint32_t> fillers = proto.Fillers(ax.attr, i);
+              for (uint32_t t : fillers) {
+                changed |= proto.AddMemb(t, ax.rhs);
+              }
+              break;
+            }
+            case ExtAxiom::Kind::kExists: {
+              if (!proto.Fillers(ax.attr, i).empty()) break;
+              uint32_t y = proto.NewInd();
+              proto.AddEdge(ax.attr.prim, i, y);
+              changed = true;
+              break;
+            }
+            case ExtAxiom::Kind::kExistsQ: {
+              bool witnessed = false;
+              for (uint32_t t : proto.Fillers(ax.attr, i)) {
+                if (proto.HasMemb(t, ax.rhs)) {
+                  witnessed = true;
+                  break;
+                }
+              }
+              if (witnessed) break;
+              uint32_t y = proto.NewInd();
+              proto.AddEdge(ax.attr.prim, i, y);
+              proto.AddMemb(y, ax.rhs);
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  result.completed = true;
+  result.individuals = proto.memberships.size();
+  result.edges = proto.edges;
+  for (const auto& membs : proto.membership_sets) {
+    result.memberships += membs.size();
+  }
+  result.entailed = proto.HasMemb(x, goal);
+  return result;
+}
+
+}  // namespace oodb::ext

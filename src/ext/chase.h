@@ -1,0 +1,78 @@
+// Extended schemas and the *unguarded* chase — the procedure the paper's
+// guarded rule S5 deliberately avoids (Sect. 4.4, discussion after
+// Prop. 4.10): materializing a witness for every necessary / qualified
+// existential axiom, iterated, can create exponentially many individuals.
+//
+// For the Horn-like fragment handled here (isA, ∀R.A with R possibly an
+// inverse, ∃P, ∃P.A — no disjunction), the chase builds the canonical
+// model of the start concept, so when it terminates within budget it
+// decides primitive-concept subsumption soundly and completely. The point
+// of the experiments is its cost, contrasted with the guarded calculus.
+#ifndef OODB_EXT_CHASE_H_
+#define OODB_EXT_CHASE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/symbol.h"
+#include "ql/term.h"
+
+namespace oodb::ext {
+
+struct ExtAxiom {
+  enum class Kind : uint8_t {
+    kIsA,        // A ⊑ B
+    kAll,        // A ⊑ ∀R.B   (R may be inverted: Prop. 4.10(2))
+    kExists,     // A ⊑ ∃P
+    kExistsQ,    // A ⊑ ∃P.B   (qualified: Prop. 4.10(1))
+  };
+  Kind kind;
+  Symbol lhs;
+  ql::Attr attr;  // kAll / kExists / kExistsQ
+  Symbol rhs;     // kIsA / kAll / kExistsQ
+};
+
+class ExtSchema {
+ public:
+  void AddIsA(Symbol a, Symbol b);
+  void AddAll(Symbol a, ql::Attr r, Symbol b);
+  void AddExists(Symbol a, Symbol p);
+  void AddExistsQualified(Symbol a, Symbol p, Symbol b);
+
+  const std::vector<ExtAxiom>& axioms() const { return axioms_; }
+  const std::vector<ExtAxiom>& AxiomsOf(Symbol a) const;
+  size_t size() const { return axioms_.size(); }
+
+ private:
+  std::vector<ExtAxiom> axioms_;
+  std::unordered_map<Symbol, std::vector<ExtAxiom>> by_lhs_;
+};
+
+struct ChaseLimits {
+  size_t max_individuals = 1u << 20;
+  size_t max_rounds = 1u << 20;
+};
+
+struct ChaseResult {
+  bool completed = false;   // false = a limit was hit
+  size_t individuals = 0;
+  size_t memberships = 0;
+  size_t edges = 0;
+  size_t rounds = 0;
+  // Whether the start individual ended up in the queried concept (only
+  // meaningful when `completed`).
+  bool entailed = false;
+};
+
+// Chases x:start over `sigma` and reports whether x:goal is derived.
+// Witness policy (deliberately unguarded): for A ⊑ ∃P.B, every individual
+// in A without a P-filler *known to be in B* gets a fresh B-witness; for
+// A ⊑ ∃P, every individual in A without any P-filler gets a fresh witness.
+ChaseResult UnguardedChase(const ExtSchema& sigma, Symbol start, Symbol goal,
+                           const ChaseLimits& limits = ChaseLimits());
+
+}  // namespace oodb::ext
+
+#endif  // OODB_EXT_CHASE_H_

@@ -1,0 +1,38 @@
+#include "ext/disjunction.h"
+
+namespace oodb::ext {
+
+Result<bool> SatisfiableWithDisjunction(const schema::Schema& sigma,
+                                        const XConceptPtr& c,
+                                        ql::TermFactory* terms,
+                                        DisjunctionStats* stats) {
+  OODB_ASSIGN_OR_RETURN(std::vector<ql::ConceptId> disjuncts,
+                        DnfToQl(c, terms));
+  calculus::SubsumptionChecker checker(sigma);
+  if (stats != nullptr) stats->disjuncts = disjuncts.size();
+  for (ql::ConceptId d : disjuncts) {
+    if (stats != nullptr) ++stats->core_calls;
+    OODB_ASSIGN_OR_RETURN(bool sat, checker.Satisfiable(d));
+    if (sat) return true;
+  }
+  return false;
+}
+
+Result<bool> SubsumesWithLhsDisjunction(const schema::Schema& sigma,
+                                        const XConceptPtr& c,
+                                        ql::ConceptId d,
+                                        ql::TermFactory* terms,
+                                        DisjunctionStats* stats) {
+  OODB_ASSIGN_OR_RETURN(std::vector<ql::ConceptId> disjuncts,
+                        DnfToQl(c, terms));
+  calculus::SubsumptionChecker checker(sigma);
+  if (stats != nullptr) stats->disjuncts = disjuncts.size();
+  for (ql::ConceptId ci : disjuncts) {
+    if (stats != nullptr) ++stats->core_calls;
+    OODB_ASSIGN_OR_RETURN(bool subsumed, checker.Subsumes(ci, d));
+    if (!subsumed) return false;
+  }
+  return true;
+}
+
+}  // namespace oodb::ext

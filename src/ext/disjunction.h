@@ -1,0 +1,35 @@
+// Deciding satisfiability and (left-side) subsumption for QL + disjunction
+// via DNF expansion into the core calculus (Prop. 4.12): correct, but the
+// number of disjuncts — and hence core calls — is worst-case exponential.
+#ifndef OODB_EXT_DISJUNCTION_H_
+#define OODB_EXT_DISJUNCTION_H_
+
+#include "base/status.h"
+#include "calculus/subsumption.h"
+#include "ext/xconcept.h"
+#include "schema/schema.h"
+
+namespace oodb::ext {
+
+struct DisjunctionStats {
+  size_t disjuncts = 0;        // size of the DNF
+  size_t core_calls = 0;       // completions run (early exit possible)
+};
+
+// C (with ⊔) is Σ-satisfiable iff some DNF disjunct is.
+Result<bool> SatisfiableWithDisjunction(const schema::Schema& sigma,
+                                        const XConceptPtr& c,
+                                        ql::TermFactory* terms,
+                                        DisjunctionStats* stats = nullptr);
+
+// C₁ ⊔ … ⊔ Cₖ ⊑_Σ D iff every Cᵢ ⊑_Σ D (right-side disjunction stays
+// intractable and is not offered). D is a core QL concept.
+Result<bool> SubsumesWithLhsDisjunction(const schema::Schema& sigma,
+                                        const XConceptPtr& c,
+                                        ql::ConceptId d,
+                                        ql::TermFactory* terms,
+                                        DisjunctionStats* stats = nullptr);
+
+}  // namespace oodb::ext
+
+#endif  // OODB_EXT_DISJUNCTION_H_

@@ -1,0 +1,102 @@
+#include "ext/families.h"
+
+#include "base/strings.h"
+
+namespace oodb::ext {
+
+ChaseFamily MakeBinaryTreeFamily(SymbolTable* symbols, size_t depth) {
+  ChaseFamily family;
+  auto a = [&](size_t i) { return symbols->Intern(StrCat("A", i)); };
+  auto l = [&](size_t i) { return symbols->Intern(StrCat("L", i)); };
+  auto r = [&](size_t i) { return symbols->Intern(StrCat("R", i)); };
+  Symbol p = symbols->Intern("P");
+  for (size_t i = 0; i < depth; ++i) {
+    family.sigma.AddExistsQualified(a(i), p, l(i + 1));
+    family.sigma.AddExistsQualified(a(i), p, r(i + 1));
+    family.sigma.AddIsA(l(i + 1), a(i + 1));
+    family.sigma.AddIsA(r(i + 1), a(i + 1));
+  }
+  family.start = a(0);
+  family.goal = a(0);
+  return family;
+}
+
+GuardedFamily MakeGuardedChainFamily(schema::Schema* sigma, size_t depth) {
+  ql::TermFactory& terms = sigma->terms();
+  SymbolTable& symbols = terms.symbols();
+  auto a = [&](size_t i) { return symbols.Intern(StrCat("A", i)); };
+  Symbol p = symbols.Intern("P");
+  for (size_t i = 0; i < depth; ++i) {
+    (void)sigma->AddNecessary(a(i), p);
+    (void)sigma->AddValueRestriction(a(i), p, a(i + 1));
+  }
+  GuardedFamily family;
+  family.a0 = a(0);
+  family.query = terms.Primitive(a(0));
+  std::vector<ql::Restriction> steps;
+  for (size_t i = 1; i <= depth; ++i) {
+    steps.push_back(
+        ql::Restriction{ql::Attr{p, false}, terms.Primitive(a(i))});
+  }
+  family.view = terms.Exists(terms.MakePath(std::move(steps)));
+  return family;
+}
+
+ChaseFamily MakeInverseChainFamily(SymbolTable* symbols, size_t n) {
+  // Stage j: A_j ⊑ ∃P_j, A_j ⊑ ∀P_j.B_j, B_j ⊑ ∀P_j⁻¹.A_{j+1}.
+  // The implicit inclusion A_0 ⊑ A_n needs n forward witnesses plus n
+  // backward propagations — exactly the paper's Σ₁ pattern iterated.
+  ChaseFamily family;
+  auto a = [&](size_t i) { return symbols->Intern(StrCat("A", i)); };
+  auto b = [&](size_t i) { return symbols->Intern(StrCat("B", i)); };
+  auto p = [&](size_t i) { return symbols->Intern(StrCat("P", i)); };
+  for (size_t j = 0; j < n; ++j) {
+    family.sigma.AddExists(a(j), p(j));
+    family.sigma.AddAll(a(j), ql::Attr{p(j), false}, b(j));
+    family.sigma.AddAll(b(j), ql::Attr{p(j), true}, a(j + 1));
+  }
+  family.start = a(0);
+  family.goal = a(n);
+  return family;
+}
+
+XConceptPtr MakeDisjunctionClashFamily(ql::TermFactory* terms, size_t n) {
+  SymbolTable& symbols = terms->symbols();
+  Symbol name = symbols.Intern("name");
+  std::vector<XConceptPtr> conjuncts;
+  conjuncts.push_back(XPrim(symbols.Intern("Person")));
+  for (size_t i = 0; i < n; ++i) {
+    XConceptPtr left = XExists(
+        ql::Attr{name, false},
+        XSingleton(symbols.Intern(StrCat("a", i))));
+    XConceptPtr right = XExists(
+        ql::Attr{name, false},
+        XSingleton(symbols.Intern(StrCat("b", i))));
+    conjuncts.push_back(XOr({left, right}));
+  }
+  return XAnd(std::move(conjuncts));
+}
+
+void AddDisjunctionSchema(schema::Schema* sigma) {
+  SymbolTable& symbols = sigma->terms().symbols();
+  (void)sigma->AddFunctional(symbols.Intern("Person"),
+                             symbols.Intern("name"));
+}
+
+ComplementPair MakeComplementFamily(SymbolTable* symbols, size_t width) {
+  ComplementPair pair;
+  Symbol a0 = symbols->Intern("A0");
+  pair.concepts.push_back(a0);
+  std::vector<XConceptPtr> conjuncts = {XPrim(a0)};
+  for (size_t i = 1; i <= width; ++i) {
+    Symbol ai = symbols->Intern(StrCat("A", i));
+    pair.concepts.push_back(ai);
+    conjuncts.push_back(XNotPrim(ai));
+  }
+  pair.attrs.push_back(symbols->Intern("P"));
+  pair.c = XAnd(std::move(conjuncts));
+  pair.d = XPrim(a0);
+  return pair;
+}
+
+}  // namespace oodb::ext

@@ -1,0 +1,66 @@
+// Hard-instance families for the complexity experiments of Sect. 4.4.
+#ifndef OODB_EXT_FAMILIES_H_
+#define OODB_EXT_FAMILIES_H_
+
+#include <vector>
+
+#include "base/symbol.h"
+#include "ext/chase.h"
+#include "ext/xconcept.h"
+#include "ql/term_factory.h"
+#include "schema/schema.h"
+
+namespace oodb::ext {
+
+// --- Prop. 4.10(1): qualified existentials in the schema ---------------------
+// Σ_n = { A_i ⊑ ∃P.L_{i+1}, A_i ⊑ ∃P.R_{i+1}, L_i ⊑ A_i, R_i ⊑ A_i } for
+// i < n. Chasing x:A_0 materializes a binary tree of depth n: 2^(n+1)-1
+// individuals. Returns (schema, start = A_0, goal = A_n).
+struct ChaseFamily {
+  ExtSchema sigma;
+  Symbol start;
+  Symbol goal;
+};
+ChaseFamily MakeBinaryTreeFamily(SymbolTable* symbols, size_t depth);
+
+// The guarded control: the analogous *plain SL* family
+// { A_i ⊑ ∃P, A_i ⊑ ∀P.A_{i+1} } with query ∃(P:⊤)^n, on which the guarded
+// calculus stays linear. Returns (Σ, C = A_0 ⊓ ∃(P:⊤)…, D = ∃(P:…(P:A_n))).
+struct GuardedFamily {
+  Symbol a0;
+  ql::ConceptId query;
+  ql::ConceptId view;
+};
+GuardedFamily MakeGuardedChainFamily(schema::Schema* sigma, size_t depth);
+
+// --- Prop. 4.10(2): inverse attributes in the schema -------------------------
+// Σ_n chains the paper's Σ₁ = {A ⊑ ∃P, A ⊑ ∀P.A', A' ⊑ ∀P⁻¹.A''} n times:
+// A_0 ⊑ A_{3n} holds only through n alternations of forward witnesses and
+// backward propagation. (Rejected by core SL; decided by the chase.)
+ChaseFamily MakeInverseChainFamily(SymbolTable* symbols, size_t n);
+
+// --- Prop. 4.12: disjunction ---------------------------------------------------
+// With Person ⊑ (≤1 name) in Σ, the concept
+//   C_n = Person ⊓ ⨅_{i<n} ( ∃(name:{a_i}) ⊔ ∃(name:{b_i}) )
+// with 2n pairwise distinct constants is Σ-unsatisfiable for n ≥ 2, but
+// every DNF check must refute all 2^n disjuncts. Returns C_n; the matching
+// schema axiom must be added by the caller via AddDisjunctionSchema.
+XConceptPtr MakeDisjunctionClashFamily(ql::TermFactory* terms, size_t n);
+void AddDisjunctionSchema(schema::Schema* sigma);
+
+// --- Prop. 4.13: relative complements ----------------------------------------
+// C_n = A ⊓ ⨅_{i<n} ∃P.(B_i ⊔ ¬B_i-style) — here the simpler witness:
+// pairs (C, D) with atomic complements whose subsumption only brute force
+// decides. Returns C = A ⊓ ¬B and D = A; C ⊑ D trivially, and
+// D ⊑ C fails — exercised via BruteForceSubsumes in the bench.
+struct ComplementPair {
+  XConceptPtr c;
+  XConceptPtr d;
+  std::vector<Symbol> concepts;
+  std::vector<Symbol> attrs;
+};
+ComplementPair MakeComplementFamily(SymbolTable* symbols, size_t width);
+
+}  // namespace oodb::ext
+
+#endif  // OODB_EXT_FAMILIES_H_

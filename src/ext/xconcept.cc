@@ -1,0 +1,170 @@
+#include "ext/xconcept.h"
+
+#include "base/strings.h"
+
+namespace oodb::ext {
+
+namespace {
+
+XConceptPtr Make(XConcept c) {
+  return std::make_shared<const XConcept>(std::move(c));
+}
+
+}  // namespace
+
+XConceptPtr XTop() { return Make({}); }
+
+XConceptPtr XPrim(Symbol a) {
+  XConcept c;
+  c.kind = XConcept::Kind::kPrim;
+  c.sym = a;
+  return Make(std::move(c));
+}
+
+XConceptPtr XSingleton(Symbol a) {
+  XConcept c;
+  c.kind = XConcept::Kind::kSingleton;
+  c.sym = a;
+  return Make(std::move(c));
+}
+
+XConceptPtr XNotPrim(Symbol a) {
+  XConcept c;
+  c.kind = XConcept::Kind::kNotPrim;
+  c.sym = a;
+  return Make(std::move(c));
+}
+
+XConceptPtr XAnd(std::vector<XConceptPtr> cs) {
+  XConcept c;
+  c.kind = XConcept::Kind::kAnd;
+  c.children = std::move(cs);
+  return Make(std::move(c));
+}
+
+XConceptPtr XOr(std::vector<XConceptPtr> cs) {
+  XConcept c;
+  c.kind = XConcept::Kind::kOr;
+  c.children = std::move(cs);
+  return Make(std::move(c));
+}
+
+XConceptPtr XExists(ql::Attr attr, XConceptPtr filler) {
+  XConcept c;
+  c.kind = XConcept::Kind::kExists;
+  c.attr = attr;
+  c.children.push_back(std::move(filler));
+  return Make(std::move(c));
+}
+
+XConceptPtr XAll(ql::Attr attr, XConceptPtr filler) {
+  XConcept c;
+  c.kind = XConcept::Kind::kAll;
+  c.attr = attr;
+  c.children.push_back(std::move(filler));
+  return Make(std::move(c));
+}
+
+size_t XSize(const XConceptPtr& c) {
+  size_t n = 1;
+  for (const XConceptPtr& child : c->children) n += XSize(child);
+  return n;
+}
+
+std::string XToString(const SymbolTable& symbols, const XConceptPtr& c) {
+  switch (c->kind) {
+    case XConcept::Kind::kTop:
+      return "⊤";
+    case XConcept::Kind::kPrim:
+      return symbols.Name(c->sym);
+    case XConcept::Kind::kSingleton:
+      return StrCat("{", symbols.Name(c->sym), "}");
+    case XConcept::Kind::kNotPrim:
+      return StrCat("¬", symbols.Name(c->sym));
+    case XConcept::Kind::kAnd:
+      return StrCat("(", StrJoinMapped(c->children, " ⊓ ",
+                                       [&](const XConceptPtr& x) {
+                                         return XToString(symbols, x);
+                                       }),
+                    ")");
+    case XConcept::Kind::kOr:
+      return StrCat("(", StrJoinMapped(c->children, " ⊔ ",
+                                       [&](const XConceptPtr& x) {
+                                         return XToString(symbols, x);
+                                       }),
+                    ")");
+    case XConcept::Kind::kExists:
+      return StrCat("∃", symbols.Name(c->attr.prim),
+                    c->attr.inverted ? "^-1" : "", ".",
+                    XToString(symbols, c->children[0]));
+    case XConcept::Kind::kAll:
+      return StrCat("∀", symbols.Name(c->attr.prim),
+                    c->attr.inverted ? "^-1" : "", ".",
+                    XToString(symbols, c->children[0]));
+  }
+  return "?";
+}
+
+Result<std::vector<ql::ConceptId>> DnfToQl(const XConceptPtr& c,
+                                           ql::TermFactory* terms,
+                                           size_t max_disjuncts) {
+  switch (c->kind) {
+    case XConcept::Kind::kTop:
+      return std::vector<ql::ConceptId>{terms->Top()};
+    case XConcept::Kind::kPrim:
+      return std::vector<ql::ConceptId>{terms->Primitive(c->sym)};
+    case XConcept::Kind::kSingleton:
+      return std::vector<ql::ConceptId>{terms->Singleton(c->sym)};
+    case XConcept::Kind::kNotPrim:
+    case XConcept::Kind::kAll:
+      return UnimplementedError(
+          "¬A and ∀R.C have no QL translation (Props. 4.11/4.13)");
+    case XConcept::Kind::kAnd: {
+      std::vector<ql::ConceptId> acc = {terms->Top()};
+      for (const XConceptPtr& child : c->children) {
+        OODB_ASSIGN_OR_RETURN(std::vector<ql::ConceptId> ds,
+                              DnfToQl(child, terms, max_disjuncts));
+        std::vector<ql::ConceptId> next;
+        next.reserve(acc.size() * ds.size());
+        for (ql::ConceptId a : acc) {
+          for (ql::ConceptId d : ds) {
+            next.push_back(terms->And(a, d));
+            if (next.size() > max_disjuncts) {
+              return ResourceExhaustedError(
+                  StrCat("DNF expansion exceeded ", max_disjuncts,
+                         " disjuncts"));
+            }
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    case XConcept::Kind::kOr: {
+      std::vector<ql::ConceptId> acc;
+      for (const XConceptPtr& child : c->children) {
+        OODB_ASSIGN_OR_RETURN(std::vector<ql::ConceptId> ds,
+                              DnfToQl(child, terms, max_disjuncts));
+        acc.insert(acc.end(), ds.begin(), ds.end());
+        if (acc.size() > max_disjuncts) {
+          return ResourceExhaustedError(
+              StrCat("DNF expansion exceeded ", max_disjuncts, " disjuncts"));
+        }
+      }
+      return acc;
+    }
+    case XConcept::Kind::kExists: {
+      OODB_ASSIGN_OR_RETURN(std::vector<ql::ConceptId> ds,
+                            DnfToQl(c->children[0], terms, max_disjuncts));
+      std::vector<ql::ConceptId> out;
+      out.reserve(ds.size());
+      for (ql::ConceptId d : ds) {
+        out.push_back(terms->Exists(terms->Step(c->attr, d)));
+      }
+      return out;
+    }
+  }
+  return InternalError("unreachable");
+}
+
+}  // namespace oodb::ext

@@ -1,0 +1,65 @@
+// Extended concept language for the complexity laboratory of Sect. 4.4:
+// the constructs whose addition to SL/QL makes subsumption intractable
+// (qualified existentials, value restrictions in queries, disjunction,
+// atomic complements). Kept separate from the core ql:: terms so the core
+// language stays exactly the tractable fragment.
+#ifndef OODB_EXT_XCONCEPT_H_
+#define OODB_EXT_XCONCEPT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/symbol.h"
+#include "ql/term.h"
+#include "ql/term_factory.h"
+
+namespace oodb::ext {
+
+struct XConcept;
+using XConceptPtr = std::shared_ptr<const XConcept>;
+
+struct XConcept {
+  enum class Kind : uint8_t {
+    kTop,
+    kPrim,       // A
+    kSingleton,  // {a}
+    kNotPrim,    // ¬A (atomic complement; Prop. 4.13 uses A\A' = A ⊓ ¬A')
+    kAnd,
+    kOr,         // disjunction (Prop. 4.12)
+    kExists,     // ∃R.C (qualified existential; Prop. 4.10(1)/4.11)
+    kAll,        // ∀R.C (universal quantification in queries; Prop. 4.11)
+  };
+  Kind kind = Kind::kTop;
+  Symbol sym;                       // kPrim / kSingleton / kNotPrim
+  ql::Attr attr;                    // kExists / kAll
+  std::vector<XConceptPtr> children;
+};
+
+XConceptPtr XTop();
+XConceptPtr XPrim(Symbol a);
+XConceptPtr XSingleton(Symbol a);
+XConceptPtr XNotPrim(Symbol a);
+XConceptPtr XAnd(std::vector<XConceptPtr> cs);
+XConceptPtr XOr(std::vector<XConceptPtr> cs);
+XConceptPtr XExists(ql::Attr attr, XConceptPtr filler);
+XConceptPtr XAll(ql::Attr attr, XConceptPtr filler);
+
+// Number of nodes.
+size_t XSize(const XConceptPtr& c);
+
+std::string XToString(const SymbolTable& symbols, const XConceptPtr& c);
+
+// Rewrites an ⊔-bearing concept into disjunctive normal form over core QL
+// concepts: C ≡ C₁ ⊔ … ⊔ Cₖ with every Cᵢ a plain QL concept. Fails with
+// kUnimplemented if the concept contains ¬A or ∀R.C (those never map into
+// QL). The expansion is worst-case exponential — which is the point of
+// experiment E9. `max_disjuncts` caps the blowup (kResourceExhausted).
+Result<std::vector<ql::ConceptId>> DnfToQl(const XConceptPtr& c,
+                                           ql::TermFactory* terms,
+                                           size_t max_disjuncts = 1u << 20);
+
+}  // namespace oodb::ext
+
+#endif  // OODB_EXT_XCONCEPT_H_

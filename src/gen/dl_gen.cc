@@ -1,0 +1,110 @@
+#include "gen/dl_gen.h"
+
+#include "base/strings.h"
+
+namespace oodb::gen {
+
+GeneratedDl GenerateDlSource(Rng& rng, const DlGenOptions& options) {
+  GeneratedDl out;
+  for (size_t i = 0; i < options.num_classes; ++i) {
+    out.class_names.push_back(StrCat("C", i));
+  }
+  for (size_t i = 0; i < options.num_attrs; ++i) {
+    out.attr_names.push_back(StrCat("a", i));
+  }
+
+  std::string& src = out.source;
+  // Schema classes with an acyclic isA hierarchy (supers point backwards)
+  // and a couple of class-level attribute typings.
+  for (size_t i = 0; i < options.num_classes; ++i) {
+    src += StrCat("Class ", out.class_names[i]);
+    if (i > 0 && rng.Bernoulli(options.isa_prob)) {
+      src += StrCat(" isA ", out.class_names[rng.Index(i)]);
+    }
+    src += " with\n";
+    if (rng.Bernoulli(0.5) && !out.attr_names.empty()) {
+      src += StrCat("  attribute\n    ", rng.Pick(out.attr_names), ": ",
+                    rng.Pick(out.class_names), "\n");
+    }
+    src += StrCat("end ", out.class_names[i], "\n\n");
+  }
+
+  // Attribute declarations; some with inverse synonyms.
+  std::vector<std::string> path_attrs;  // names usable in paths
+  for (size_t i = 0; i < options.num_attrs; ++i) {
+    const std::string& name = out.attr_names[i];
+    path_attrs.push_back(name);
+    src += StrCat("Attribute ", name, " with\n");
+    src += StrCat("  domain: ", rng.Pick(out.class_names), "\n");
+    src += StrCat("  range: ", rng.Pick(out.class_names), "\n");
+    if (rng.Bernoulli(options.inverse_prob)) {
+      std::string synonym = StrCat("inv_", name);
+      src += StrCat("  inverse: ", synonym, "\n");
+      path_attrs.push_back(synonym);
+    }
+    src += StrCat("end ", name, "\n\n");
+  }
+
+  // Structural query classes.
+  auto step = [&](bool with_filter) {
+    const std::string& attr = rng.Pick(path_attrs);
+    if (!with_filter) return attr;
+    return StrCat("(", attr, ": ", rng.Pick(out.class_names), ")");
+  };
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    std::string name = StrCat("Q", q);
+    out.query_names.push_back(name);
+    src += StrCat("QueryClass ", name, " isA ",
+                  rng.Pick(out.class_names), " with\n  derived\n");
+    size_t paths = 1 + rng.Index(options.max_paths_per_query);
+    bool join = paths >= 2 && rng.Bernoulli(options.where_prob);
+    for (size_t i = 0; i < paths; ++i) {
+      src += "    ";
+      if (join && i < 2) src += StrCat("l", i, ": ");
+      size_t length = 1 + rng.Index(options.max_path_length);
+      std::vector<std::string> steps;
+      for (size_t k = 0; k < length; ++k) {
+        steps.push_back(step(rng.Bernoulli(options.filter_prob)));
+      }
+      src += StrJoin(steps, ".") + "\n";
+    }
+    if (join) src += "  where\n    l0 = l1\n";
+    src += StrCat("end ", name, "\n\n");
+  }
+  return out;
+}
+
+std::string GenerateDlState(const GeneratedDl& dl, Rng& rng,
+                            const StateGenOptions& options) {
+  std::string src;
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < options.num_objects; ++i) {
+    objects.push_back(StrCat("o", i));
+  }
+  // Edge lists per object, emitted inside the object's frame.
+  std::vector<std::string> bodies(options.num_objects);
+  for (size_t e = 0; e < options.num_edges; ++e) {
+    size_t s = rng.Index(options.num_objects);
+    bodies[s] += StrCat("  ", rng.Pick(dl.attr_names), ": ",
+                        rng.Pick(objects), "\n");
+  }
+  for (size_t i = 0; i < options.num_objects; ++i) {
+    src += StrCat("Object ", objects[i]);
+    std::vector<std::string> classes;
+    for (const std::string& cls : dl.class_names) {
+      if (rng.Bernoulli(options.membership_prob /
+                        static_cast<double>(dl.class_names.size()) * 2)) {
+        classes.push_back(cls);
+      }
+    }
+    if (classes.empty() && rng.Bernoulli(options.membership_prob)) {
+      classes.push_back(rng.Pick(dl.class_names));
+    }
+    if (!classes.empty()) src += StrCat(" in ", StrJoin(classes, ", "));
+    src += " with\n" + bodies[i];
+    src += StrCat("end ", objects[i], "\n");
+  }
+  return src;
+}
+
+}  // namespace oodb::gen

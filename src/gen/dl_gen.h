@@ -1,0 +1,55 @@
+// Random generation of complete DL *source files* — schema classes,
+// attribute declarations with inverses, and structural query classes with
+// labeled paths and where-joins — plus random matching database states.
+// Drives end-to-end property tests (parse → translate → evaluate →
+// optimize agree) and fuzz-style robustness checks.
+#ifndef OODB_GEN_DL_GEN_H_
+#define OODB_GEN_DL_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace oodb::gen {
+
+struct DlGenOptions {
+  size_t num_classes = 6;
+  size_t num_attrs = 4;
+  size_t num_queries = 3;
+  double isa_prob = 0.5;
+  double inverse_prob = 0.4;       // attribute declares a synonym
+  size_t max_paths_per_query = 3;
+  size_t max_path_length = 2;
+  double where_prob = 0.4;         // a query joins two labeled paths
+  double filter_prob = 0.7;        // a step carries a class filter
+};
+
+struct GeneratedDl {
+  std::string source;                      // a parseable DL file
+  std::vector<std::string> class_names;    // C0, C1, …
+  std::vector<std::string> attr_names;     // a0, a1, …
+  std::vector<std::string> query_names;    // Q0, Q1, … (all structural)
+};
+
+// Generates a well-formed DL schema with structural query classes.
+GeneratedDl GenerateDlSource(Rng& rng,
+                             const DlGenOptions& options = DlGenOptions());
+
+struct StateGenOptions {
+  size_t num_objects = 30;
+  double membership_prob = 0.5;  // object gets a random class
+  size_t num_edges = 60;
+};
+
+// Generates a random state file (`.odb` text) over the generated schema.
+// Objects are o0…oN with random class memberships and attribute edges
+// (attribute domains/ranges are not respected — evaluation semantics do
+// not require legality).
+std::string GenerateDlState(const GeneratedDl& dl, Rng& rng,
+                            const StateGenOptions& options =
+                                StateGenOptions());
+
+}  // namespace oodb::gen
+
+#endif  // OODB_GEN_DL_GEN_H_

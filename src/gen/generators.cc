@@ -1,0 +1,180 @@
+#include "gen/generators.h"
+
+#include "base/strings.h"
+
+namespace oodb::gen {
+
+GeneratedSchema GenerateSchema(schema::Schema* sigma, Rng& rng,
+                               const SchemaGenOptions& options) {
+  SymbolTable& symbols = sigma->terms().symbols();
+  GeneratedSchema sig;
+  for (size_t i = 0; i < options.num_classes; ++i) {
+    sig.classes.push_back(symbols.Intern(StrCat("C", i)));
+  }
+  for (size_t i = 0; i < options.num_attrs; ++i) {
+    sig.attrs.push_back(symbols.Intern(StrCat("p", i)));
+  }
+  for (size_t i = 0; i < options.num_constants; ++i) {
+    sig.constants.push_back(symbols.Intern(StrCat("k", i)));
+  }
+
+  // Acyclic isA hierarchy: a class may specialize an earlier class.
+  for (size_t i = 1; i < sig.classes.size(); ++i) {
+    if (rng.Bernoulli(options.isa_prob)) {
+      (void)sigma->AddIsA(sig.classes[i], sig.classes[rng.Index(i)]);
+    }
+  }
+  for (size_t i = 0; i < options.value_restrictions && !sig.attrs.empty();
+       ++i) {
+    Symbol cls = rng.Pick(sig.classes);
+    Symbol attr = rng.Pick(sig.attrs);
+    Symbol range = rng.Pick(sig.classes);
+    (void)sigma->AddValueRestriction(cls, attr, range);
+    if (rng.Bernoulli(options.necessary_prob)) {
+      (void)sigma->AddNecessary(cls, attr);
+    }
+    if (rng.Bernoulli(options.functional_prob)) {
+      (void)sigma->AddFunctional(cls, attr);
+    }
+  }
+  for (Symbol attr : sig.attrs) {
+    if (rng.Bernoulli(options.typing_prob)) {
+      (void)sigma->AddTyping(attr, rng.Pick(sig.classes),
+                             rng.Pick(sig.classes));
+    }
+  }
+  return sig;
+}
+
+namespace {
+
+ql::ConceptId GenerateFilter(const GeneratedSchema& sig,
+                             ql::TermFactory* terms, Rng& rng,
+                             const ConceptGenOptions& options, size_t depth);
+
+ql::PathId GeneratePath(const GeneratedSchema& sig, ql::TermFactory* terms,
+                        Rng& rng, const ConceptGenOptions& options,
+                        size_t depth) {
+  size_t length = 1 + rng.Index(options.max_path_length);
+  std::vector<ql::Restriction> steps;
+  for (size_t i = 0; i < length; ++i) {
+    ql::Attr attr{rng.Pick(sig.attrs),
+                  rng.Bernoulli(options.inverse_prob)};
+    steps.push_back(ql::Restriction{
+        attr, GenerateFilter(sig, terms, rng, options, depth)});
+  }
+  return terms->MakePath(std::move(steps));
+}
+
+ql::ConceptId GenerateFilter(const GeneratedSchema& sig,
+                             ql::TermFactory* terms, Rng& rng,
+                             const ConceptGenOptions& options, size_t depth) {
+  if (rng.Bernoulli(options.top_filter_prob)) return terms->Top();
+  if (!sig.constants.empty() && rng.Bernoulli(options.singleton_prob)) {
+    return terms->Singleton(rng.Pick(sig.constants));
+  }
+  if (depth < options.max_filter_depth && rng.Bernoulli(0.3)) {
+    // A nested existential filter.
+    return terms->Exists(GeneratePath(sig, terms, rng, options, depth + 1));
+  }
+  return terms->Primitive(rng.Pick(sig.classes));
+}
+
+}  // namespace
+
+ql::ConceptId GenerateConcept(const GeneratedSchema& sig,
+                              ql::TermFactory* terms, Rng& rng,
+                              const ConceptGenOptions& options) {
+  size_t conjuncts = 1 + rng.Index(options.max_conjuncts);
+  std::vector<ql::ConceptId> parts;
+  for (size_t i = 0; i < conjuncts; ++i) {
+    switch (rng.Index(3)) {
+      case 0:
+        parts.push_back(terms->Primitive(rng.Pick(sig.classes)));
+        break;
+      case 1: {
+        ql::PathId p = GeneratePath(sig, terms, rng, options, 0);
+        parts.push_back(rng.Bernoulli(options.agree_prob) ? terms->Agree(p)
+                                                          : terms->Exists(p));
+        break;
+      }
+      default: {
+        ql::PathId p = GeneratePath(sig, terms, rng, options, 0);
+        parts.push_back(terms->Exists(p));
+        break;
+      }
+    }
+  }
+  return terms->AndAll(parts);
+}
+
+namespace {
+
+// One random weakening step. Always returns a concept with C ⊑_Σ result.
+ql::ConceptId WeakenOnce(const schema::Schema& sigma, ql::TermFactory* terms,
+                         ql::ConceptId c, Rng& rng) {
+  const ql::ConceptNode n = terms->node(c);
+  switch (n.kind) {
+    case ql::ConceptKind::kTop:
+      return c;
+    case ql::ConceptKind::kPrimitive: {
+      const auto& supers = sigma.SuperPrimitives(n.sym);
+      if (!supers.empty() && rng.Bernoulli(0.8)) {
+        return terms->Primitive(rng.Pick(supers));
+      }
+      return rng.Bernoulli(0.3) ? terms->Top() : c;
+    }
+    case ql::ConceptKind::kSingleton:
+      return rng.Bernoulli(0.5) ? terms->Top() : c;
+    case ql::ConceptKind::kAnd: {
+      switch (rng.Index(3)) {
+        case 0:
+          return rng.Bernoulli(0.5) ? n.lhs : n.rhs;  // drop a conjunct
+        case 1:
+          return terms->And(WeakenOnce(sigma, terms, n.lhs, rng), n.rhs);
+        default:
+          return terms->And(n.lhs, WeakenOnce(sigma, terms, n.rhs, rng));
+      }
+    }
+    case ql::ConceptKind::kExists:
+    case ql::ConceptKind::kAgree: {
+      const bool is_agree = n.kind == ql::ConceptKind::kAgree;
+      std::vector<ql::Restriction> steps = terms->path(n.path);
+      if (steps.empty()) return c;
+      if (is_agree && rng.Bernoulli(0.4)) {
+        return terms->Exists(n.path);  // ∃p ≐ ε ⊑ ∃p
+      }
+      // Truncating an agreement's path is NOT sound (the loop is lost),
+      // so truncation applies to plain existentials only.
+      if (!is_agree && steps.size() > 1 && rng.Bernoulli(0.4)) {
+        steps.resize(1 + rng.Index(steps.size() - 1));
+        return terms->Exists(terms->MakePath(std::move(steps)));
+      }
+      // Weaken one filter.
+      size_t i = rng.Index(steps.size());
+      steps[i].filter = rng.Bernoulli(0.5)
+                            ? terms->Top()
+                            : WeakenOnce(sigma, terms, steps[i].filter, rng);
+      ql::PathId p = terms->MakePath(std::move(steps));
+      return is_agree ? terms->Agree(p) : terms->Exists(p);
+    }
+    case ql::ConceptKind::kAll:
+    case ql::ConceptKind::kAtMostOne:
+      return c;  // SL-only kinds are never generated here
+  }
+  return c;
+}
+
+}  // namespace
+
+ql::ConceptId WeakenConcept(const schema::Schema& sigma,
+                            ql::TermFactory* terms, ql::ConceptId c,
+                            Rng& rng, int steps) {
+  ql::ConceptId cur = c;
+  for (int i = 0; i < steps; ++i) {
+    cur = WeakenOnce(sigma, terms, cur, rng);
+  }
+  return cur;
+}
+
+}  // namespace oodb::gen

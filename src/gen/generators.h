@@ -1,0 +1,77 @@
+// Seeded random workload generation: schemas, QL concepts, and
+// subsumption pairs with known ground truth (by construction: semantic
+// weakening always yields a subsumer). Used by property tests and by the
+// scaling / soundness / hit-rate experiments.
+#ifndef OODB_GEN_GENERATORS_H_
+#define OODB_GEN_GENERATORS_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "base/symbol.h"
+#include "ql/term.h"
+#include "ql/term_factory.h"
+#include "schema/schema.h"
+
+namespace oodb::gen {
+
+struct SchemaGenOptions {
+  size_t num_classes = 12;
+  size_t num_attrs = 6;
+  size_t num_constants = 4;
+  // Probability that a class gets an isA superclass (always an
+  // earlier-numbered class, so the hierarchy is acyclic).
+  double isa_prob = 0.6;
+  // Number of ∀-value-restriction axioms drawn at random.
+  size_t value_restrictions = 10;
+  // Per value restriction: chance the (class, attr) pair also becomes
+  // necessary / functional.
+  double necessary_prob = 0.5;
+  double functional_prob = 0.2;
+  // Per attribute: chance of a typing axiom P ⊑ A×B.
+  double typing_prob = 0.7;
+};
+
+struct GeneratedSchema {
+  std::vector<Symbol> classes;
+  std::vector<Symbol> attrs;
+  std::vector<Symbol> constants;
+};
+
+// Fills `sigma` with a random well-formed SL schema.
+GeneratedSchema GenerateSchema(schema::Schema* sigma, Rng& rng,
+                               const SchemaGenOptions& options =
+                                   SchemaGenOptions());
+
+struct ConceptGenOptions {
+  size_t max_conjuncts = 4;
+  size_t max_path_length = 3;
+  // Nesting depth of concepts inside path filters.
+  size_t max_filter_depth = 1;
+  double agree_prob = 0.35;      // an ∃-conjunct becomes ∃p ≐ ε
+  double singleton_prob = 0.15;  // a filter becomes {a}
+  double inverse_prob = 0.25;    // a step uses P⁻¹
+  double top_filter_prob = 0.35; // a filter stays ⊤
+};
+
+// A random pure-QL concept over the schema's signature.
+ql::ConceptId GenerateConcept(const GeneratedSchema& sig,
+                              ql::TermFactory* terms, Rng& rng,
+                              const ConceptGenOptions& options =
+                                  ConceptGenOptions());
+
+// Produces D with C ⊑_Σ D *by construction*, applying `steps` random
+// semantics-weakening transformations:
+//   * drop a conjunct of a ⊓
+//   * generalize a primitive to a direct Σ-superclass
+//   * relax a path filter to ⊤ (or weaken it recursively)
+//   * truncate trailing path restrictions of an ∃p
+//   * relax ∃p ≐ ε to ∃p
+//   * relax a singleton {a} to ⊤
+ql::ConceptId WeakenConcept(const schema::Schema& sigma,
+                            ql::TermFactory* terms, ql::ConceptId c,
+                            Rng& rng, int steps);
+
+}  // namespace oodb::gen
+
+#endif  // OODB_GEN_GENERATORS_H_

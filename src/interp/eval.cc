@@ -1,0 +1,209 @@
+#include "interp/eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <unordered_set>
+
+namespace oodb::interp {
+
+namespace {
+
+// One step of path traversal: all R-fillers of `d` satisfying `filter`.
+std::vector<int> StepReach(const Interpretation& interp,
+                           const ql::TermFactory& f, const ql::Restriction& r,
+                           int d) {
+  std::vector<int> raw = r.attr.inverted
+                             ? interp.Predecessors(r.attr.prim, d)
+                             : interp.Successors(r.attr.prim, d);
+  std::vector<int> out;
+  for (int t : raw) {
+    if (InConceptEval(interp, f, r.filter, t)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> PathReach(const Interpretation& interp,
+                           const ql::TermFactory& f, ql::PathId p, int d) {
+  std::vector<int> frontier = {d};
+  for (const ql::Restriction& r : f.path(p)) {
+    std::unordered_set<int> next;
+    for (int s : frontier) {
+      for (int t : StepReach(interp, f, r, s)) next.insert(t);
+    }
+    frontier.assign(next.begin(), next.end());
+    if (frontier.empty()) break;
+  }
+  std::sort(frontier.begin(), frontier.end());
+  return frontier;
+}
+
+bool InConceptEval(const Interpretation& interp, const ql::TermFactory& f,
+                   ql::ConceptId c, int d) {
+  const ql::ConceptNode& n = f.node(c);
+  switch (n.kind) {
+    case ql::ConceptKind::kTop:
+      return true;
+    case ql::ConceptKind::kPrimitive:
+      return interp.InConcept(n.sym, d);
+    case ql::ConceptKind::kSingleton: {
+      auto v = interp.ConstantValue(n.sym);
+      return v.has_value() && *v == d;
+    }
+    case ql::ConceptKind::kAnd:
+      return InConceptEval(interp, f, n.lhs, d) &&
+             InConceptEval(interp, f, n.rhs, d);
+    case ql::ConceptKind::kExists:
+      return !PathReach(interp, f, n.path, d).empty();
+    case ql::ConceptKind::kAgree: {
+      std::vector<int> reach = PathReach(interp, f, n.path, d);
+      return std::binary_search(reach.begin(), reach.end(), d);
+    }
+    case ql::ConceptKind::kAll: {
+      std::vector<int> fillers = n.attr.inverted
+                                     ? interp.Predecessors(n.attr.prim, d)
+                                     : interp.Successors(n.attr.prim, d);
+      for (int t : fillers) {
+        if (!InConceptEval(interp, f, n.lhs, t)) return false;
+      }
+      return true;
+    }
+    case ql::ConceptKind::kAtMostOne: {
+      std::vector<int> fillers = n.attr.inverted
+                                     ? interp.Predecessors(n.attr.prim, d)
+                                     : interp.Successors(n.attr.prim, d);
+      return fillers.size() <= 1;
+    }
+  }
+  assert(false && "unreachable");
+  return false;
+}
+
+std::vector<int> ConceptEval(const Interpretation& interp,
+                             const ql::TermFactory& f, ql::ConceptId c) {
+  std::vector<int> out;
+  for (size_t d = 0; d < interp.domain_size(); ++d) {
+    if (InConceptEval(interp, f, c, static_cast<int>(d))) {
+      out.push_back(static_cast<int>(d));
+    }
+  }
+  return out;
+}
+
+bool SatisfiesInclusion(const Interpretation& interp, const ql::TermFactory& f,
+                        const schema::InclusionAxiom& axiom) {
+  for (size_t d = 0; d < interp.domain_size(); ++d) {
+    int e = static_cast<int>(d);
+    if (interp.InConcept(axiom.lhs, e) &&
+        !InConceptEval(interp, f, axiom.rhs, e)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SatisfiesTyping(const Interpretation& interp,
+                     const schema::TypingAxiom& axiom) {
+  for (size_t d = 0; d < interp.domain_size(); ++d) {
+    int s = static_cast<int>(d);
+    for (int t : interp.Successors(axiom.attr, s)) {
+      if (!interp.InConcept(axiom.domain, s) ||
+          !interp.InConcept(axiom.range, t)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsModelOf(const Interpretation& interp, const schema::Schema& sigma) {
+  for (const auto& axiom : sigma.inclusions()) {
+    if (!SatisfiesInclusion(interp, sigma.terms(), axiom)) return false;
+  }
+  for (const auto& axiom : sigma.typings()) {
+    if (!SatisfiesTyping(interp, axiom)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Resolves a FOL term to a domain element, or -1 for unassigned constants.
+int ResolveTerm(const Interpretation& interp, const ql::FolTerm& t,
+                const Env& env) {
+  if (t.kind == ql::FolTerm::Kind::kVar) {
+    auto it = env.find(t.name);
+    assert(it != env.end() && "unbound variable in FOL evaluation");
+    return it->second;
+  }
+  auto v = interp.ConstantValue(t.name);
+  return v.has_value() ? *v : -1;
+}
+
+}  // namespace
+
+bool EvalFormula(const Interpretation& interp, const ql::FormulaPtr& formula,
+                 Env& env) {
+  switch (formula->kind) {
+    case ql::FolKind::kTrue:
+      return true;
+    case ql::FolKind::kAtomUnary: {
+      int d = ResolveTerm(interp, formula->t1, env);
+      return d >= 0 && interp.InConcept(formula->pred, d);
+    }
+    case ql::FolKind::kAtomBinary: {
+      int s = ResolveTerm(interp, formula->t1, env);
+      int t = ResolveTerm(interp, formula->t2, env);
+      return s >= 0 && t >= 0 && interp.HasEdge(formula->pred, s, t);
+    }
+    case ql::FolKind::kEq: {
+      int s = ResolveTerm(interp, formula->t1, env);
+      int t = ResolveTerm(interp, formula->t2, env);
+      return s >= 0 && s == t;
+    }
+    case ql::FolKind::kNot:
+      return !EvalFormula(interp, formula->children[0], env);
+    case ql::FolKind::kAnd:
+      for (const auto& c : formula->children) {
+        if (!EvalFormula(interp, c, env)) return false;
+      }
+      return true;
+    case ql::FolKind::kOr:
+      for (const auto& c : formula->children) {
+        if (EvalFormula(interp, c, env)) return true;
+      }
+      return false;
+    case ql::FolKind::kImplies:
+      return !EvalFormula(interp, formula->children[0], env) ||
+             EvalFormula(interp, formula->children[1], env);
+    case ql::FolKind::kExists:
+    case ql::FolKind::kForall: {
+      // Save and restore any shadowed outer binding of the same variable.
+      auto shadowed = env.find(formula->var);
+      std::optional<int> saved;
+      if (shadowed != env.end()) saved = shadowed->second;
+      const bool is_exists = formula->kind == ql::FolKind::kExists;
+      bool result = !is_exists;
+      for (size_t d = 0; d < interp.domain_size(); ++d) {
+        env[formula->var] = static_cast<int>(d);
+        bool inner = EvalFormula(interp, formula->children[0], env);
+        if (inner == is_exists) {
+          result = is_exists;
+          break;
+        }
+      }
+      if (saved.has_value()) {
+        env[formula->var] = *saved;
+      } else {
+        env.erase(formula->var);
+      }
+      return result;
+    }
+  }
+  assert(false && "unreachable");
+  return false;
+}
+
+}  // namespace oodb::interp

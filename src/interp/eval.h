@@ -1,0 +1,55 @@
+// Evaluation of SL/QL terms over finite interpretations (Table 1, column 3)
+// and of FOL formulas (column 2). Property tests check that the two columns
+// agree, which is the executable content of Table 1.
+#ifndef OODB_INTERP_EVAL_H_
+#define OODB_INTERP_EVAL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "interp/interpretation.h"
+#include "ql/fol.h"
+#include "ql/term.h"
+#include "ql/term_factory.h"
+#include "schema/schema.h"
+
+namespace oodb::interp {
+
+// p^I restricted to pairs starting at `d`: the set of elements reachable
+// from d along path p. PathReach(ε, d) = {d}.
+std::vector<int> PathReach(const Interpretation& interp,
+                           const ql::TermFactory& f, ql::PathId p, int d);
+
+// d ∈ C^I. Singletons of unassigned constants evaluate to the empty set.
+bool InConceptEval(const Interpretation& interp, const ql::TermFactory& f,
+                   ql::ConceptId c, int d);
+
+// C^I as a sorted element list.
+std::vector<int> ConceptEval(const Interpretation& interp,
+                             const ql::TermFactory& f, ql::ConceptId c);
+
+// Whether I satisfies A ⊑ D, i.e. A^I ⊆ D^I.
+bool SatisfiesInclusion(const Interpretation& interp, const ql::TermFactory& f,
+                        const schema::InclusionAxiom& axiom);
+
+// Whether I satisfies P ⊑ A₁×A₂.
+bool SatisfiesTyping(const Interpretation& interp,
+                     const schema::TypingAxiom& axiom);
+
+// Whether I is a Σ-interpretation (satisfies every axiom of Σ).
+bool IsModelOf(const Interpretation& interp, const schema::Schema& sigma);
+
+// --- FOL evaluation ------------------------------------------------------
+
+// Variable assignment for FOL evaluation.
+using Env = std::unordered_map<Symbol, int>;
+
+// Evaluates a formula under `env`. Free variables must be bound in env;
+// constants resolve through the interpretation (unassigned constants make
+// their atoms false, matching InConceptEval's singleton convention).
+bool EvalFormula(const Interpretation& interp, const ql::FormulaPtr& formula,
+                 Env& env);
+
+}  // namespace oodb::interp
+
+#endif  // OODB_INTERP_EVAL_H_

@@ -1,0 +1,147 @@
+#include "interp/interpretation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/strings.h"
+
+namespace oodb::interp {
+
+Interpretation::Interpretation(size_t domain_size)
+    : domain_size_(domain_size) {}
+
+int Interpretation::AddElement() {
+  int d = static_cast<int>(domain_size_++);
+  for (auto& [sym, ext] : concept_ext_) ext.resize(domain_size_, 0);
+  for (auto& [sym, adj] : attr_ext_) {
+    adj.fwd.resize(domain_size_);
+    adj.bwd.resize(domain_size_);
+  }
+  return d;
+}
+
+void Interpretation::AddToConcept(Symbol concept_name, int d) {
+  assert(d >= 0 && static_cast<size_t>(d) < domain_size_);
+  auto& ext = concept_ext_[concept_name];
+  if (ext.size() < domain_size_) ext.resize(domain_size_, 0);
+  ext[d] = 1;
+}
+
+bool Interpretation::InConcept(Symbol concept_name, int d) const {
+  assert(d >= 0 && static_cast<size_t>(d) < domain_size_);
+  if (universal_.count(d) > 0) return true;
+  auto it = concept_ext_.find(concept_name);
+  if (it == concept_ext_.end()) return false;
+  return static_cast<size_t>(d) < it->second.size() && it->second[d] != 0;
+}
+
+std::vector<int> Interpretation::ConceptExtension(Symbol concept_name) const {
+  std::vector<int> out;
+  for (size_t d = 0; d < domain_size_; ++d) {
+    if (InConcept(concept_name, static_cast<int>(d))) {
+      out.push_back(static_cast<int>(d));
+    }
+  }
+  return out;
+}
+
+void Interpretation::AddEdge(Symbol attr, int s, int t) {
+  assert(s >= 0 && static_cast<size_t>(s) < domain_size_);
+  assert(t >= 0 && static_cast<size_t>(t) < domain_size_);
+  auto& adj = attr_ext_[attr];
+  if (adj.fwd.size() < domain_size_) {
+    adj.fwd.resize(domain_size_);
+    adj.bwd.resize(domain_size_);
+  }
+  auto& succ = adj.fwd[s];
+  if (std::find(succ.begin(), succ.end(), t) != succ.end()) return;
+  succ.push_back(t);
+  adj.bwd[t].push_back(s);
+}
+
+void Interpretation::RemoveEdge(Symbol attr, int s, int t) {
+  auto it = attr_ext_.find(attr);
+  if (it == attr_ext_.end()) return;
+  auto& adj = it->second;
+  if (static_cast<size_t>(s) < adj.fwd.size()) {
+    auto& succ = adj.fwd[s];
+    succ.erase(std::remove(succ.begin(), succ.end(), t), succ.end());
+  }
+  if (static_cast<size_t>(t) < adj.bwd.size()) {
+    auto& pred = adj.bwd[t];
+    pred.erase(std::remove(pred.begin(), pred.end(), s), pred.end());
+  }
+}
+
+bool Interpretation::HasEdge(Symbol attr, int s, int t) const {
+  if (universal_.count(s) > 0 && s == t) return true;
+  auto it = attr_ext_.find(attr);
+  if (it == attr_ext_.end()) return false;
+  const auto& adj = it->second;
+  if (static_cast<size_t>(s) >= adj.fwd.size()) return false;
+  const auto& succ = adj.fwd[s];
+  return std::find(succ.begin(), succ.end(), t) != succ.end();
+}
+
+std::vector<int> Interpretation::Successors(Symbol attr, int s) const {
+  std::vector<int> out;
+  auto it = attr_ext_.find(attr);
+  if (it != attr_ext_.end() &&
+      static_cast<size_t>(s) < it->second.fwd.size()) {
+    out = it->second.fwd[s];
+  }
+  if (universal_.count(s) > 0 &&
+      std::find(out.begin(), out.end(), s) == out.end()) {
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<int> Interpretation::Predecessors(Symbol attr, int t) const {
+  std::vector<int> out;
+  auto it = attr_ext_.find(attr);
+  if (it != attr_ext_.end() &&
+      static_cast<size_t>(t) < it->second.bwd.size()) {
+    out = it->second.bwd[t];
+  }
+  if (universal_.count(t) > 0 &&
+      std::find(out.begin(), out.end(), t) == out.end()) {
+    out.push_back(t);
+  }
+  return out;
+}
+
+size_t Interpretation::EdgeCount(Symbol attr) const {
+  auto it = attr_ext_.find(attr);
+  if (it == attr_ext_.end()) return 0;
+  size_t n = 0;
+  for (const auto& succ : it->second.fwd) n += succ.size();
+  return n;
+}
+
+Status Interpretation::AssignConstant(Symbol constant, int d) {
+  assert(d >= 0 && static_cast<size_t>(d) < domain_size_);
+  if (constants_.count(constant) > 0) {
+    return AlreadyExistsError("constant already assigned");
+  }
+  if (!constant_targets_.insert(d).second) {
+    return AlreadyExistsError(
+        StrCat("element ", d,
+               " already interprets another constant (UNA violation)"));
+  }
+  constants_.emplace(constant, d);
+  return Status::Ok();
+}
+
+std::optional<int> Interpretation::ConstantValue(Symbol constant) const {
+  auto it = constants_.find(constant);
+  if (it == constants_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Interpretation::MarkUniversal(int d) {
+  assert(d >= 0 && static_cast<size_t>(d) < domain_size_);
+  universal_.insert(d);
+}
+
+}  // namespace oodb::interp

@@ -1,0 +1,76 @@
+// Finite interpretations I = (Δ, ·^I) for SL/QL (paper Table 1, column 3).
+//
+// The domain is {0, …, n-1}. Primitive concepts denote subsets of the
+// domain, primitive attributes binary relations, constants elements
+// (injectively: Unique Name Assumption).
+#ifndef OODB_INTERP_INTERPRETATION_H_
+#define OODB_INTERP_INTERPRETATION_H_
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "base/symbol.h"
+
+namespace oodb::interp {
+
+class Interpretation {
+ public:
+  explicit Interpretation(size_t domain_size);
+
+  size_t domain_size() const { return domain_size_; }
+
+  // Grows the domain by one element and returns its index.
+  int AddElement();
+
+  // --- Concepts ---------------------------------------------------------
+
+  void AddToConcept(Symbol concept_name, int d);
+  bool InConcept(Symbol concept_name, int d) const;
+  // Elements of A^I in increasing order (universal elements included).
+  std::vector<int> ConceptExtension(Symbol concept_name) const;
+
+  // --- Attributes -------------------------------------------------------
+
+  void AddEdge(Symbol attr, int s, int t);
+  void RemoveEdge(Symbol attr, int s, int t);
+  bool HasEdge(Symbol attr, int s, int t) const;
+  // Copies because universal elements inject extra pairs.
+  std::vector<int> Successors(Symbol attr, int s) const;
+  std::vector<int> Predecessors(Symbol attr, int t) const;
+  size_t EdgeCount(Symbol attr) const;
+
+  // --- Constants (UNA) ----------------------------------------------------
+
+  // Fails with kAlreadyExists if the constant is already assigned or the
+  // element already interprets another constant (Unique Name Assumption).
+  Status AssignConstant(Symbol constant, int d);
+  std::optional<int> ConstantValue(Symbol constant) const;
+
+  // --- The canonical model's u element ------------------------------------
+
+  // Marks `d` as universal: d belongs to every concept and carries a loop
+  // (d,d) for every attribute. Used for the element u of the canonical
+  // interpretation I_F (paper Sect. 4.2). A universal element is also a
+  // P-successor of itself for every P.
+  void MarkUniversal(int d);
+  bool IsUniversal(int d) const { return universal_.count(d) > 0; }
+
+ private:
+  size_t domain_size_;
+  std::unordered_map<Symbol, std::vector<char>> concept_ext_;
+  struct Adjacency {
+    std::vector<std::vector<int>> fwd;
+    std::vector<std::vector<int>> bwd;
+  };
+  std::unordered_map<Symbol, Adjacency> attr_ext_;
+  std::unordered_map<Symbol, int> constants_;
+  std::unordered_set<int> constant_targets_;
+  std::unordered_set<int> universal_;
+};
+
+}  // namespace oodb::interp
+
+#endif  // OODB_INTERP_INTERPRETATION_H_

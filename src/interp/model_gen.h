@@ -1,0 +1,40 @@
+// Random generation of Σ-interpretations, used by the soundness property
+// tests and benchmarks (experiment E5): start from a random structure over
+// a signature and repair it until every axiom of Σ holds.
+#ifndef OODB_INTERP_MODEL_GEN_H_
+#define OODB_INTERP_MODEL_GEN_H_
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "interp/interpretation.h"
+#include "interp/signature.h"
+#include "schema/schema.h"
+
+namespace oodb::interp {
+
+struct ModelGenOptions {
+  size_t domain_size = 8;
+  // Probability that a domain element initially belongs to a concept.
+  double concept_density = 0.35;
+  // Probability of an initial edge between an ordered pair of elements.
+  double edge_density = 0.12;
+  // Safety cap on repair rounds (the repair provably converges, this only
+  // guards against bugs).
+  int max_repair_rounds = 10000;
+};
+
+// Generates a random Σ-model over `sig`. Constants of the signature are
+// assigned to distinct elements (the domain grows if needed for UNA).
+//
+// Repair: (1) close memberships under A⊑A', A⊑∀P.A₂ and typing axioms;
+// (2) enforce (≤1 P) by keeping the first edge; (3) enforce ∃P by adding
+// an edge to a random element. Steps repeat to a fixpoint. Membership
+// closure is monotone and edge additions happen at most once per
+// (element, attribute) slot, so this terminates.
+Result<Interpretation> GenerateModel(const schema::Schema& sigma,
+                                     const Signature& sig,
+                                     const ModelGenOptions& options, Rng& rng);
+
+}  // namespace oodb::interp
+
+#endif  // OODB_INTERP_MODEL_GEN_H_

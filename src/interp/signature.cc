@@ -1,0 +1,55 @@
+#include "interp/signature.h"
+
+#include <algorithm>
+
+namespace oodb::interp {
+
+namespace {
+
+void AddUnique(std::vector<Symbol>& v, Symbol s) {
+  if (std::find(v.begin(), v.end(), s) == v.end()) v.push_back(s);
+}
+
+}  // namespace
+
+void Signature::AddConcept(Symbol s) { AddUnique(concepts, s); }
+void Signature::AddAttr(Symbol s) { AddUnique(attrs, s); }
+void Signature::AddConstant(Symbol s) { AddUnique(constants, s); }
+
+Signature CollectSignature(const ql::TermFactory& f,
+                           const std::vector<ql::ConceptId>& roots,
+                           const schema::Schema* sigma) {
+  Signature sig;
+  for (ql::ConceptId root : roots) {
+    for (ql::ConceptId c : f.Subconcepts(root)) {
+      const ql::ConceptNode& n = f.node(c);
+      switch (n.kind) {
+        case ql::ConceptKind::kPrimitive:
+          sig.AddConcept(n.sym);
+          break;
+        case ql::ConceptKind::kSingleton:
+          sig.AddConstant(n.sym);
+          break;
+        case ql::ConceptKind::kAll:
+        case ql::ConceptKind::kAtMostOne:
+          sig.AddAttr(n.attr.prim);
+          break;
+        case ql::ConceptKind::kExists:
+        case ql::ConceptKind::kAgree:
+          for (const ql::Restriction& r : f.path(n.path)) {
+            sig.AddAttr(r.attr.prim);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  if (sigma != nullptr) {
+    for (Symbol s : sigma->MentionedConcepts()) sig.AddConcept(s);
+    for (Symbol s : sigma->MentionedAttrs()) sig.AddAttr(s);
+  }
+  return sig;
+}
+
+}  // namespace oodb::interp

@@ -1,0 +1,34 @@
+// The finite signature (concept names, attribute names, constants)
+// mentioned by a set of concepts and a schema. Used to build canonical
+// interpretations and to generate random Σ-models.
+#ifndef OODB_INTERP_SIGNATURE_H_
+#define OODB_INTERP_SIGNATURE_H_
+
+#include <vector>
+
+#include "base/symbol.h"
+#include "ql/term.h"
+#include "ql/term_factory.h"
+#include "schema/schema.h"
+
+namespace oodb::interp {
+
+struct Signature {
+  std::vector<Symbol> concepts;
+  std::vector<Symbol> attrs;
+  std::vector<Symbol> constants;
+
+  void AddConcept(Symbol s);
+  void AddAttr(Symbol s);
+  void AddConstant(Symbol s);
+};
+
+// Collects the signature of `roots` (through ⊓, path filters, ∀ fillers)
+// and, if non-null, of `sigma`.
+Signature CollectSignature(const ql::TermFactory& f,
+                           const std::vector<ql::ConceptId>& roots,
+                           const schema::Schema* sigma);
+
+}  // namespace oodb::interp
+
+#endif  // OODB_INTERP_SIGNATURE_H_

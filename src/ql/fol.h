@@ -1,0 +1,104 @@
+// First-order formulas over unary and binary predicates, and the
+// transformational semantics of SL/QL (Table 1, column 2): every concept C
+// maps to a formula F_C(x) with one free variable, every schema axiom to a
+// closed formula (Figure 2 / Figure 6 of the paper).
+#ifndef OODB_QL_FOL_H_
+#define OODB_QL_FOL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/symbol.h"
+#include "ql/term.h"
+#include "ql/term_factory.h"
+
+namespace oodb::ql {
+
+// A FOL term: a variable or a constant. Variables and constants live in
+// separate name spaces (`kind` disambiguates equal symbols).
+struct FolTerm {
+  enum class Kind : uint8_t { kVar, kConst };
+  Kind kind = Kind::kVar;
+  Symbol name;
+
+  static FolTerm Var(Symbol s) { return {Kind::kVar, s}; }
+  static FolTerm Const(Symbol s) { return {Kind::kConst, s}; }
+
+  friend bool operator==(const FolTerm& a, const FolTerm& b) {
+    return a.kind == b.kind && a.name == b.name;
+  }
+};
+
+enum class FolKind : uint8_t {
+  kTrue,
+  kAtomUnary,   // pred(t1)
+  kAtomBinary,  // pred(t1, t2)
+  kEq,          // t1 ≐ t2
+  kNot,
+  kAnd,  // n-ary
+  kOr,   // n-ary
+  kImplies,
+  kExists,  // quantifies `var` over children[0]
+  kForall,
+};
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+// Immutable formula node. Built via the Make* helpers below.
+struct Formula {
+  FolKind kind = FolKind::kTrue;
+  Symbol pred;
+  FolTerm t1, t2;
+  Symbol var;  // for quantifiers
+  std::vector<FormulaPtr> children;
+};
+
+FormulaPtr MakeTrue();
+FormulaPtr MakeUnary(Symbol pred, FolTerm t);
+FormulaPtr MakeBinary(Symbol pred, FolTerm t1, FolTerm t2);
+FormulaPtr MakeEq(FolTerm t1, FolTerm t2);
+FormulaPtr MakeNot(FormulaPtr f);
+// And/Or flatten nested conjunctions and drop kTrue units.
+FormulaPtr MakeAnd(std::vector<FormulaPtr> fs);
+FormulaPtr MakeOr(std::vector<FormulaPtr> fs);
+FormulaPtr MakeImplies(FormulaPtr lhs, FormulaPtr rhs);
+FormulaPtr MakeExists(Symbol var, FormulaPtr body);
+FormulaPtr MakeForall(Symbol var, FormulaPtr body);
+
+// Generates fresh FOL variable symbols y1, y2, ... within one translation.
+class FolVarGen {
+ public:
+  explicit FolVarGen(SymbolTable* symbols) : symbols_(symbols) {}
+  Symbol Fresh();
+
+ private:
+  SymbolTable* symbols_;
+  int counter_ = 0;
+};
+
+// Translates concept `c` into F_c(free_var) per Table 1 column 2.
+// Attribute atoms use the primitive predicate: x P⁻¹ y emits P(y, x).
+FormulaPtr ConceptToFol(const TermFactory& f, ConceptId c, FolTerm free_var,
+                        FolVarGen& vars);
+
+// Translates the path relation F_p(s, t): a conjunction with existentially
+// quantified intermediate objects. The empty path yields s ≐ t.
+FormulaPtr PathToFol(const TermFactory& f, PathId p, FolTerm s, FolTerm t,
+                     FolVarGen& vars);
+
+// ∀x. A(x) → F_D(x)   for a schema axiom A ⊑ D (Figure 2 style).
+FormulaPtr InclusionAxiomToFol(const TermFactory& f, Symbol lhs, ConceptId d,
+                               FolVarGen& vars);
+
+// ∀x,y. P(x,y) → A₁(x) ∧ A₂(y)   for a typing axiom P ⊑ A₁×A₂.
+FormulaPtr TypingAxiomToFol(const TermFactory& f, Symbol attr, Symbol domain,
+                            Symbol range, FolVarGen& vars);
+
+// UTF-8 rendering, e.g. "∀x. Patient(x) → Person(x)".
+std::string FormulaToString(const TermFactory& f, const FormulaPtr& formula);
+
+}  // namespace oodb::ql
+
+#endif  // OODB_QL_FOL_H_

@@ -1,0 +1,26 @@
+// Pretty printing of SL/QL terms, using the paper's notation in UTF-8
+// (⊤, ⊓, ∃, ∀, ≐, ε) with `^-1` for attribute inverses.
+#ifndef OODB_QL_PRINT_H_
+#define OODB_QL_PRINT_H_
+
+#include <string>
+
+#include "ql/term.h"
+#include "ql/term_factory.h"
+
+namespace oodb::ql {
+
+// "name" or "name^-1".
+std::string AttrToString(const TermFactory& f, const Attr& attr);
+
+// "(a: C)(b^-1: D)" — restrictions with ⊤ filters print as "(a: ⊤)";
+// the empty path prints as "ε".
+std::string PathToString(const TermFactory& f, PathId path);
+
+// Paper-style rendering, e.g.
+// "Male ⊓ Patient ⊓ ∃(consults: Female ⊓ Doctor)(skilled_in: ⊤) ≐ ε".
+std::string ConceptToString(const TermFactory& f, ConceptId id);
+
+}  // namespace oodb::ql
+
+#endif  // OODB_QL_PRINT_H_

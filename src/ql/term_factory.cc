@@ -1,0 +1,246 @@
+#include "ql/term_factory.h"
+
+#include <cassert>
+
+namespace oodb::ql {
+
+TermFactory::TermFactory(SymbolTable* symbols) : symbols_(symbols) {
+  assert(symbols != nullptr);
+  concepts_.push_back(ConceptNode{});  // id 0: invalid sentinel.
+  size_cache_.push_back(0);
+  paths_.emplace_back();  // id 0: the empty path ε.
+  path_index_.emplace(std::vector<Restriction>{}, kEmptyPath);
+  ConceptNode top;
+  top.kind = ConceptKind::kTop;
+  top_ = Intern(top);
+}
+
+ConceptId TermFactory::Intern(const ConceptNode& node) {
+  auto it = concept_index_.find(node);
+  if (it != concept_index_.end()) return it->second;
+  ConceptId id = static_cast<ConceptId>(concepts_.size());
+  concepts_.push_back(node);
+  size_cache_.push_back(0);
+  concept_index_.emplace(node, id);
+  return id;
+}
+
+ConceptId TermFactory::Primitive(Symbol name) {
+  assert(name.valid());
+  ConceptNode n;
+  n.kind = ConceptKind::kPrimitive;
+  n.sym = name;
+  return Intern(n);
+}
+
+ConceptId TermFactory::Primitive(std::string_view name) {
+  return Primitive(symbols_->Intern(name));
+}
+
+ConceptId TermFactory::Singleton(Symbol constant) {
+  assert(constant.valid());
+  ConceptNode n;
+  n.kind = ConceptKind::kSingleton;
+  n.sym = constant;
+  return Intern(n);
+}
+
+ConceptId TermFactory::Singleton(std::string_view constant) {
+  return Singleton(symbols_->Intern(constant));
+}
+
+ConceptId TermFactory::And(ConceptId lhs, ConceptId rhs) {
+  assert(lhs != kInvalidConcept && rhs != kInvalidConcept);
+  if (lhs == top_) return rhs;
+  if (rhs == top_) return lhs;
+  if (lhs == rhs) return lhs;
+  ConceptNode n;
+  n.kind = ConceptKind::kAnd;
+  n.lhs = lhs;
+  n.rhs = rhs;
+  return Intern(n);
+}
+
+ConceptId TermFactory::AndAll(const std::vector<ConceptId>& conjuncts) {
+  if (conjuncts.empty()) return top_;
+  ConceptId acc = conjuncts.back();
+  for (size_t i = conjuncts.size() - 1; i-- > 0;) {
+    acc = And(conjuncts[i], acc);
+  }
+  return acc;
+}
+
+ConceptId TermFactory::Exists(PathId path) {
+  ConceptNode n;
+  n.kind = ConceptKind::kExists;
+  n.path = path;
+  return Intern(n);
+}
+
+ConceptId TermFactory::ExistsAttr(Attr attr) {
+  return Exists(Step(attr, top_));
+}
+
+ConceptId TermFactory::Agree(PathId path) {
+  ConceptNode n;
+  n.kind = ConceptKind::kAgree;
+  n.path = path;
+  return Intern(n);
+}
+
+ConceptId TermFactory::AgreePair(PathId p, PathId q) {
+  if (q == kEmptyPath) return Agree(p);
+  if (p == kEmptyPath) return Agree(q);
+  auto [q_inv, entry] = InvertPath(q);
+  // Strengthen the last filter of p with q's entry filter, so that the
+  // common filler satisfies both paths' final restrictions.
+  std::vector<Restriction> pr = path(p);
+  pr.back().filter = And(pr.back().filter, entry);
+  return Agree(Concat(MakePath(std::move(pr)), q_inv));
+}
+
+ConceptId TermFactory::All(Attr attr, ConceptId filler) {
+  assert(filler != kInvalidConcept);
+  ConceptNode n;
+  n.kind = ConceptKind::kAll;
+  n.attr = attr;
+  n.lhs = filler;
+  return Intern(n);
+}
+
+ConceptId TermFactory::AtMostOne(Attr attr) {
+  ConceptNode n;
+  n.kind = ConceptKind::kAtMostOne;
+  n.attr = attr;
+  return Intern(n);
+}
+
+PathId TermFactory::MakePath(std::vector<Restriction> restrictions) {
+  auto it = path_index_.find(restrictions);
+  if (it != path_index_.end()) return it->second;
+  PathId id = static_cast<PathId>(paths_.size());
+  paths_.push_back(restrictions);
+  path_index_.emplace(std::move(restrictions), id);
+  return id;
+}
+
+PathId TermFactory::Step(Attr attr, ConceptId filter) {
+  return MakePath({Restriction{attr, filter}});
+}
+
+PathId TermFactory::Cons(const Restriction& head, PathId tail) {
+  std::vector<Restriction> p;
+  p.reserve(path(tail).size() + 1);
+  p.push_back(head);
+  const auto& t = path(tail);
+  p.insert(p.end(), t.begin(), t.end());
+  return MakePath(std::move(p));
+}
+
+PathId TermFactory::Concat(PathId p, PathId q) {
+  if (p == kEmptyPath) return q;
+  if (q == kEmptyPath) return p;
+  std::vector<Restriction> out = path(p);
+  const auto& qr = path(q);
+  out.insert(out.end(), qr.begin(), qr.end());
+  return MakePath(std::move(out));
+}
+
+PathId TermFactory::Suffix(PathId p, size_t from) {
+  assert(from <= path(p).size());
+  if (from == 0) return p;
+  if (from == 1) {
+    // The calculus peels paths one restriction at a time; memoize the
+    // common case so repeated completions don't rebuild the tail vector.
+    auto it = tail_cache_.find(p);
+    if (it != tail_cache_.end()) return it->second;
+    const auto& pr = path(p);
+    PathId tail =
+        MakePath(std::vector<Restriction>(pr.begin() + 1, pr.end()));
+    tail_cache_.emplace(p, tail);
+    return tail;
+  }
+  const auto& pr = path(p);
+  return MakePath(std::vector<Restriction>(pr.begin() + from, pr.end()));
+}
+
+std::pair<PathId, ConceptId> TermFactory::InvertPath(PathId q) {
+  // Copy: MakePath below may grow the path arena and invalidate references.
+  const std::vector<Restriction> qr = path(q);
+  assert(!qr.empty() && "cannot invert the empty path");
+  std::vector<Restriction> inv;
+  inv.reserve(qr.size());
+  for (size_t i = qr.size(); i-- > 0;) {
+    // Step i (attribute S_{i+1}) reversed carries the filter of the
+    // *previous* node on the original path, D_i, or ⊤ at the start.
+    ConceptId filter = (i == 0) ? Top() : qr[i - 1].filter;
+    inv.push_back(Restriction{qr[i].attr.Inverse(), filter});
+  }
+  ConceptId entry = qr.back().filter;
+  return {MakePath(std::move(inv)), entry};
+}
+
+size_t TermFactory::ConceptSize(ConceptId id) const {
+  assert(id != kInvalidConcept && id < concepts_.size());
+  if (size_cache_[id] != 0) return size_cache_[id];
+  const ConceptNode& n = concepts_[id];
+  size_t size = 0;
+  switch (n.kind) {
+    case ConceptKind::kTop:
+    case ConceptKind::kPrimitive:
+    case ConceptKind::kSingleton:
+    case ConceptKind::kAtMostOne:
+      size = 1;
+      break;
+    case ConceptKind::kAnd:
+      size = ConceptSize(n.lhs) + ConceptSize(n.rhs);
+      break;
+    case ConceptKind::kAll:
+      size = 2;
+      break;
+    case ConceptKind::kExists:
+    case ConceptKind::kAgree: {
+      size = 1;
+      for (const Restriction& r : paths_[n.path]) {
+        size += 1 + ConceptSize(r.filter);
+      }
+      break;
+    }
+  }
+  size_cache_[id] = size;
+  return size;
+}
+
+std::vector<ConceptId> TermFactory::Subconcepts(ConceptId id) const {
+  std::vector<ConceptId> out;
+  std::vector<ConceptId> stack = {id};
+  std::unordered_map<ConceptId, bool> seen;
+  while (!stack.empty()) {
+    ConceptId cur = stack.back();
+    stack.pop_back();
+    if (seen[cur]) continue;
+    seen[cur] = true;
+    out.push_back(cur);
+    const ConceptNode& n = concepts_[cur];
+    switch (n.kind) {
+      case ConceptKind::kAnd:
+        stack.push_back(n.lhs);
+        stack.push_back(n.rhs);
+        break;
+      case ConceptKind::kAll:
+        stack.push_back(n.lhs);
+        break;
+      case ConceptKind::kExists:
+      case ConceptKind::kAgree:
+        for (const Restriction& r : paths_[n.path]) {
+          stack.push_back(r.filter);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace oodb::ql

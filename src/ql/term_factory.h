@@ -1,0 +1,118 @@
+// Hash-consing arena for SL/QL terms.
+#ifndef OODB_QL_TERM_FACTORY_H_
+#define OODB_QL_TERM_FACTORY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/symbol.h"
+#include "ql/term.h"
+
+namespace oodb::ql {
+
+// Owns interned concepts and paths. One factory per engine instance; ids
+// from different factories must not be mixed. Not thread-safe.
+//
+// Constructors apply only the semantics-preserving simplifications the
+// paper itself uses when rewriting agreements (Sect. 4 example):
+// C ⊓ ⊤ = C, ⊤ ⊓ C = C, C ⊓ C = C. No other normalization: the calculus
+// is syntax-directed and both facts and goals are built from one factory.
+class TermFactory {
+ public:
+  // `symbols` must outlive the factory.
+  explicit TermFactory(SymbolTable* symbols);
+
+  TermFactory(const TermFactory&) = delete;
+  TermFactory& operator=(const TermFactory&) = delete;
+
+  SymbolTable& symbols() { return *symbols_; }
+  const SymbolTable& symbols() const { return *symbols_; }
+
+  // --- Concept constructors -------------------------------------------
+
+  ConceptId Top() const { return top_; }
+  ConceptId Primitive(Symbol name);
+  ConceptId Primitive(std::string_view name);
+  ConceptId Singleton(Symbol constant);
+  ConceptId Singleton(std::string_view constant);
+  // Binary intersection with ⊤/idempotence simplification.
+  ConceptId And(ConceptId lhs, ConceptId rhs);
+  // Right-folded intersection of a list; ⊤ for an empty list.
+  ConceptId AndAll(const std::vector<ConceptId>& conjuncts);
+  // ∃p.
+  ConceptId Exists(PathId path);
+  // ∃P, i.e. ∃(P:⊤). `attr` may be inverted in QL positions.
+  ConceptId ExistsAttr(Attr attr);
+  // ∃p ≐ ε.
+  ConceptId Agree(PathId path);
+  // ∃p ≐ q, normalized to the ∃p' ≐ ε form by inverting q (Sect. 4):
+  //   ∃p≐q  =  ∃(p[last filter ⊓ entry(q)] · Invert(q)) ≐ ε
+  // Degenerate cases: q = ε gives ∃p≐ε; p = ε gives ∃q≐ε.
+  ConceptId AgreePair(PathId p, PathId q);
+  // ∀P.A (SL). `filler` is a concept id (validated as primitive by Schema).
+  ConceptId All(Attr attr, ConceptId filler);
+  // (≤1 P) (SL).
+  ConceptId AtMostOne(Attr attr);
+
+  // --- Path constructors ----------------------------------------------
+
+  PathId EmptyPath() const { return kEmptyPath; }
+  PathId MakePath(std::vector<Restriction> restrictions);
+  // Single-restriction path (R:C).
+  PathId Step(Attr attr, ConceptId filter);
+  // Prepends one restriction.
+  PathId Cons(const Restriction& head, PathId tail);
+  // Concatenation p · q.
+  PathId Concat(PathId p, PathId q);
+  // Drops the first `from` restrictions (from <= length).
+  PathId Suffix(PathId p, size_t from);
+
+  // Inverts a path for agreement normalization. For
+  // q = (S₁:D₁)…(Sₘ:Dₘ), m >= 1, returns
+  //   q̃ = (Sₘ⁻¹:Dₘ₋₁)(Sₘ₋₁⁻¹:Dₘ₋₂)…(S₁⁻¹:⊤)
+  // and the entry filter Dₘ which must additionally hold at the object
+  // where the traversal of q̃ starts. (d,e) ∈ q  iff  e ∈ entry and
+  // (e,d) ∈ q̃.
+  std::pair<PathId, ConceptId> InvertPath(PathId q);
+
+  // --- Accessors --------------------------------------------------------
+
+  const ConceptNode& node(ConceptId id) const { return concepts_[id]; }
+  const std::vector<Restriction>& path(PathId id) const { return paths_[id]; }
+  size_t path_length(PathId id) const { return paths_[id].size(); }
+
+  size_t num_concepts() const { return concepts_.size() - 1; }
+  size_t num_paths() const { return paths_.size(); }
+
+  // --- Metrics ----------------------------------------------------------
+
+  // Syntactic size: number of operators, names and restrictions, counted
+  // recursively through ⊓ and path filters. ⊤ and ε count 1; {a}, A count
+  // 1; C⊓D counts |C|+|D|; ∃p and ∃p≐ε count 1+|p| where each restriction
+  // counts 1+|filter|; ∀P.A counts 2; (≤1 P) counts 1.
+  size_t ConceptSize(ConceptId id) const;
+
+  // Collects every distinct concept id reachable from `id` (through ⊓,
+  // path filters, and the ∀ filler), including `id` itself.
+  std::vector<ConceptId> Subconcepts(ConceptId id) const;
+
+ private:
+  ConceptId Intern(const ConceptNode& node);
+
+  SymbolTable* symbols_;
+  std::vector<ConceptNode> concepts_;  // [0] is an invalid sentinel.
+  std::unordered_map<ConceptNode, ConceptId, ConceptNodeHash> concept_index_;
+  std::vector<std::vector<Restriction>> paths_;  // [0] is the empty path.
+  std::unordered_map<std::vector<Restriction>, PathId, PathVecHash>
+      path_index_;
+  mutable std::vector<size_t> size_cache_;  // 0 = not computed.
+  std::unordered_map<PathId, PathId> tail_cache_;  // Suffix(p, 1) memo
+  ConceptId top_;
+};
+
+}  // namespace oodb::ql
+
+#endif  // OODB_QL_TERM_FACTORY_H_

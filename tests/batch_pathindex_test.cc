@@ -1,0 +1,212 @@
+// Tests for batch subsumption (one completion, many views) and the
+// related-work path-index substrate.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/rng.h"
+#include "calculus/subsumption.h"
+#include "db/concept_eval.h"
+#include "db/database.h"
+#include "db/instance.h"
+#include "db/path_index.h"
+#include "dl/analyzer.h"
+#include "dl_fixture.h"
+#include "gen/generators.h"
+#include "ql/print.h"
+
+namespace oodb {
+namespace {
+
+TEST(BatchSubsumption, MatchesIndividualChecks) {
+  Rng rng(54321);
+  for (int round = 0; round < 60; ++round) {
+    SymbolTable symbols;
+    ql::TermFactory f(&symbols);
+    schema::Schema sigma(&f);
+    gen::GeneratedSchema sig = gen::GenerateSchema(&sigma, rng);
+    ql::ConceptId c = gen::GenerateConcept(sig, &f, rng);
+    std::vector<ql::ConceptId> ds;
+    for (int i = 0; i < 5; ++i) {
+      // Mix of weakenings (subsumed) and independent concepts (mostly not).
+      ds.push_back(i % 2 == 0
+                       ? gen::WeakenConcept(sigma, &f, c, rng, 2)
+                       : gen::GenerateConcept(sig, &f, rng));
+    }
+    calculus::SubsumptionChecker checker(sigma);
+    auto batch = checker.SubsumesBatch(c, ds);
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    for (size_t i = 0; i < ds.size(); ++i) {
+      auto single = checker.Subsumes(c, ds[i]);
+      ASSERT_TRUE(single.ok());
+      EXPECT_EQ((*batch)[i], *single)
+          << ql::ConceptToString(f, c) << "  vs  "
+          << ql::ConceptToString(f, ds[i]);
+    }
+  }
+}
+
+TEST(BatchSubsumption, EmptyBatchSucceeds) {
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  calculus::SubsumptionChecker checker(sigma);
+  auto batch = checker.SubsumesBatch(f.Primitive("A"), {});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
+TEST(BatchSubsumption, DuplicateGoalsAreFine) {
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  calculus::SubsumptionChecker checker(sigma);
+  ql::ConceptId a = f.Primitive("A");
+  auto batch = checker.SubsumesBatch(a, {a, f.Top(), a});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(*batch, (std::vector<bool>{true, true, true}));
+}
+
+// --- Path index ---------------------------------------------------------------
+
+struct IndexFx {
+  SymbolTable symbols;
+  std::unique_ptr<ql::TermFactory> terms;
+  std::unique_ptr<dl::Model> model;
+  std::unique_ptr<db::Database> database;
+  ql::PathId chain = ql::kEmptyPath;
+
+  IndexFx() {
+    terms = std::make_unique<ql::TermFactory>(&symbols);
+    auto m = dl::ParseAndAnalyze(testing::kMedicalDlSource, &symbols);
+    EXPECT_TRUE(m.ok()) << m.status();
+    model = std::make_unique<dl::Model>(std::move(m).value());
+    database = std::make_unique<db::Database>(*model, &symbols);
+    ASSERT_OK_LOAD();
+    // (consults: Doctor)(skilled_in: ⊤)
+    chain = terms->MakePath(
+        {{ql::Attr{symbols.Intern("consults"), false},
+          terms->Primitive("Doctor")},
+         {ql::Attr{symbols.Intern("skilled_in"), false}, terms->Top()}});
+  }
+
+  void ASSERT_OK_LOAD() {
+    auto stats = db::LoadInstance(R"(
+      Object flu in Disease with
+      end flu
+      Object cough in Disease with
+      end cough
+      Object alice in Doctor, Female with
+        skilled_in: flu
+      end alice
+      Object bob in Patient, Male with
+        suffers: flu
+        consults: alice
+      end bob
+      Object carol in Patient, Female with
+        suffers: cough
+        consults: alice
+      end carol
+    )",
+                                  database.get());
+    ASSERT_TRUE(stats.ok()) << stats.status();
+  }
+
+  db::ObjectId Obj(const char* name) {
+    return *database->FindObject(symbols.Find(name));
+  }
+};
+
+TEST(PathIndex, EndpointsMatchDirectTraversal) {
+  IndexFx fx;
+  db::PathIndex index(*fx.database, *fx.terms, fx.chain);
+  for (db::ObjectId o = 0; o < fx.database->num_objects(); ++o) {
+    EXPECT_EQ(index.Endpoints(o),
+              db::ConceptPathReach(*fx.database, *fx.terms, fx.chain, o));
+  }
+}
+
+TEST(PathIndex, SourcesAreTheExistsExtent) {
+  IndexFx fx;
+  db::PathIndex index(*fx.database, *fx.terms, fx.chain);
+  std::vector<db::ObjectId> expected = {fx.Obj("bob"), fx.Obj("carol")};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(index.Sources(), expected);
+}
+
+TEST(PathIndex, RefreshTracksMutations) {
+  IndexFx fx;
+  db::PathIndex index(*fx.database, *fx.terms, fx.chain);
+  EXPECT_FALSE(index.stale());
+  size_t before = index.Sources().size();
+
+  // A new patient consults alice.
+  auto dave = *fx.database->CreateObject("dave");
+  ASSERT_TRUE(fx.database->AddToClass(dave, fx.symbols.Find("Patient")).ok());
+  ASSERT_TRUE(fx.database
+                  ->AddAttr(dave, fx.symbols.Find("consults"),
+                            fx.Obj("alice"))
+                  .ok());
+  EXPECT_TRUE(index.stale());
+  index.Refresh();
+  EXPECT_FALSE(index.stale());
+  EXPECT_EQ(index.Sources().size(), before + 1);
+
+  // Refresh with no changes is a no-op.
+  size_t refreshes = index.refresh_count();
+  index.Refresh();
+  EXPECT_EQ(index.refresh_count(), refreshes);
+}
+
+TEST(PathIndex, LoopSourcesMatchAgreements) {
+  IndexFx fx;
+  // The loop (consults:⊤)(consults⁻¹:⊤): patients sharing a doctor with
+  // themselves — everyone who consults anyone.
+  ql::PathId loop = fx.terms->MakePath(
+      {{ql::Attr{fx.symbols.Intern("consults"), false}, fx.terms->Top()},
+       {ql::Attr{fx.symbols.Intern("consults"), true}, fx.terms->Top()}});
+  db::PathIndex index(*fx.database, *fx.terms, loop);
+  std::vector<db::ObjectId> loops = index.LoopSources();
+  ql::ConceptId agree = fx.terms->Agree(loop);
+  std::vector<db::ObjectId> expected;
+  for (db::ObjectId o = 0; o < fx.database->num_objects(); ++o) {
+    if (db::ConceptHolds(*fx.database, *fx.terms, agree, o)) {
+      expected.push_back(o);
+    }
+  }
+  EXPECT_EQ(loops, expected);
+  EXPECT_EQ(loops.size(), 2u);  // bob and carol (alice consults nobody)
+}
+
+TEST(PathIndex, RandomEquivalenceProperty) {
+  Rng rng(777);
+  IndexFx fx;
+  // Random extra edges, then random paths: index == traversal, always.
+  std::vector<Symbol> attrs = {fx.symbols.Find("consults"),
+                               fx.symbols.Find("suffers"),
+                               fx.symbols.Find("skilled_in")};
+  for (int i = 0; i < 10; ++i) {
+    db::ObjectId s =
+        static_cast<db::ObjectId>(rng.Index(fx.database->num_objects()));
+    db::ObjectId t =
+        static_cast<db::ObjectId>(rng.Index(fx.database->num_objects()));
+    (void)fx.database->AddAttr(s, rng.Pick(attrs), t);
+  }
+  for (int round = 0; round < 20; ++round) {
+    size_t len = 1 + rng.Index(3);
+    std::vector<ql::Restriction> steps;
+    for (size_t i = 0; i < len; ++i) {
+      steps.push_back(ql::Restriction{
+          ql::Attr{rng.Pick(attrs), rng.Bernoulli(0.3)}, fx.terms->Top()});
+    }
+    ql::PathId p = fx.terms->MakePath(std::move(steps));
+    db::PathIndex index(*fx.database, *fx.terms, p);
+    for (db::ObjectId o = 0; o < fx.database->num_objects(); ++o) {
+      ASSERT_EQ(index.Endpoints(o),
+                db::ConceptPathReach(*fx.database, *fx.terms, p, o));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,180 @@
+// Randomized property tests of the calculus (Theorem 4.7 made executable):
+//  * soundness  — a Subsumed verdict holds in random Σ-models
+//  * completeness — a NotSubsumed verdict comes with a canonical
+//    countermodel I_{F_C} (Prop. 4.5/4.6)
+//  * weakening  — constructively subsumed pairs are always detected
+//  * Prop. 4.8  — the M·N individual bound
+//  * empty-Σ agreement with Chandra–Merlin conjunctive-query containment
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/rng.h"
+#include "calculus/canonical.h"
+#include "calculus/engine.h"
+#include "calculus/subsumption.h"
+#include "cq/cq.h"
+#include "gen/generators.h"
+#include "interp/eval.h"
+#include "interp/model_gen.h"
+#include "interp/signature.h"
+#include "ql/print.h"
+
+namespace oodb::calculus {
+namespace {
+
+struct RandomCase {
+  SymbolTable symbols;
+  std::unique_ptr<ql::TermFactory> terms;
+  std::unique_ptr<schema::Schema> sigma;
+  gen::GeneratedSchema sig;
+  ql::ConceptId c = ql::kInvalidConcept;
+  ql::ConceptId d = ql::kInvalidConcept;
+
+  explicit RandomCase(Rng& rng, bool with_schema = true) {
+    terms = std::make_unique<ql::TermFactory>(&symbols);
+    sigma = std::make_unique<schema::Schema>(terms.get());
+    gen::SchemaGenOptions options;
+    if (!with_schema) {
+      options.isa_prob = 0;
+      options.value_restrictions = 0;
+      options.typing_prob = 0;
+    }
+    sig = gen::GenerateSchema(sigma.get(), rng, options);
+    c = gen::GenerateConcept(sig, terms.get(), rng);
+    d = gen::GenerateConcept(sig, terms.get(), rng);
+  }
+};
+
+TEST(Property, SubsumptionHoldsInRandomSigmaModels) {
+  Rng rng(4242);
+  int subsumed_cases = 0;
+  for (int round = 0; round < 150; ++round) {
+    RandomCase rc(rng);
+    SubsumptionChecker checker(*rc.sigma);
+    auto verdict = checker.Subsumes(rc.c, rc.d);
+    ASSERT_TRUE(verdict.ok()) << verdict.status();
+    if (!*verdict) continue;
+    ++subsumed_cases;
+    // Check C^I ⊆ D^I on several random Σ-models.
+    interp::Signature isig =
+        interp::CollectSignature(*rc.terms, {rc.c, rc.d}, rc.sigma.get());
+    for (int trial = 0; trial < 5; ++trial) {
+      auto model = interp::GenerateModel(*rc.sigma, isig,
+                                         interp::ModelGenOptions(), rng);
+      ASSERT_TRUE(model.ok()) << model.status();
+      for (size_t e = 0; e < model->domain_size(); ++e) {
+        int x = static_cast<int>(e);
+        if (interp::InConceptEval(*model, *rc.terms, rc.c, x)) {
+          ASSERT_TRUE(interp::InConceptEval(*model, *rc.terms, rc.d, x))
+              << "soundness violation: "
+              << ql::ConceptToString(*rc.terms, rc.c) << " ⊑ "
+              << ql::ConceptToString(*rc.terms, rc.d);
+        }
+      }
+    }
+  }
+  // Random independent concepts rarely subsume; the weakening test below
+  // covers the positive side. Still, expect at least a handful here.
+  SUCCEED() << subsumed_cases << " subsumed cases checked";
+}
+
+TEST(Property, NonSubsumptionYieldsCanonicalCountermodel) {
+  Rng rng(777);
+  int checked = 0;
+  for (int round = 0; round < 150; ++round) {
+    RandomCase rc(rng);
+    CompletionEngine engine(*rc.sigma);
+    ASSERT_TRUE(engine.Run(rc.c, rc.d).ok());
+    if (engine.clash() || engine.GoalFactHolds()) continue;
+    ++checked;
+    auto model = BuildCanonicalModel(engine, *rc.sigma);
+    ASSERT_TRUE(model.ok()) << model.status();
+    // Prop. 4.5: I_F is a Σ-model of F.
+    ASSERT_TRUE(interp::IsModelOf(model->interpretation, *rc.sigma))
+        << ql::ConceptToString(*rc.terms, rc.c);
+    // o ∈ C^I ...
+    ASSERT_TRUE(interp::InConceptEval(model->interpretation, *rc.terms, rc.c,
+                                      model->goal_element))
+        << ql::ConceptToString(*rc.terms, rc.c);
+    // ... but o ∉ D^I (Prop. 4.6): the verdict is genuinely complete.
+    ASSERT_FALSE(interp::InConceptEval(model->interpretation, *rc.terms, rc.d,
+                                       model->goal_element))
+        << ql::ConceptToString(*rc.terms, rc.c) << "  vs  "
+        << ql::ConceptToString(*rc.terms, rc.d);
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST(Property, WeakenedConceptsAreAlwaysSubsumed) {
+  Rng rng(31337);
+  for (int round = 0; round < 200; ++round) {
+    RandomCase rc(rng);
+    ql::ConceptId weaker =
+        gen::WeakenConcept(*rc.sigma, rc.terms.get(), rc.c, rng,
+                           1 + static_cast<int>(rng.Index(4)));
+    SubsumptionChecker checker(*rc.sigma);
+    auto verdict = checker.Subsumes(rc.c, weaker);
+    ASSERT_TRUE(verdict.ok()) << verdict.status();
+    EXPECT_TRUE(*verdict) << ql::ConceptToString(*rc.terms, rc.c)
+                          << "  should be ⊑  "
+                          << ql::ConceptToString(*rc.terms, weaker);
+  }
+}
+
+TEST(Property, IndividualCountRespectsProposition48) {
+  Rng rng(5150);
+  for (int round = 0; round < 200; ++round) {
+    RandomCase rc(rng);
+    SubsumptionChecker checker(*rc.sigma);
+    auto outcome = checker.SubsumesDetailed(rc.c, rc.d);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    size_t m = rc.terms->ConceptSize(rc.c);
+    size_t n = rc.terms->ConceptSize(rc.d);
+    EXPECT_LE(outcome->stats.individuals, m * n + 1)
+        << ql::ConceptToString(*rc.terms, rc.c) << " vs "
+        << ql::ConceptToString(*rc.terms, rc.d);
+  }
+}
+
+TEST(Property, EmptySchemaAgreesWithConjunctiveQueryContainment) {
+  Rng rng(90210);
+  int rounds_with_answer = 0;
+  for (int round = 0; round < 150; ++round) {
+    RandomCase rc(rng, /*with_schema=*/false);
+    SubsumptionChecker checker(*rc.sigma);
+    auto verdict = checker.Subsumes(rc.c, rc.d);
+    ASSERT_TRUE(verdict.ok());
+
+    auto q1 = cq::ConceptToCq(*rc.terms, rc.c, &rc.symbols);
+    auto q2 = cq::ConceptToCq(*rc.terms, rc.d, &rc.symbols);
+    ASSERT_TRUE(q1.ok() && q2.ok());
+    bool via_cq = cq::CqContained(*q1, *q2);
+    ASSERT_EQ(*verdict, via_cq)
+        << ql::ConceptToString(*rc.terms, rc.c) << "  vs  "
+        << ql::ConceptToString(*rc.terms, rc.d) << "\n  cq1: "
+        << q1->ToString(rc.symbols) << "\n  cq2: "
+        << q2->ToString(rc.symbols);
+    ++rounds_with_answer;
+  }
+  EXPECT_EQ(rounds_with_answer, 150);
+}
+
+TEST(Property, SatisfiabilityMatchesCqConsistency) {
+  // Pure QL concepts over the empty schema are unsatisfiable only through
+  // singleton clashes, which the CQ translation detects as inconsistency.
+  Rng rng(1009);
+  for (int round = 0; round < 150; ++round) {
+    RandomCase rc(rng, /*with_schema=*/false);
+    SubsumptionChecker checker(*rc.sigma);
+    auto sat = checker.Satisfiable(rc.c);
+    ASSERT_TRUE(sat.ok());
+    auto q = cq::ConceptToCq(*rc.terms, rc.c, &rc.symbols);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(*sat, !q->inconsistent)
+        << ql::ConceptToString(*rc.terms, rc.c);
+  }
+}
+
+}  // namespace
+}  // namespace oodb::calculus

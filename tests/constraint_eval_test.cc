@@ -1,0 +1,164 @@
+// Focused tests of the non-structural constraint clause evaluation
+// (paper Sect. 2.2): quantifiers over classes and query classes, label
+// references, inverse synonyms in atoms, nesting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/database.h"
+#include "db/evaluator.h"
+#include "dl/analyzer.h"
+
+namespace oodb {
+namespace {
+
+constexpr const char* kSource = R"(
+Class Project with
+  attribute
+    member: Person
+    lead: Person
+end Project
+Class Person with
+  attribute
+    certified_in: Skill
+end Person
+Class Skill with
+end Skill
+Attribute member with
+  domain: Project
+  range: Person
+  inverse: member_of
+end member
+
+// Projects whose lead is also a member.
+QueryClass LedFromWithin isA Project with
+  constraint:
+    exists p/Person (this lead p) and (this member p)
+end LedFromWithin
+
+// Projects where EVERY member is certified in something.
+QueryClass FullyCertified isA Project with
+  derived
+    (member: Person)
+  constraint:
+    forall p/Person not (this member p) or
+      (exists s/Skill (p certified_in s))
+end FullyCertified
+
+// Projects whose lead is certified in a skill some member also has —
+// the label l refers to the derived lead.
+QueryClass SharedSkillLead isA Project with
+  derived
+    l: (lead: Person)
+  constraint:
+    exists s/Skill (l certified_in s) and
+      (exists p/Person (this member p) and (p certified_in s))
+end SharedSkillLead
+
+// People who belong to some fully-certified project: a query class as a
+// quantifier domain.
+QueryClass EliteMember isA Person with
+  constraint:
+    exists q/FullyCertified (this member_of q)
+end EliteMember
+)";
+
+struct Fx {
+  SymbolTable symbols;
+  std::unique_ptr<dl::Model> model;
+  std::unique_ptr<db::Database> database;
+
+  db::ObjectId apollo, hermes;
+  db::ObjectId ada, grace, alan;
+  db::ObjectId cxx, sql;
+
+  Fx() {
+    auto m = dl::ParseAndAnalyze(kSource, &symbols);
+    EXPECT_TRUE(m.ok()) << m.status();
+    model = std::make_unique<dl::Model>(std::move(m).value());
+    database = std::make_unique<db::Database>(*model, &symbols);
+    auto S = [&](const char* s) { return symbols.Intern(s); };
+    auto obj = [&](const char* name, const char* cls) {
+      auto o = *database->CreateObject(name);
+      (void)database->AddToClass(o, S(cls));
+      return o;
+    };
+    cxx = obj("cxx", "Skill");
+    sql = obj("sql", "Skill");
+    ada = obj("ada", "Person");
+    grace = obj("grace", "Person");
+    alan = obj("alan", "Person");
+    (void)database->AddAttr(ada, S("certified_in"), cxx);
+    (void)database->AddAttr(grace, S("certified_in"), cxx);
+    (void)database->AddAttr(grace, S("certified_in"), sql);
+
+    // apollo: lead grace (also member), members ada+grace — everyone
+    // certified, lead shares cxx with ada.
+    apollo = obj("apollo", "Project");
+    (void)database->AddAttr(apollo, S("lead"), grace);
+    (void)database->AddAttr(apollo, S("member"), grace);
+    (void)database->AddAttr(apollo, S("member"), ada);
+
+    // hermes: lead ada (not a member), members grace+alan — alan is
+    // uncertified.
+    hermes = obj("hermes", "Project");
+    (void)database->AddAttr(hermes, S("lead"), ada);
+    (void)database->AddAttr(hermes, S("member"), grace);
+    (void)database->AddAttr(hermes, S("member"), alan);
+  }
+  Symbol S(const char* s) { return symbols.Intern(s); }
+};
+
+TEST(ConstraintEval, ExistsQuantifierWithConjunction) {
+  Fx fx;
+  db::QueryEvaluator eval(*fx.database);
+  auto answers = eval.Evaluate(fx.S("LedFromWithin"));
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(*answers, (std::vector<db::ObjectId>{fx.apollo}));
+}
+
+TEST(ConstraintEval, ForallWithNegationAndNestedExists) {
+  Fx fx;
+  db::QueryEvaluator eval(*fx.database);
+  auto answers = eval.Evaluate(fx.S("FullyCertified"));
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  // hermes has the uncertified alan.
+  EXPECT_EQ(*answers, (std::vector<db::ObjectId>{fx.apollo}));
+}
+
+TEST(ConstraintEval, LabelsAreVisibleInConstraints) {
+  Fx fx;
+  db::QueryEvaluator eval(*fx.database);
+  auto answers = eval.Evaluate(fx.S("SharedSkillLead"));
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  // apollo: lead grace certified in cxx, member ada certified in cxx ✓.
+  // hermes: lead ada (cxx), member grace has cxx too ✓ — both qualify.
+  EXPECT_EQ(*answers, (std::vector<db::ObjectId>{fx.apollo, fx.hermes}));
+}
+
+TEST(ConstraintEval, QueryClassAsQuantifierDomain) {
+  Fx fx;
+  db::QueryEvaluator eval(*fx.database);
+  auto answers = eval.Evaluate(fx.S("EliteMember"));
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  // member_of = member⁻¹: members of apollo (the only FullyCertified).
+  EXPECT_EQ(*answers, (std::vector<db::ObjectId>{fx.ada, fx.grace}));
+}
+
+TEST(ConstraintEval, ConstraintFailureRemovesAnswers) {
+  Fx fx;
+  // Certify alan: hermes becomes FullyCertified, and alan becomes elite.
+  ASSERT_TRUE(
+      fx.database->AddAttr(fx.alan, fx.S("certified_in"), fx.sql).ok());
+  db::QueryEvaluator eval(*fx.database);
+  auto certified = eval.Evaluate(fx.S("FullyCertified"));
+  ASSERT_TRUE(certified.ok());
+  EXPECT_EQ(*certified, (std::vector<db::ObjectId>{fx.apollo, fx.hermes}));
+  auto elite = eval.Evaluate(fx.S("EliteMember"));
+  ASSERT_TRUE(elite.ok());
+  EXPECT_EQ(*elite,
+            (std::vector<db::ObjectId>{fx.ada, fx.grace, fx.alan}));
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,160 @@
+// Tests for conjunctive queries: QL translation, Chandra–Merlin
+// containment (the schema-less NP baseline of experiment E13), and
+// minimization.
+#include <gtest/gtest.h>
+
+#include "cq/cq.h"
+#include "ql/term_factory.h"
+
+namespace oodb::cq {
+namespace {
+
+struct Fx {
+  SymbolTable symbols;
+  ql::TermFactory f{&symbols};
+
+  Symbol S(const char* name) { return symbols.Intern(name); }
+  ql::Attr A(const char* name, bool inv = false) {
+    return ql::Attr{symbols.Intern(name), inv};
+  }
+
+  ConjunctiveQuery Cq(ql::ConceptId c) {
+    auto q = ConceptToCq(f, c, &symbols);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *q;
+  }
+};
+
+TEST(CqTranslation, PrimitiveAndConjunction) {
+  Fx fx;
+  ConjunctiveQuery q =
+      fx.Cq(fx.f.And(fx.f.Primitive("A"), fx.f.Primitive("B")));
+  EXPECT_EQ(q.unary.size(), 2u);
+  EXPECT_TRUE(q.binary.empty());
+  EXPECT_FALSE(q.inconsistent);
+}
+
+TEST(CqTranslation, PathBecomesChain) {
+  Fx fx;
+  ql::PathId p = fx.f.MakePath(
+      {{fx.A("a"), fx.f.Primitive("A")}, {fx.A("b", true), fx.f.Top()}});
+  ConjunctiveQuery q = fx.Cq(fx.f.Exists(p));
+  // a(x, v1), A(v1), b(v2, v1) — the inverted step flips the atom.
+  EXPECT_EQ(q.binary.size(), 2u);
+  EXPECT_EQ(q.unary.size(), 1u);
+  EXPECT_EQ(q.Variables().size(), 3u);
+}
+
+TEST(CqTranslation, AgreementClosesTheLoop) {
+  Fx fx;
+  ql::PathId p = fx.f.MakePath(
+      {{fx.A("a"), fx.f.Top()}, {fx.A("b"), fx.f.Top()}});
+  ConjunctiveQuery q = fx.Cq(fx.f.Agree(p));
+  // a(x, v), b(v, x): only two variables.
+  EXPECT_EQ(q.binary.size(), 2u);
+  EXPECT_EQ(q.Variables().size(), 2u);
+}
+
+TEST(CqTranslation, SingletonUnifiesToConstant) {
+  Fx fx;
+  ql::ConceptId c = fx.f.And(
+      fx.f.Primitive("A"),
+      fx.f.Exists(fx.f.Step(fx.A("a"), fx.f.Singleton("c"))));
+  ConjunctiveQuery q = fx.Cq(c);
+  bool has_const = false;
+  for (const BinaryAtom& atom : q.binary) {
+    if (atom.rhs.kind == CqTerm::Kind::kConst) has_const = true;
+  }
+  EXPECT_TRUE(has_const);
+}
+
+TEST(CqTranslation, ConflictingSingletonsAreInconsistent) {
+  Fx fx;
+  ConjunctiveQuery q =
+      fx.Cq(fx.f.And(fx.f.Singleton("a"), fx.f.Singleton("b")));
+  EXPECT_TRUE(q.inconsistent);
+}
+
+TEST(CqTranslation, RejectsSlForms) {
+  Fx fx;
+  auto q = ConceptToCq(fx.f, fx.f.All(fx.A("a"), fx.f.Primitive("B")),
+                       &fx.symbols);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(CqContainment, ChainShorteningHolds) {
+  Fx fx;
+  // "grandchild implies child-reachable": ∃(child)(child) ⊑ ∃(child).
+  ql::PathId two = fx.f.MakePath(
+      {{fx.A("child"), fx.f.Top()}, {fx.A("child"), fx.f.Top()}});
+  ql::PathId one = fx.f.MakePath({{fx.A("child"), fx.f.Top()}});
+  EXPECT_TRUE(CqContained(fx.Cq(fx.f.Exists(two)), fx.Cq(fx.f.Exists(one))));
+  EXPECT_FALSE(CqContained(fx.Cq(fx.f.Exists(one)), fx.Cq(fx.f.Exists(two))));
+}
+
+TEST(CqContainment, SelfLoopSatisfiesEveryChainLength) {
+  Fx fx;
+  // ∃(r)(r) ≐ ε ⊑ ∃(r) ≐ ε? No — a 2-cycle need not be a 1-cycle.
+  ql::PathId two = fx.f.MakePath(
+      {{fx.A("r"), fx.f.Top()}, {fx.A("r"), fx.f.Top()}});
+  ql::PathId one = fx.f.MakePath({{fx.A("r"), fx.f.Top()}});
+  EXPECT_FALSE(CqContained(fx.Cq(fx.f.Agree(two)), fx.Cq(fx.f.Agree(one))));
+  // But a 1-cycle IS a 2-cycle (go around through the same element).
+  EXPECT_TRUE(CqContained(fx.Cq(fx.f.Agree(one)), fx.Cq(fx.f.Agree(two))));
+}
+
+TEST(CqContainment, ConstantsMustMapToThemselves) {
+  Fx fx;
+  ql::ConceptId with_c =
+      fx.f.Exists(fx.f.Step(fx.A("a"), fx.f.Singleton("c")));
+  ql::ConceptId with_d =
+      fx.f.Exists(fx.f.Step(fx.A("a"), fx.f.Singleton("d")));
+  ql::ConceptId plain = fx.f.Exists(fx.f.Step(fx.A("a"), fx.f.Top()));
+  EXPECT_TRUE(CqContained(fx.Cq(with_c), fx.Cq(plain)));
+  EXPECT_FALSE(CqContained(fx.Cq(plain), fx.Cq(with_c)));
+  EXPECT_FALSE(CqContained(fx.Cq(with_c), fx.Cq(with_d)));
+}
+
+TEST(CqContainment, InconsistentQueryIsContainedInEverything) {
+  Fx fx;
+  ConjunctiveQuery bottom =
+      fx.Cq(fx.f.And(fx.f.Singleton("a"), fx.f.Singleton("b")));
+  ConjunctiveQuery anything = fx.Cq(fx.f.Primitive("A"));
+  EXPECT_TRUE(CqContained(bottom, anything));
+  EXPECT_FALSE(CqContained(anything, bottom));
+}
+
+TEST(CqEquivalenceAndMinimize, RedundantAtomsAreRemoved) {
+  Fx fx;
+  // ∃(a:⊤) ⊓ ∃(a:A) minimizes to ∃(a:A) (the unrestricted leg is
+  // implied).
+  ql::ConceptId c = fx.f.And(
+      fx.f.Exists(fx.f.Step(fx.A("a"), fx.f.Top())),
+      fx.f.Exists(fx.f.Step(fx.A("a"), fx.f.Primitive("A"))));
+  ConjunctiveQuery q = fx.Cq(c);
+  ConjunctiveQuery m = Minimize(q);
+  EXPECT_TRUE(CqEquivalent(q, m));
+  EXPECT_LT(m.size(), q.size());
+  EXPECT_EQ(m.binary.size(), 1u);
+  EXPECT_EQ(m.unary.size(), 1u);
+}
+
+TEST(CqEquivalenceAndMinimize, MinimalQueryIsUntouched) {
+  Fx fx;
+  ConjunctiveQuery q = fx.Cq(fx.f.And(
+      fx.f.Primitive("A"),
+      fx.f.Exists(fx.f.Step(fx.A("a"), fx.f.Primitive("B")))));
+  ConjunctiveQuery m = Minimize(q);
+  EXPECT_EQ(m.size(), q.size());
+}
+
+TEST(CqToString, Renders) {
+  Fx fx;
+  ConjunctiveQuery q = fx.Cq(fx.f.Primitive("A"));
+  std::string s = q.ToString(fx.symbols);
+  EXPECT_NE(s.find("q("), std::string::npos);
+  EXPECT_NE(s.find("A("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oodb::cq

@@ -1,0 +1,98 @@
+// The paper's running example in concrete DL syntax (Figures 1, 3, 5),
+// completed with the declarations footnote 2 calls for.
+#ifndef OODB_TESTS_DL_FIXTURE_H_
+#define OODB_TESTS_DL_FIXTURE_H_
+
+namespace oodb::testing {
+
+inline constexpr const char* kMedicalDlSource = R"(
+// Figure 1: part of the schema of a medical database.
+Class Person with
+  attribute, necessary, single
+    name: String
+end Person
+
+Class Patient isA Person with
+  attribute
+    takes: Drug
+    consults: Doctor
+  attribute, necessary
+    suffers: Disease
+  constraint:
+    not (this in Doctor)
+end Patient
+
+Class Doctor isA Person with
+  attribute
+    skilled_in: Disease
+end Doctor
+
+Class Male isA Person with
+end Male
+
+Class Female isA Person with
+end Female
+
+Class Drug with
+end Drug
+
+Class Disease isA Topic with
+end Disease
+
+Class String with
+end String
+
+Class Topic with
+end Topic
+
+Attribute skilled_in with
+  domain: Person
+  range: Topic
+  inverse: specialist
+end skilled_in
+
+Attribute takes with
+  domain: Patient
+  range: Drug
+end takes
+
+Attribute consults with
+  domain: Patient
+  range: Doctor
+end consults
+
+Attribute suffers with
+  domain: Patient
+  range: Disease
+end suffers
+
+Attribute name with
+  domain: Person
+  range: String
+end name
+
+// Figure 3: a query.
+QueryClass QueryPatient isA Male, Patient with
+  derived
+    l1: (consults: Female)
+    l2: suffers.(specialist: Doctor)
+  where
+    l1 = l2
+  constraint:
+    forall d/Drug not (this takes d) or (d = Aspirin)
+end QueryPatient
+
+// Figure 5: a view.
+QueryClass ViewPatient isA Patient with
+  derived
+    (name: String)
+    l1: (consults: Doctor).(skilled_in: Disease)
+    l2: (suffers: Disease)
+  where
+    l1 = l2
+end ViewPatient
+)";
+
+}  // namespace oodb::testing
+
+#endif  // OODB_TESTS_DL_FIXTURE_H_

@@ -1,0 +1,176 @@
+// Tests for the explanation API and the instance (database state) format.
+#include <gtest/gtest.h>
+
+#include "calculus/explain.h"
+#include "db/database.h"
+#include "db/evaluator.h"
+#include "db/instance.h"
+#include "dl/analyzer.h"
+#include "dl_fixture.h"
+#include "medical_fixture.h"
+
+namespace oodb {
+namespace {
+
+TEST(Explain, PositiveVerdictShowsDerivation) {
+  testing::MedicalFixture fx;
+  auto explanation = calculus::ExplainSubsumption(
+      *fx.sigma, fx.query_patient, fx.view_patient);
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  EXPECT_TRUE(explanation->subsumed);
+  EXPECT_NE(explanation->text.find("derivation of o:D"), std::string::npos);
+  EXPECT_NE(explanation->text.find("[D6]"), std::string::npos);
+  EXPECT_NE(explanation->text.find("[S5]"), std::string::npos);
+}
+
+TEST(Explain, NegativeVerdictShowsCountermodel) {
+  testing::MedicalFixture fx;
+  auto explanation = calculus::ExplainSubsumption(
+      *fx.sigma, fx.view_patient, fx.query_patient);
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  EXPECT_FALSE(explanation->subsumed);
+  EXPECT_NE(explanation->text.find("countermodel"), std::string::npos);
+  EXPECT_NE(explanation->text.find("the witness object o"),
+            std::string::npos);
+  EXPECT_NE(explanation->text.find("violates"), std::string::npos);
+}
+
+TEST(Explain, ClashVerdictNamesTheClash) {
+  testing::MedicalFixture fx;
+  ql::ConceptId bottom = fx.terms->And(fx.terms->Singleton("a"),
+                                       fx.terms->Singleton("b"));
+  auto explanation = calculus::ExplainSubsumption(
+      *fx.sigma, bottom, fx.terms->Primitive("Person"));
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_TRUE(explanation->subsumed);
+  EXPECT_NE(explanation->text.find("unsatisfiable"), std::string::npos);
+}
+
+// --- Instance format ----------------------------------------------------------
+
+struct InstanceFx {
+  SymbolTable symbols;
+  std::unique_ptr<dl::Model> model;
+  std::unique_ptr<db::Database> database;
+
+  InstanceFx() {
+    auto m = dl::ParseAndAnalyze(testing::kMedicalDlSource, &symbols);
+    EXPECT_TRUE(m.ok()) << m.status();
+    model = std::make_unique<dl::Model>(std::move(m).value());
+    database = std::make_unique<db::Database>(*model, &symbols);
+  }
+};
+
+constexpr const char* kState = R"(
+// objects may reference each other in any order
+Object bob in Person, Male, Patient with
+  name: bob_name
+  suffers: flu
+  consults: alice
+end bob
+Object flu in Disease with
+end flu
+Object alice in Person, Female, Doctor with
+  name: alice_name
+  skilled_in: flu
+end alice
+Object bob_name in String with
+end bob_name
+Object alice_name in String with
+end alice_name
+)";
+
+TEST(Instance, LoadsForwardReferences) {
+  InstanceFx fx;
+  auto stats = db::LoadInstance(kState, fx.database.get());
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->objects, 5u);
+  EXPECT_GT(stats->memberships, 0u);
+  EXPECT_EQ(stats->attributes, 5u);
+
+  Symbol bob = fx.symbols.Find("bob");
+  ASSERT_TRUE(bob.valid());
+  auto bob_id = fx.database->FindObject(bob);
+  ASSERT_TRUE(bob_id.has_value());
+  // isA closure applied: bob is a Person.
+  EXPECT_TRUE(fx.database->InClass(*bob_id, fx.symbols.Find("Person")));
+  EXPECT_TRUE(fx.database->CheckLegalState().empty());
+}
+
+TEST(Instance, EvaluatesQueriesOverLoadedState) {
+  InstanceFx fx;
+  ASSERT_TRUE(db::LoadInstance(kState, fx.database.get()).ok());
+  db::QueryEvaluator evaluator(*fx.database);
+  auto answers = evaluator.Evaluate(fx.symbols.Find("ViewPatient"));
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ(fx.database->ObjectName((*answers)[0]), fx.symbols.Find("bob"));
+}
+
+TEST(Instance, RoundTripsThroughDump) {
+  InstanceFx fx;
+  ASSERT_TRUE(db::LoadInstance(kState, fx.database.get()).ok());
+  std::string dumped = db::DumpInstance(*fx.database);
+
+  InstanceFx fx2;
+  // Reload the dump into a fresh database over the same model (fresh
+  // symbol table: the dump must be self-contained text).
+  auto stats = db::LoadInstance(dumped, fx2.database.get());
+  ASSERT_TRUE(stats.ok()) << stats.status() << "\n" << dumped;
+  EXPECT_EQ(fx2.database->num_objects(), fx.database->num_objects());
+  // Same extents.
+  for (const char* cls : {"Patient", "Doctor", "Male", "Female", "String"}) {
+    EXPECT_EQ(
+        fx2.database->ClassExtent(fx2.symbols.Find(cls)).size(),
+        fx.database->ClassExtent(fx.symbols.Find(cls)).size())
+        << cls;
+  }
+  // Dump is idempotent.
+  EXPECT_EQ(db::DumpInstance(*fx2.database), dumped);
+}
+
+TEST(Instance, RejectsDuplicateObjects) {
+  InstanceFx fx;
+  auto stats = db::LoadInstance(
+      "Object a in Drug with end a Object a in Drug with end a",
+      fx.database.get());
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Instance, RejectsUnknownClass) {
+  InstanceFx fx;
+  auto stats =
+      db::LoadInstance("Object a in NoSuchClass with end a",
+                       fx.database.get());
+  EXPECT_FALSE(stats.ok());
+}
+
+TEST(Instance, RejectsSyntaxErrors) {
+  InstanceFx fx;
+  // Missing class after `in`.
+  EXPECT_FALSE(
+      db::LoadInstance("Object a in , end a", fx.database.get()).ok());
+  // Wrong leading keyword.
+  EXPECT_FALSE(db::LoadInstance("Thing a in B end", fx.database.get()).ok());
+  // Missing ':' in an attribute entry.
+  EXPECT_FALSE(db::LoadInstance("Object a with b c end a",
+                                fx.database.get())
+                   .ok());
+}
+
+TEST(Instance, ImplicitValueObjectsAreCreated) {
+  InstanceFx fx;
+  auto stats = db::LoadInstance(R"(
+    Object d in Doctor with
+      skilled_in: mystery
+    end d
+  )",
+                                fx.database.get());
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->objects, 2u);  // d plus the implicit `mystery`
+  EXPECT_TRUE(fx.database->FindObject(fx.symbols.Find("mystery")).has_value());
+}
+
+}  // namespace
+}  // namespace oodb

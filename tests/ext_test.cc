@@ -1,0 +1,248 @@
+// Tests for the Sect. 4.4 complexity laboratory: the unguarded chase and
+// its exponential families, DNF handling of disjunction, brute-force
+// small-model checking, and cross-checks against the core calculus.
+#include <gtest/gtest.h>
+
+#include "base/strings.h"
+#include "calculus/subsumption.h"
+#include "ext/brute_force.h"
+#include "ext/chase.h"
+#include "ext/disjunction.h"
+#include "ext/families.h"
+#include "ext/xconcept.h"
+#include "ql/term_factory.h"
+
+namespace oodb::ext {
+namespace {
+
+TEST(Chase, BinaryTreeFamilyIsExponential) {
+  SymbolTable symbols;
+  for (size_t depth : {1u, 2u, 3u, 4u, 5u}) {
+    ChaseFamily family = MakeBinaryTreeFamily(&symbols, depth);
+    ChaseResult result =
+        UnguardedChase(family.sigma, family.start, family.goal);
+    ASSERT_TRUE(result.completed);
+    // A full binary tree of depth `depth`: 2^(depth+1) - 1 individuals.
+    EXPECT_EQ(result.individuals, (1u << (depth + 1)) - 1) << depth;
+    EXPECT_TRUE(result.entailed);  // goal == start
+  }
+}
+
+TEST(Chase, RespectsBudget) {
+  SymbolTable symbols;
+  ChaseFamily family = MakeBinaryTreeFamily(&symbols, 30);
+  ChaseLimits limits;
+  limits.max_individuals = 1000;
+  ChaseResult result =
+      UnguardedChase(family.sigma, family.start, family.goal, limits);
+  EXPECT_FALSE(result.completed);
+  EXPECT_GT(result.individuals, 1000u);
+}
+
+TEST(Chase, InverseChainEntailsImplicitInclusion) {
+  SymbolTable symbols;
+  for (size_t n : {1u, 2u, 5u, 10u}) {
+    ChaseFamily family = MakeInverseChainFamily(&symbols, n);
+    ChaseResult result =
+        UnguardedChase(family.sigma, family.start, family.goal);
+    ASSERT_TRUE(result.completed) << n;
+    EXPECT_TRUE(result.entailed) << "A0 ⊑ A" << n << " should be entailed";
+    // One forward witness per stage.
+    EXPECT_EQ(result.individuals, n + 1);
+  }
+}
+
+TEST(Chase, InverseChainGoalBeyondChainIsNotEntailed) {
+  SymbolTable symbols;
+  ChaseFamily family = MakeInverseChainFamily(&symbols, 3);
+  Symbol a9 = symbols.Intern("A9");
+  ChaseResult result = UnguardedChase(family.sigma, family.start, a9);
+  ASSERT_TRUE(result.completed);
+  EXPECT_FALSE(result.entailed);
+}
+
+TEST(Chase, GuardedCalculusStaysLinearOnTheControlFamily) {
+  // The same logical content in plain SL: the goal-directed rule S5 keeps
+  // the completion linear where the naive chase of the qualified variant
+  // is exponential.
+  for (size_t depth : {2u, 4u, 8u, 16u}) {
+    SymbolTable symbols;
+    ql::TermFactory terms(&symbols);
+    schema::Schema sigma(&terms);
+    GuardedFamily family = MakeGuardedChainFamily(&sigma, depth);
+    calculus::SubsumptionChecker checker(sigma);
+    auto outcome = checker.SubsumesDetailed(family.query, family.view);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_TRUE(outcome->subsumed);
+    // x plus exactly one S5 witness per chain position.
+    EXPECT_LE(outcome->stats.individuals, depth + 1);
+  }
+}
+
+TEST(Dnf, ExpandsDisjunctionsMultiplicatively) {
+  SymbolTable symbols;
+  ql::TermFactory terms(&symbols);
+  XConceptPtr c = MakeDisjunctionClashFamily(&terms, 4);
+  auto disjuncts = DnfToQl(c, &terms);
+  ASSERT_TRUE(disjuncts.ok()) << disjuncts.status();
+  EXPECT_EQ(disjuncts->size(), 16u);  // 2^4
+}
+
+TEST(Dnf, RespectsDisjunctCap) {
+  SymbolTable symbols;
+  ql::TermFactory terms(&symbols);
+  XConceptPtr c = MakeDisjunctionClashFamily(&terms, 24);
+  auto disjuncts = DnfToQl(c, &terms, /*max_disjuncts=*/1024);
+  EXPECT_FALSE(disjuncts.ok());
+  EXPECT_EQ(disjuncts.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Dnf, RejectsComplementAndUniversal) {
+  SymbolTable symbols;
+  ql::TermFactory terms(&symbols);
+  auto bad1 = DnfToQl(XNotPrim(symbols.Intern("A")), &terms);
+  EXPECT_EQ(bad1.status().code(), StatusCode::kUnimplemented);
+  auto bad2 = DnfToQl(
+      XAll(ql::Attr{symbols.Intern("p"), false}, XTop()), &terms);
+  EXPECT_EQ(bad2.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(Disjunction, ClashFamilyIsUnsatisfiable) {
+  SymbolTable symbols;
+  ql::TermFactory terms(&symbols);
+  schema::Schema sigma(&terms);
+  AddDisjunctionSchema(&sigma);  // Person ⊑ (≤1 name)
+  for (size_t n : {2u, 3u, 5u}) {
+    XConceptPtr c = MakeDisjunctionClashFamily(&terms, n);
+    DisjunctionStats stats;
+    auto sat = SatisfiableWithDisjunction(sigma, c, &terms, &stats);
+    ASSERT_TRUE(sat.ok()) << sat.status();
+    EXPECT_FALSE(*sat) << n;
+    // Refutation must visit every disjunct.
+    EXPECT_EQ(stats.core_calls, 1u << n);
+  }
+}
+
+TEST(Disjunction, SatisfiableWhenConstantsCoincide) {
+  SymbolTable symbols;
+  ql::TermFactory terms(&symbols);
+  schema::Schema sigma(&terms);
+  AddDisjunctionSchema(&sigma);
+  // (∃(name:{a}) ⊔ ∃(name:{b})) ⊓ (∃(name:{a}) ⊔ ∃(name:{c})): the
+  // branch choosing {a} twice is consistent under (≤1 name).
+  Symbol name = symbols.Intern("name");
+  auto ex = [&](const char* constant) {
+    return XExists(ql::Attr{name, false},
+                   XSingleton(symbols.Intern(constant)));
+  };
+  XConceptPtr c = XAnd({XPrim(symbols.Intern("Person")),
+                        XOr({ex("a"), ex("b")}), XOr({ex("a"), ex("c")})});
+  auto sat = SatisfiableWithDisjunction(sigma, c, &terms);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+}
+
+TEST(Disjunction, LhsDisjunctionSubsumption) {
+  SymbolTable symbols;
+  ql::TermFactory terms(&symbols);
+  schema::Schema sigma(&terms);
+  ASSERT_TRUE(sigma.AddIsA(symbols.Intern("B1"), symbols.Intern("B")).ok());
+  ASSERT_TRUE(sigma.AddIsA(symbols.Intern("B2"), symbols.Intern("B")).ok());
+  XConceptPtr c = XOr({XPrim(symbols.Intern("B1")),
+                       XPrim(symbols.Intern("B2"))});
+  auto yes = SubsumesWithLhsDisjunction(sigma, c,
+                                        terms.Primitive("B"), &terms);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  auto no = SubsumesWithLhsDisjunction(sigma, c,
+                                       terms.Primitive("B1"), &terms);
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);  // the B2 disjunct is not below B1
+}
+
+TEST(BruteForce, AgreesWithCalculusOnTinyCoreInputs) {
+  SymbolTable symbols;
+  ql::TermFactory terms(&symbols);
+  schema::Schema sigma(&terms);
+  ASSERT_TRUE(sigma.AddIsA(symbols.Intern("A"), symbols.Intern("B")).ok());
+  ExtSchema xsigma;
+  xsigma.AddIsA(symbols.Intern("A"), symbols.Intern("B"));
+
+  Symbol a = symbols.Intern("A");
+  Symbol b = symbols.Intern("B");
+  std::vector<Symbol> concepts = {a, b};
+  std::vector<Symbol> attrs;
+  std::vector<Symbol> constants;
+
+  calculus::SubsumptionChecker checker(sigma);
+  struct Case {
+    XConceptPtr xc, xd;
+    ql::ConceptId c, d;
+  };
+  std::vector<Case> cases = {
+      {XPrim(a), XPrim(b), terms.Primitive(a), terms.Primitive(b)},
+      {XPrim(b), XPrim(a), terms.Primitive(b), terms.Primitive(a)},
+      {XAnd({XPrim(a), XPrim(b)}), XPrim(a),
+       terms.And(terms.Primitive(a), terms.Primitive(b)),
+       terms.Primitive(a)},
+  };
+  for (const Case& kase : cases) {
+    auto via_calculus = checker.Subsumes(kase.c, kase.d);
+    ASSERT_TRUE(via_calculus.ok());
+    BruteForceResult via_brute = BruteForceSubsumes(
+        xsigma, kase.xc, kase.xd, concepts, attrs, constants);
+    ASSERT_TRUE(via_brute.decided);
+    EXPECT_EQ(*via_calculus, via_brute.subsumed);
+  }
+}
+
+TEST(BruteForce, ComplementFamilyBehaves) {
+  SymbolTable symbols;
+  ComplementPair pair = MakeComplementFamily(&symbols, 2);
+  ExtSchema empty;
+  // A0 ⊓ ¬A1 ⊓ ¬A2 ⊑ A0: holds (no countermodel exists).
+  BruteForceResult forward = BruteForceSubsumes(
+      empty, pair.c, pair.d, pair.concepts, pair.attrs, {});
+  ASSERT_TRUE(forward.decided);
+  EXPECT_TRUE(forward.subsumed);
+  // A0 ⊑ A0 ⊓ ¬A1: fails (an element in both A0 and A1 refutes it).
+  BruteForceResult backward = BruteForceSubsumes(
+      empty, pair.d, pair.c, pair.concepts, pair.attrs, {});
+  ASSERT_TRUE(backward.decided);
+  EXPECT_FALSE(backward.subsumed);
+  EXPECT_GE(backward.countermodel_domain, 1u);
+}
+
+TEST(BruteForce, QualifiedExistentialSchemaSemantics) {
+  SymbolTable symbols;
+  ExtSchema sigma;
+  Symbol a = symbols.Intern("A");
+  Symbol b = symbols.Intern("B");
+  Symbol p = symbols.Intern("p");
+  sigma.AddExistsQualified(a, p, b);
+  // A ⊑ ∃p.B holds by the axiom itself.
+  BruteForceResult r = BruteForceSubsumes(
+      sigma, XPrim(a), XExists(ql::Attr{p, false}, XPrim(b)), {a, b}, {p},
+      {});
+  ASSERT_TRUE(r.decided);
+  EXPECT_TRUE(r.subsumed);
+  // A ⊑ ∃p.A does not.
+  BruteForceResult r2 = BruteForceSubsumes(
+      sigma, XPrim(a), XExists(ql::Attr{p, false}, XPrim(a)), {a, b}, {p},
+      {});
+  ASSERT_TRUE(r2.decided);
+  EXPECT_FALSE(r2.subsumed);
+}
+
+TEST(XConcept, PrintingAndSize) {
+  SymbolTable symbols;
+  XConceptPtr c = XAnd({XPrim(symbols.Intern("A")),
+                        XOr({XNotPrim(symbols.Intern("B")),
+                             XExists(ql::Attr{symbols.Intern("p"), false},
+                                     XTop())})});
+  EXPECT_EQ(XToString(symbols, c), "(A ⊓ (¬B ⊔ ∃p.⊤))");
+  EXPECT_EQ(XSize(c), 6u);  // And, A, Or, NotB, Exists, Top
+}
+
+}  // namespace
+}  // namespace oodb::ext

@@ -1,0 +1,165 @@
+// Direct unit tests of the FOL evaluator over interpretations (the
+// connective/quantifier paths that concept translations exercise only
+// indirectly) plus small interpretation edge cases.
+#include <gtest/gtest.h>
+
+#include "ext/brute_force.h"
+#include "ext/chase.h"
+#include "interp/eval.h"
+#include "interp/interpretation.h"
+#include "ql/fol.h"
+#include "ql/term_factory.h"
+
+namespace oodb {
+namespace {
+
+using interp::Env;
+using interp::EvalFormula;
+using interp::Interpretation;
+using ql::FolTerm;
+
+struct Fx {
+  SymbolTable symbols;
+  ql::TermFactory f{&symbols};
+  Interpretation interp{3};
+
+  Symbol S(const char* name) { return symbols.Intern(name); }
+  ql::FormulaPtr A(int who) {
+    return ql::MakeUnary(S("A"), FolTerm::Var(Var(who)));
+  }
+  Symbol Var(int who) { return symbols.Intern(std::string(1, 'u' + who)); }
+
+  Fx() {
+    interp.AddToConcept(S("A"), 0);
+    interp.AddToConcept(S("A"), 1);
+    interp.AddToConcept(S("B"), 1);
+    interp.AddEdge(S("p"), 0, 1);
+    EXPECT_TRUE(interp.AssignConstant(S("c"), 2).ok());
+  }
+};
+
+TEST(FolEval, ConnectivesBehaveClassically) {
+  Fx fx;
+  Env env{{fx.Var(0), 0}};  // u := element 0 (in A, not in B)
+  auto a = ql::MakeUnary(fx.S("A"), FolTerm::Var(fx.Var(0)));
+  auto b = ql::MakeUnary(fx.S("B"), FolTerm::Var(fx.Var(0)));
+  EXPECT_TRUE(EvalFormula(fx.interp, a, env));
+  EXPECT_FALSE(EvalFormula(fx.interp, b, env));
+  EXPECT_TRUE(EvalFormula(fx.interp, ql::MakeNot(b), env));
+  EXPECT_FALSE(EvalFormula(fx.interp, ql::MakeAnd({a, b}), env));
+  EXPECT_TRUE(EvalFormula(fx.interp, ql::MakeOr({b, a}), env));
+  EXPECT_TRUE(EvalFormula(fx.interp, ql::MakeImplies(b, a), env));
+  EXPECT_FALSE(EvalFormula(fx.interp, ql::MakeImplies(a, b), env));
+  EXPECT_TRUE(EvalFormula(fx.interp, ql::MakeTrue(), env));
+}
+
+TEST(FolEval, QuantifiersSweepTheDomain) {
+  Fx fx;
+  Env env;
+  Symbol v = fx.Var(0);
+  auto a = ql::MakeUnary(fx.S("A"), FolTerm::Var(v));
+  // ∃v.A(v) holds; ∀v.A(v) fails (element 2 is not in A).
+  EXPECT_TRUE(EvalFormula(fx.interp, ql::MakeExists(v, a), env));
+  EXPECT_FALSE(EvalFormula(fx.interp, ql::MakeForall(v, a), env));
+  EXPECT_TRUE(env.empty());  // quantifiers clean up their bindings
+}
+
+TEST(FolEval, ShadowedVariablesAreRestored) {
+  Fx fx;
+  Symbol v = fx.Var(0);
+  Env env{{v, 0}};
+  auto b = ql::MakeUnary(fx.S("B"), FolTerm::Var(v));
+  // ∃v.B(v) rebinds v internally (finds element 1)…
+  EXPECT_TRUE(EvalFormula(fx.interp, ql::MakeExists(v, b), env));
+  // …and the outer binding of v (element 0) is restored.
+  EXPECT_EQ(env.at(v), 0);
+}
+
+TEST(FolEval, ConstantsResolveThroughTheInterpretation) {
+  Fx fx;
+  Env env;
+  auto atom = ql::MakeUnary(fx.S("A"), FolTerm::Const(fx.S("c")));
+  EXPECT_FALSE(EvalFormula(fx.interp, atom, env));  // element 2 ∉ A
+  fx.interp.AddToConcept(fx.S("A"), 2);
+  EXPECT_TRUE(EvalFormula(fx.interp, atom, env));
+  // Unassigned constants make atoms false.
+  auto ghost = ql::MakeUnary(fx.S("A"), FolTerm::Const(fx.S("ghost")));
+  EXPECT_FALSE(EvalFormula(fx.interp, ghost, env));
+  auto eq = ql::MakeEq(FolTerm::Const(fx.S("ghost")),
+                       FolTerm::Const(fx.S("ghost")));
+  EXPECT_FALSE(EvalFormula(fx.interp, eq, env));
+}
+
+TEST(FolEval, BinaryAtomsFollowEdges) {
+  Fx fx;
+  Symbol v = fx.Var(0);
+  Symbol w = fx.Var(1);
+  Env env{{v, 0}, {w, 1}};
+  auto edge = ql::MakeBinary(fx.S("p"), FolTerm::Var(v), FolTerm::Var(w));
+  EXPECT_TRUE(EvalFormula(fx.interp, edge, env));
+  auto back = ql::MakeBinary(fx.S("p"), FolTerm::Var(w), FolTerm::Var(v));
+  EXPECT_FALSE(EvalFormula(fx.interp, back, env));
+}
+
+TEST(Interpretation, AddElementGrowsEverything) {
+  Fx fx;
+  int d = fx.interp.AddElement();
+  EXPECT_EQ(d, 3);
+  EXPECT_EQ(fx.interp.domain_size(), 4u);
+  fx.interp.AddToConcept(fx.S("A"), d);
+  fx.interp.AddEdge(fx.S("p"), d, 0);
+  EXPECT_TRUE(fx.interp.InConcept(fx.S("A"), d));
+  EXPECT_TRUE(fx.interp.HasEdge(fx.S("p"), d, 0));
+}
+
+TEST(Interpretation, EdgeCountCountsPairs) {
+  Fx fx;
+  EXPECT_EQ(fx.interp.EdgeCount(fx.S("p")), 1u);
+  fx.interp.AddEdge(fx.S("p"), 1, 2);
+  fx.interp.AddEdge(fx.S("p"), 1, 2);  // duplicate: ignored
+  EXPECT_EQ(fx.interp.EdgeCount(fx.S("p")), 2u);
+  EXPECT_EQ(fx.interp.EdgeCount(fx.S("q")), 0u);
+}
+
+// --- Brute-force satisfiability (ext) -----------------------------------------
+
+TEST(BruteForceSat, FindsAndRefutesModels) {
+  SymbolTable symbols;
+  ext::ExtSchema sigma;
+  Symbol a = symbols.Intern("A");
+  Symbol b = symbols.Intern("B");
+  sigma.AddIsA(a, b);
+  // A ⊓ ¬B is unsatisfiable under A ⊑ B.
+  auto unsat = ext::BruteForceSatisfiable(
+      sigma, ext::XAnd({ext::XPrim(a), ext::XNotPrim(b)}), {a, b}, {}, {});
+  ASSERT_TRUE(unsat.decided);
+  EXPECT_FALSE(unsat.subsumed);  // "subsumed" doubles as "satisfiable"
+  // A ⊓ B is satisfiable.
+  auto sat = ext::BruteForceSatisfiable(
+      sigma, ext::XAnd({ext::XPrim(a), ext::XPrim(b)}), {a, b}, {}, {});
+  ASSERT_TRUE(sat.decided);
+  EXPECT_TRUE(sat.subsumed);
+  EXPECT_GE(sat.countermodel_domain, 1u);
+}
+
+TEST(BruteForceSat, RespectsInterpretationBudget) {
+  SymbolTable symbols;
+  ext::ExtSchema sigma;
+  std::vector<Symbol> concepts;
+  for (int i = 0; i < 6; ++i) {
+    concepts.push_back(symbols.Intern(std::string("C") + char('0' + i)));
+  }
+  ext::BruteForceOptions options;
+  options.max_domain = 3;
+  options.max_interpretations = 100;
+  // An unsatisfiable target forces full enumeration → budget hit.
+  auto result = ext::BruteForceSatisfiable(
+      sigma,
+      ext::XAnd({ext::XPrim(concepts[0]), ext::XNotPrim(concepts[0])}),
+      concepts, {symbols.Intern("p")}, {}, options);
+  EXPECT_FALSE(result.decided);
+  EXPECT_GT(result.interpretations, 100u);
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,108 @@
+// Tests for the workload generators: determinism, well-formedness of
+// generated artifacts, and the soundness of the weakening transformations
+// (checked semantically on random models, independently of the calculus).
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/strings.h"
+#include "calculus/engine.h"
+#include "gen/generators.h"
+#include "interp/eval.h"
+#include "interp/model_gen.h"
+#include "interp/signature.h"
+#include "ql/print.h"
+#include "ql/term_factory.h"
+
+namespace oodb::gen {
+namespace {
+
+TEST(Generators, DeterministicForFixedSeed) {
+  auto run = [](uint64_t seed) {
+    SymbolTable symbols;
+    ql::TermFactory f(&symbols);
+    schema::Schema sigma(&f);
+    Rng rng(seed);
+    GeneratedSchema sig = GenerateSchema(&sigma, rng);
+    ql::ConceptId c = GenerateConcept(sig, &f, rng);
+    return ql::ConceptToString(f, c) +
+           oodb::StrCat("#axioms=", sigma.inclusions().size());
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(Generators, SchemaIsWellFormedSl) {
+  // GenerateSchema only emits the four SL shapes; Schema validation would
+  // have rejected anything else, so reaching a non-trivial size proves it.
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  Rng rng(5);
+  SchemaGenOptions options;
+  options.num_classes = 20;
+  options.value_restrictions = 30;
+  GenerateSchema(&sigma, rng, options);
+  EXPECT_GT(sigma.inclusions().size(), 10u);
+}
+
+TEST(Generators, ConceptsArePureQl) {
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  Rng rng(6);
+  GeneratedSchema sig = GenerateSchema(&sigma, rng);
+  for (int i = 0; i < 50; ++i) {
+    ql::ConceptId c = GenerateConcept(sig, &f, rng);
+    EXPECT_TRUE(calculus::ValidateQlConcept(f, c).ok());
+  }
+}
+
+// Semantic check of WeakenConcept, independent of the subsumption
+// calculus: on random Σ-models, every instance of C is an instance of the
+// weakened concept.
+TEST(Generators, WeakeningIsSemanticallySound) {
+  Rng rng(20260101);
+  for (int round = 0; round < 60; ++round) {
+    SymbolTable symbols;
+    ql::TermFactory f(&symbols);
+    schema::Schema sigma(&f);
+    GeneratedSchema sig = GenerateSchema(&sigma, rng);
+    ql::ConceptId c = GenerateConcept(sig, &f, rng);
+    ql::ConceptId weaker = WeakenConcept(sigma, &f, c, rng, 3);
+
+    interp::Signature isig =
+        interp::CollectSignature(f, {c, weaker}, &sigma);
+    auto model =
+        interp::GenerateModel(sigma, isig, interp::ModelGenOptions(), rng);
+    ASSERT_TRUE(model.ok()) << model.status();
+    for (size_t e = 0; e < model->domain_size(); ++e) {
+      int x = static_cast<int>(e);
+      if (interp::InConceptEval(*model, f, c, x)) {
+        ASSERT_TRUE(interp::InConceptEval(*model, f, weaker, x))
+            << ql::ConceptToString(f, c) << "  weakened to  "
+            << ql::ConceptToString(f, weaker);
+      }
+    }
+  }
+}
+
+TEST(Generators, WeakeningEventuallyReachesTop) {
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  Rng rng(77);
+  GeneratedSchema sig = GenerateSchema(&sigma, rng);
+  ql::ConceptId c = GenerateConcept(sig, &f, rng);
+  // Many weakening steps shrink the concept; sizes never grow.
+  size_t prev = f.ConceptSize(c);
+  ql::ConceptId cur = c;
+  for (int i = 0; i < 50; ++i) {
+    cur = WeakenConcept(sigma, &f, cur, rng, 1);
+    size_t size = f.ConceptSize(cur);
+    EXPECT_LE(size, prev + 1);  // superclass swaps keep size constant
+    prev = size;
+  }
+}
+
+}  // namespace
+}  // namespace oodb::gen

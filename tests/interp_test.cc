@@ -1,0 +1,242 @@
+// Tests of the interpretation layer: the set semantics of Table 1 row by
+// row, the equivalence of the transformational (FOL) and set semantics
+// (the executable content of Table 1 — experiment E4), and the random
+// Σ-model generator.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/strings.h"
+#include "gen/generators.h"
+#include "interp/eval.h"
+#include "interp/interpretation.h"
+#include "interp/model_gen.h"
+#include "interp/signature.h"
+#include "ql/fol.h"
+#include "ql/print.h"
+#include "ql/term_factory.h"
+
+namespace oodb::interp {
+namespace {
+
+struct Fx {
+  SymbolTable symbols;
+  ql::TermFactory f{&symbols};
+  Interpretation interp{5};
+
+  Symbol S(const char* name) { return symbols.Intern(name); }
+  ql::Attr A(const char* name, bool inv = false) {
+    return ql::Attr{symbols.Intern(name), inv};
+  }
+
+  Fx() {
+    // 0 -p-> 1 -q-> 2,  0 -p-> 3,  3 -q-> 0;  A = {1, 3}, B = {2}.
+    interp.AddEdge(S("p"), 0, 1);
+    interp.AddEdge(S("q"), 1, 2);
+    interp.AddEdge(S("p"), 0, 3);
+    interp.AddEdge(S("q"), 3, 0);
+    interp.AddToConcept(S("A"), 1);
+    interp.AddToConcept(S("A"), 3);
+    interp.AddToConcept(S("B"), 2);
+    EXPECT_TRUE(interp.AssignConstant(S("c2"), 2).ok());
+  }
+};
+
+TEST(Interpretation, UnaAssignmentRejectsCollisions) {
+  Fx fx;
+  EXPECT_FALSE(fx.interp.AssignConstant(fx.S("c2"), 3).ok());  // reassigned
+  EXPECT_FALSE(fx.interp.AssignConstant(fx.S("d"), 2).ok());   // same element
+  EXPECT_TRUE(fx.interp.AssignConstant(fx.S("d"), 3).ok());
+}
+
+TEST(Interpretation, EdgesAndExtensions) {
+  Fx fx;
+  EXPECT_TRUE(fx.interp.HasEdge(fx.S("p"), 0, 1));
+  EXPECT_FALSE(fx.interp.HasEdge(fx.S("p"), 1, 0));
+  EXPECT_EQ(fx.interp.Successors(fx.S("p"), 0), (std::vector<int>{1, 3}));
+  EXPECT_EQ(fx.interp.Predecessors(fx.S("q"), 0), (std::vector<int>{3}));
+  EXPECT_EQ(fx.interp.ConceptExtension(fx.S("A")), (std::vector<int>{1, 3}));
+  fx.interp.RemoveEdge(fx.S("p"), 0, 1);
+  EXPECT_FALSE(fx.interp.HasEdge(fx.S("p"), 0, 1));
+}
+
+TEST(Interpretation, UniversalElementIsEverywhere) {
+  Fx fx;
+  fx.interp.MarkUniversal(4);
+  EXPECT_TRUE(fx.interp.InConcept(fx.S("Anything"), 4));
+  EXPECT_TRUE(fx.interp.HasEdge(fx.S("whatever"), 4, 4));
+  auto succ = fx.interp.Successors(fx.S("zzz"), 4);
+  EXPECT_EQ(succ, std::vector<int>{4});
+}
+
+// --- Table 1 set semantics, row by row --------------------------------------
+
+TEST(Eval, TopIsTheDomain) {
+  Fx fx;
+  EXPECT_EQ(ConceptEval(fx.interp, fx.f, fx.f.Top()).size(), 5u);
+}
+
+TEST(Eval, PrimitiveIsItsExtension) {
+  Fx fx;
+  EXPECT_EQ(ConceptEval(fx.interp, fx.f, fx.f.Primitive("A")),
+            (std::vector<int>{1, 3}));
+}
+
+TEST(Eval, SingletonIsTheConstant) {
+  Fx fx;
+  EXPECT_EQ(ConceptEval(fx.interp, fx.f, fx.f.Singleton("c2")),
+            (std::vector<int>{2}));
+  // Unassigned constants denote the empty set (documented convention).
+  EXPECT_TRUE(ConceptEval(fx.interp, fx.f, fx.f.Singleton("nope")).empty());
+}
+
+TEST(Eval, IntersectionIntersects) {
+  Fx fx;
+  fx.interp.AddToConcept(fx.S("B"), 3);
+  ql::ConceptId c = fx.f.And(fx.f.Primitive("A"), fx.f.Primitive("B"));
+  EXPECT_EQ(ConceptEval(fx.interp, fx.f, c), (std::vector<int>{3}));
+}
+
+TEST(Eval, PathReachComposesRestrictedAttributes) {
+  Fx fx;
+  // (p:A)(q:⊤) from 0: p to {1,3} (both in A), q onward to {2, 0}.
+  ql::PathId path = fx.f.MakePath(
+      {{fx.A("p"), fx.f.Primitive("A")}, {fx.A("q"), fx.f.Top()}});
+  EXPECT_EQ(PathReach(fx.interp, fx.f, path, 0), (std::vector<int>{0, 2}));
+  // Filters prune: (p:B) from 0 reaches nothing.
+  ql::PathId filtered = fx.f.MakePath({{fx.A("p"), fx.f.Primitive("B")}});
+  EXPECT_TRUE(PathReach(fx.interp, fx.f, filtered, 0).empty());
+}
+
+TEST(Eval, InverseAttributesTraverseBackwards) {
+  Fx fx;
+  ql::PathId path = fx.f.MakePath({{fx.A("q", true), fx.f.Top()}});
+  EXPECT_EQ(PathReach(fx.interp, fx.f, path, 2), (std::vector<int>{1}));
+}
+
+TEST(Eval, ExistsAndAgreement) {
+  Fx fx;
+  ql::PathId loop = fx.f.MakePath(
+      {{fx.A("p"), fx.f.Top()}, {fx.A("q"), fx.f.Top()}});
+  // 0 -p-> 3 -q-> 0 closes the loop: 0 ∈ ∃(p)(q) ≐ ε.
+  EXPECT_TRUE(InConceptEval(fx.interp, fx.f, fx.f.Agree(loop), 0));
+  EXPECT_FALSE(InConceptEval(fx.interp, fx.f, fx.f.Agree(loop), 1));
+  EXPECT_TRUE(InConceptEval(fx.interp, fx.f, fx.f.Exists(loop), 0));
+  // ∃ε and ∃ε≐ε are universal.
+  EXPECT_TRUE(
+      InConceptEval(fx.interp, fx.f, fx.f.Exists(fx.f.EmptyPath()), 4));
+  EXPECT_TRUE(
+      InConceptEval(fx.interp, fx.f, fx.f.Agree(fx.f.EmptyPath()), 4));
+}
+
+TEST(Eval, SlFormsEvaluate) {
+  Fx fx;
+  // ∀p.A at 0: successors {1,3} ⊆ A ✓; at 1 vacuously ✓.
+  ql::ConceptId all = fx.f.All(fx.A("p"), fx.f.Primitive("A"));
+  EXPECT_TRUE(InConceptEval(fx.interp, fx.f, all, 0));
+  EXPECT_TRUE(InConceptEval(fx.interp, fx.f, all, 1));
+  fx.interp.AddEdge(fx.S("p"), 0, 2);  // 2 ∉ A
+  EXPECT_FALSE(InConceptEval(fx.interp, fx.f, all, 0));
+  // (≤1 p): 0 now has three p-successors.
+  EXPECT_FALSE(
+      InConceptEval(fx.interp, fx.f, fx.f.AtMostOne(fx.A("p")), 0));
+  EXPECT_TRUE(
+      InConceptEval(fx.interp, fx.f, fx.f.AtMostOne(fx.A("q")), 1));
+}
+
+TEST(Eval, AxiomSatisfaction) {
+  Fx fx;
+  schema::Schema sigma(&fx.f);
+  ASSERT_TRUE(sigma.AddIsA(fx.S("A"), fx.S("B")).ok());
+  EXPECT_FALSE(IsModelOf(fx.interp, sigma));  // 1 ∈ A but 1 ∉ B
+  fx.interp.AddToConcept(fx.S("B"), 1);
+  fx.interp.AddToConcept(fx.S("B"), 3);
+  EXPECT_TRUE(IsModelOf(fx.interp, sigma));
+}
+
+TEST(Eval, TypingSatisfaction) {
+  Fx fx;
+  schema::TypingAxiom typing{fx.S("p"), fx.S("D"), fx.S("R")};
+  EXPECT_FALSE(SatisfiesTyping(fx.interp, typing));
+  fx.interp.AddToConcept(fx.S("D"), 0);
+  fx.interp.AddToConcept(fx.S("R"), 1);
+  fx.interp.AddToConcept(fx.S("R"), 3);
+  EXPECT_TRUE(SatisfiesTyping(fx.interp, typing));
+}
+
+// --- Table 1: the FOL and set semantics agree (property, E4) -----------------
+
+TEST(Table1Equivalence, FolAndSetSemanticsAgreeOnRandomInputs) {
+  Rng rng(20260705);
+  for (int round = 0; round < 60; ++round) {
+    SymbolTable symbols;
+    ql::TermFactory f(&symbols);
+    schema::Schema sigma(&f);  // empty schema: any structure is a model
+    gen::SchemaGenOptions schema_options;
+    schema_options.num_classes = 4;
+    schema_options.num_attrs = 3;
+    schema_options.num_constants = 2;
+    schema_options.value_restrictions = 0;
+    schema_options.typing_prob = 0.0;
+    schema_options.isa_prob = 0.0;
+    gen::GeneratedSchema sig = GenerateSchema(&sigma, rng, schema_options);
+
+    ql::ConceptId c = GenerateConcept(sig, &f, rng);
+
+    Signature interp_sig = CollectSignature(f, {c}, &sigma);
+    for (Symbol constant : sig.constants) interp_sig.AddConstant(constant);
+    ModelGenOptions model_options;
+    model_options.domain_size = 5;
+    auto model = GenerateModel(sigma, interp_sig, model_options, rng);
+    ASSERT_TRUE(model.ok()) << model.status();
+
+    ql::FolVarGen vars(&symbols);
+    Symbol x = symbols.Intern("x0");
+    ql::FormulaPtr formula =
+        ql::ConceptToFol(f, c, ql::FolTerm::Var(x), vars);
+
+    for (size_t d = 0; d < model->domain_size(); ++d) {
+      Env env{{x, static_cast<int>(d)}};
+      bool via_fol = EvalFormula(*model, formula, env);
+      bool via_sets = InConceptEval(*model, f, c, static_cast<int>(d));
+      ASSERT_EQ(via_fol, via_sets)
+          << "disagreement on d=" << d << " for "
+          << ql::ConceptToString(f, c);
+    }
+  }
+}
+
+// --- Random Σ-model generator -------------------------------------------------
+
+TEST(ModelGen, GeneratedStructuresAreSigmaModels) {
+  Rng rng(99);
+  for (int round = 0; round < 40; ++round) {
+    SymbolTable symbols;
+    ql::TermFactory f(&symbols);
+    schema::Schema sigma(&f);
+    gen::GeneratedSchema sig = gen::GenerateSchema(&sigma, rng);
+    Signature interp_sig = CollectSignature(f, {}, &sigma);
+    for (Symbol constant : sig.constants) interp_sig.AddConstant(constant);
+    auto model = GenerateModel(sigma, interp_sig, ModelGenOptions(), rng);
+    ASSERT_TRUE(model.ok()) << model.status();
+    EXPECT_TRUE(IsModelOf(*model, sigma)) << "round " << round;
+  }
+}
+
+TEST(ModelGen, GrowsDomainForConstants) {
+  Rng rng(3);
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  Signature sig;
+  for (int i = 0; i < 10; ++i) {
+    sig.AddConstant(symbols.Intern(oodb::StrCat("k", i)));
+  }
+  ModelGenOptions options;
+  options.domain_size = 2;  // smaller than the number of constants
+  auto model = GenerateModel(sigma, sig, options, rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(model->domain_size(), 10u);
+}
+
+}  // namespace
+}  // namespace oodb::interp

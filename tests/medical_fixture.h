@@ -1,0 +1,96 @@
+// Shared test fixture: the paper's running example (Figures 1, 3, 5, 6).
+//
+// Builds the medical schema Σ and the two concepts
+//   C_Q (QueryPatient)  = Male ⊓ Patient ⊓
+//       ∃(consults:Female) ≐ (suffers:⊤)(skilled_in⁻¹:Doctor)
+//   D_V (ViewPatient)   = Patient ⊓ ∃(name:String) ⊓
+//       ∃(consults:Doctor)(skilled_in:Disease) ≐ (suffers:Disease)
+// with C_Q ⊑_Σ D_V (Sect. 4.1 / Figure 11) but not conversely.
+#ifndef OODB_TESTS_MEDICAL_FIXTURE_H_
+#define OODB_TESTS_MEDICAL_FIXTURE_H_
+
+#include <memory>
+
+#include "base/symbol.h"
+#include "ql/term_factory.h"
+#include "schema/schema.h"
+
+namespace oodb::testing {
+
+struct MedicalFixture {
+  SymbolTable symbols;
+  std::unique_ptr<ql::TermFactory> terms;
+  std::unique_ptr<schema::Schema> sigma;
+
+  Symbol patient, person, doctor, male, female, drug, disease, string_class,
+      topic;
+  Symbol takes, consults, suffers, name, skilled_in;
+
+  ql::ConceptId query_patient = ql::kInvalidConcept;  // C_Q
+  ql::ConceptId view_patient = ql::kInvalidConcept;   // D_V
+
+  MedicalFixture() {
+    terms = std::make_unique<ql::TermFactory>(&symbols);
+    sigma = std::make_unique<schema::Schema>(terms.get());
+
+    patient = symbols.Intern("Patient");
+    person = symbols.Intern("Person");
+    doctor = symbols.Intern("Doctor");
+    male = symbols.Intern("Male");
+    female = symbols.Intern("Female");
+    drug = symbols.Intern("Drug");
+    disease = symbols.Intern("Disease");
+    string_class = symbols.Intern("String");
+    topic = symbols.Intern("Topic");
+    takes = symbols.Intern("takes");
+    consults = symbols.Intern("consults");
+    suffers = symbols.Intern("suffers");
+    name = symbols.Intern("name");
+    skilled_in = symbols.Intern("skilled_in");
+
+    // Figure 6: the schema axioms of the medical database.
+    (void)sigma->AddIsA(patient, person);
+    (void)sigma->AddValueRestriction(patient, takes, drug);
+    (void)sigma->AddValueRestriction(patient, consults, doctor);
+    (void)sigma->AddValueRestriction(patient, suffers, disease);
+    (void)sigma->AddNecessary(patient, suffers);
+    (void)sigma->AddValueRestriction(person, name, string_class);
+    (void)sigma->AddNecessary(person, name);
+    (void)sigma->AddFunctional(person, name);
+    (void)sigma->AddValueRestriction(doctor, skilled_in, disease);
+    (void)sigma->AddTyping(skilled_in, person, topic);
+
+    query_patient = BuildQueryPatient();
+    view_patient = BuildViewPatient();
+  }
+
+  ql::Attr A(Symbol p, bool inverted = false) const {
+    return ql::Attr{p, inverted};
+  }
+
+  ql::ConceptId BuildQueryPatient() {
+    ql::TermFactory& f = *terms;
+    // l1: (consults: Female)
+    ql::PathId p = f.MakePath({{A(consults), f.Primitive(female)}});
+    // l2: suffers.(specialist: Doctor) — specialist is skilled_in⁻¹.
+    ql::PathId q = f.MakePath({{A(suffers), f.Top()},
+                               {A(skilled_in, true), f.Primitive(doctor)}});
+    return f.AndAll({f.Primitive(male), f.Primitive(patient),
+                     f.AgreePair(p, q)});
+  }
+
+  ql::ConceptId BuildViewPatient() {
+    ql::TermFactory& f = *terms;
+    ql::PathId name_path =
+        f.MakePath({{A(name), f.Primitive(string_class)}});
+    ql::PathId p = f.MakePath({{A(consults), f.Primitive(doctor)},
+                               {A(skilled_in), f.Primitive(disease)}});
+    ql::PathId q = f.MakePath({{A(suffers), f.Primitive(disease)}});
+    return f.AndAll({f.Primitive(patient), f.Exists(name_path),
+                     f.AgreePair(p, q)});
+  }
+};
+
+}  // namespace oodb::testing
+
+#endif  // OODB_TESTS_MEDICAL_FIXTURE_H_

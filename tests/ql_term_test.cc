@@ -1,0 +1,203 @@
+// Unit tests for the term system: hash-consing, simplification, path
+// algebra (inversion, agreement normalization), metrics, printing, and
+// the FOL translation of Table 1 column 2.
+#include <gtest/gtest.h>
+
+#include "ql/fol.h"
+#include "ql/print.h"
+#include "ql/term_factory.h"
+
+namespace oodb::ql {
+namespace {
+
+struct Fx {
+  SymbolTable symbols;
+  TermFactory f{&symbols};
+
+  ConceptId P(const char* name) { return f.Primitive(name); }
+  Attr A(const char* name, bool inv = false) {
+    return Attr{symbols.Intern(name), inv};
+  }
+};
+
+TEST(TermFactory, HashConsingGivesEqualIds) {
+  Fx fx;
+  EXPECT_EQ(fx.P("A"), fx.P("A"));
+  EXPECT_EQ(fx.f.And(fx.P("A"), fx.P("B")), fx.f.And(fx.P("A"), fx.P("B")));
+  EXPECT_NE(fx.f.And(fx.P("A"), fx.P("B")), fx.f.And(fx.P("B"), fx.P("A")));
+}
+
+TEST(TermFactory, AndSimplifications) {
+  Fx fx;
+  ConceptId a = fx.P("A");
+  EXPECT_EQ(fx.f.And(a, fx.f.Top()), a);
+  EXPECT_EQ(fx.f.And(fx.f.Top(), a), a);
+  EXPECT_EQ(fx.f.And(a, a), a);
+}
+
+TEST(TermFactory, AndAllFoldsRight) {
+  Fx fx;
+  ConceptId c = fx.f.AndAll({fx.P("A"), fx.P("B"), fx.P("C")});
+  const ConceptNode& n = fx.f.node(c);
+  ASSERT_EQ(n.kind, ConceptKind::kAnd);
+  EXPECT_EQ(n.lhs, fx.P("A"));
+  EXPECT_EQ(fx.f.node(n.rhs).lhs, fx.P("B"));
+  EXPECT_EQ(fx.f.AndAll({}), fx.f.Top());
+  EXPECT_EQ(fx.f.AndAll({fx.P("A")}), fx.P("A"));
+}
+
+TEST(TermFactory, PathInterning) {
+  Fx fx;
+  PathId p1 = fx.f.MakePath({{fx.A("a"), fx.P("A")}});
+  PathId p2 = fx.f.MakePath({{fx.A("a"), fx.P("A")}});
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, fx.f.MakePath({{fx.A("a", true), fx.P("A")}}));
+}
+
+TEST(TermFactory, PathAlgebra) {
+  Fx fx;
+  PathId p = fx.f.MakePath(
+      {{fx.A("a"), fx.P("A")}, {fx.A("b"), fx.P("B")}});
+  EXPECT_EQ(fx.f.Suffix(p, 0), p);
+  EXPECT_EQ(fx.f.Suffix(p, 1), fx.f.MakePath({{fx.A("b"), fx.P("B")}}));
+  EXPECT_EQ(fx.f.Suffix(p, 2), fx.f.EmptyPath());
+  EXPECT_EQ(fx.f.Concat(fx.f.EmptyPath(), p), p);
+  EXPECT_EQ(fx.f.Concat(p, fx.f.EmptyPath()), p);
+  EXPECT_EQ(fx.f.Cons({fx.A("a"), fx.P("A")},
+                      fx.f.MakePath({{fx.A("b"), fx.P("B")}})),
+            p);
+}
+
+TEST(TermFactory, InvertPathShiftsFilters) {
+  Fx fx;
+  // q = (a:A)(b:B)(c:C)  ⇒  q̃ = (c⁻¹:B)(b⁻¹:A)(a⁻¹:⊤), entry = C.
+  PathId q = fx.f.MakePath({{fx.A("a"), fx.P("A")},
+                            {fx.A("b"), fx.P("B")},
+                            {fx.A("c"), fx.P("C")}});
+  auto [inv, entry] = fx.f.InvertPath(q);
+  EXPECT_EQ(entry, fx.P("C"));
+  EXPECT_EQ(PathToString(fx.f, inv), "(c^-1: B)(b^-1: A)(a^-1: ⊤)");
+}
+
+TEST(TermFactory, AgreePairDegenerateCases) {
+  Fx fx;
+  PathId p = fx.f.MakePath({{fx.A("a"), fx.P("A")}});
+  EXPECT_EQ(fx.f.AgreePair(p, fx.f.EmptyPath()), fx.f.Agree(p));
+  EXPECT_EQ(fx.f.AgreePair(fx.f.EmptyPath(), p), fx.f.Agree(p));
+}
+
+TEST(TermFactory, AgreePairMergesEntryFilterIdempotently) {
+  Fx fx;
+  // p ends in Disease, q ends in Disease: the merged filter stays Disease
+  // (the paper's G₁ rewriting).
+  PathId p = fx.f.MakePath({{fx.A("a"), fx.P("Disease")}});
+  PathId q = fx.f.MakePath({{fx.A("b"), fx.P("Disease")}});
+  ConceptId agree = fx.f.AgreePair(p, q);
+  EXPECT_EQ(ConceptToString(fx.f, agree),
+            "∃(a: Disease)(b^-1: ⊤) ≐ ε");
+}
+
+TEST(TermFactory, ConceptSizeCountsPathsAndFilters) {
+  Fx fx;
+  EXPECT_EQ(fx.f.ConceptSize(fx.f.Top()), 1u);
+  EXPECT_EQ(fx.f.ConceptSize(fx.P("A")), 1u);
+  ConceptId c = fx.f.And(fx.P("A"), fx.P("B"));
+  EXPECT_EQ(fx.f.ConceptSize(c), 2u);
+  ConceptId e = fx.f.Exists(
+      fx.f.MakePath({{fx.A("a"), fx.P("A")}, {fx.A("b"), fx.f.Top()}}));
+  // 1 (∃) + (1 + 1) + (1 + 1).
+  EXPECT_EQ(fx.f.ConceptSize(e), 5u);
+}
+
+TEST(TermFactory, SubconceptsReachPathFilters) {
+  Fx fx;
+  ConceptId inner = fx.P("B");
+  ConceptId c = fx.f.And(
+      fx.P("A"), fx.f.Exists(fx.f.MakePath({{fx.A("a"), inner}})));
+  auto subs = fx.f.Subconcepts(c);
+  EXPECT_NE(std::find(subs.begin(), subs.end(), inner), subs.end());
+  EXPECT_NE(std::find(subs.begin(), subs.end(), fx.P("A")), subs.end());
+  EXPECT_NE(std::find(subs.begin(), subs.end(), c), subs.end());
+}
+
+TEST(Print, CoversEveryKind) {
+  Fx fx;
+  EXPECT_EQ(ConceptToString(fx.f, fx.f.Top()), "⊤");
+  EXPECT_EQ(ConceptToString(fx.f, fx.P("A")), "A");
+  EXPECT_EQ(ConceptToString(fx.f, fx.f.Singleton("c")), "{c}");
+  EXPECT_EQ(ConceptToString(fx.f, fx.f.All(fx.A("a"), fx.P("B"))), "∀a.B");
+  EXPECT_EQ(ConceptToString(fx.f, fx.f.AtMostOne(fx.A("a"))), "(≤1 a)");
+  EXPECT_EQ(ConceptToString(fx.f, fx.f.Exists(fx.f.EmptyPath())), "∃ε");
+  EXPECT_EQ(ConceptToString(fx.f, fx.f.Agree(fx.f.EmptyPath())), "∃ε ≐ ε");
+  EXPECT_EQ(ConceptToString(
+                fx.f, fx.f.ExistsAttr(fx.A("a", true))),
+            "∃(a^-1: ⊤)");
+}
+
+TEST(Fol, ConceptTranslationMatchesTable1) {
+  Fx fx;
+  FolVarGen vars(&fx.symbols);
+  FolTerm x = FolTerm::Var(fx.symbols.Intern("x"));
+
+  EXPECT_EQ(FormulaToString(fx.f, ConceptToFol(fx.f, fx.P("A"), x, vars)),
+            "A(x)");
+  EXPECT_EQ(FormulaToString(fx.f,
+                            ConceptToFol(fx.f, fx.f.Singleton("c"), x, vars)),
+            "x ≐ c");
+  ConceptId exists = fx.f.Exists(fx.f.MakePath({{fx.A("a"), fx.P("B")}}));
+  EXPECT_EQ(FormulaToString(fx.f, ConceptToFol(fx.f, exists, x, vars)),
+            "∃y1. a(x, y1) ∧ B(y1)");
+}
+
+TEST(Fol, AgreementTranslatesToALoop) {
+  Fx fx;
+  FolVarGen vars(&fx.symbols);
+  FolTerm x = FolTerm::Var(fx.symbols.Intern("x"));
+  ConceptId agree = fx.f.Agree(
+      fx.f.MakePath({{fx.A("a"), fx.f.Top()}, {fx.A("b", true), fx.f.Top()}}));
+  // (x a z) ∧ (x b z): the loop closes back at x; b is traversed inverted.
+  EXPECT_EQ(FormulaToString(fx.f, ConceptToFol(fx.f, agree, x, vars)),
+            "∃y1. a(x, y1) ∧ b(x, y1)");
+}
+
+TEST(Fol, SlFormsTranslate) {
+  Fx fx;
+  FolVarGen vars(&fx.symbols);
+  FolTerm x = FolTerm::Var(fx.symbols.Intern("x"));
+  EXPECT_EQ(FormulaToString(
+                fx.f, ConceptToFol(fx.f, fx.f.All(fx.A("a"), fx.P("B")), x,
+                                   vars)),
+            "∀y1. a(x, y1) → B(y1)");
+  EXPECT_EQ(FormulaToString(
+                fx.f,
+                ConceptToFol(fx.f, fx.f.AtMostOne(fx.A("a")), x, vars)),
+            "∀y2. ∀y3. (a(x, y2) ∧ a(x, y3)) → (y2 ≐ y3)");
+}
+
+TEST(Fol, EmptyPathIsIdentity) {
+  Fx fx;
+  FolVarGen vars(&fx.symbols);
+  FolTerm s = FolTerm::Var(fx.symbols.Intern("s"));
+  FolTerm t = FolTerm::Var(fx.symbols.Intern("t"));
+  EXPECT_EQ(FormulaToString(fx.f, PathToFol(fx.f, fx.f.EmptyPath(), s, t,
+                                            vars)),
+            "s ≐ t");
+}
+
+TEST(Fol, AxiomHelpers) {
+  Fx fx;
+  FolVarGen vars(&fx.symbols);
+  EXPECT_EQ(
+      FormulaToString(fx.f, InclusionAxiomToFol(fx.f,
+                                                fx.symbols.Intern("A"),
+                                                fx.P("B"), vars)),
+      "∀x. A(x) → B(x)");
+  EXPECT_EQ(FormulaToString(
+                fx.f, TypingAxiomToFol(fx.f, fx.symbols.Intern("p"),
+                                       fx.symbols.Intern("A"),
+                                       fx.symbols.Intern("B"), vars)),
+            "∀x. ∀y. p(x, y) → (A(x) ∧ B(y))");
+}
+
+}  // namespace
+}  // namespace oodb::ql

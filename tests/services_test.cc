@@ -1,0 +1,159 @@
+// Tests for the reasoning services: concept minimization and
+// classification.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "calculus/services.h"
+#include "calculus/subsumption.h"
+#include "gen/generators.h"
+#include "ql/print.h"
+#include "ql/term_factory.h"
+
+namespace oodb::calculus {
+namespace {
+
+struct Fx {
+  SymbolTable symbols;
+  ql::TermFactory f{&symbols};
+  schema::Schema sigma{&f};
+  Symbol S(const char* name) { return symbols.Intern(name); }
+  ql::Attr A(const char* name, bool inv = false) {
+    return ql::Attr{symbols.Intern(name), inv};
+  }
+};
+
+TEST(Minimize, DropsConjunctImpliedBySchema) {
+  Fx fx;
+  ASSERT_TRUE(fx.sigma.AddIsA(fx.S("Patient"), fx.S("Person")).ok());
+  SubsumptionChecker checker(fx.sigma);
+  // Patient ⊓ Person minimizes to Patient.
+  ql::ConceptId c = fx.f.And(fx.f.Primitive("Patient"),
+                             fx.f.Primitive("Person"));
+  auto m = MinimizeConcept(checker, &fx.f, c);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(*m, fx.f.Primitive("Patient"));
+}
+
+TEST(Minimize, DropsWeakerPathConjunct) {
+  Fx fx;
+  SubsumptionChecker checker(fx.sigma);
+  // ∃(a:⊤) ⊓ ∃(a:B)  →  ∃(a:B).
+  ql::ConceptId strict = fx.f.Exists(fx.f.Step(fx.A("a"),
+                                               fx.f.Primitive("B")));
+  ql::ConceptId loose = fx.f.Exists(fx.f.Step(fx.A("a"), fx.f.Top()));
+  auto m = MinimizeConcept(checker, &fx.f, fx.f.And(loose, strict));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(*m, strict);
+}
+
+TEST(Minimize, WeakensFilterImpliedBySchema) {
+  Fx fx;
+  // A ⊑ ∀a.B makes the B filter on a-steps from an A redundant.
+  ASSERT_TRUE(fx.sigma.AddValueRestriction(fx.S("A"), fx.S("a"),
+                                           fx.S("B")).ok());
+  SubsumptionChecker checker(fx.sigma);
+  ql::ConceptId c = fx.f.And(
+      fx.f.Primitive("A"),
+      fx.f.Exists(fx.f.Step(fx.A("a"), fx.f.Primitive("B"))));
+  auto m = MinimizeConcept(checker, &fx.f, c);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(ql::ConceptToString(fx.f, *m), "A ⊓ ∃(a: ⊤)");
+}
+
+TEST(Minimize, KeepsIrredundantConcepts) {
+  Fx fx;
+  SubsumptionChecker checker(fx.sigma);
+  ql::ConceptId c = fx.f.And(
+      fx.f.Primitive("A"),
+      fx.f.Exists(fx.f.Step(fx.A("a"), fx.f.Primitive("B"))));
+  auto m = MinimizeConcept(checker, &fx.f, c);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(*m, c);
+}
+
+TEST(Minimize, PreservesEquivalenceOnRandomInputs) {
+  Rng rng(606);
+  for (int round = 0; round < 80; ++round) {
+    SymbolTable symbols;
+    ql::TermFactory f(&symbols);
+    schema::Schema sigma(&f);
+    gen::GeneratedSchema sig = gen::GenerateSchema(&sigma, rng);
+    ql::ConceptId c = gen::GenerateConcept(sig, &f, rng);
+    // Add an explicitly redundant conjunct to have something to remove.
+    ql::ConceptId padded =
+        f.And(c, gen::WeakenConcept(sigma, &f, c, rng, 2));
+    SubsumptionChecker checker(sigma);
+    auto m = MinimizeConcept(checker, &f, padded);
+    ASSERT_TRUE(m.ok()) << m.status();
+    auto equivalent = checker.Equivalent(*m, padded);
+    ASSERT_TRUE(equivalent.ok());
+    EXPECT_TRUE(*equivalent) << ql::ConceptToString(f, padded) << "  vs  "
+                             << ql::ConceptToString(f, *m);
+    EXPECT_LE(f.ConceptSize(*m), f.ConceptSize(padded));
+  }
+}
+
+TEST(Classifier, BuildsTheMedicalHierarchy) {
+  Fx fx;
+  ASSERT_TRUE(fx.sigma.AddIsA(fx.S("Patient"), fx.S("Person")).ok());
+  SubsumptionChecker checker(fx.sigma);
+  Classifier classifier(checker);
+
+  ql::ConceptId any_person = fx.f.Primitive("Person");
+  ql::ConceptId any_patient = fx.f.Primitive("Patient");
+  ql::ConceptId sick = fx.f.And(
+      fx.f.Primitive("Patient"),
+      fx.f.Exists(fx.f.Step(fx.A("suffers"), fx.f.Primitive("Disease"))));
+  ASSERT_TRUE(classifier.Add(fx.S("AnyPerson"), any_person).ok());
+  ASSERT_TRUE(classifier.Add(fx.S("AnyPatient"), any_patient).ok());
+  ASSERT_TRUE(classifier.Add(fx.S("SickPatient"), sick).ok());
+  ASSERT_TRUE(classifier.Classify().ok());
+
+  EXPECT_EQ(classifier.Parents(fx.S("SickPatient")),
+            std::vector<Symbol>{fx.S("AnyPatient")});
+  EXPECT_EQ(classifier.Parents(fx.S("AnyPatient")),
+            std::vector<Symbol>{fx.S("AnyPerson")});
+  EXPECT_TRUE(classifier.Parents(fx.S("AnyPerson")).empty());
+  EXPECT_EQ(classifier.Children(fx.S("AnyPerson")),
+            std::vector<Symbol>{fx.S("AnyPatient")});
+}
+
+TEST(Classifier, DetectsEquivalents) {
+  Fx fx;
+  SubsumptionChecker checker(fx.sigma);
+  Classifier classifier(checker);
+  ql::ConceptId ab = fx.f.And(fx.f.Primitive("A"), fx.f.Primitive("B"));
+  ql::ConceptId ba = fx.f.And(fx.f.Primitive("B"), fx.f.Primitive("A"));
+  ASSERT_TRUE(classifier.Add(fx.S("AB"), ab).ok());
+  ASSERT_TRUE(classifier.Add(fx.S("BA"), ba).ok());
+  ASSERT_TRUE(classifier.Classify().ok());
+  EXPECT_EQ(classifier.Equivalents(fx.S("AB")),
+            std::vector<Symbol>{fx.S("BA")});
+}
+
+TEST(Classifier, SubsumersAreOrderedMostSpecificFirst) {
+  Fx fx;
+  ASSERT_TRUE(fx.sigma.AddIsA(fx.S("C1"), fx.S("C2")).ok());
+  ASSERT_TRUE(fx.sigma.AddIsA(fx.S("C2"), fx.S("C3")).ok());
+  SubsumptionChecker checker(fx.sigma);
+  Classifier classifier(checker);
+  ASSERT_TRUE(classifier.Add(fx.S("V2"), fx.f.Primitive("C2")).ok());
+  ASSERT_TRUE(classifier.Add(fx.S("V3"), fx.f.Primitive("C3")).ok());
+  ASSERT_TRUE(classifier.Classify().ok());
+  auto subsumers = classifier.SubsumersOf(fx.f.Primitive("C1"));
+  ASSERT_TRUE(subsumers.ok());
+  ASSERT_EQ(subsumers->size(), 2u);
+  EXPECT_EQ((*subsumers)[0], fx.S("V2"));  // most specific first
+  EXPECT_EQ((*subsumers)[1], fx.S("V3"));
+}
+
+TEST(Classifier, RejectsDuplicateNames) {
+  Fx fx;
+  SubsumptionChecker checker(fx.sigma);
+  Classifier classifier(checker);
+  ASSERT_TRUE(classifier.Add(fx.S("V"), fx.f.Primitive("A")).ok());
+  EXPECT_FALSE(classifier.Add(fx.S("V"), fx.f.Primitive("B")).ok());
+}
+
+}  // namespace
+}  // namespace oodb::calculus

@@ -1,0 +1,299 @@
+// oodbsub — command-line front end to the library.
+//
+//   oodbsub translate <schema.dl>
+//       print SL axioms, QL concepts of all query classes, FOL renderings
+//   oodbsub check <schema.dl> <query> <view>
+//       decide Σ-subsumption and explain the verdict
+//   oodbsub classify <schema.dl>
+//       classify all query classes into a subsumption hierarchy
+//   oodbsub minimize <schema.dl> <query>
+//       print the Σ-minimized concept of a query class
+//   oodbsub query <schema.dl> <state.odb> <query>
+//       evaluate a query class over a database state
+//   oodbsub optimize <schema.dl> <state.odb> <query> <view...>
+//       materialize the views and answer the query through the optimizer
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "base/status.h"
+#include "base/strings.h"
+#include "calculus/explain.h"
+#include "calculus/services.h"
+#include "calculus/subsumption.h"
+#include "db/database.h"
+#include "db/evaluator.h"
+#include "db/deduction.h"
+#include "db/instance.h"
+#include "dl/analyzer.h"
+#include "dl/printer.h"
+#include "dl/translate.h"
+#include "ql/fol.h"
+#include "ql/print.h"
+#include "schema/schema.h"
+#include "views/views.h"
+
+namespace {
+
+using namespace oodb;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError(StrCat("cannot open '", path, "'"));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Everything a subcommand needs: the parsed model, Σ and a translator.
+struct Session {
+  SymbolTable symbols;
+  std::unique_ptr<ql::TermFactory> terms;
+  std::unique_ptr<schema::Schema> sigma;
+  std::unique_ptr<dl::Model> model;
+  std::unique_ptr<dl::Translator> translator;
+
+  Status Open(const std::string& schema_path) {
+    OODB_ASSIGN_OR_RETURN(std::string source, ReadFile(schema_path));
+    terms = std::make_unique<ql::TermFactory>(&symbols);
+    sigma = std::make_unique<schema::Schema>(terms.get());
+    OODB_ASSIGN_OR_RETURN(dl::Model parsed,
+                          dl::ParseAndAnalyze(source, &symbols));
+    model = std::make_unique<dl::Model>(std::move(parsed));
+    for (const std::string& warning : model->warnings()) {
+      std::fprintf(stderr, "note: %s\n", warning.c_str());
+    }
+    translator = std::make_unique<dl::Translator>(*model, terms.get());
+    return translator->BuildSchema(sigma.get());
+  }
+
+  Result<ql::ConceptId> Concept(const std::string& name) {
+    Symbol s = symbols.Find(name);
+    if (!s.valid() || model->FindClass(s) == nullptr) {
+      return NotFoundError(StrCat("no class named '", name, "'"));
+    }
+    return translator->QueryConcept(s);
+  }
+};
+
+int CmdTranslate(Session& session) {
+  std::printf("schema axioms:\n");
+  for (const auto& ax : session.sigma->inclusions()) {
+    std::printf("  %s ⊑ %s\n", session.symbols.Name(ax.lhs).c_str(),
+                ql::ConceptToString(*session.terms, ax.rhs).c_str());
+  }
+  for (const auto& ax : session.sigma->typings()) {
+    std::printf("  %s ⊑ %s × %s\n", session.symbols.Name(ax.attr).c_str(),
+                session.symbols.Name(ax.domain).c_str(),
+                session.symbols.Name(ax.range).c_str());
+  }
+  std::printf("\nquery concepts:\n");
+  for (const dl::ClassDef& def : session.model->classes()) {
+    if (!def.is_query) continue;
+    auto concept_id = session.translator->QueryConcept(def.name);
+    if (!concept_id.ok()) return Fail(concept_id.status());
+    std::printf("  %s = %s\n", session.symbols.Name(def.name).c_str(),
+                ql::ConceptToString(*session.terms, *concept_id).c_str());
+    auto fol = session.translator->QueryClassToFol(def.name);
+    if (fol.ok()) {
+      std::printf("    ⇔ %s\n",
+                  ql::FormulaToString(*session.terms, *fol).c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdCheck(Session& session, const std::string& query,
+             const std::string& view) {
+  auto c = session.Concept(query);
+  if (!c.ok()) return Fail(c.status());
+  auto d = session.Concept(view);
+  if (!d.ok()) return Fail(d.status());
+  auto explanation =
+      calculus::ExplainSubsumption(*session.sigma, *c, *d);
+  if (!explanation.ok()) return Fail(explanation.status());
+  std::printf("%s %s %s\n\n%s", query.c_str(),
+              explanation->subsumed ? "⊑_Σ" : "⋢_Σ", view.c_str(),
+              explanation->text.c_str());
+  return explanation->subsumed ? 0 : 2;
+}
+
+int CmdClassify(Session& session) {
+  // Virtual classes are "integrated into the existing class hierarchy by
+  // a simple subsumption check" (paper Sect. 5, [AB91]/[SLT91]): classify
+  // query classes and schema classes together.
+  calculus::SubsumptionChecker checker(*session.sigma);
+  calculus::Classifier classifier(checker);
+  for (const dl::ClassDef& def : session.model->classes()) {
+    if (def.name == session.model->object_class) continue;
+    auto concept_id = def.is_query
+                          ? session.translator->QueryConcept(def.name)
+                          : Result<ql::ConceptId>(
+                                session.terms->Primitive(def.name));
+    if (!concept_id.ok()) return Fail(concept_id.status());
+    if (auto s = classifier.Add(def.name, *concept_id); !s.ok()) {
+      return Fail(s);
+    }
+  }
+  if (auto s = classifier.Classify(); !s.ok()) return Fail(s);
+  std::printf("%s", classifier.ToString(session.symbols).c_str());
+  return 0;
+}
+
+int CmdMinimize(Session& session, const std::string& query) {
+  auto c = session.Concept(query);
+  if (!c.ok()) return Fail(c.status());
+  calculus::SubsumptionChecker checker(*session.sigma);
+  auto minimized =
+      calculus::MinimizeConcept(checker, session.terms.get(), *c);
+  if (!minimized.ok()) return Fail(minimized.status());
+  std::printf("original : %s\n",
+              ql::ConceptToString(*session.terms, *c).c_str());
+  std::printf("minimized: %s\n",
+              ql::ConceptToString(*session.terms, *minimized).c_str());
+  return 0;
+}
+
+int CmdQuery(Session& session, const std::string& state_path,
+             const std::string& query) {
+  auto state = ReadFile(state_path);
+  if (!state.ok()) return Fail(state.status());
+  db::Database database(*session.model, &session.symbols);
+  auto loaded = db::LoadInstance(*state, &database);
+  if (!loaded.ok()) return Fail(loaded.status());
+  for (const std::string& violation : database.CheckLegalState()) {
+    std::fprintf(stderr, "warning: illegal state: %s\n", violation.c_str());
+  }
+  db::QueryEvaluator evaluator(database);
+  db::EvalStats stats;
+  auto answers = evaluator.Evaluate(session.symbols.Find(query), &stats);
+  if (!answers.ok()) return Fail(answers.status());
+  std::printf("%s over %zu objects (%zu candidates examined):\n",
+              query.c_str(), database.num_objects(),
+              stats.candidates_examined);
+  for (db::ObjectId o : *answers) {
+    std::printf("  %s\n",
+                session.symbols.Name(database.ObjectName(o)).c_str());
+  }
+  return 0;
+}
+
+int CmdOptimize(Session& session, const std::string& state_path,
+                const std::string& query,
+                const std::vector<std::string>& views) {
+  auto state = ReadFile(state_path);
+  if (!state.ok()) return Fail(state.status());
+  db::Database database(*session.model, &session.symbols);
+  auto loaded = db::LoadInstance(*state, &database);
+  if (!loaded.ok()) return Fail(loaded.status());
+
+  views::ViewCatalog catalog(&database, session.translator.get());
+  for (const std::string& view : views) {
+    if (auto s = catalog.DefineView(session.symbols.Find(view)); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("materialized %s (%zu answers)\n", view.c_str(),
+                catalog.Find(session.symbols.Find(view))->extent.size());
+  }
+  views::Optimizer optimizer(&database, &catalog, *session.sigma,
+                             session.translator.get());
+  views::QueryPlan plan;
+  db::EvalStats stats;
+  auto answers =
+      optimizer.Execute(session.symbols.Find(query), &plan, &stats);
+  if (!answers.ok()) return Fail(answers.status());
+  std::printf("plan: %s (%zu subsumption checks)\n",
+              plan.explanation.c_str(), plan.subsumption_checks);
+  std::printf("%s (%zu candidates examined):\n", query.c_str(),
+              stats.candidates_examined);
+  for (db::ObjectId o : *answers) {
+    std::printf("  %s\n",
+                session.symbols.Name(database.ObjectName(o)).c_str());
+  }
+  return 0;
+}
+
+int CmdPrint(Session& session) {
+  std::printf("%s",
+              dl::ModelToSource(*session.model, session.symbols).c_str());
+  return 0;
+}
+
+int CmdState(Session& session, const std::string& state_path, bool deduce) {
+  auto state = ReadFile(state_path);
+  if (!state.ok()) return Fail(state.status());
+  db::Database database(*session.model, &session.symbols);
+  auto loaded = db::LoadInstance(*state, &database);
+  if (!loaded.ok()) return Fail(loaded.status());
+  std::fprintf(stderr, "loaded %zu objects, %zu memberships, %zu triples\n",
+               loaded->objects, loaded->memberships, loaded->attributes);
+  if (deduce) {
+    auto stats = db::DeductiveClosure(&database);
+    if (!stats.ok()) return Fail(stats.status());
+    std::fprintf(stderr, "deduced %zu memberships in %zu rounds\n",
+                 stats->derived_memberships, stats->rounds);
+  }
+  auto violations = database.CheckLegalState();
+  for (const std::string& violation : violations) {
+    std::fprintf(stderr, "illegal: %s\n", violation.c_str());
+  }
+  std::fprintf(stderr, "state is %s\n",
+               violations.empty() ? "legal" : "ILLEGAL");
+  std::printf("%s", db::DumpInstance(database).c_str());
+  return violations.empty() ? 0 : 3;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  oodbsub translate <schema.dl>\n"
+      "  oodbsub print <schema.dl>\n"
+      "  oodbsub check <schema.dl> <query> <view>\n"
+      "  oodbsub classify <schema.dl>\n"
+      "  oodbsub minimize <schema.dl> <query>\n"
+      "  oodbsub query <schema.dl> <state.odb> <query>\n"
+      "  oodbsub optimize <schema.dl> <state.odb> <query> <view...>\n"
+      "  oodbsub state <schema.dl> <state.odb> [--deduce]\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+
+  Session session;
+  if (auto s = session.Open(argv[2]); !s.ok()) return Fail(s);
+
+  if (command == "translate" && argc == 3) return CmdTranslate(session);
+  if (command == "print" && argc == 3) return CmdPrint(session);
+  if (command == "state" && (argc == 4 || argc == 5)) {
+    bool deduce = argc == 5 && std::string(argv[4]) == "--deduce";
+    if (argc == 5 && !deduce) return Usage();
+    return CmdState(session, argv[3], deduce);
+  }
+  if (command == "check" && argc == 5) {
+    return CmdCheck(session, argv[3], argv[4]);
+  }
+  if (command == "classify" && argc == 3) return CmdClassify(session);
+  if (command == "minimize" && argc == 4) {
+    return CmdMinimize(session, argv[3]);
+  }
+  if (command == "query" && argc == 5) {
+    return CmdQuery(session, argv[3], argv[4]);
+  }
+  if (command == "optimize" && argc >= 6) {
+    std::vector<std::string> views(argv + 5, argv + argc);
+    return CmdOptimize(session, argv[3], argv[4], views);
+  }
+  return Usage();
+}
