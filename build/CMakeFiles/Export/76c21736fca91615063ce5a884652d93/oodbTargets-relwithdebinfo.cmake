@@ -1,0 +1,119 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "oodb::oodb_base" for configuration "RelWithDebInfo"
+set_property(TARGET oodb::oodb_base APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(oodb::oodb_base PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/liboodb_base.a"
+  )
+
+list(APPEND _cmake_import_check_targets oodb::oodb_base )
+list(APPEND _cmake_import_check_files_for_oodb::oodb_base "${_IMPORT_PREFIX}/lib/liboodb_base.a" )
+
+# Import target "oodb::oodb_ql" for configuration "RelWithDebInfo"
+set_property(TARGET oodb::oodb_ql APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(oodb::oodb_ql PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/liboodb_ql.a"
+  )
+
+list(APPEND _cmake_import_check_targets oodb::oodb_ql )
+list(APPEND _cmake_import_check_files_for_oodb::oodb_ql "${_IMPORT_PREFIX}/lib/liboodb_ql.a" )
+
+# Import target "oodb::oodb_schema" for configuration "RelWithDebInfo"
+set_property(TARGET oodb::oodb_schema APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(oodb::oodb_schema PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/liboodb_schema.a"
+  )
+
+list(APPEND _cmake_import_check_targets oodb::oodb_schema )
+list(APPEND _cmake_import_check_files_for_oodb::oodb_schema "${_IMPORT_PREFIX}/lib/liboodb_schema.a" )
+
+# Import target "oodb::oodb_interp" for configuration "RelWithDebInfo"
+set_property(TARGET oodb::oodb_interp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(oodb::oodb_interp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/liboodb_interp.a"
+  )
+
+list(APPEND _cmake_import_check_targets oodb::oodb_interp )
+list(APPEND _cmake_import_check_files_for_oodb::oodb_interp "${_IMPORT_PREFIX}/lib/liboodb_interp.a" )
+
+# Import target "oodb::oodb_calculus" for configuration "RelWithDebInfo"
+set_property(TARGET oodb::oodb_calculus APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(oodb::oodb_calculus PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/liboodb_calculus.a"
+  )
+
+list(APPEND _cmake_import_check_targets oodb::oodb_calculus )
+list(APPEND _cmake_import_check_files_for_oodb::oodb_calculus "${_IMPORT_PREFIX}/lib/liboodb_calculus.a" )
+
+# Import target "oodb::oodb_cq" for configuration "RelWithDebInfo"
+set_property(TARGET oodb::oodb_cq APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(oodb::oodb_cq PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/liboodb_cq.a"
+  )
+
+list(APPEND _cmake_import_check_targets oodb::oodb_cq )
+list(APPEND _cmake_import_check_files_for_oodb::oodb_cq "${_IMPORT_PREFIX}/lib/liboodb_cq.a" )
+
+# Import target "oodb::oodb_dl" for configuration "RelWithDebInfo"
+set_property(TARGET oodb::oodb_dl APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(oodb::oodb_dl PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/liboodb_dl.a"
+  )
+
+list(APPEND _cmake_import_check_targets oodb::oodb_dl )
+list(APPEND _cmake_import_check_files_for_oodb::oodb_dl "${_IMPORT_PREFIX}/lib/liboodb_dl.a" )
+
+# Import target "oodb::oodb_db" for configuration "RelWithDebInfo"
+set_property(TARGET oodb::oodb_db APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(oodb::oodb_db PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/liboodb_db.a"
+  )
+
+list(APPEND _cmake_import_check_targets oodb::oodb_db )
+list(APPEND _cmake_import_check_files_for_oodb::oodb_db "${_IMPORT_PREFIX}/lib/liboodb_db.a" )
+
+# Import target "oodb::oodb_views" for configuration "RelWithDebInfo"
+set_property(TARGET oodb::oodb_views APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(oodb::oodb_views PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/liboodb_views.a"
+  )
+
+list(APPEND _cmake_import_check_targets oodb::oodb_views )
+list(APPEND _cmake_import_check_files_for_oodb::oodb_views "${_IMPORT_PREFIX}/lib/liboodb_views.a" )
+
+# Import target "oodb::oodb_ext" for configuration "RelWithDebInfo"
+set_property(TARGET oodb::oodb_ext APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(oodb::oodb_ext PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/liboodb_ext.a"
+  )
+
+list(APPEND _cmake_import_check_targets oodb::oodb_ext )
+list(APPEND _cmake_import_check_files_for_oodb::oodb_ext "${_IMPORT_PREFIX}/lib/liboodb_ext.a" )
+
+# Import target "oodb::oodb_gen" for configuration "RelWithDebInfo"
+set_property(TARGET oodb::oodb_gen APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(oodb::oodb_gen PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/liboodb_gen.a"
+  )
+
+list(APPEND _cmake_import_check_targets oodb::oodb_gen )
+list(APPEND _cmake_import_check_files_for_oodb::oodb_gen "${_IMPORT_PREFIX}/lib/liboodb_gen.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

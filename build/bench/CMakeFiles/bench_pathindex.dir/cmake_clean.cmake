@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pathindex.dir/bench_pathindex.cc.o"
+  "CMakeFiles/bench_pathindex.dir/bench_pathindex.cc.o.d"
+  "bench_pathindex"
+  "bench_pathindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pathindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_optimizer.dir/medical_optimizer.cpp.o"
+  "CMakeFiles/medical_optimizer.dir/medical_optimizer.cpp.o.d"
+  "medical_optimizer"
+  "medical_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trader.dir/trader.cpp.o"
+  "CMakeFiles/trader.dir/trader.cpp.o.d"
+  "trader"
+  "trader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

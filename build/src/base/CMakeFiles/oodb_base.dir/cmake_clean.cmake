@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_base.dir/status.cc.o"
+  "CMakeFiles/oodb_base.dir/status.cc.o.d"
+  "CMakeFiles/oodb_base.dir/strings.cc.o"
+  "CMakeFiles/oodb_base.dir/strings.cc.o.d"
+  "CMakeFiles/oodb_base.dir/symbol.cc.o"
+  "CMakeFiles/oodb_base.dir/symbol.cc.o.d"
+  "liboodb_base.a"
+  "liboodb_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calculus/canonical.cc" "src/calculus/CMakeFiles/oodb_calculus.dir/canonical.cc.o" "gcc" "src/calculus/CMakeFiles/oodb_calculus.dir/canonical.cc.o.d"
+  "/root/repo/src/calculus/constraint.cc" "src/calculus/CMakeFiles/oodb_calculus.dir/constraint.cc.o" "gcc" "src/calculus/CMakeFiles/oodb_calculus.dir/constraint.cc.o.d"
+  "/root/repo/src/calculus/engine.cc" "src/calculus/CMakeFiles/oodb_calculus.dir/engine.cc.o" "gcc" "src/calculus/CMakeFiles/oodb_calculus.dir/engine.cc.o.d"
+  "/root/repo/src/calculus/explain.cc" "src/calculus/CMakeFiles/oodb_calculus.dir/explain.cc.o" "gcc" "src/calculus/CMakeFiles/oodb_calculus.dir/explain.cc.o.d"
+  "/root/repo/src/calculus/services.cc" "src/calculus/CMakeFiles/oodb_calculus.dir/services.cc.o" "gcc" "src/calculus/CMakeFiles/oodb_calculus.dir/services.cc.o.d"
+  "/root/repo/src/calculus/subsumption.cc" "src/calculus/CMakeFiles/oodb_calculus.dir/subsumption.cc.o" "gcc" "src/calculus/CMakeFiles/oodb_calculus.dir/subsumption.cc.o.d"
+  "/root/repo/src/calculus/trace.cc" "src/calculus/CMakeFiles/oodb_calculus.dir/trace.cc.o" "gcc" "src/calculus/CMakeFiles/oodb_calculus.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oodb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/ql/CMakeFiles/oodb_ql.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/oodb_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/oodb_interp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

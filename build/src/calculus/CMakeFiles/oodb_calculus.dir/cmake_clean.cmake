@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_calculus.dir/canonical.cc.o"
+  "CMakeFiles/oodb_calculus.dir/canonical.cc.o.d"
+  "CMakeFiles/oodb_calculus.dir/constraint.cc.o"
+  "CMakeFiles/oodb_calculus.dir/constraint.cc.o.d"
+  "CMakeFiles/oodb_calculus.dir/engine.cc.o"
+  "CMakeFiles/oodb_calculus.dir/engine.cc.o.d"
+  "CMakeFiles/oodb_calculus.dir/explain.cc.o"
+  "CMakeFiles/oodb_calculus.dir/explain.cc.o.d"
+  "CMakeFiles/oodb_calculus.dir/services.cc.o"
+  "CMakeFiles/oodb_calculus.dir/services.cc.o.d"
+  "CMakeFiles/oodb_calculus.dir/subsumption.cc.o"
+  "CMakeFiles/oodb_calculus.dir/subsumption.cc.o.d"
+  "CMakeFiles/oodb_calculus.dir/trace.cc.o"
+  "CMakeFiles/oodb_calculus.dir/trace.cc.o.d"
+  "liboodb_calculus.a"
+  "liboodb_calculus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_calculus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

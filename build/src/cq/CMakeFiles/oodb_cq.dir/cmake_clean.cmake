@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_cq.dir/cq.cc.o"
+  "CMakeFiles/oodb_cq.dir/cq.cc.o.d"
+  "CMakeFiles/oodb_cq.dir/multihead.cc.o"
+  "CMakeFiles/oodb_cq.dir/multihead.cc.o.d"
+  "liboodb_cq.a"
+  "liboodb_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/concept_eval.cc" "src/db/CMakeFiles/oodb_db.dir/concept_eval.cc.o" "gcc" "src/db/CMakeFiles/oodb_db.dir/concept_eval.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/oodb_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/oodb_db.dir/database.cc.o.d"
+  "/root/repo/src/db/deduction.cc" "src/db/CMakeFiles/oodb_db.dir/deduction.cc.o" "gcc" "src/db/CMakeFiles/oodb_db.dir/deduction.cc.o.d"
+  "/root/repo/src/db/evaluator.cc" "src/db/CMakeFiles/oodb_db.dir/evaluator.cc.o" "gcc" "src/db/CMakeFiles/oodb_db.dir/evaluator.cc.o.d"
+  "/root/repo/src/db/instance.cc" "src/db/CMakeFiles/oodb_db.dir/instance.cc.o" "gcc" "src/db/CMakeFiles/oodb_db.dir/instance.cc.o.d"
+  "/root/repo/src/db/path_index.cc" "src/db/CMakeFiles/oodb_db.dir/path_index.cc.o" "gcc" "src/db/CMakeFiles/oodb_db.dir/path_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oodb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/ql/CMakeFiles/oodb_ql.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/oodb_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/oodb_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

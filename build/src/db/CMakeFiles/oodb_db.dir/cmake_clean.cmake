@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_db.dir/concept_eval.cc.o"
+  "CMakeFiles/oodb_db.dir/concept_eval.cc.o.d"
+  "CMakeFiles/oodb_db.dir/database.cc.o"
+  "CMakeFiles/oodb_db.dir/database.cc.o.d"
+  "CMakeFiles/oodb_db.dir/deduction.cc.o"
+  "CMakeFiles/oodb_db.dir/deduction.cc.o.d"
+  "CMakeFiles/oodb_db.dir/evaluator.cc.o"
+  "CMakeFiles/oodb_db.dir/evaluator.cc.o.d"
+  "CMakeFiles/oodb_db.dir/instance.cc.o"
+  "CMakeFiles/oodb_db.dir/instance.cc.o.d"
+  "CMakeFiles/oodb_db.dir/path_index.cc.o"
+  "CMakeFiles/oodb_db.dir/path_index.cc.o.d"
+  "liboodb_db.a"
+  "liboodb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dl/analyzer.cc" "src/dl/CMakeFiles/oodb_dl.dir/analyzer.cc.o" "gcc" "src/dl/CMakeFiles/oodb_dl.dir/analyzer.cc.o.d"
+  "/root/repo/src/dl/lexer.cc" "src/dl/CMakeFiles/oodb_dl.dir/lexer.cc.o" "gcc" "src/dl/CMakeFiles/oodb_dl.dir/lexer.cc.o.d"
+  "/root/repo/src/dl/parser.cc" "src/dl/CMakeFiles/oodb_dl.dir/parser.cc.o" "gcc" "src/dl/CMakeFiles/oodb_dl.dir/parser.cc.o.d"
+  "/root/repo/src/dl/printer.cc" "src/dl/CMakeFiles/oodb_dl.dir/printer.cc.o" "gcc" "src/dl/CMakeFiles/oodb_dl.dir/printer.cc.o.d"
+  "/root/repo/src/dl/translate.cc" "src/dl/CMakeFiles/oodb_dl.dir/translate.cc.o" "gcc" "src/dl/CMakeFiles/oodb_dl.dir/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oodb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/ql/CMakeFiles/oodb_ql.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/oodb_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_dl.dir/analyzer.cc.o"
+  "CMakeFiles/oodb_dl.dir/analyzer.cc.o.d"
+  "CMakeFiles/oodb_dl.dir/lexer.cc.o"
+  "CMakeFiles/oodb_dl.dir/lexer.cc.o.d"
+  "CMakeFiles/oodb_dl.dir/parser.cc.o"
+  "CMakeFiles/oodb_dl.dir/parser.cc.o.d"
+  "CMakeFiles/oodb_dl.dir/printer.cc.o"
+  "CMakeFiles/oodb_dl.dir/printer.cc.o.d"
+  "CMakeFiles/oodb_dl.dir/translate.cc.o"
+  "CMakeFiles/oodb_dl.dir/translate.cc.o.d"
+  "liboodb_dl.a"
+  "liboodb_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

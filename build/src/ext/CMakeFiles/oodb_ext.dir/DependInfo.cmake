@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ext/brute_force.cc" "src/ext/CMakeFiles/oodb_ext.dir/brute_force.cc.o" "gcc" "src/ext/CMakeFiles/oodb_ext.dir/brute_force.cc.o.d"
+  "/root/repo/src/ext/chase.cc" "src/ext/CMakeFiles/oodb_ext.dir/chase.cc.o" "gcc" "src/ext/CMakeFiles/oodb_ext.dir/chase.cc.o.d"
+  "/root/repo/src/ext/disjunction.cc" "src/ext/CMakeFiles/oodb_ext.dir/disjunction.cc.o" "gcc" "src/ext/CMakeFiles/oodb_ext.dir/disjunction.cc.o.d"
+  "/root/repo/src/ext/families.cc" "src/ext/CMakeFiles/oodb_ext.dir/families.cc.o" "gcc" "src/ext/CMakeFiles/oodb_ext.dir/families.cc.o.d"
+  "/root/repo/src/ext/xconcept.cc" "src/ext/CMakeFiles/oodb_ext.dir/xconcept.cc.o" "gcc" "src/ext/CMakeFiles/oodb_ext.dir/xconcept.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oodb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/ql/CMakeFiles/oodb_ql.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/oodb_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/oodb_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/calculus/CMakeFiles/oodb_calculus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_ext.dir/brute_force.cc.o"
+  "CMakeFiles/oodb_ext.dir/brute_force.cc.o.d"
+  "CMakeFiles/oodb_ext.dir/chase.cc.o"
+  "CMakeFiles/oodb_ext.dir/chase.cc.o.d"
+  "CMakeFiles/oodb_ext.dir/disjunction.cc.o"
+  "CMakeFiles/oodb_ext.dir/disjunction.cc.o.d"
+  "CMakeFiles/oodb_ext.dir/families.cc.o"
+  "CMakeFiles/oodb_ext.dir/families.cc.o.d"
+  "CMakeFiles/oodb_ext.dir/xconcept.cc.o"
+  "CMakeFiles/oodb_ext.dir/xconcept.cc.o.d"
+  "liboodb_ext.a"
+  "liboodb_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

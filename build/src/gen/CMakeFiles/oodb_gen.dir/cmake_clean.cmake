@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_gen.dir/dl_gen.cc.o"
+  "CMakeFiles/oodb_gen.dir/dl_gen.cc.o.d"
+  "CMakeFiles/oodb_gen.dir/generators.cc.o"
+  "CMakeFiles/oodb_gen.dir/generators.cc.o.d"
+  "liboodb_gen.a"
+  "liboodb_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/eval.cc" "src/interp/CMakeFiles/oodb_interp.dir/eval.cc.o" "gcc" "src/interp/CMakeFiles/oodb_interp.dir/eval.cc.o.d"
+  "/root/repo/src/interp/interpretation.cc" "src/interp/CMakeFiles/oodb_interp.dir/interpretation.cc.o" "gcc" "src/interp/CMakeFiles/oodb_interp.dir/interpretation.cc.o.d"
+  "/root/repo/src/interp/model_gen.cc" "src/interp/CMakeFiles/oodb_interp.dir/model_gen.cc.o" "gcc" "src/interp/CMakeFiles/oodb_interp.dir/model_gen.cc.o.d"
+  "/root/repo/src/interp/signature.cc" "src/interp/CMakeFiles/oodb_interp.dir/signature.cc.o" "gcc" "src/interp/CMakeFiles/oodb_interp.dir/signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oodb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/ql/CMakeFiles/oodb_ql.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/oodb_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_interp.dir/eval.cc.o"
+  "CMakeFiles/oodb_interp.dir/eval.cc.o.d"
+  "CMakeFiles/oodb_interp.dir/interpretation.cc.o"
+  "CMakeFiles/oodb_interp.dir/interpretation.cc.o.d"
+  "CMakeFiles/oodb_interp.dir/model_gen.cc.o"
+  "CMakeFiles/oodb_interp.dir/model_gen.cc.o.d"
+  "CMakeFiles/oodb_interp.dir/signature.cc.o"
+  "CMakeFiles/oodb_interp.dir/signature.cc.o.d"
+  "liboodb_interp.a"
+  "liboodb_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ql/fol.cc" "src/ql/CMakeFiles/oodb_ql.dir/fol.cc.o" "gcc" "src/ql/CMakeFiles/oodb_ql.dir/fol.cc.o.d"
+  "/root/repo/src/ql/print.cc" "src/ql/CMakeFiles/oodb_ql.dir/print.cc.o" "gcc" "src/ql/CMakeFiles/oodb_ql.dir/print.cc.o.d"
+  "/root/repo/src/ql/term_factory.cc" "src/ql/CMakeFiles/oodb_ql.dir/term_factory.cc.o" "gcc" "src/ql/CMakeFiles/oodb_ql.dir/term_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oodb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

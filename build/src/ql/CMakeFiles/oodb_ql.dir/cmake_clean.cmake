@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_ql.dir/fol.cc.o"
+  "CMakeFiles/oodb_ql.dir/fol.cc.o.d"
+  "CMakeFiles/oodb_ql.dir/print.cc.o"
+  "CMakeFiles/oodb_ql.dir/print.cc.o.d"
+  "CMakeFiles/oodb_ql.dir/term_factory.cc.o"
+  "CMakeFiles/oodb_ql.dir/term_factory.cc.o.d"
+  "liboodb_ql.a"
+  "liboodb_ql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_ql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

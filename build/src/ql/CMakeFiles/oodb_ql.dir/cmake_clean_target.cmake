@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboodb_ql.a"
+)

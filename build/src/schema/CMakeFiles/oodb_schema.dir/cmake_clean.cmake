@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_schema.dir/schema.cc.o"
+  "CMakeFiles/oodb_schema.dir/schema.cc.o.d"
+  "liboodb_schema.a"
+  "liboodb_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_views.dir/views.cc.o"
+  "CMakeFiles/oodb_views.dir/views.cc.o.d"
+  "liboodb_views.a"
+  "liboodb_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_pathindex_test.dir/batch_pathindex_test.cc.o"
+  "CMakeFiles/batch_pathindex_test.dir/batch_pathindex_test.cc.o.d"
+  "batch_pathindex_test"
+  "batch_pathindex_test.pdb"
+  "batch_pathindex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_pathindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calculus_example_test.dir/calculus_example_test.cc.o"
+  "CMakeFiles/calculus_example_test.dir/calculus_example_test.cc.o.d"
+  "calculus_example_test"
+  "calculus_example_test.pdb"
+  "calculus_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calculus_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

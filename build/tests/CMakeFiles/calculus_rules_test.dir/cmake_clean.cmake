@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calculus_rules_test.dir/calculus_rules_test.cc.o"
+  "CMakeFiles/calculus_rules_test.dir/calculus_rules_test.cc.o.d"
+  "calculus_rules_test"
+  "calculus_rules_test.pdb"
+  "calculus_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calculus_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

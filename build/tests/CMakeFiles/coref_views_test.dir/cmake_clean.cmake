@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coref_views_test.dir/coref_views_test.cc.o"
+  "CMakeFiles/coref_views_test.dir/coref_views_test.cc.o.d"
+  "coref_views_test"
+  "coref_views_test.pdb"
+  "coref_views_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coref_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_views_test.dir/db_views_test.cc.o"
+  "CMakeFiles/db_views_test.dir/db_views_test.cc.o.d"
+  "db_views_test"
+  "db_views_test.pdb"
+  "db_views_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deduction_printer_test.dir/deduction_printer_test.cc.o"
+  "CMakeFiles/deduction_printer_test.dir/deduction_printer_test.cc.o.d"
+  "deduction_printer_test"
+  "deduction_printer_test.pdb"
+  "deduction_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deduction_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

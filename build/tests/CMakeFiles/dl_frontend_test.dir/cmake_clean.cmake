@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_frontend_test.dir/dl_frontend_test.cc.o"
+  "CMakeFiles/dl_frontend_test.dir/dl_frontend_test.cc.o.d"
+  "dl_frontend_test"
+  "dl_frontend_test.pdb"
+  "dl_frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

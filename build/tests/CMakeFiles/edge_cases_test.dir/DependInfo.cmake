@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/edge_cases_test.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/edge_cases_test.dir/edge_cases_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oodb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/ql/CMakeFiles/oodb_ql.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/oodb_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/oodb_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/calculus/CMakeFiles/oodb_calculus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/oodb_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/oodb_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/oodb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/oodb_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/oodb_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/oodb_gen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

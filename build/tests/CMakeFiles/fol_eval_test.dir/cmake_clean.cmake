@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fol_eval_test.dir/fol_eval_test.cc.o"
+  "CMakeFiles/fol_eval_test.dir/fol_eval_test.cc.o.d"
+  "fol_eval_test"
+  "fol_eval_test.pdb"
+  "fol_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fol_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

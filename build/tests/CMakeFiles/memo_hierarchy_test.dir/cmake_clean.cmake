@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_hierarchy_test.dir/memo_hierarchy_test.cc.o"
+  "CMakeFiles/memo_hierarchy_test.dir/memo_hierarchy_test.cc.o.d"
+  "memo_hierarchy_test"
+  "memo_hierarchy_test.pdb"
+  "memo_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

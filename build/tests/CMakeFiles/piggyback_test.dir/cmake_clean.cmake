@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyback_test.dir/piggyback_test.cc.o"
+  "CMakeFiles/piggyback_test.dir/piggyback_test.cc.o.d"
+  "piggyback_test"
+  "piggyback_test.pdb"
+  "piggyback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ql_term_test.dir/ql_term_test.cc.o"
+  "CMakeFiles/ql_term_test.dir/ql_term_test.cc.o.d"
+  "ql_term_test"
+  "ql_term_test.pdb"
+  "ql_term_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ql_term_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

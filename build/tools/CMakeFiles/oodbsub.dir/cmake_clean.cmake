@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodbsub.dir/oodbsub.cc.o"
+  "CMakeFiles/oodbsub.dir/oodbsub.cc.o.d"
+  "oodbsub"
+  "oodbsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodbsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for oodbsub.
+# This may be replaced when dependencies are built.
