@@ -1,0 +1,79 @@
+// Append-only, pointer-stable storage with lock-free indexed reads.
+//
+// SymbolTable and TermFactory serve two very different access patterns:
+// interning (rare after warm-up, needs a lock around the dedup index) and
+// id-to-payload lookup (the calculus hot path, millions of calls per
+// completion). ChunkedVector lets the lookup side run without any lock:
+// elements live in fixed-size chunks that never move, so a reference
+// obtained for id i stays valid forever, and growing the container never
+// relocates published elements the way std::vector does.
+#ifndef OODB_BASE_CHUNKED_H_
+#define OODB_BASE_CHUNKED_H_
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace oodb {
+
+// Concurrency contract:
+//   * push_back() calls must be serialized externally (the owner's intern
+//     mutex). A push_back publishes the element with a release store of
+//     size_, and new chunks with release stores of the chunk pointer.
+//   * operator[] / size() are lock-free. A reader may access any index it
+//     learned through a happens-before edge with the publishing
+//     push_back: thread start, or an acquire of the same mutex the writer
+//     held. Indexes taken from a racy size() poll additionally synchronize
+//     through the release/acquire pair on size_.
+//   * Elements must not be mutated after publication (readers take plain
+//     const references).
+template <typename T, size_t kChunkBits = 10>
+class ChunkedVector {
+ public:
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kMaxChunks = size_t{1} << 12;  // 4M elements
+
+  ChunkedVector() = default;
+  ~ChunkedVector() {
+    for (auto& slot : chunks_) {
+      delete[] slot.load(std::memory_order_relaxed);
+    }
+  }
+
+  ChunkedVector(const ChunkedVector&) = delete;
+  ChunkedVector& operator=(const ChunkedVector&) = delete;
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  const T& operator[](size_t i) const {
+    assert(i < size());
+    const T* chunk = chunks_[i >> kChunkBits].load(std::memory_order_acquire);
+    return chunk[i & (kChunkSize - 1)];
+  }
+
+  // Appends and returns the new element's index. External serialization
+  // required; see the contract above.
+  size_t push_back(T value) {
+    const size_t i = size_.load(std::memory_order_relaxed);
+    const size_t chunk_index = i >> kChunkBits;
+    assert(chunk_index < kMaxChunks && "ChunkedVector capacity exhausted");
+    T* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new T[kChunkSize]();
+      chunks_[chunk_index].store(chunk, std::memory_order_release);
+    }
+    chunk[i & (kChunkSize - 1)] = std::move(value);
+    size_.store(i + 1, std::memory_order_release);
+    return i;
+  }
+
+ private:
+  std::array<std::atomic<T*>, kMaxChunks> chunks_{};
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace oodb
+
+#endif  // OODB_BASE_CHUNKED_H_

@@ -7,19 +7,21 @@
 namespace oodb {
 
 SymbolTable::SymbolTable() {
-  names_.emplace_back("<invalid>");  // id 0 is the invalid sentinel.
+  names_.push_back(std::string("<invalid>"));  // id 0 is the sentinel.
 }
 
 Symbol SymbolTable::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(name);
   if (it != index_.end()) return Symbol(it->second);
   uint32_t id = static_cast<uint32_t>(names_.size());
-  names_.emplace_back(name);
-  index_.emplace(std::string_view(names_.back()), id);
+  size_t slot = names_.push_back(std::string(name));
+  index_.emplace(std::string_view(names_[slot]), id);
   return Symbol(id);
 }
 
 Symbol SymbolTable::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(name);
   if (it == index_.end()) return Symbol();
   return Symbol(it->second);
@@ -31,9 +33,14 @@ const std::string& SymbolTable::Name(Symbol s) const {
 }
 
 Symbol SymbolTable::Fresh(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (;;) {
     std::string candidate = StrCat(prefix, "#", ++fresh_counter_);
-    if (index_.find(candidate) == index_.end()) return Intern(candidate);
+    if (index_.find(candidate) != index_.end()) continue;
+    uint32_t id = static_cast<uint32_t>(names_.size());
+    size_t slot = names_.push_back(std::move(candidate));
+    index_.emplace(std::string_view(names_[slot]), id);
+    return Symbol(id);
   }
 }
 

@@ -8,11 +8,13 @@
 #define OODB_BASE_SYMBOL_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "base/chunked.h"
 
 namespace oodb {
 
@@ -38,8 +40,11 @@ class Symbol {
   uint32_t id_;
 };
 
-// Interns strings and hands out Symbols. Not thread-safe; each engine
-// instance owns one table.
+// Interns strings and hands out Symbols. Thread-safe: interning and
+// lookup-by-name serialize on an internal mutex, while Name(s) — the hot
+// read path of the calculus — is lock-free (stored strings never move
+// once published; see base/chunked.h for the memory-ordering contract).
+// Each engine instance owns one table.
 class SymbolTable {
  public:
   SymbolTable();
@@ -53,7 +58,7 @@ class SymbolTable {
   // Returns the symbol for `name` if present, or the invalid symbol.
   Symbol Find(std::string_view name) const;
 
-  // Returns the string for a valid symbol of this table.
+  // Returns the string for a valid symbol of this table. Lock-free.
   const std::string& Name(Symbol s) const;
 
   // Creates a fresh symbol guaranteed not to collide with any user-interned
@@ -65,12 +70,13 @@ class SymbolTable {
   size_t size() const { return names_.size() - 1; }
 
  private:
-  // A deque never relocates its elements, so string_view keys into the
-  // stored strings stay valid as the table grows (short strings live in
-  // the SSO buffer inside the string object itself).
-  std::deque<std::string> names_;
-  std::unordered_map<std::string_view, uint32_t> index_;
-  uint64_t fresh_counter_ = 0;
+  // Chunked storage never relocates its elements, so string_view keys into
+  // the stored strings stay valid as the table grows, and readers can
+  // resolve names without taking mu_.
+  ChunkedVector<std::string> names_;
+  std::unordered_map<std::string_view, uint32_t> index_;  // guarded by mu_
+  uint64_t fresh_counter_ = 0;                            // guarded by mu_
+  mutable std::mutex mu_;
 };
 
 }  // namespace oodb

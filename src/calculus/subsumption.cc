@@ -7,14 +7,10 @@ Result<bool> SubsumptionChecker::Subsumes(ql::ConceptId c,
   const uint64_t key =
       (static_cast<uint64_t>(c) << 32) | static_cast<uint64_t>(d);
   if (options_.memoize) {
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++cache_hits_;
-      return it->second;
-    }
+    if (std::optional<bool> cached = cache_.Lookup(key)) return *cached;
   }
   OODB_ASSIGN_OR_RETURN(SubsumptionOutcome outcome, SubsumesDetailed(c, d));
-  if (options_.memoize) cache_.emplace(key, outcome.subsumed);
+  if (options_.memoize) cache_.Insert(key, outcome.subsumed);
   return outcome.subsumed;
 }
 

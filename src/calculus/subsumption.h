@@ -3,11 +3,11 @@
 #ifndef OODB_CALCULUS_SUBSUMPTION_H_
 #define OODB_CALCULUS_SUBSUMPTION_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
 #include "calculus/engine.h"
+#include "calculus/memo_cache.h"
 #include "calculus/trace.h"
 #include "schema/schema.h"
 
@@ -34,16 +34,23 @@ struct CheckerOptions {
   // factory are append-only for the checker's lifetime and concept ids
   // are stable. Catalog scans and classification repeat many pairs.
   bool memoize = true;
+  // Entry budget for the sharded memo cache (see memo_cache.h).
+  size_t memo_capacity = size_t{1} << 20;
   EngineOptions engine;
 };
 
+// Thread-safe: any number of threads may call the const check methods on
+// one shared checker concurrently. Each call runs a private
+// CompletionEngine; the shared pieces — Σ (read-only), the term factory
+// (internally synchronized) and the sharded memo cache — all tolerate
+// concurrent use. See docs/optimizer.md, "Threading model".
 class SubsumptionChecker {
  public:
   using Options = CheckerOptions;
 
   explicit SubsumptionChecker(const schema::Schema& sigma,
                               Options options = Options())
-      : sigma_(sigma), options_(options) {}
+      : sigma_(sigma), options_(options), cache_(options.memo_capacity) {}
 
   // Whether C ⊑_Σ D. Fails on non-QL inputs or resource caps.
   Result<bool> Subsumes(ql::ConceptId c, ql::ConceptId d) const;
@@ -67,14 +74,14 @@ class SubsumptionChecker {
   const schema::Schema& sigma() const { return sigma_; }
 
   // Memoization statistics (0 when memoize is off).
-  size_t cache_hits() const { return cache_hits_; }
+  size_t cache_hits() const { return cache_.Stats().hits; }
   size_t cache_size() const { return cache_.size(); }
+  MemoCacheStats cache_stats() const { return cache_.Stats(); }
 
  private:
   const schema::Schema& sigma_;
   Options options_;
-  mutable std::unordered_map<uint64_t, bool> cache_;
-  mutable size_t cache_hits_ = 0;
+  mutable ShardedMemoCache cache_;
 };
 
 }  // namespace oodb::calculus

@@ -1,5 +1,7 @@
 #include "ext/brute_force.h"
 
+#include "interp/eval.h"
+
 namespace oodb::ext {
 
 bool XEval(const interp::Interpretation& interp, const XConceptPtr& c,
@@ -153,6 +155,41 @@ BruteForceResult BruteForceSubsumes(
           for (size_t e = 0; e < interp.domain_size(); ++e) {
             int x = static_cast<int>(e);
             if (XEval(interp, c, x) && !XEval(interp, d, x)) return true;
+          }
+          return false;
+        });
+    if (budget_hit) return result;  // undecided
+    if (found) {
+      result.decided = true;
+      result.subsumed = false;
+      result.countermodel_domain = domain;
+      return result;
+    }
+  }
+  result.decided = true;
+  result.subsumed = true;  // no countermodel up to the domain bound
+  return result;
+}
+
+BruteForceResult BruteForceSubsumesQl(
+    const schema::Schema& sigma, const ql::TermFactory& f, ql::ConceptId c,
+    ql::ConceptId d, const std::vector<Symbol>& concepts,
+    const std::vector<Symbol>& attrs, const std::vector<Symbol>& constants,
+    const BruteForceOptions& options) {
+  BruteForceResult result;
+  for (size_t domain = std::max<size_t>(1, constants.size());
+       domain <= options.max_domain; ++domain) {
+    auto [found, budget_hit] = Enumerate(
+        domain, concepts, attrs, constants, &result.interpretations,
+        options.max_interpretations,
+        [&](const interp::Interpretation& interp) {
+          if (!interp::IsModelOf(interp, sigma)) return false;
+          for (size_t e = 0; e < interp.domain_size(); ++e) {
+            int x = static_cast<int>(e);
+            if (interp::InConceptEval(interp, f, c, x) &&
+                !interp::InConceptEval(interp, f, d, x)) {
+              return true;
+            }
           }
           return false;
         });

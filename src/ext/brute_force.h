@@ -18,6 +18,7 @@
 #include "ext/chase.h"
 #include "ext/xconcept.h"
 #include "interp/interpretation.h"
+#include "schema/schema.h"
 
 namespace oodb::ext {
 
@@ -48,6 +49,21 @@ BruteForceResult BruteForceSubsumes(
     const ExtSchema& sigma, const XConceptPtr& c, const XConceptPtr& d,
     const std::vector<Symbol>& concepts, const std::vector<Symbol>& attrs,
     const std::vector<Symbol>& constants,
+    const BruteForceOptions& options = BruteForceOptions());
+
+// Core-language oracle: decides C ⊑_Σ D for pure QL concepts over an SL
+// schema by the same enumeration, evaluating Table-1 semantics directly
+// (interp::IsModelOf / interp::InConceptEval). Unlike the XConcept
+// overload this handles agreements, functional axioms and the UNA —
+// everything the core calculus supports — so it is the reference the
+// differential tests pin SubsumptionChecker against. Exact up to the
+// domain bound: by Props. 4.5/4.6 a non-subsumption always has a
+// countermodel of canonical-interpretation size, so callers that pick
+// max_domain from that size get an exact answer.
+BruteForceResult BruteForceSubsumesQl(
+    const schema::Schema& sigma, const ql::TermFactory& f, ql::ConceptId c,
+    ql::ConceptId d, const std::vector<Symbol>& concepts,
+    const std::vector<Symbol>& attrs, const std::vector<Symbol>& constants,
     const BruteForceOptions& options = BruteForceOptions());
 
 // Satisfiability of C w.r.t. Σ by the same enumeration.

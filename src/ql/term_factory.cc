@@ -7,22 +7,52 @@ namespace oodb::ql {
 TermFactory::TermFactory(SymbolTable* symbols) : symbols_(symbols) {
   assert(symbols != nullptr);
   concepts_.push_back(ConceptNode{});  // id 0: invalid sentinel.
-  size_cache_.push_back(0);
-  paths_.emplace_back();  // id 0: the empty path ε.
+  sizes_.push_back(0);
+  paths_.push_back({});  // id 0: the empty path ε.
   path_index_.emplace(std::vector<Restriction>{}, kEmptyPath);
   ConceptNode top;
   top.kind = ConceptKind::kTop;
   top_ = Intern(top);
 }
 
-ConceptId TermFactory::Intern(const ConceptNode& node) {
+size_t TermFactory::ComputeSizeLocked(const ConceptNode& node) const {
+  switch (node.kind) {
+    case ConceptKind::kTop:
+    case ConceptKind::kPrimitive:
+    case ConceptKind::kSingleton:
+    case ConceptKind::kAtMostOne:
+      return 1;
+    case ConceptKind::kAnd:
+      // Children are interned before their parents, so their sizes are
+      // already stored.
+      return sizes_[node.lhs] + sizes_[node.rhs];
+    case ConceptKind::kAll:
+      return 2;
+    case ConceptKind::kExists:
+    case ConceptKind::kAgree: {
+      size_t size = 1;
+      for (const Restriction& r : paths_[node.path]) {
+        size += 1 + sizes_[r.filter];
+      }
+      return size;
+    }
+  }
+  return 1;
+}
+
+ConceptId TermFactory::InternLocked(const ConceptNode& node) {
   auto it = concept_index_.find(node);
   if (it != concept_index_.end()) return it->second;
   ConceptId id = static_cast<ConceptId>(concepts_.size());
+  sizes_.push_back(ComputeSizeLocked(node));
   concepts_.push_back(node);
-  size_cache_.push_back(0);
   concept_index_.emplace(node, id);
   return id;
+}
+
+ConceptId TermFactory::Intern(const ConceptNode& node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InternLocked(node);
 }
 
 ConceptId TermFactory::Primitive(Symbol name) {
@@ -115,13 +145,18 @@ ConceptId TermFactory::AtMostOne(Attr attr) {
   return Intern(n);
 }
 
-PathId TermFactory::MakePath(std::vector<Restriction> restrictions) {
+PathId TermFactory::InternPathLocked(std::vector<Restriction> restrictions) {
   auto it = path_index_.find(restrictions);
   if (it != path_index_.end()) return it->second;
   PathId id = static_cast<PathId>(paths_.size());
   paths_.push_back(restrictions);
   path_index_.emplace(std::move(restrictions), id);
   return id;
+}
+
+PathId TermFactory::MakePath(std::vector<Restriction> restrictions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InternPathLocked(std::move(restrictions));
 }
 
 PathId TermFactory::Step(Attr attr, ConceptId filter) {
@@ -152,11 +187,12 @@ PathId TermFactory::Suffix(PathId p, size_t from) {
   if (from == 1) {
     // The calculus peels paths one restriction at a time; memoize the
     // common case so repeated completions don't rebuild the tail vector.
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = tail_cache_.find(p);
     if (it != tail_cache_.end()) return it->second;
-    const auto& pr = path(p);
+    const auto& pr = paths_[p];
     PathId tail =
-        MakePath(std::vector<Restriction>(pr.begin() + 1, pr.end()));
+        InternPathLocked(std::vector<Restriction>(pr.begin() + 1, pr.end()));
     tail_cache_.emplace(p, tail);
     return tail;
   }
@@ -165,8 +201,7 @@ PathId TermFactory::Suffix(PathId p, size_t from) {
 }
 
 std::pair<PathId, ConceptId> TermFactory::InvertPath(PathId q) {
-  // Copy: MakePath below may grow the path arena and invalidate references.
-  const std::vector<Restriction> qr = path(q);
+  const std::vector<Restriction>& qr = path(q);
   assert(!qr.empty() && "cannot invert the empty path");
   std::vector<Restriction> inv;
   inv.reserve(qr.size());
@@ -182,33 +217,7 @@ std::pair<PathId, ConceptId> TermFactory::InvertPath(PathId q) {
 
 size_t TermFactory::ConceptSize(ConceptId id) const {
   assert(id != kInvalidConcept && id < concepts_.size());
-  if (size_cache_[id] != 0) return size_cache_[id];
-  const ConceptNode& n = concepts_[id];
-  size_t size = 0;
-  switch (n.kind) {
-    case ConceptKind::kTop:
-    case ConceptKind::kPrimitive:
-    case ConceptKind::kSingleton:
-    case ConceptKind::kAtMostOne:
-      size = 1;
-      break;
-    case ConceptKind::kAnd:
-      size = ConceptSize(n.lhs) + ConceptSize(n.rhs);
-      break;
-    case ConceptKind::kAll:
-      size = 2;
-      break;
-    case ConceptKind::kExists:
-    case ConceptKind::kAgree: {
-      size = 1;
-      for (const Restriction& r : paths_[n.path]) {
-        size += 1 + ConceptSize(r.filter);
-      }
-      break;
-    }
-  }
-  size_cache_[id] = size;
-  return size;
+  return sizes_[id];
 }
 
 std::vector<ConceptId> TermFactory::Subconcepts(ConceptId id) const {

@@ -3,18 +3,29 @@
 #define OODB_QL_TERM_FACTORY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "base/chunked.h"
 #include "base/symbol.h"
 #include "ql/term.h"
 
 namespace oodb::ql {
 
 // Owns interned concepts and paths. One factory per engine instance; ids
-// from different factories must not be mixed. Not thread-safe.
+// from different factories must not be mixed.
+//
+// Thread-safe: constructors (everything that may intern) serialize on an
+// internal mutex, while the id-dereferencing accessors node() / path() /
+// ConceptSize() — the calculus hot path — are lock-free. Interned nodes
+// live in chunked storage that never relocates (base/chunked.h), so
+// references handed out to one thread stay valid while other threads
+// intern. A reader may dereference any id it obtained from its own intern
+// calls or from before its thread started; both give the happens-before
+// edge the contract requires.
 //
 // Constructors apply only the semantics-preserving simplifications the
 // paper itself uses when rewriting agreements (Sect. 4 example):
@@ -78,7 +89,7 @@ class TermFactory {
   // (e,d) ∈ q̃.
   std::pair<PathId, ConceptId> InvertPath(PathId q);
 
-  // --- Accessors --------------------------------------------------------
+  // --- Accessors (lock-free) --------------------------------------------
 
   const ConceptNode& node(ConceptId id) const { return concepts_[id]; }
   const std::vector<Restriction>& path(PathId id) const { return paths_[id]; }
@@ -93,6 +104,7 @@ class TermFactory {
   // recursively through ⊓ and path filters. ⊤ and ε count 1; {a}, A count
   // 1; C⊓D counts |C|+|D|; ∃p and ∃p≐ε count 1+|p| where each restriction
   // counts 1+|filter|; ∀P.A counts 2; (≤1 P) counts 1.
+  // Precomputed at intern time, so this is an O(1) lock-free read.
   size_t ConceptSize(ConceptId id) const;
 
   // Collects every distinct concept id reachable from `id` (through ⊓,
@@ -101,15 +113,22 @@ class TermFactory {
 
  private:
   ConceptId Intern(const ConceptNode& node);
+  ConceptId InternLocked(const ConceptNode& node);
+  PathId InternPathLocked(std::vector<Restriction> restrictions);
+  size_t ComputeSizeLocked(const ConceptNode& node) const;
 
   SymbolTable* symbols_;
-  std::vector<ConceptNode> concepts_;  // [0] is an invalid sentinel.
+  // Interned nodes; [0] is an invalid sentinel ([0] of paths_ is ε).
+  // Pointer-stable so accessors need no lock (see class comment).
+  ChunkedVector<ConceptNode> concepts_;
+  ChunkedVector<std::vector<Restriction>> paths_;
+  ChunkedVector<size_t> sizes_;  // ConceptSize, computed at intern time
+  // Dedup indexes and the Suffix(p, 1) memo; guarded by mu_.
   std::unordered_map<ConceptNode, ConceptId, ConceptNodeHash> concept_index_;
-  std::vector<std::vector<Restriction>> paths_;  // [0] is the empty path.
   std::unordered_map<std::vector<Restriction>, PathId, PathVecHash>
       path_index_;
-  mutable std::vector<size_t> size_cache_;  // 0 = not computed.
-  std::unordered_map<PathId, PathId> tail_cache_;  // Suffix(p, 1) memo
+  std::unordered_map<PathId, PathId> tail_cache_;
+  mutable std::mutex mu_;
   ConceptId top_;
 };
 

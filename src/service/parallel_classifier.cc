@@ -1,0 +1,62 @@
+#include "service/parallel_classifier.h"
+
+#include <thread>
+
+namespace oodb::service {
+
+namespace {
+
+size_t ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+ParallelClassifier::ParallelClassifier(const schema::Schema& sigma,
+                                       Options options)
+    : sigma_(sigma),
+      options_(options),
+      checker_(sigma, options.checker),
+      pool_(ResolveThreads(options.num_threads)) {}
+
+ClassificationReport ParallelClassifier::ClassifyBatch(
+    const std::vector<ql::ConceptId>& queries,
+    const std::vector<ql::ConceptId>& catalog) const {
+  ClassificationReport report;
+  report.per_query.resize(queries.size());
+  report.threads_used = pool_.size();
+  const auto start = std::chrono::steady_clock::now();
+
+  pool_.ParallelFor(queries.size(), [&](size_t i) {
+    QueryVerdicts& out = report.per_query[i];
+    if (options_.use_batch) {
+      Result<std::vector<bool>> verdicts =
+          checker_.SubsumesBatch(queries[i], catalog);
+      if (verdicts.ok()) {
+        out.subsumed_by = std::move(*verdicts);
+      } else {
+        out.status = verdicts.status();
+      }
+      return;
+    }
+    out.subsumed_by.reserve(catalog.size());
+    for (ql::ConceptId d : catalog) {
+      Result<bool> verdict = checker_.Subsumes(queries[i], d);
+      if (!verdict.ok()) {
+        out.status = verdict.status();
+        out.subsumed_by.clear();
+        return;
+      }
+      out.subsumed_by.push_back(*verdict);
+    }
+  });
+
+  report.wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - start);
+  report.cache = checker_.cache_stats();
+  return report;
+}
+
+}  // namespace oodb::service

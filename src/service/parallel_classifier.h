@@ -1,0 +1,90 @@
+// The concurrent front door of the optimizer: classify a batch of
+// incoming queries against a catalog of materialized-view concepts, using
+// every core.
+//
+// The paper's pitch (Sect. 1, 6) is that subsumption is cheap enough to
+// run on *every* incoming query; at ROADMAP traffic that means many
+// simultaneous C ⊑_Σ D checks against one shared schema and catalog. All
+// shared state is safe by construction: Σ is read-only after setup, the
+// term factory synchronizes interning internally (ql/term_factory.h), and
+// the checker's memo cache is sharded (calculus/memo_cache.h). Each
+// worker otherwise runs a private CompletionEngine.
+#ifndef OODB_SERVICE_PARALLEL_CLASSIFIER_H_
+#define OODB_SERVICE_PARALLEL_CLASSIFIER_H_
+
+#include <chrono>
+#include <vector>
+
+#include "base/status.h"
+#include "calculus/memo_cache.h"
+#include "calculus/subsumption.h"
+#include "ql/term.h"
+#include "schema/schema.h"
+#include "service/thread_pool.h"
+
+namespace oodb::service {
+
+struct ParallelClassifierOptions {
+  // Worker threads; 0 means std::thread::hardware_concurrency().
+  size_t num_threads = 0;
+  // Per-query strategy: true runs ONE batch completion per query against
+  // the whole catalog (SubsumesBatch, the catalog-scan fast path); false
+  // runs per-pair memoized Subsumes calls, which exercises — and fills —
+  // the sharded verdict cache for later point lookups.
+  bool use_batch = true;
+  calculus::CheckerOptions checker;
+};
+
+// Verdicts for one query, in catalog order.
+struct QueryVerdicts {
+  Status status = Status::Ok();      // per-query failure (resource caps, …)
+  std::vector<bool> subsumed_by;     // valid iff status.ok()
+};
+
+struct ClassificationReport {
+  std::vector<QueryVerdicts> per_query;  // input order
+  calculus::MemoCacheStats cache;        // checker cache, after the batch
+  size_t threads_used = 0;
+  std::chrono::nanoseconds wall{0};
+
+  // Queries whose verdict vector is valid.
+  size_t num_ok() const {
+    size_t n = 0;
+    for (const QueryVerdicts& v : per_query) n += v.status.ok();
+    return n;
+  }
+};
+
+class ParallelClassifier {
+ public:
+  using Options = ParallelClassifierOptions;
+
+  // `sigma` (and its term factory) must outlive the classifier.
+  explicit ParallelClassifier(const schema::Schema& sigma,
+                              Options options = Options());
+
+  // Decides queries[i] ⊑_Σ catalog[j] for every i, j, fanning queries
+  // across the pool. Each worker claims one query at a time and reuses
+  // the single-run batch completion across that query's whole catalog
+  // scan. Verdicts are returned in input order and are identical to a
+  // single-threaded run (the stress tests pin this).
+  ClassificationReport ClassifyBatch(
+      const std::vector<ql::ConceptId>& queries,
+      const std::vector<ql::ConceptId>& catalog) const;
+
+  // The shared, internally synchronized checker; hand it to
+  // calculus::Classifier & co. to reuse the warmed memo cache.
+  const calculus::SubsumptionChecker& checker() const { return checker_; }
+
+  size_t num_threads() const { return pool_.size(); }
+
+ private:
+  const schema::Schema& sigma_;
+  Options options_;
+  calculus::SubsumptionChecker checker_;
+  mutable ThreadPool pool_;
+};
+
+}  // namespace oodb::service
+
+#endif  // OODB_SERVICE_PARALLEL_CLASSIFIER_H_

@@ -1,0 +1,58 @@
+// A minimal fixed-size worker pool for the optimizer service.
+//
+// Deliberately tiny: the service's unit of work is one whole subsumption
+// batch (milliseconds), so a mutex-guarded queue is nowhere near the
+// bottleneck and keeps the pool auditable under TSan.
+#ifndef OODB_SERVICE_THREAD_POOL_H_
+#define OODB_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace oodb::service {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1). The pool is fixed for its
+  // lifetime.
+  explicit ThreadPool(size_t num_threads);
+  // Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  // Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. Multiple threads may
+  // Submit concurrently, but Wait assumes no new Submits race with it
+  // (callers coordinate one batch at a time, as ParallelClassifier does).
+  void Wait();
+
+  // Runs body(0..n-1) across the pool and blocks until all n calls have
+  // returned. Work is claimed dynamically, one index at a time.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::queue<std::function<void()>> queue_;  // guarded by mu_
+  size_t in_flight_ = 0;                     // guarded by mu_
+  bool shutdown_ = false;                    // guarded by mu_
+};
+
+}  // namespace oodb::service
+
+#endif  // OODB_SERVICE_THREAD_POOL_H_

@@ -13,10 +13,13 @@
 //   oodbsub optimize <schema.dl> <state.odb> <query> <view...>
 //       materialize the views and answer the query through the optimizer
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/status.h"
 #include "base/strings.h"
@@ -33,6 +36,7 @@
 #include "ql/fol.h"
 #include "ql/print.h"
 #include "schema/schema.h"
+#include "service/parallel_classifier.h"
 #include "views/views.h"
 
 namespace {
@@ -125,12 +129,11 @@ int CmdCheck(Session& session, const std::string& query,
   return explanation->subsumed ? 0 : 2;
 }
 
-int CmdClassify(Session& session) {
+int CmdClassify(Session& session, size_t threads) {
   // Virtual classes are "integrated into the existing class hierarchy by
   // a simple subsumption check" (paper Sect. 5, [AB91]/[SLT91]): classify
   // query classes and schema classes together.
-  calculus::SubsumptionChecker checker(*session.sigma);
-  calculus::Classifier classifier(checker);
+  std::vector<std::pair<Symbol, ql::ConceptId>> concepts;
   for (const dl::ClassDef& def : session.model->classes()) {
     if (def.name == session.model->object_class) continue;
     auto concept_id = def.is_query
@@ -138,9 +141,33 @@ int CmdClassify(Session& session) {
                           : Result<ql::ConceptId>(
                                 session.terms->Primitive(def.name));
     if (!concept_id.ok()) return Fail(concept_id.status());
-    if (auto s = classifier.Add(def.name, *concept_id); !s.ok()) {
-      return Fail(s);
-    }
+    concepts.emplace_back(def.name, *concept_id);
+  }
+
+  // With --threads=N, precompute the full pairwise verdict matrix on the
+  // service's worker pool; the classifier below then answers every one of
+  // its checks from the shared sharded memo cache. Output is identical to
+  // the single-threaded run by construction (and pinned by tests).
+  service::ParallelClassifierOptions options;
+  options.num_threads = threads;
+  options.use_batch = false;  // per-pair mode fills the verdict cache
+  service::ParallelClassifier parallel(*session.sigma, options);
+  if (threads > 1) {
+    std::vector<ql::ConceptId> ids;
+    ids.reserve(concepts.size());
+    for (const auto& [name, id] : concepts) ids.push_back(id);
+    service::ClassificationReport report = parallel.ClassifyBatch(ids, ids);
+    std::fprintf(stderr,
+                 "note: warmed %zu x %zu verdicts on %zu threads in %.1f ms "
+                 "(%llu cache insertions)\n",
+                 ids.size(), ids.size(), report.threads_used,
+                 static_cast<double>(report.wall.count()) / 1e6,
+                 static_cast<unsigned long long>(report.cache.insertions));
+  }
+
+  calculus::Classifier classifier(parallel.checker());
+  for (const auto& [name, id] : concepts) {
+    if (auto s = classifier.Add(name, id); !s.ok()) return Fail(s);
   }
   if (auto s = classifier.Classify(); !s.ok()) return Fail(s);
   std::printf("%s", classifier.ToString(session.symbols).c_str());
@@ -257,7 +284,7 @@ int Usage() {
       "  oodbsub translate <schema.dl>\n"
       "  oodbsub print <schema.dl>\n"
       "  oodbsub check <schema.dl> <query> <view>\n"
-      "  oodbsub classify <schema.dl>\n"
+      "  oodbsub classify <schema.dl> [--threads=N]\n"
       "  oodbsub minimize <schema.dl> <query>\n"
       "  oodbsub query <schema.dl> <state.odb> <query>\n"
       "  oodbsub optimize <schema.dl> <state.odb> <query> <view...>\n"
@@ -284,7 +311,16 @@ int main(int argc, char** argv) {
   if (command == "check" && argc == 5) {
     return CmdCheck(session, argv[3], argv[4]);
   }
-  if (command == "classify" && argc == 3) return CmdClassify(session);
+  if (command == "classify" && (argc == 3 || argc == 4)) {
+    size_t threads = 1;
+    if (argc == 4) {
+      std::string flag = argv[3];
+      if (flag.rfind("--threads=", 0) != 0) return Usage();
+      threads = std::strtoul(flag.c_str() + 10, nullptr, 10);
+      if (threads == 0) return Usage();
+    }
+    return CmdClassify(session, threads);
+  }
   if (command == "minimize" && argc == 4) {
     return CmdMinimize(session, argv[3]);
   }
