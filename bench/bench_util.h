@@ -96,6 +96,66 @@ inline void Section(const char* title) {
   std::printf("\n=== %s ===\n\n", title);
 }
 
+// Minimal machine-readable results: a flat JSON object, written with
+// stable key order so the checked-in BENCH_*.json artifacts diff cleanly
+// between runs. Values are numbers, booleans, or strings (keys and
+// string values here are bench-controlled; only quotes and backslashes
+// are escaped).
+class JsonWriter {
+ public:
+  void Add(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    fields_.emplace_back(key, buf);
+  }
+  // One unsigned overload: uint64_t and size_t are the same type on
+  // LP64, so a second one would be an illegal redeclaration.
+  void Add(const std::string& key, uint64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+  }
+  void Add(const std::string& key, int v) {
+    fields_.emplace_back(key, std::to_string(v));
+  }
+  void Add(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+  }
+  void Add(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, "\"" + Escape(v) + "\"");
+  }
+
+  std::string ToString() const {
+    std::string out = "{\n";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      out += "  \"" + Escape(fields_[i].first) + "\": " + fields_[i].second;
+      if (i + 1 < fields_.size()) out += ",";
+      out += "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string text = ToString();
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
 }  // namespace oodb::bench
 
 #endif  // OODB_BENCH_BENCH_UTIL_H_

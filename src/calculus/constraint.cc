@@ -38,6 +38,13 @@ Ind IndTable::NamedVar(const std::string& name) {
   return i;
 }
 
+void IndTable::Clear() {
+  infos_.clear();
+  constants_.clear();
+  num_variables_ = 0;
+  var_counter_ = 0;
+}
+
 bool ConstraintSystem::AddMemb(Ind s, ql::ConceptId c) {
   assert(c != ql::kInvalidConcept);
   if (!memb_set_.insert(MembKey(s, c)).second) return false;
@@ -96,7 +103,8 @@ const std::vector<ql::ConceptId>& ConstraintSystem::ConceptsOf(Ind s) const {
   return it == concepts_of_.end() ? kNoConcepts : it->second;
 }
 
-std::vector<Ind> ConstraintSystem::Fillers(Ind s, const ql::Attr& r) const {
+const std::vector<Ind>& ConstraintSystem::Fillers(Ind s,
+                                                  const ql::Attr& r) const {
   if (!r.inverted) return PrimFillers(s, r.prim);
   auto it = inv_fillers_.find(PairKey(s, r.prim.id()));
   return it == inv_fillers_.end() ? kNoInds : it->second;
@@ -141,6 +149,20 @@ void ConstraintSystem::Substitute(const std::function<Ind(Ind)>& map) {
   for (const MembFact& m : membs) AddMemb(map(m.s), m.c);
   for (const AttrFact& a : attrs) AddAttrPrim(map(a.s), a.p, map(a.t));
   for (const PathFact& p : paths) AddPath(map(p.s), p.p, map(p.t));
+}
+
+void ConstraintSystem::Clear() {
+  membs_.clear();
+  attrs_.clear();
+  paths_.clear();
+  memb_set_.clear();
+  attr_set_.clear();
+  path_set_.clear();
+  concepts_of_.clear();
+  prim_fillers_.clear();
+  inv_fillers_.clear();
+  path_targets_.clear();
+  neighbors_.clear();
 }
 
 }  // namespace oodb::calculus

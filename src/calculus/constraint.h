@@ -59,6 +59,10 @@ class IndTable {
   size_t size() const { return infos_.size(); }
   size_t num_variables() const { return num_variables_; }
 
+  // Forgets every individual but keeps allocated storage, so a pooled
+  // engine's next run starts without reallocating the registry.
+  void Clear();
+
  private:
   struct Info {
     bool is_constant = false;
@@ -115,7 +119,10 @@ class ConstraintSystem {
   const std::vector<ql::ConceptId>& ConceptsOf(Ind s) const;
 
   // All t with s R t, following inverses through the canonical storage.
-  std::vector<Ind> Fillers(Ind s, const ql::Attr& r) const;
+  // The reference stays valid while no NEW attribute fact is added (map
+  // values are reference-stable under rehash; only growth of this exact
+  // filler list invalidates iteration).
+  const std::vector<Ind>& Fillers(Ind s, const ql::Attr& r) const;
   // All t with s P t (primitive orientation only).
   const std::vector<Ind>& PrimFillers(Ind s, Symbol p) const;
   // Whether s has any P-filler (primitive orientation).
@@ -136,6 +143,10 @@ class ConstraintSystem {
   // Rewrites every individual through `map` (after a substitution merge),
   // collapsing duplicates. Rebuilds all indexes.
   void Substitute(const std::function<Ind(Ind)>& map);
+
+  // Drops every constraint but keeps the fact vectors' capacity and the
+  // index maps' bucket arrays (CompletionEngine::Reset scratch reuse).
+  void Clear();
 
  private:
   static size_t MembKey(Ind s, ql::ConceptId c) {

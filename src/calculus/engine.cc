@@ -126,8 +126,23 @@ Status CompletionEngine::Run(ql::ConceptId c, ql::ConceptId d) {
   return RunBatch(c, ds);
 }
 
+void CompletionEngine::Reset() {
+  inds_.Clear();
+  parents_.clear();
+  facts_.Clear();
+  goals_.Clear();
+  x0_ = Ind{};
+  d_ = ql::kInvalidConcept;
+  clash_ = false;
+  clash_reason_.clear();
+  stats_ = RunStats{};
+  trace_.clear();
+  ResetAllMarks();
+}
+
 Status CompletionEngine::RunBatch(ql::ConceptId c,
                                   const std::vector<ql::ConceptId>& ds) {
+  Reset();
   auto start = std::chrono::steady_clock::now();
   OODB_RETURN_IF_ERROR(ValidateQlConcept(*terms_, c));
   for (ql::ConceptId d : ds) {
@@ -367,7 +382,7 @@ CompletionEngine::PassResult CompletionEngine::SchemaPass() {
     for (size_t i = 0; i < facts_.membs().size(); ++i) {
       const MembFact m = facts_.membs()[i];
       // Copy: interning below may reallocate the concept arena.
-    const ConceptNode n = terms_->node(m.c);
+      const ConceptNode n = terms_->node(m.c);
       if (n.kind != ConceptKind::kPrimitive) continue;
       for (Symbol p : sigma_.NecessaryAttrs(n.sym)) {
         if (facts_.HasAnyPrimFiller(m.s, p)) continue;
@@ -410,8 +425,8 @@ CompletionEngine::PassResult CompletionEngine::SchemaPass() {
       }
     }
     for (const auto& [p, range] : sigma_.ValueRestrictionsOf(n.sym)) {
-      // Copy: AddMemb may grow the filler index when s has a self-loop.
-      const std::vector<Ind> fillers = facts_.PrimFillers(m.s, p);
+      // Reference stays valid: AddMemb never touches the filler index.
+      const std::vector<Ind>& fillers = facts_.PrimFillers(m.s, p);
       for (Ind t : fillers) {
         if (facts_.AddMemb(t, Prim(range))) {
           changed = true;
@@ -424,8 +439,9 @@ CompletionEngine::PassResult CompletionEngine::SchemaPass() {
       PassResult r = CheckFunctional(m.s, p, n.sym);
       if (r == PassResult::kRestart) return r;
     }
-    // S5 re-check for goals already sitting at s.
-    const std::vector<ConceptId> goal_concepts = goals_.ConceptsOf(m.s);
+    // S5 re-check for goals already sitting at s. Reference stays valid:
+    // ApplyS5For only adds attribute FACTS, never goal memberships.
+    const std::vector<ConceptId>& goal_concepts = goals_.ConceptsOf(m.s);
     for (ConceptId g : goal_concepts) changed |= ApplyS5For(m.s, g);
   }
 
@@ -433,9 +449,11 @@ CompletionEngine::PassResult CompletionEngine::SchemaPass() {
   //   S2 (attr side), S3 (typing), S4 (functional membs of s).
   while (schema_marks_.attr < facts_.attrs().size()) {
     const AttrFact a = facts_.attrs()[schema_marks_.attr++];
-    // Copy: AddMemb below may grow the underlying index when a.s == a.t.
-    const std::vector<ConceptId> source_concepts = facts_.ConceptsOf(a.s);
-    for (ConceptId c : source_concepts) {
+    // Scratch copy: AddMemb below grows this exact list when a.s == a.t
+    // (self-loop), so iterate a snapshot with reused capacity.
+    scratch_concepts_.assign(facts_.ConceptsOf(a.s).begin(),
+                             facts_.ConceptsOf(a.s).end());
+    for (ConceptId c : scratch_concepts_) {
       // Copy: interning below may reallocate the concept arena.
       const ConceptNode n = terms_->node(c);
       if (n.kind != ConceptKind::kPrimitive) continue;
@@ -540,8 +558,11 @@ bool CompletionEngine::GoalPass() {
   while (goal_marks_.attr < facts_.attrs().size()) {
     const AttrFact a = facts_.attrs()[goal_marks_.attr++];
     for (Ind u : {a.s, a.t}) {
-      const std::vector<ConceptId> goal_concepts = goals_.ConceptsOf(u);
-      for (ConceptId g : goal_concepts) {
+      // Scratch copy: G2/G3 add goal memberships, which grow this exact
+      // list when a filler of u is u itself (self-loop).
+      scratch_goals_.assign(goals_.ConceptsOf(u).begin(),
+                            goals_.ConceptsOf(u).end());
+      for (ConceptId g : scratch_goals_) {
         changed |= ApplyGoalStepRules(u, g);
       }
     }
@@ -601,8 +622,11 @@ bool CompletionEngine::ComposeForGoal(Ind s, ql::ConceptId goal_concept) {
           PathId tail = terms_->Suffix(n.path, 1);
           for (Ind t2 : facts_.Fillers(s, head.attr)) {
             if (!facts_.HasMemb(t2, head.filter)) continue;
-            const std::vector<Ind> targets = facts_.PathTargets(t2, tail);
-            for (Ind t : targets) {
+            // Scratch copy: AddPath inserts under (s, n.path), whose
+            // bucket key may collide with (t2, tail) in the index.
+            scratch_inds_.assign(facts_.PathTargets(t2, tail).begin(),
+                                 facts_.PathTargets(t2, tail).end());
+            for (Ind t : scratch_inds_) {
               if (facts_.AddPath(s, n.path, t)) {
                 changed = true;
                 OODB_TRACE(Rule::kC5,
@@ -640,8 +664,9 @@ bool CompletionEngine::ComposeForGoal(Ind s, ql::ConceptId goal_concept) {
 
 bool CompletionEngine::RecheckGoalsAt(Ind u) {
   bool changed = false;
-  // Copy: compositions may append to the goal-concept index of u.
-  const std::vector<ConceptId> goal_concepts = goals_.ConceptsOf(u);
+  // Reference stays valid: compositions only ever add FACTS (C1–C6),
+  // never goal memberships, so the goal-concept list cannot grow here.
+  const std::vector<ConceptId>& goal_concepts = goals_.ConceptsOf(u);
   for (ConceptId g : goal_concepts) changed |= ComposeForGoal(u, g);
   return changed;
 }
@@ -661,7 +686,9 @@ bool CompletionEngine::CompositionPass() {
   while (comp_marks_.memb < facts_.membs().size()) {
     const MembFact m = facts_.membs()[comp_marks_.memb++];
     changed |= RecheckGoalsAt(m.s);
-    const std::vector<Ind> neighbors = facts_.Neighbors(m.s);
+    // Reference stays valid: compositions never add attribute facts, so
+    // the neighbor lists cannot grow during the recheck.
+    const std::vector<Ind>& neighbors = facts_.Neighbors(m.s);
     for (Ind u : neighbors) changed |= RecheckGoalsAt(u);
   }
   while (comp_marks_.attr < facts_.attrs().size()) {
@@ -672,7 +699,7 @@ bool CompletionEngine::CompositionPass() {
   while (comp_marks_.path < facts_.paths().size()) {
     const PathFact p = facts_.paths()[comp_marks_.path++];
     changed |= RecheckGoalsAt(p.s);
-    const std::vector<Ind> neighbors = facts_.Neighbors(p.s);
+    const std::vector<Ind>& neighbors = facts_.Neighbors(p.s);
     for (Ind u : neighbors) changed |= RecheckGoalsAt(u);
   }
   return changed;

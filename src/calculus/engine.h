@@ -70,6 +70,13 @@ class CompletionEngine {
   // catalog wants: one decomposition of the query, n view checks.
   Status RunBatch(ql::ConceptId c, const std::vector<ql::ConceptId>& ds);
 
+  // Returns the engine to its pre-Run state while KEEPING allocated
+  // storage (constraint vectors, index buckets, scratch buffers), so a
+  // pooled engine's next run skips the allocation/teardown cost. Run and
+  // RunBatch call this themselves — a reused engine needs no manual
+  // Reset between runs.
+  void Reset();
+
   // --- Results (valid after a successful Run) ---------------------------
 
   bool clash() const { return clash_; }
@@ -153,6 +160,14 @@ class CompletionEngine {
   PassMarks goal_marks_;
   PassMarks comp_marks_;
   PassMarks schema_marks_;
+
+  // Reusable scratch for the few scan loops whose source list can grow
+  // (same-key append) while being iterated: copying into these reuses
+  // their capacity instead of allocating a fresh vector per trigger.
+  // Never borrowed across a nested rule call that could also use them.
+  std::vector<ql::ConceptId> scratch_concepts_;
+  std::vector<ql::ConceptId> scratch_goals_;
+  std::vector<Ind> scratch_inds_;
 };
 
 // Returns an error unless `c` is a pure QL concept (no ∀P.A / (≤1 P)

@@ -162,6 +162,25 @@ Status Classifier::Add(Symbol name, ql::ConceptId concept_id) {
 }
 
 Status Classifier::Classify() {
+  stats_ = ClassifyStats{};
+  stats_.concepts = names_.size();
+  stats_.pairwise_checks =
+      names_.size() < 2 ? 0 : names_.size() * (names_.size() - 1);
+  for (auto& [name, node] : nodes_) {
+    node.parents.clear();
+    node.children.clear();
+    node.equivalents.clear();
+  }
+  OODB_RETURN_IF_ERROR(mode_ == Mode::kPairwise ? ClassifyPairwise()
+                                                : ClassifyEnhanced());
+  stats_.checks_avoided = stats_.pairwise_checks > stats_.checks_performed
+                              ? stats_.pairwise_checks - stats_.checks_performed
+                              : 0;
+  classified_ = true;
+  return Status::Ok();
+}
+
+Status Classifier::ClassifyPairwise() {
   const size_t n = names_.size();
   // Full subsumption matrix (n² checks, each polynomial).
   std::vector<std::vector<bool>> below(n, std::vector<bool>(n, false));
@@ -171,16 +190,12 @@ Status Classifier::Classify() {
         below[i][j] = true;
         continue;
       }
+      ++stats_.checks_performed;
       OODB_ASSIGN_OR_RETURN(
           bool sub, checker_.Subsumes(nodes_.at(names_[i]).concept_id,
                                       nodes_.at(names_[j]).concept_id));
       below[i][j] = sub;
     }
-  }
-  for (auto& [name, node] : nodes_) {
-    node.parents.clear();
-    node.children.clear();
-    node.equivalents.clear();
   }
   for (size_t i = 0; i < n; ++i) {
     Node& node = nodes_.at(names_[i]);
@@ -205,7 +220,216 @@ Status Classifier::Classify() {
       }
     }
   }
-  classified_ = true;
+  return Status::Ok();
+}
+
+Status Classifier::ClassifyEnhanced() {
+  // Incremental insertion into a DAG of Σ-equivalence classes. The DAG
+  // edges are always the transitive reduction of the strict subsumption
+  // order on the classes inserted so far, so reachability answers "is
+  // this pair already decided?" for free — the source of the avoidance.
+  struct Class {
+    std::vector<Symbol> members;  // in insertion order
+    ql::ConceptId rep = ql::kInvalidConcept;
+    std::vector<size_t> parents;   // direct super-classes
+    std::vector<size_t> children;  // direct sub-classes
+  };
+  enum Verdict : char { kUndecided = 0, kYes, kNo };
+
+  std::vector<Class> classes;
+  std::unordered_map<Symbol, size_t> class_of;
+
+  for (Symbol name : names_) {
+    const ql::ConceptId c = nodes_.at(name).concept_id;
+    const size_t m = classes.size();
+
+    // Topological order of the current DAG, parents before children.
+    std::vector<size_t> topo;
+    topo.reserve(m);
+    {
+      std::vector<char> done(m, 0);
+      std::vector<size_t> stack;
+      for (size_t start = 0; start < m; ++start) {
+        if (done[start]) continue;
+        stack.push_back(start);
+        while (!stack.empty()) {
+          size_t y = stack.back();
+          bool ready = true;
+          for (size_t p : classes[y].parents) {
+            if (!done[p]) {
+              stack.push_back(p);
+              ready = false;
+            }
+          }
+          if (!ready) continue;
+          stack.pop_back();
+          if (done[y]) continue;
+          done[y] = 1;
+          topo.push_back(y);
+        }
+      }
+    }
+
+    // Top search: which classes subsume c? The subsumer set is upward
+    // closed (c ⊑ y and y ⊑ p give c ⊑ p), so once a class is out, every
+    // class below it is out without a check.
+    std::vector<char> up(m, kUndecided);
+    for (size_t y : topo) {
+      bool pruned = false;
+      for (size_t p : classes[y].parents) {
+        if (up[p] == kNo) {
+          pruned = true;
+          break;
+        }
+      }
+      if (pruned) {
+        up[y] = kNo;
+        continue;
+      }
+      ++stats_.checks_performed;
+      OODB_ASSIGN_OR_RETURN(bool sub, checker_.Subsumes(c, classes[y].rep));
+      up[y] = sub ? kYes : kNo;
+    }
+    // Direct parents = minimal subsumers = subsumer classes none of
+    // whose DAG children also subsume.
+    std::vector<size_t> direct_parents;
+    for (size_t y = 0; y < m; ++y) {
+      if (up[y] != kYes) continue;
+      bool minimal = true;
+      for (size_t ch : classes[y].children) {
+        if (up[ch] == kYes) {
+          minimal = false;
+          break;
+        }
+      }
+      if (minimal) direct_parents.push_back(y);
+    }
+
+    // Bottom search: which classes does c subsume? Any subsumee sits
+    // (weakly) below EVERY direct parent, so only the intersection of
+    // their down-sets is live; within it, a class whose child already
+    // failed fails too (ch ⊑ y ⊑ c would force ch ⊑ c).
+    std::vector<char> candidate(m, direct_parents.empty() ? char(1) : char(0));
+    if (!direct_parents.empty()) {
+      std::vector<char> reach(m, 0);
+      std::vector<size_t> stack;
+      for (size_t p : direct_parents) {
+        std::fill(reach.begin(), reach.end(), 0);
+        reach[p] = 1;
+        stack.push_back(p);
+        while (!stack.empty()) {
+          size_t y = stack.back();
+          stack.pop_back();
+          for (size_t ch : classes[y].children) {
+            if (!reach[ch]) {
+              reach[ch] = 1;
+              stack.push_back(ch);
+            }
+          }
+        }
+        for (size_t y = 0; y < m; ++y) {
+          if (p == direct_parents.front()) {
+            candidate[y] = reach[y];
+          } else {
+            candidate[y] = candidate[y] && reach[y];
+          }
+        }
+      }
+    }
+    std::vector<char> down(m, kNo);
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      size_t y = *it;
+      if (!candidate[y]) continue;  // y ⋢ some parent of c ⟹ y ⋢ c
+      bool pruned = false;
+      for (size_t ch : classes[y].children) {
+        if (down[ch] == kNo) {
+          pruned = true;
+          break;
+        }
+      }
+      if (pruned) continue;
+      ++stats_.checks_performed;
+      OODB_ASSIGN_OR_RETURN(bool sub, checker_.Subsumes(classes[y].rep, c));
+      down[y] = sub ? kYes : kNo;
+    }
+
+    // Equivalence: a class both above and below c absorbs the name
+    // (there can be at most one — distinct classes are never mutually
+    // subsuming).
+    size_t equiv = m;
+    for (size_t y = 0; y < m; ++y) {
+      if (up[y] == kYes && down[y] == kYes) {
+        equiv = y;
+        break;
+      }
+    }
+    if (equiv != m) {
+      classes[equiv].members.push_back(name);
+      class_of.emplace(name, equiv);
+      continue;
+    }
+
+    // New class: link to the direct parents and the maximal subsumees,
+    // then drop the parent↔child edges the new class now mediates
+    // (keeping the DAG transitively reduced).
+    std::vector<size_t> direct_children;
+    for (size_t y = 0; y < m; ++y) {
+      if (down[y] != kYes) continue;
+      bool maximal = true;
+      for (size_t p : classes[y].parents) {
+        if (down[p] == kYes) {
+          maximal = false;
+          break;
+        }
+      }
+      if (maximal) direct_children.push_back(y);
+    }
+    Class fresh;
+    fresh.members.push_back(name);
+    fresh.rep = c;
+    fresh.parents = direct_parents;
+    fresh.children = direct_children;
+    classes.push_back(std::move(fresh));
+    class_of.emplace(name, m);
+    auto erase_value = [](std::vector<size_t>* v, size_t value) {
+      v->erase(std::remove(v->begin(), v->end(), value), v->end());
+    };
+    for (size_t ch : direct_children) {
+      for (size_t p : direct_parents) {
+        erase_value(&classes[ch].parents, p);
+        erase_value(&classes[p].children, ch);
+      }
+      classes[ch].parents.push_back(m);
+    }
+    for (size_t p : direct_parents) classes[p].children.push_back(m);
+  }
+
+  // Expand the class DAG into the per-name lists of the pairwise
+  // rendering: every member of every adjacent class, in name-insertion
+  // order (which is exactly the pairwise loop order).
+  std::unordered_map<Symbol, size_t> name_index;
+  for (size_t i = 0; i < names_.size(); ++i) name_index.emplace(names_[i], i);
+  auto by_insertion = [&](std::vector<Symbol>* v) {
+    std::sort(v->begin(), v->end(), [&](Symbol a, Symbol b) {
+      return name_index.at(a) < name_index.at(b);
+    });
+  };
+  for (Symbol name : names_) {
+    Node& node = nodes_.at(name);
+    const Class& k = classes[class_of.at(name)];
+    for (Symbol other : k.members) {
+      if (other != name) node.equivalents.push_back(other);
+    }
+    for (size_t p : k.parents) {
+      for (Symbol other : classes[p].members) node.parents.push_back(other);
+    }
+    for (size_t ch : k.children) {
+      for (Symbol other : classes[ch].members) node.children.push_back(other);
+    }
+    by_insertion(&node.equivalents);
+    by_insertion(&node.parents);
+    by_insertion(&node.children);
+  }
   return Status::Ok();
 }
 

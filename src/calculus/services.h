@@ -53,8 +53,35 @@ Result<ql::ConceptId> CommonSubsumer(const SubsumptionChecker& checker,
 // Classifies named concepts into a subsumption hierarchy.
 class Classifier {
  public:
-  explicit Classifier(const SubsumptionChecker& checker)
-      : checker_(checker) {}
+  // Insertion strategy for Classify(). Both modes produce the identical
+  // DAG (pinned by tests/classify_traversal_test.cc); they differ only
+  // in how many subsumption checks they issue.
+  enum class Mode {
+    // Insert concepts one by one into the evolving equivalence-class DAG
+    // with a top search (most-general subsumers first) and a bottom
+    // search (most-specific subsumees, restricted to the down-set of the
+    // found parents), pruning by transitivity in both directions. On
+    // hierarchy-rich catalogs this skips the bulk of the n·(n-1) pairs.
+    kEnhancedTraversal,
+    // Full n·(n-1) subsumption matrix. The reference oracle; also the
+    // right choice for flat catalogs, where traversal cannot prune.
+    kPairwise,
+  };
+
+  // Check-accounting of the last Classify() run. `pairwise_checks` is
+  // what the full matrix would issue; `checks_performed` counts the
+  // Subsumes() calls actually made (the checker's own memo/pre-filter
+  // savings are a separate layer, see SubsumptionChecker::perf_stats).
+  struct ClassifyStats {
+    size_t concepts = 0;
+    size_t pairwise_checks = 0;
+    size_t checks_performed = 0;
+    size_t checks_avoided = 0;
+  };
+
+  explicit Classifier(const SubsumptionChecker& checker,
+                      Mode mode = Mode::kEnhancedTraversal)
+      : checker_(checker), mode_(mode) {}
 
   // Adds a named concept. Names must be unique.
   Status Add(Symbol name, ql::ConceptId concept_id);
@@ -74,6 +101,8 @@ class Classifier {
   Result<std::vector<Symbol>> SubsumersOf(ql::ConceptId concept_id) const;
 
   const std::vector<Symbol>& names() const { return names_; }
+  Mode mode() const { return mode_; }
+  const ClassifyStats& classify_stats() const { return stats_; }
 
   // Multi-line rendering of the hierarchy.
   std::string ToString(const SymbolTable& symbols) const;
@@ -86,7 +115,12 @@ class Classifier {
     std::vector<Symbol> equivalents;
   };
 
+  Status ClassifyPairwise();
+  Status ClassifyEnhanced();
+
   const SubsumptionChecker& checker_;
+  Mode mode_;
+  ClassifyStats stats_;
   std::vector<Symbol> names_;
   std::unordered_map<Symbol, Node> nodes_;
   bool classified_ = false;

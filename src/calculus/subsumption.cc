@@ -1,24 +1,73 @@
 #include "calculus/subsumption.h"
 
+#include <utility>
+
 namespace oodb::calculus {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+uint64_t PairMemoKey(ql::ConceptId c, ql::ConceptId d) {
+  return (static_cast<uint64_t>(c) << 32) | static_cast<uint64_t>(d);
+}
+}  // namespace
+
+SubsumptionChecker::EngineLease::EngineLease(
+    const SubsumptionChecker* checker)
+    : checker_(checker) {
+  checker_->pool_acquires_.fetch_add(1, kRelaxed);
+  {
+    std::lock_guard<std::mutex> lock(checker_->pool_mu_);
+    if (!checker_->pool_.empty()) {
+      engine_ = std::move(checker_->pool_.back());
+      checker_->pool_.pop_back();
+    }
+  }
+  if (engine_ != nullptr) {
+    checker_->pool_reuses_.fetch_add(1, kRelaxed);
+  } else {
+    engine_ = std::make_unique<CompletionEngine>(checker_->sigma_,
+                                                 checker_->options_.engine);
+  }
+}
+
+SubsumptionChecker::EngineLease::~EngineLease() {
+  std::lock_guard<std::mutex> lock(checker_->pool_mu_);
+  if (checker_->pool_.size() < checker_->options_.engine_pool_capacity) {
+    checker_->pool_.push_back(std::move(engine_));
+  }
+}
 
 Result<bool> SubsumptionChecker::Subsumes(ql::ConceptId c,
                                           ql::ConceptId d) const {
-  const uint64_t key =
-      (static_cast<uint64_t>(c) << 32) | static_cast<uint64_t>(d);
+  const uint64_t key = PairMemoKey(c, d);
   if (options_.memoize) {
     if (std::optional<bool> cached = cache_.Lookup(key)) return *cached;
   }
-  OODB_ASSIGN_OR_RETURN(SubsumptionOutcome outcome, SubsumesDetailed(c, d));
-  if (options_.memoize) cache_.Insert(key, outcome.subsumed);
-  return outcome.subsumed;
+  if (options_.prefilter) {
+    prefilter_checks_.fetch_add(1, kRelaxed);
+    if (prefilter_.Check(c, d) == PreFilterVerdict::kReject) {
+      prefilter_rejections_.fetch_add(1, kRelaxed);
+      if (options_.memoize) cache_.Insert(key, false);
+      return false;
+    }
+  }
+  EngineLease engine(this);
+  engine_runs_.fetch_add(1, kRelaxed);
+  OODB_RETURN_IF_ERROR(engine->Run(c, d));
+  const bool subsumed = engine->clash() || engine->GoalFactHolds();
+  if (options_.memoize) cache_.Insert(key, subsumed);
+  return subsumed;
 }
 
 Result<SubsumptionOutcome> SubsumptionChecker::SubsumesDetailed(
     ql::ConceptId c, ql::ConceptId d) const {
+  // Fresh engine, never pooled: record_trace may differ from the pool's
+  // engine options, and the explain path must stay a pure oracle.
   CompletionEngine::Options engine_options = options_.engine;
   engine_options.record_trace = options_.record_trace;
   CompletionEngine engine(sigma_, engine_options);
+  engine_runs_.fetch_add(1, kRelaxed);
   OODB_RETURN_IF_ERROR(engine.Run(c, d));
   SubsumptionOutcome outcome;
   outcome.via_clash = engine.clash();
@@ -30,20 +79,46 @@ Result<SubsumptionOutcome> SubsumptionChecker::SubsumesDetailed(
 
 Result<std::vector<bool>> SubsumptionChecker::SubsumesBatch(
     ql::ConceptId c, const std::vector<ql::ConceptId>& ds) const {
-  CompletionEngine engine(sigma_, options_.engine);
-  OODB_RETURN_IF_ERROR(engine.RunBatch(c, ds));
-  std::vector<bool> verdicts;
-  verdicts.reserve(ds.size());
-  for (ql::ConceptId d : ds) {
-    verdicts.push_back(engine.clash() || engine.GoalFactHoldsFor(d));
+  std::vector<bool> verdicts(ds.size(), false);
+  // Pre-filter each goal first: a rejected Dᵢ is a non-subsumption no
+  // matter what the completion does (the filter abstains whenever the
+  // clash branch of Theorem 4.7 is live), so it need not join the run.
+  std::vector<ql::ConceptId> live;
+  std::vector<size_t> positions;
+  if (options_.prefilter) {
+    live.reserve(ds.size());
+    positions.reserve(ds.size());
+    for (size_t i = 0; i < ds.size(); ++i) {
+      prefilter_checks_.fetch_add(1, kRelaxed);
+      if (prefilter_.Check(c, ds[i]) == PreFilterVerdict::kReject) {
+        prefilter_rejections_.fetch_add(1, kRelaxed);
+        continue;
+      }
+      live.push_back(ds[i]);
+      positions.push_back(i);
+    }
+  } else {
+    live = ds;
+    positions.resize(ds.size());
+    for (size_t i = 0; i < ds.size(); ++i) positions[i] = i;
+  }
+  if (live.empty()) return verdicts;
+
+  EngineLease engine(this);
+  engine_runs_.fetch_add(1, kRelaxed);
+  OODB_RETURN_IF_ERROR(engine->RunBatch(c, live));
+  for (size_t i = 0; i < live.size(); ++i) {
+    verdicts[positions[i]] =
+        engine->clash() || engine->GoalFactHoldsFor(live[i]);
   }
   return verdicts;
 }
 
 Result<bool> SubsumptionChecker::Satisfiable(ql::ConceptId c) const {
-  CompletionEngine engine(sigma_, options_.engine);
-  OODB_RETURN_IF_ERROR(engine.Run(c, ql::kInvalidConcept));
-  return !engine.clash();
+  EngineLease engine(this);
+  engine_runs_.fetch_add(1, kRelaxed);
+  OODB_RETURN_IF_ERROR(engine->Run(c, ql::kInvalidConcept));
+  return !engine->clash();
 }
 
 Result<bool> SubsumptionChecker::Equivalent(ql::ConceptId c,
@@ -51,6 +126,17 @@ Result<bool> SubsumptionChecker::Equivalent(ql::ConceptId c,
   OODB_ASSIGN_OR_RETURN(bool forward, Subsumes(c, d));
   if (!forward) return false;
   return Subsumes(d, c);
+}
+
+CheckerPerfStats SubsumptionChecker::perf_stats() const {
+  CheckerPerfStats s;
+  s.engine_runs = engine_runs_.load(kRelaxed);
+  s.prefilter_checks = prefilter_checks_.load(kRelaxed);
+  s.prefilter_rejections = prefilter_rejections_.load(kRelaxed);
+  s.pool_acquires = pool_acquires_.load(kRelaxed);
+  s.pool_reuses = pool_reuses_.load(kRelaxed);
+  s.cache = cache_.Stats();
+  return s;
 }
 
 }  // namespace oodb::calculus

@@ -3,11 +3,15 @@
 #ifndef OODB_CALCULUS_SUBSUMPTION_H_
 #define OODB_CALCULUS_SUBSUMPTION_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "base/status.h"
 #include "calculus/engine.h"
 #include "calculus/memo_cache.h"
+#include "calculus/prefilter.h"
 #include "calculus/trace.h"
 #include "schema/schema.h"
 
@@ -36,32 +40,60 @@ struct CheckerOptions {
   bool memoize = true;
   // Entry budget for the sharded memo cache (see memo_cache.h).
   size_t memo_capacity = size_t{1} << 20;
+  // Structural pre-filter: test the cheap necessary condition of
+  // prefilter.h before spinning up a completion engine. Never changes a
+  // verdict (soundness pinned by tests/prefilter_soundness_test.cc);
+  // disable only for oracle/ablation comparisons.
+  bool prefilter = true;
+  // Upper bound on idle engines kept for reuse (see perf_stats()).
+  size_t engine_pool_capacity = 64;
   EngineOptions engine;
 };
 
+// Check-avoidance counters, aggregated across all threads (monotone;
+// snapshot via perf_stats()). `engine_runs` counts completions actually
+// performed; the difference to `prefilter_checks` + memo hits is the
+// work the avoidance layer saved.
+struct CheckerPerfStats {
+  uint64_t engine_runs = 0;
+  uint64_t prefilter_checks = 0;
+  uint64_t prefilter_rejections = 0;
+  uint64_t pool_acquires = 0;  // engine leases handed out
+  uint64_t pool_reuses = 0;    // leases served from the pool (no ctor)
+  MemoCacheStats cache;
+};
+
 // Thread-safe: any number of threads may call the const check methods on
-// one shared checker concurrently. Each call runs a private
-// CompletionEngine; the shared pieces — Σ (read-only), the term factory
-// (internally synchronized) and the sharded memo cache — all tolerate
-// concurrent use. See docs/optimizer.md, "Threading model".
+// one shared checker concurrently. Each call leases a private
+// CompletionEngine from a mutex-guarded pool (engines are Reset-reused,
+// never shared while leased); the shared pieces — Σ (read-only), the
+// term factory (internally synchronized), the signature index of the
+// pre-filter and the sharded memo cache — all tolerate concurrent use.
+// See docs/optimizer.md, "Threading model" and "Check avoidance".
 class SubsumptionChecker {
  public:
   using Options = CheckerOptions;
 
   explicit SubsumptionChecker(const schema::Schema& sigma,
                               Options options = Options())
-      : sigma_(sigma), options_(options), cache_(options.memo_capacity) {}
+      : sigma_(sigma),
+        options_(options),
+        cache_(options.memo_capacity),
+        prefilter_(sigma) {}
 
   // Whether C ⊑_Σ D. Fails on non-QL inputs or resource caps.
   Result<bool> Subsumes(ql::ConceptId c, ql::ConceptId d) const;
 
   // Decides C ⊑_Σ Dᵢ for every Dᵢ with a SINGLE completion run (the
   // catalog-scan fast path; see CompletionEngine::RunBatch for why this
-  // is sound). Returns one verdict per input, in order.
+  // is sound). Pre-filtered Dᵢ are answered without entering the run.
+  // Returns one verdict per input, in order.
   Result<std::vector<bool>> SubsumesBatch(
       ql::ConceptId c, const std::vector<ql::ConceptId>& ds) const;
 
-  // Subsumes with statistics and optional trace.
+  // Subsumes with statistics and optional trace. Always performs the
+  // full completion (no pre-filter short-cut, fresh engine): this is the
+  // explanation path and the reference oracle.
   Result<SubsumptionOutcome> SubsumesDetailed(ql::ConceptId c,
                                               ql::ConceptId d) const;
 
@@ -72,16 +104,47 @@ class SubsumptionChecker {
   Result<bool> Equivalent(ql::ConceptId c, ql::ConceptId d) const;
 
   const schema::Schema& sigma() const { return sigma_; }
+  const StructuralPreFilter& prefilter() const { return prefilter_; }
 
   // Memoization statistics (0 when memoize is off).
   size_t cache_hits() const { return cache_.Stats().hits; }
   size_t cache_size() const { return cache_.size(); }
   MemoCacheStats cache_stats() const { return cache_.Stats(); }
 
+  // Snapshot of the check-avoidance counters.
+  CheckerPerfStats perf_stats() const;
+
  private:
+  // RAII lease of a pooled engine: acquired from the freelist (or
+  // constructed on miss), returned on destruction. RunBatch Resets the
+  // engine itself, so a reused engine carries no state — only capacity.
+  class EngineLease {
+   public:
+    explicit EngineLease(const SubsumptionChecker* checker);
+    ~EngineLease();
+    EngineLease(const EngineLease&) = delete;
+    EngineLease& operator=(const EngineLease&) = delete;
+    CompletionEngine* operator->() { return engine_.get(); }
+    CompletionEngine& operator*() { return *engine_; }
+
+   private:
+    const SubsumptionChecker* checker_;
+    std::unique_ptr<CompletionEngine> engine_;
+  };
+
   const schema::Schema& sigma_;
   Options options_;
   mutable ShardedMemoCache cache_;
+  StructuralPreFilter prefilter_;
+
+  mutable std::mutex pool_mu_;
+  mutable std::vector<std::unique_ptr<CompletionEngine>> pool_;  // guarded
+
+  mutable std::atomic<uint64_t> engine_runs_{0};
+  mutable std::atomic<uint64_t> prefilter_checks_{0};
+  mutable std::atomic<uint64_t> prefilter_rejections_{0};
+  mutable std::atomic<uint64_t> pool_acquires_{0};
+  mutable std::atomic<uint64_t> pool_reuses_{0};
 };
 
 }  // namespace oodb::calculus

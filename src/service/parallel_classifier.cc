@@ -56,6 +56,7 @@ ClassificationReport ParallelClassifier::ClassifyBatch(
   report.wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - start);
   report.cache = checker_.cache_stats();
+  report.perf = checker_.perf_stats();
   return report;
 }
 

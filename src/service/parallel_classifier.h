@@ -44,6 +44,9 @@ struct QueryVerdicts {
 struct ClassificationReport {
   std::vector<QueryVerdicts> per_query;  // input order
   calculus::MemoCacheStats cache;        // checker cache, after the batch
+  // Check-avoidance counters of the shared checker, after the batch
+  // (cumulative over the checker's lifetime, like `cache`).
+  calculus::CheckerPerfStats perf;
   size_t threads_used = 0;
   std::chrono::nanoseconds wall{0};
 

@@ -1,0 +1,148 @@
+// The enhanced-traversal classifier must produce the IDENTICAL DAG —
+// parents, children, equivalents, element for element — as the pairwise
+// matrix oracle, on hand-built hierarchies and on random catalogs with
+// weakening chains (which create the deep structure the traversal
+// actually prunes).
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/strings.h"
+#include "calculus/services.h"
+#include "calculus/subsumption.h"
+#include "gen/generators.h"
+#include "ql/print.h"
+#include "ql/term_factory.h"
+
+namespace oodb::calculus {
+namespace {
+
+struct Fx {
+  SymbolTable symbols;
+  ql::TermFactory f{&symbols};
+  schema::Schema sigma{&f};
+  Symbol S(const char* name) { return symbols.Intern(name); }
+  ql::Attr A(const char* name, bool inv = false) {
+    return ql::Attr{symbols.Intern(name), inv};
+  }
+};
+
+void ExpectSameDag(const Classifier& want, const Classifier& got) {
+  ASSERT_EQ(want.names(), got.names());
+  for (Symbol name : want.names()) {
+    EXPECT_EQ(want.Parents(name), got.Parents(name)) << "parents differ";
+    EXPECT_EQ(want.Children(name), got.Children(name)) << "children differ";
+    EXPECT_EQ(want.Equivalents(name), got.Equivalents(name))
+        << "equivalents differ";
+  }
+}
+
+TEST(ClassifyTraversal, MatchesPairwiseOnChainDiamondAndEquivalents) {
+  Fx fx;
+  ASSERT_TRUE(fx.sigma.AddIsA(fx.S("C1"), fx.S("C2")).ok());
+  ASSERT_TRUE(fx.sigma.AddIsA(fx.S("C2"), fx.S("C3")).ok());
+  ASSERT_TRUE(fx.sigma.AddIsA(fx.S("C1"), fx.S("D2")).ok());
+  ASSERT_TRUE(fx.sigma.AddIsA(fx.S("D2"), fx.S("C3")).ok());
+  SubsumptionChecker checker(fx.sigma);
+
+  // A chain, a diamond, an equivalence pair and a disconnected concept.
+  std::vector<std::pair<const char*, ql::ConceptId>> entries = {
+      {"VTop", fx.f.Primitive("C3")},
+      {"VLeft", fx.f.Primitive("C2")},
+      {"VRight", fx.f.Primitive("D2")},
+      {"VBottom", fx.f.Primitive("C1")},
+      {"VAnd", fx.f.And(fx.f.Primitive("C2"), fx.f.Primitive("D2"))},
+      {"VAndSwapped", fx.f.And(fx.f.Primitive("D2"), fx.f.Primitive("C2"))},
+      {"VIsland",
+       fx.f.Exists(fx.f.Step(fx.A("p"), fx.f.Primitive("Other")))},
+  };
+
+  Classifier pairwise(checker, Classifier::Mode::kPairwise);
+  Classifier enhanced(checker);  // default mode
+  ASSERT_EQ(enhanced.mode(), Classifier::Mode::kEnhancedTraversal);
+  for (const auto& [name, id] : entries) {
+    ASSERT_TRUE(pairwise.Add(fx.S(name), id).ok());
+    ASSERT_TRUE(enhanced.Add(fx.S(name), id).ok());
+  }
+  ASSERT_TRUE(pairwise.Classify().ok());
+  ASSERT_TRUE(enhanced.Classify().ok());
+  ExpectSameDag(pairwise, enhanced);
+
+  // Spot-check the expected shape so the oracle itself is pinned.
+  EXPECT_EQ(enhanced.Equivalents(fx.S("VAnd")),
+            std::vector<Symbol>{fx.S("VAndSwapped")});
+  // VBottom (C1) sits below C2 ⊓ D2, so the equivalence pair — not
+  // VLeft/VRight individually — is its direct parent class.
+  std::vector<Symbol> want_parents = {fx.S("VAnd"), fx.S("VAndSwapped")};
+  EXPECT_EQ(enhanced.Parents(fx.S("VBottom")), want_parents);
+  EXPECT_TRUE(enhanced.Parents(fx.S("VIsland")).empty());
+
+  // On this catalog the traversal must save work over the matrix.
+  const Classifier::ClassifyStats& stats = enhanced.classify_stats();
+  EXPECT_EQ(stats.pairwise_checks,
+            entries.size() * (entries.size() - 1));
+  EXPECT_LT(stats.checks_performed, stats.pairwise_checks);
+  EXPECT_EQ(stats.checks_avoided,
+            stats.pairwise_checks - stats.checks_performed);
+}
+
+TEST(ClassifyTraversal, MatchesPairwiseOnRandomCatalogs) {
+  Rng rng(20260806);
+  size_t total_avoided = 0;
+  for (int round = 0; round < 12; ++round) {
+    SymbolTable symbols;
+    ql::TermFactory f(&symbols);
+    schema::Schema sigma(&f);
+    gen::GeneratedSchema sig = gen::GenerateSchema(&sigma, rng);
+
+    // Seeds with weakening chains (hierarchy) plus random noise.
+    std::vector<ql::ConceptId> concepts;
+    for (int s = 0; s < 4; ++s) {
+      ql::ConceptId c = gen::GenerateConcept(sig, &f, rng);
+      concepts.push_back(c);
+      for (int k = 0; k < 3; ++k) {
+        c = gen::WeakenConcept(sigma, &f, c, rng, 1);
+        concepts.push_back(c);
+      }
+    }
+    for (int i = 0; i < 6; ++i) {
+      concepts.push_back(gen::GenerateConcept(sig, &f, rng));
+    }
+
+    SubsumptionChecker checker(sigma);
+    Classifier pairwise(checker, Classifier::Mode::kPairwise);
+    Classifier enhanced(checker);
+    for (size_t i = 0; i < concepts.size(); ++i) {
+      Symbol name = symbols.Intern(StrCat("N", i));
+      ASSERT_TRUE(pairwise.Add(name, concepts[i]).ok());
+      ASSERT_TRUE(enhanced.Add(name, concepts[i]).ok());
+    }
+    ASSERT_TRUE(pairwise.Classify().ok());
+    ASSERT_TRUE(enhanced.Classify().ok());
+    ExpectSameDag(pairwise, enhanced);
+    total_avoided += enhanced.classify_stats().checks_avoided;
+  }
+  std::printf("classify traversal: %zu checks avoided across rounds\n",
+              total_avoided);
+  EXPECT_GT(total_avoided, 0u);
+}
+
+TEST(ClassifyTraversal, SubsumersOfUsesTheEnhancedDag) {
+  Fx fx;
+  ASSERT_TRUE(fx.sigma.AddIsA(fx.S("C1"), fx.S("C2")).ok());
+  ASSERT_TRUE(fx.sigma.AddIsA(fx.S("C2"), fx.S("C3")).ok());
+  SubsumptionChecker checker(fx.sigma);
+  Classifier classifier(checker);
+  ASSERT_TRUE(classifier.Add(fx.S("V2"), fx.f.Primitive("C2")).ok());
+  ASSERT_TRUE(classifier.Add(fx.S("V3"), fx.f.Primitive("C3")).ok());
+  ASSERT_TRUE(classifier.Classify().ok());
+  auto subsumers = classifier.SubsumersOf(fx.f.Primitive("C1"));
+  ASSERT_TRUE(subsumers.ok());
+  ASSERT_EQ(subsumers->size(), 2u);
+  EXPECT_EQ((*subsumers)[0], fx.S("V2"));  // most specific first
+  EXPECT_EQ((*subsumers)[1], fx.S("V3"));
+}
+
+}  // namespace
+}  // namespace oodb::calculus

@@ -1,0 +1,139 @@
+// Engine scratch reuse: CompletionEngine::Reset() must return a used
+// engine to a state indistinguishable (verdict-wise) from a freshly
+// constructed one, and the SubsumptionChecker's engine pool must
+// actually recycle engines without changing any verdict.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "calculus/engine.h"
+#include "calculus/subsumption.h"
+#include "gen/generators.h"
+#include "schema/schema.h"
+
+namespace oodb::calculus {
+namespace {
+
+TEST(EngineReuse, OneEngineMatchesFreshEnginesAcrossRuns) {
+  Rng rng(424242);
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  gen::GeneratedSchema sig = gen::GenerateSchema(&sigma, rng);
+
+  // A mix of subsumed (weakened) and unrelated pairs, run back to back
+  // through ONE reused engine vs a fresh engine per pair.
+  CompletionEngine reused(sigma);
+  int subsumed = 0;
+  for (int round = 0; round < 60; ++round) {
+    ql::ConceptId c = gen::GenerateConcept(sig, &f, rng);
+    ql::ConceptId d = (round % 2 == 0)
+                          ? gen::WeakenConcept(sigma, &f, c, rng, 2)
+                          : gen::GenerateConcept(sig, &f, rng);
+
+    CompletionEngine fresh(sigma);
+    Status fresh_status = fresh.Run(c, d);
+    Status reused_status = reused.Run(c, d);
+    ASSERT_EQ(fresh_status.ok(), reused_status.ok()) << "round " << round;
+    if (!fresh_status.ok()) continue;
+
+    EXPECT_EQ(fresh.clash(), reused.clash()) << "round " << round;
+    EXPECT_EQ(fresh.GoalFactHolds(), reused.GoalFactHolds())
+        << "round " << round;
+    subsumed += (fresh.clash() || fresh.GoalFactHolds()) ? 1 : 0;
+  }
+  EXPECT_GT(subsumed, 0);  // the sweep saw real positives
+}
+
+TEST(EngineReuse, OneEngineMatchesFreshEnginesAcrossBatches) {
+  Rng rng(31337);
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  gen::GeneratedSchema sig = gen::GenerateSchema(&sigma, rng);
+
+  CompletionEngine reused(sigma);
+  for (int round = 0; round < 10; ++round) {
+    ql::ConceptId c = gen::GenerateConcept(sig, &f, rng);
+    std::vector<ql::ConceptId> ds;
+    for (int i = 0; i < 8; ++i) {
+      ds.push_back(i % 2 == 0 ? gen::WeakenConcept(sigma, &f, c, rng, 1)
+                              : gen::GenerateConcept(sig, &f, rng));
+    }
+
+    CompletionEngine fresh(sigma);
+    Status fresh_status = fresh.RunBatch(c, ds);
+    Status reused_status = reused.RunBatch(c, ds);
+    ASSERT_EQ(fresh_status.ok(), reused_status.ok()) << "round " << round;
+    if (!fresh_status.ok()) continue;
+
+    ASSERT_EQ(fresh.clash(), reused.clash()) << "round " << round;
+    for (ql::ConceptId d : ds) {
+      EXPECT_EQ(fresh.GoalFactHoldsFor(d), reused.GoalFactHoldsFor(d))
+          << "round " << round;
+    }
+  }
+}
+
+TEST(EngineReuse, ResetClearsResultsImmediately) {
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  ASSERT_TRUE(sigma.AddFunctional(symbols.Intern("A"), symbols.Intern("p"))
+                  .ok());
+  // Force a clash, then Reset and confirm the engine reports none.
+  ql::ConceptId clashing = f.AndAll(
+      {f.Primitive("A"),
+       f.Exists(f.Step(ql::Attr{symbols.Intern("p"), false},
+                       f.Singleton("one"))),
+       f.Exists(f.Step(ql::Attr{symbols.Intern("p"), false},
+                       f.Singleton("two")))});
+  CompletionEngine engine(sigma);
+  ASSERT_TRUE(engine.Run(clashing, f.Primitive("A")).ok());
+  ASSERT_TRUE(engine.clash());
+  engine.Reset();
+  EXPECT_FALSE(engine.clash());
+  EXPECT_TRUE(engine.clash_reason().empty());
+  EXPECT_EQ(engine.facts().size(), 0u);
+  EXPECT_EQ(engine.goals().size(), 0u);
+}
+
+TEST(EngineReuse, CheckerPoolRecyclesEnginesWithIdenticalVerdicts) {
+  Rng rng(90210);
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  gen::GeneratedSchema sig = gen::GenerateSchema(&sigma, rng);
+
+  // Memoization and the pre-filter both avoid engine runs, which would
+  // starve the pool; turn them off so every Subsumes call leases an
+  // engine and reuse is actually exercised.
+  CheckerOptions options;
+  options.memoize = false;
+  options.prefilter = false;
+  SubsumptionChecker pooled(sigma, options);
+  SubsumptionChecker reference(sigma, options);
+
+  for (int round = 0; round < 40; ++round) {
+    ql::ConceptId c = gen::GenerateConcept(sig, &f, rng);
+    ql::ConceptId d = (round % 2 == 0)
+                          ? gen::WeakenConcept(sigma, &f, c, rng, 1)
+                          : gen::GenerateConcept(sig, &f, rng);
+    auto want = reference.Subsumes(c, d);
+    auto got = pooled.Subsumes(c, d);
+    ASSERT_EQ(want.ok(), got.ok()) << "round " << round;
+    if (want.ok()) EXPECT_EQ(*want, *got) << "round " << round;
+  }
+
+  const CheckerPerfStats perf = pooled.perf_stats();
+  std::printf("engine pool: %llu acquires, %llu reuses\n",
+              (unsigned long long)perf.pool_acquires,
+              (unsigned long long)perf.pool_reuses);
+  EXPECT_GT(perf.pool_acquires, 0u);
+  EXPECT_GT(perf.pool_reuses, 0u);  // sequential calls must hit the pool
+  EXPECT_EQ(perf.engine_runs, perf.pool_acquires);
+}
+
+}  // namespace
+}  // namespace oodb::calculus

@@ -1,0 +1,205 @@
+// Soundness of the structural pre-filter (calculus/prefilter.h): it may
+// only reject pairs the full calculus also rejects — a single false
+// rejection breaks SubsumptionChecker::Subsumes. The property sweep
+// drives 500 seeded random (Σ, C, D) pairs through the unfiltered
+// checker and requires that every true subsumption is accepted by the
+// filter; deterministic cases pin the clash guard (the one branch where
+// a structurally "impossible" pair is still subsumed) and the non-QL
+// abstention.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "calculus/prefilter.h"
+#include "calculus/subsumption.h"
+#include "gen/generators.h"
+#include "ql/print.h"
+#include "schema/schema.h"
+
+namespace oodb::calculus {
+namespace {
+
+struct Fx {
+  SymbolTable symbols;
+  ql::TermFactory f{&symbols};
+  schema::Schema sigma{&f};
+  Symbol S(const char* name) { return symbols.Intern(name); }
+  ql::Attr A(const char* name, bool inv = false) {
+    return ql::Attr{symbols.Intern(name), inv};
+  }
+};
+
+TEST(PreFilter, AbstainsOnClashableQueries) {
+  Fx fx;
+  ASSERT_TRUE(fx.sigma.AddFunctional(fx.S("Person"), fx.S("name")).ok());
+  // C is Σ-unsatisfiable (two distinct functional fillers), so it is
+  // subsumed by EVERYTHING — including a D whose primitive C never
+  // mentions. The filter must abstain, not reject.
+  ql::ConceptId c = fx.f.AndAll(
+      {fx.f.Primitive("Person"),
+       fx.f.Exists(fx.f.Step(fx.A("name"), fx.f.Singleton("alice"))),
+       fx.f.Exists(fx.f.Step(fx.A("name"), fx.f.Singleton("bob")))});
+  ql::ConceptId d = fx.f.Primitive("Unrelated");
+
+  StructuralPreFilter filter(fx.sigma);
+  EXPECT_EQ(filter.Check(c, d), PreFilterVerdict::kUnknown);
+
+  SubsumptionChecker checker(fx.sigma);  // pre-filter on by default
+  auto verdict = checker.Subsumes(c, d);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(*verdict);  // via the clash branch of Theorem 4.7
+}
+
+TEST(PreFilter, RejectsForeignPrimitiveAndAcceptsClosure) {
+  Fx fx;
+  ASSERT_TRUE(fx.sigma.AddIsA(fx.S("Patient"), fx.S("Person")).ok());
+  StructuralPreFilter filter(fx.sigma);
+  // Person is in the Σ-upward closure of Patient: must not be rejected.
+  EXPECT_EQ(filter.Check(fx.f.Primitive("Patient"), fx.f.Primitive("Person")),
+            PreFilterVerdict::kUnknown);
+  // Doctor is not derivable from Patient: rejected without an engine.
+  EXPECT_EQ(filter.Check(fx.f.Primitive("Patient"), fx.f.Primitive("Doctor")),
+            PreFilterVerdict::kReject);
+}
+
+TEST(PreFilter, RejectsForeignConstantAndAttr) {
+  Fx fx;
+  StructuralPreFilter filter(fx.sigma);
+  ql::ConceptId c =
+      fx.f.Exists(fx.f.Step(fx.A("treats"), fx.f.Singleton("alice")));
+  // Same constant, same attribute: abstain.
+  EXPECT_EQ(filter.Check(c, fx.f.Exists(fx.f.Step(fx.A("treats"),
+                                                  fx.f.Singleton("alice")))),
+            PreFilterVerdict::kUnknown);
+  // Constant never mentioned in C: reject.
+  EXPECT_EQ(filter.Check(c, fx.f.Exists(fx.f.Step(fx.A("treats"),
+                                                  fx.f.Singleton("carol")))),
+            PreFilterVerdict::kReject);
+  // First-step attribute C can never produce: reject.
+  EXPECT_EQ(filter.Check(c, fx.f.ExistsAttr(fx.A("audits"))),
+            PreFilterVerdict::kReject);
+}
+
+TEST(PreFilter, AbstainsOnNonQlInput) {
+  Fx fx;
+  StructuralPreFilter filter(fx.sigma);
+  // ∀-restrictions are SL-only; the filter must leave the pair to the
+  // engine so the proper validation error surfaces.
+  ql::ConceptId bad = fx.f.All(fx.A("a"), fx.f.Primitive("B"));
+  EXPECT_EQ(filter.Check(fx.f.Primitive("A"), bad),
+            PreFilterVerdict::kUnknown);
+  EXPECT_EQ(filter.Check(bad, fx.f.Primitive("A")),
+            PreFilterVerdict::kUnknown);
+
+  SubsumptionChecker checker(fx.sigma);
+  EXPECT_FALSE(checker.Subsumes(fx.f.Primitive("A"), bad).ok());
+}
+
+TEST(PreFilterSoundness, NeverRejectsATrueSubsumption) {
+  Rng rng(20260806);
+  const int kRounds = 500;
+
+  gen::SchemaGenOptions schema_options;
+  schema_options.num_classes = 8;
+  schema_options.num_attrs = 4;
+  schema_options.num_constants = 3;
+  schema_options.value_restrictions = 8;
+
+  gen::ConceptGenOptions concept_options;
+  concept_options.max_conjuncts = 3;
+  concept_options.max_path_length = 2;
+  concept_options.singleton_prob = 0.25;
+
+  int subsumed = 0, rejected = 0, skipped = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    SymbolTable symbols;
+    ql::TermFactory f(&symbols);
+    schema::Schema sigma(&f);
+    gen::GeneratedSchema sig = gen::GenerateSchema(&sigma, rng,
+                                                   schema_options);
+    ql::ConceptId c = gen::GenerateConcept(sig, &f, rng, concept_options);
+    // Every 10th round, seed a clash so the abstention guard is hit by
+    // genuinely Σ-unsatisfiable queries, not just by chance.
+    if (round % 10 == 0) {
+      Symbol cls = sig.classes[rng.Index(sig.classes.size())];
+      Symbol attr = sig.attrs[rng.Index(sig.attrs.size())];
+      ASSERT_TRUE(sigma.AddFunctional(cls, attr).ok());
+      c = f.AndAll(
+          {f.Primitive(cls), c,
+           f.Exists(f.Step(ql::Attr{attr, false}, f.Singleton("clash_a"))),
+           f.Exists(f.Step(ql::Attr{attr, false}, f.Singleton("clash_b")))});
+    }
+    // Half weakenings (guaranteed subsumed), half unrelated concepts.
+    ql::ConceptId d = (round % 2 == 0)
+                          ? gen::GenerateConcept(sig, &f, rng, concept_options)
+                          : gen::WeakenConcept(sigma, &f, c, rng, 2);
+
+    CheckerOptions unfiltered;
+    unfiltered.prefilter = false;
+    SubsumptionChecker oracle(sigma, unfiltered);
+    auto truth = oracle.Subsumes(c, d);
+    if (!truth.ok()) {
+      ++skipped;
+      continue;
+    }
+
+    StructuralPreFilter filter(sigma);
+    const PreFilterVerdict verdict = filter.Check(c, d);
+    if (*truth) {
+      ++subsumed;
+      EXPECT_NE(verdict, PreFilterVerdict::kReject)
+          << "round " << round << ": FALSE REJECTION of a true subsumption"
+          << "\n  C = " << ql::ConceptToString(f, c)
+          << "\n  D = " << ql::ConceptToString(f, d);
+    } else if (verdict == PreFilterVerdict::kReject) {
+      ++rejected;
+    }
+
+    // Full verdict equality through the production path.
+    SubsumptionChecker fast(sigma);
+    auto got = fast.Subsumes(c, d);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*truth, *got)
+        << "round " << round
+        << "\n  C = " << ql::ConceptToString(f, c)
+        << "\n  D = " << ql::ConceptToString(f, d);
+  }
+
+  std::printf("prefilter soundness: %d subsumed accepted, %d correctly "
+              "rejected, %d skipped of %d rounds\n",
+              subsumed, rejected, skipped, kRounds);
+  // The sweep must exercise both sides (deterministic with the seed).
+  EXPECT_GE(subsumed, 100);
+  EXPECT_GE(rejected, 50);
+}
+
+TEST(PreFilterSoundness, BatchMatchesUnfilteredBatch) {
+  Rng rng(777);
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  gen::GeneratedSchema sig = gen::GenerateSchema(&sigma, rng);
+
+  std::vector<ql::ConceptId> catalog;
+  ql::ConceptId q = gen::GenerateConcept(sig, &f, rng);
+  for (int i = 0; i < 24; ++i) {
+    catalog.push_back(i % 3 == 0 ? gen::WeakenConcept(sigma, &f, q, rng, 2)
+                                 : gen::GenerateConcept(sig, &f, rng));
+  }
+
+  CheckerOptions unfiltered;
+  unfiltered.prefilter = false;
+  SubsumptionChecker oracle(sigma, unfiltered);
+  SubsumptionChecker fast(sigma);
+  auto want = oracle.SubsumesBatch(q, catalog);
+  auto got = fast.SubsumesBatch(q, catalog);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*want, *got);
+  // The filter must actually have fired on this workload.
+  EXPECT_GT(fast.perf_stats().prefilter_checks, 0u);
+}
+
+}  // namespace
+}  // namespace oodb::calculus

@@ -114,8 +114,22 @@ int CmdTranslate(Session& session) {
   return 0;
 }
 
+// One-line check-avoidance summary (behind --stats everywhere).
+void PrintPerfStats(const calculus::CheckerPerfStats& perf) {
+  std::printf(
+      "stats: engine runs %llu, pre-filter rejections %llu/%llu, "
+      "memo hits %llu misses %llu, pool reuses %llu/%llu\n",
+      static_cast<unsigned long long>(perf.engine_runs),
+      static_cast<unsigned long long>(perf.prefilter_rejections),
+      static_cast<unsigned long long>(perf.prefilter_checks),
+      static_cast<unsigned long long>(perf.cache.hits),
+      static_cast<unsigned long long>(perf.cache.misses),
+      static_cast<unsigned long long>(perf.pool_reuses),
+      static_cast<unsigned long long>(perf.pool_acquires));
+}
+
 int CmdCheck(Session& session, const std::string& query,
-             const std::string& view) {
+             const std::string& view, bool stats) {
   auto c = session.Concept(query);
   if (!c.ok()) return Fail(c.status());
   auto d = session.Concept(view);
@@ -126,10 +140,18 @@ int CmdCheck(Session& session, const std::string& query,
   std::printf("%s %s %s\n\n%s", query.c_str(),
               explanation->subsumed ? "⊑_Σ" : "⋢_Σ", view.c_str(),
               explanation->text.c_str());
+  if (stats) {
+    // Run the same pair through the check-avoidance fast path (the
+    // explanation above is the deliberately unfiltered oracle).
+    calculus::SubsumptionChecker checker(*session.sigma);
+    auto verdict = checker.Subsumes(*c, *d);
+    if (!verdict.ok()) return Fail(verdict.status());
+    PrintPerfStats(checker.perf_stats());
+  }
   return explanation->subsumed ? 0 : 2;
 }
 
-int CmdClassify(Session& session, size_t threads) {
+int CmdClassify(Session& session, size_t threads, bool stats) {
   // Virtual classes are "integrated into the existing class hierarchy by
   // a simple subsumption check" (paper Sect. 5, [AB91]/[SLT91]): classify
   // query classes and schema classes together.
@@ -171,6 +193,15 @@ int CmdClassify(Session& session, size_t threads) {
   }
   if (auto s = classifier.Classify(); !s.ok()) return Fail(s);
   std::printf("%s", classifier.ToString(session.symbols).c_str());
+  if (stats) {
+    const calculus::Classifier::ClassifyStats& cs =
+        classifier.classify_stats();
+    std::printf("stats: %zu concepts, %zu/%zu checks issued (%zu avoided "
+                "by traversal)\n",
+                cs.concepts, cs.checks_performed, cs.pairwise_checks,
+                cs.checks_avoided);
+    PrintPerfStats(parallel.checker().perf_stats());
+  }
   return 0;
 }
 
@@ -283,8 +314,8 @@ int Usage() {
       "usage:\n"
       "  oodbsub translate <schema.dl>\n"
       "  oodbsub print <schema.dl>\n"
-      "  oodbsub check <schema.dl> <query> <view>\n"
-      "  oodbsub classify <schema.dl> [--threads=N]\n"
+      "  oodbsub check <schema.dl> <query> <view> [--stats]\n"
+      "  oodbsub classify <schema.dl> [--threads=N] [--stats]\n"
       "  oodbsub minimize <schema.dl> <query>\n"
       "  oodbsub query <schema.dl> <state.odb> <query>\n"
       "  oodbsub optimize <schema.dl> <state.odb> <query> <view...>\n"
@@ -295,41 +326,54 @@ int Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  std::string command = argv[1];
+  std::vector<std::string> args(argv + 1, argv + argc);
+  // --stats is accepted anywhere after the command; strip it before the
+  // positional dispatch below.
+  bool stats = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--stats") {
+      stats = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const size_t n = args.size();
+  if (n < 2) return Usage();
+  std::string command = args[0];
 
   Session session;
-  if (auto s = session.Open(argv[2]); !s.ok()) return Fail(s);
+  if (auto s = session.Open(args[1]); !s.ok()) return Fail(s);
 
-  if (command == "translate" && argc == 3) return CmdTranslate(session);
-  if (command == "print" && argc == 3) return CmdPrint(session);
-  if (command == "state" && (argc == 4 || argc == 5)) {
-    bool deduce = argc == 5 && std::string(argv[4]) == "--deduce";
-    if (argc == 5 && !deduce) return Usage();
-    return CmdState(session, argv[3], deduce);
+  if (command == "translate" && n == 2) return CmdTranslate(session);
+  if (command == "print" && n == 2) return CmdPrint(session);
+  if (command == "state" && (n == 3 || n == 4)) {
+    bool deduce = n == 4 && args[3] == "--deduce";
+    if (n == 4 && !deduce) return Usage();
+    return CmdState(session, args[2], deduce);
   }
-  if (command == "check" && argc == 5) {
-    return CmdCheck(session, argv[3], argv[4]);
+  if (command == "check" && n == 4) {
+    return CmdCheck(session, args[2], args[3], stats);
   }
-  if (command == "classify" && (argc == 3 || argc == 4)) {
+  if (command == "classify" && (n == 2 || n == 3)) {
     size_t threads = 1;
-    if (argc == 4) {
-      std::string flag = argv[3];
+    if (n == 3) {
+      const std::string& flag = args[2];
       if (flag.rfind("--threads=", 0) != 0) return Usage();
       threads = std::strtoul(flag.c_str() + 10, nullptr, 10);
       if (threads == 0) return Usage();
     }
-    return CmdClassify(session, threads);
+    return CmdClassify(session, threads, stats);
   }
-  if (command == "minimize" && argc == 4) {
-    return CmdMinimize(session, argv[3]);
+  if (command == "minimize" && n == 3) {
+    return CmdMinimize(session, args[2]);
   }
-  if (command == "query" && argc == 5) {
-    return CmdQuery(session, argv[3], argv[4]);
+  if (command == "query" && n == 4) {
+    return CmdQuery(session, args[2], args[3]);
   }
-  if (command == "optimize" && argc >= 6) {
-    std::vector<std::string> views(argv + 5, argv + argc);
-    return CmdOptimize(session, argv[3], argv[4], views);
+  if (command == "optimize" && n >= 5) {
+    std::vector<std::string> views(args.begin() + 4, args.end());
+    return CmdOptimize(session, args[2], args[3], views);
   }
   return Usage();
 }
