@@ -1,0 +1,296 @@
+// E17: optimizer-daemon load benchmark. Drives the src/server/ TCP daemon
+// over real loopback sockets with concurrent clients replaying a seeded
+// CHECK corpus, verifies every wire verdict against precomputed
+// in-process SubsumptionChecker results, and reports throughput plus
+// p50/p95/p99 latency. A second overload phase shrinks the admission
+// bound to confirm BUSY backpressure is observable under saturation.
+// Writes BENCH_server.json; exits non-zero on any transport error,
+// verdict mismatch, or if the overload phase never sees BUSY.
+//
+// usage: bench_server [--quick] [--clients=N] [--out=path]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+#include "bench_util.h"
+#include "calculus/subsumption.h"
+#include "dl/analyzer.h"
+#include "dl/translate.h"
+#include "gen/dl_gen.h"
+#include "ql/term_factory.h"
+#include "schema/schema.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace oodb {
+namespace {
+
+// The same parse → translate → check pipeline the daemon runs, used to
+// precompute the expected verdict for every request in the replay.
+struct Reference {
+  SymbolTable symbols;
+  std::unique_ptr<ql::TermFactory> terms;
+  std::unique_ptr<schema::Schema> sigma;
+  std::unique_ptr<dl::Model> model;
+  std::unique_ptr<dl::Translator> translator;
+  std::unique_ptr<calculus::SubsumptionChecker> checker;
+
+  static std::unique_ptr<Reference> FromSource(const std::string& source) {
+    auto ref = std::make_unique<Reference>();
+    ref->terms = std::make_unique<ql::TermFactory>(&ref->symbols);
+    ref->sigma = std::make_unique<schema::Schema>(ref->terms.get());
+    auto parsed = dl::ParseAndAnalyze(source, &ref->symbols);
+    if (!parsed.ok()) return nullptr;
+    ref->model = std::make_unique<dl::Model>(*std::move(parsed));
+    ref->translator =
+        std::make_unique<dl::Translator>(*ref->model, ref->terms.get());
+    if (!ref->translator->BuildSchema(ref->sigma.get()).ok()) return nullptr;
+    ref->checker = std::make_unique<calculus::SubsumptionChecker>(*ref->sigma);
+    return ref;
+  }
+
+  Result<bool> Check(const std::string& c, const std::string& d) {
+    auto concept_of = [this](const std::string& name) -> Result<ql::ConceptId> {
+      Symbol s = symbols.Find(name);
+      const dl::ClassDef* def = s.valid() ? model->FindClass(s) : nullptr;
+      if (def == nullptr) return NotFoundError("no class");
+      if (!def->is_query) return terms->Primitive(s);
+      return translator->QueryConcept(s);
+    };
+    OODB_ASSIGN_OR_RETURN(ql::ConceptId cc, concept_of(c));
+    OODB_ASSIGN_OR_RETURN(ql::ConceptId dd, concept_of(d));
+    return checker->Subsumes(cc, dd);
+  }
+};
+
+struct Request {
+  std::string line;  // "CHECK bench C D"
+  bool expected;     // precomputed in-process verdict
+};
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_us.size()));
+  if (idx >= sorted_us.size()) idx = sorted_us.size() - 1;
+  return sorted_us[idx];
+}
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "bench_server: %s\n", what);
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  bool quick = false;
+  size_t clients = 0;
+  std::string out = "BENCH_server.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      clients = static_cast<size_t>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "usage: bench_server [--quick] [--clients=N] "
+                           "[--out=path]\n");
+      return 64;
+    }
+  }
+  if (clients == 0) clients = quick ? 4 : 6;
+  const size_t per_client = quick ? 250 : 1500;
+
+  // ---- Seeded corpus with precomputed in-process verdicts ------------
+  Rng rng(7);
+  gen::DlGenOptions gen_options;
+  gen_options.num_classes = 8;
+  gen_options.num_attrs = 4;
+  gen_options.num_queries = 8;
+  gen::GeneratedDl dl = gen::GenerateDlSource(rng, gen_options);
+  auto ref = Reference::FromSource(dl.source);
+  if (ref == nullptr) return Fail("generated schema failed to parse");
+
+  std::vector<Request> corpus;
+  auto add_pair = [&](const std::string& c, const std::string& d) {
+    auto expected = ref->Check(c, d);
+    if (!expected.ok()) return;  // both sides would reject it identically
+    corpus.push_back({StrCat("CHECK bench ", c, " ", d), *expected});
+  };
+  for (const std::string& c : dl.query_names) {
+    for (const std::string& d : dl.query_names) add_pair(c, d);
+    for (const std::string& d : dl.class_names) add_pair(c, d);
+  }
+  if (corpus.size() < 64) return Fail("corpus unexpectedly small");
+  std::printf("corpus: %zu CHECK requests over %zu queries, %zu classes\n",
+              corpus.size(), dl.query_names.size(), dl.class_names.size());
+
+  // ---- Phase A: steady-state throughput + latency --------------------
+  server::ServerOptions options;
+  options.num_threads = 2;
+  options.max_pending = 256;
+  server::Server daemon(options);
+  auto port = daemon.Start();
+  if (!port.ok()) return Fail(port.status().message().c_str());
+
+  {
+    auto loader = server::Client::Connect("127.0.0.1", *port);
+    if (!loader.ok()) return Fail("cannot connect loader client");
+    auto loaded = loader->Load("bench", dl.source);
+    if (!loaded.ok()) return Fail("LOAD failed");
+  }
+
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = server::Client::Connect("127.0.0.1", *port);
+      if (!client.ok()) {
+        errors.fetch_add(per_client, std::memory_order_relaxed);
+        return;
+      }
+      latencies[t].reserve(per_client);
+      for (size_t i = 0; i < per_client; ++i) {
+        // Stagger the replay so clients do not walk the corpus in
+        // lockstep (which would serialize on the same memo shard).
+        const Request& req = corpus[(i * clients + t) % corpus.size()];
+        const auto start = std::chrono::steady_clock::now();
+        auto body = client->Roundtrip(req.line);
+        const auto end = std::chrono::steady_clock::now();
+        if (!body.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const bool verdict = *body == "subsumed=true";
+        if (verdict != req.expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        latencies[t].push_back(
+            std::chrono::duration<double, std::micro>(end - start).count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  daemon.Shutdown();
+  const server::ServerStats steady = daemon.stats();
+
+  std::vector<double> merged;
+  for (auto& v : latencies) merged.insert(merged.end(), v.begin(), v.end());
+  std::sort(merged.begin(), merged.end());
+  const uint64_t total = clients * per_client;
+  const double throughput = wall_s > 0 ? merged.size() / wall_s : 0.0;
+  const double p50 = Percentile(merged, 0.50);
+  const double p95 = Percentile(merged, 0.95);
+  const double p99 = Percentile(merged, 0.99);
+
+  bench::Section("E17: daemon steady-state load");
+  bench::Table table({"clients", "requests", "errors", "mismatch",
+                      "rps", "p50us", "p95us", "p99us"});
+  table.AddRow({std::to_string(clients), std::to_string(total),
+                std::to_string(errors.load()),
+                std::to_string(mismatches.load()), bench::Fmt(throughput, 0),
+                bench::Fmt(p50), bench::Fmt(p95), bench::Fmt(p99)});
+  table.Print();
+
+  // ---- Phase B: overload — BUSY must be observable -------------------
+  // One worker, admission bound 1: while a SLEEP blocks the worker any
+  // concurrent request must be answered BUSY instead of queueing.
+  server::ServerOptions tight;
+  tight.num_threads = 1;
+  tight.max_pending = 1;
+  server::Server small(tight);
+  auto small_port = small.Start();
+  if (!small_port.ok()) return Fail("overload daemon failed to start");
+  std::atomic<uint64_t> busy{0};
+  std::atomic<uint64_t> overload_ok{0};
+  std::atomic<uint64_t> overload_errors{0};
+  {
+    std::vector<std::thread> stormers;
+    const size_t storm_threads = 4;
+    const size_t storm_requests = quick ? 20 : 60;
+    for (size_t t = 0; t < storm_threads; ++t) {
+      stormers.emplace_back([&] {
+        auto client = server::Client::Connect("127.0.0.1", *small_port);
+        if (!client.ok()) {
+          overload_errors.fetch_add(storm_requests,
+                                    std::memory_order_relaxed);
+          return;
+        }
+        for (size_t i = 0; i < storm_requests; ++i) {
+          auto reply = client->Roundtrip("SLEEP 20");
+          if (reply.ok()) {
+            overload_ok.fetch_add(1, std::memory_order_relaxed);
+          } else if (reply.status().code() ==
+                     StatusCode::kResourceExhausted) {
+            busy.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            overload_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : stormers) t.join();
+  }
+  small.Shutdown();
+
+  bench::Section("E17b: overload backpressure (1 worker, bound 1)");
+  bench::Table storm({"requests", "served", "busy", "errors"});
+  storm.AddRow({std::to_string(4 * (quick ? 20 : 60)),
+                std::to_string(overload_ok.load()),
+                std::to_string(busy.load()),
+                std::to_string(overload_errors.load())});
+  storm.Print();
+
+  // ---- Artifact ------------------------------------------------------
+  bench::JsonWriter json;
+  json.Add("bench", std::string("server_load"));
+  json.Add("quick", quick);
+  json.Add("clients", static_cast<uint64_t>(clients));
+  json.Add("requests_per_client", static_cast<uint64_t>(per_client));
+  json.Add("corpus_size", static_cast<uint64_t>(corpus.size()));
+  json.Add("requests_total", total);
+  json.Add("requests_completed", static_cast<uint64_t>(merged.size()));
+  json.Add("transport_errors", errors.load());
+  json.Add("verdict_mismatches", mismatches.load());
+  json.Add("wall_seconds", wall_s);
+  json.Add("throughput_rps", throughput);
+  json.Add("latency_p50_us", p50);
+  json.Add("latency_p95_us", p95);
+  json.Add("latency_p99_us", p99);
+  json.Add("server_ok", steady.ok);
+  json.Add("server_errors", steady.errors);
+  json.Add("server_busy", steady.busy);
+  json.Add("overload_served", overload_ok.load());
+  json.Add("overload_busy", busy.load());
+  json.Add("overload_errors", overload_errors.load());
+  if (!json.WriteFile(out)) return Fail("cannot write artifact");
+  std::printf("\nwrote %s\n", out.c_str());
+
+  if (errors.load() != 0) return Fail("transport errors in steady phase");
+  if (mismatches.load() != 0) return Fail("wire verdicts diverged");
+  if (overload_errors.load() != 0) return Fail("errors in overload phase");
+  if (busy.load() == 0) return Fail("overload never observed BUSY");
+  return 0;
+}
+
+}  // namespace
+}  // namespace oodb
+
+int main(int argc, char** argv) { return oodb::Run(argc, argv); }

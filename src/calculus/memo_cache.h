@@ -97,6 +97,14 @@ class ShardedMemoCache {
     }
   }
 
+  // Shard routing, public so tests can pin the distribution and build
+  // same-shard key sets. Fibonacci hash: pair keys are (c << 32 | d)
+  // with small dense ids, so the raw low bits would put whole catalogs
+  // in one shard.
+  static size_t ShardOf(uint64_t key) {
+    return (key * 0x9e3779b97f4a7c15ull) >> (64 - kShardBits);
+  }
+
  private:
   // Padded to a cache line so neighboring shard locks don't false-share.
   struct alignas(64) Shard {
@@ -104,12 +112,6 @@ class ShardedMemoCache {
     std::unordered_map<uint64_t, bool> map;  // guarded by mu
     uint64_t evictions = 0;                  // guarded by mu
   };
-
-  static size_t ShardOf(uint64_t key) {
-    // Fibonacci hash: pair keys are (c << 32 | d) with small dense ids,
-    // so the raw low bits would put whole catalogs in one shard.
-    return (key * 0x9e3779b97f4a7c15ull) >> (64 - kShardBits);
-  }
 
   size_t shard_capacity_;
   mutable Shard shards_[kNumShards];

@@ -1,0 +1,141 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <utility>
+
+#include "base/strings.h"
+
+namespace oodb::server {
+
+Client::Client(int fd)
+    : fd_(fd), reader_(std::make_unique<FrameReader>(fd)) {}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Client> Client::Connect(const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return InternalError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError(StrCat("bad host address '", host, "'"));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return FailedPreconditionError(
+        StrCat("cannot connect to ", host, ":", port));
+  }
+  return Client(fd);
+}
+
+Result<std::string> Client::Roundtrip(const std::string& line,
+                                      const std::string* payload) {
+  std::string frame = line;
+  frame += '\n';
+  if (payload != nullptr) {
+    frame += *payload;
+    frame += '\n';
+  }
+  if (!SendAll(fd_, frame)) {
+    return InternalError("connection lost while sending");
+  }
+  std::string reply;
+  if (!reader_->ReadLine(&reply)) {
+    return InternalError("connection lost while awaiting reply");
+  }
+  if (reply == "BUSY") return ResourceExhaustedError("BUSY");
+  if (reply.rfind("ERR ", 0) == 0) {
+    std::string rest = reply.substr(4);
+    size_t space = rest.find(' ');
+    std::string code = rest.substr(0, space);
+    std::string message =
+        space == std::string::npos ? "" : rest.substr(space + 1);
+    return FailedPreconditionError(StrCat(code, ": ", message));
+  }
+  if (reply.rfind("OK ", 0) != 0) {
+    return InternalError(StrCat("malformed reply '", reply, "'"));
+  }
+  char* end = nullptr;
+  unsigned long long nbytes = std::strtoull(reply.c_str() + 3, &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return InternalError(StrCat("malformed reply '", reply, "'"));
+  }
+  std::string body;
+  if (!reader_->ReadPayload(static_cast<size_t>(nbytes), &body)) {
+    return InternalError("connection lost while reading reply payload");
+  }
+  return body;
+}
+
+Status Client::Ping() { return Roundtrip("PING").status(); }
+
+Result<std::string> Client::Load(const std::string& session,
+                                 const std::string& dl_source) {
+  return Roundtrip(StrCat("LOAD ", session, " ", dl_source.size()),
+                   &dl_source);
+}
+
+Result<std::string> Client::LoadState(const std::string& session,
+                                      const std::string& odb_source) {
+  return Roundtrip(StrCat("STATE ", session, " ", odb_source.size()),
+                   &odb_source);
+}
+
+Result<size_t> Client::DefineView(const std::string& session,
+                                  const std::string& query_class) {
+  OODB_ASSIGN_OR_RETURN(std::string body,
+                        Roundtrip(StrCat("VIEW ", session, " ", query_class)));
+  if (body.rfind("extent=", 0) != 0) {
+    return InternalError(StrCat("malformed VIEW reply '", body, "'"));
+  }
+  return static_cast<size_t>(std::strtoull(body.c_str() + 7, nullptr, 10));
+}
+
+Result<bool> Client::Check(const std::string& session, const std::string& c,
+                           const std::string& d) {
+  OODB_ASSIGN_OR_RETURN(
+      std::string body,
+      Roundtrip(StrCat("CHECK ", session, " ", c, " ", d)));
+  if (body == "subsumed=true") return true;
+  if (body == "subsumed=false") return false;
+  return InternalError(StrCat("malformed CHECK reply '", body, "'"));
+}
+
+Result<std::string> Client::Classify(const std::string& session) {
+  return Roundtrip(StrCat("CLASSIFY ", session));
+}
+
+Result<std::string> Client::Optimize(const std::string& session,
+                                     const std::string& query_class) {
+  return Roundtrip(StrCat("OPTIMIZE ", session, " ", query_class));
+}
+
+Result<std::string> Client::Stats(const std::string& session) {
+  return Roundtrip(session.empty() ? std::string("STATS")
+                                   : StrCat("STATS ", session));
+}
+
+Result<std::string> Client::Shutdown() { return Roundtrip("SHUTDOWN"); }
+
+}  // namespace oodb::server

@@ -1,0 +1,61 @@
+// Small blocking client for the optimizer daemon: one TCP connection,
+// synchronous request/reply over the wire.h framing. Used by the
+// `oodbsub rpc` subcommand, the load benchmark and the end-to-end tests.
+#ifndef OODB_SERVER_CLIENT_H_
+#define OODB_SERVER_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "base/status.h"
+#include "server/wire.h"
+
+namespace oodb::server {
+
+// Not thread-safe: replies are matched to requests by connection order,
+// so give each thread its own client.
+class Client {
+ public:
+  // Connects to the daemon on `host:port` (host is a dotted quad;
+  // "127.0.0.1" for the local daemon).
+  static Result<Client> Connect(const std::string& host, int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  // Sends one already-framed request line (no trailing newline) plus an
+  // optional payload, and reads the reply. Returns the OK payload;
+  // BUSY maps to kResourceExhausted with message "BUSY", ERR frames to
+  // kFailedPrecondition with "<code>: <message>".
+  Result<std::string> Roundtrip(const std::string& line,
+                                const std::string* payload = nullptr);
+
+  // Convenience wrappers over the protocol verbs.
+  Status Ping();
+  Result<std::string> Load(const std::string& session,
+                           const std::string& dl_source);
+  Result<std::string> LoadState(const std::string& session,
+                                const std::string& odb_source);
+  Result<size_t> DefineView(const std::string& session,
+                            const std::string& query_class);
+  Result<bool> Check(const std::string& session, const std::string& c,
+                     const std::string& d);
+  Result<std::string> Classify(const std::string& session);
+  Result<std::string> Optimize(const std::string& session,
+                               const std::string& query_class);
+  Result<std::string> Stats(const std::string& session = "");
+  Result<std::string> Shutdown();
+
+ private:
+  explicit Client(int fd);
+
+  int fd_ = -1;
+  std::unique_ptr<FrameReader> reader_;
+};
+
+}  // namespace oodb::server
+
+#endif  // OODB_SERVER_CLIENT_H_

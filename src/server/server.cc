@@ -1,0 +1,436 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "base/strings.h"
+
+namespace oodb::server {
+
+namespace {
+
+Reply StatusReply(const Status& status) {
+  return ErrReply(StatusCodeName(status.code()), status.message());
+}
+
+// Parses a non-negative integer token; returns false on garbage.
+bool ParseSize(const std::string& token, size_t* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+// The reply slot a connection thread waits on while its request runs on
+// the pool.
+struct Server::PendingReply {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Reply reply;
+
+  void Set(Reply r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      reply = std::move(r);
+      done = true;
+    }
+    cv.notify_one();
+  }
+
+  Reply Get() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return done; });
+    return std::move(reply);
+  }
+};
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  size_t threads = options_.num_threads;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  pool_ = std::make_unique<service::ThreadPool>(threads);
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) Shutdown();
+}
+
+Result<int> Server::Start() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return InternalError("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return FailedPreconditionError(
+        StrCat("cannot bind 127.0.0.1:", options_.port));
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    return InternalError("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return InternalError("getsockname() failed");
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed: shutdown
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      continue;
+    }
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  }
+}
+
+void Server::ConnectionLoop(int fd) {
+  FrameReader reader(fd);
+  while (HandleRequest(reader, fd)) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+bool Server::HandleRequest(FrameReader& reader, int fd) {
+  std::string line;
+  if (!reader.ReadLine(&line)) return false;
+  std::vector<std::string> tokens = SplitTokens(line);
+  if (tokens.empty()) return true;  // blank line: ignore
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  auto send = [&](const Reply& reply) {
+    switch (reply.kind) {
+      case Reply::Kind::kOk:
+        ok_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Reply::Kind::kErr:
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Reply::Kind::kBusy:
+        busy_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    return SendAll(fd, EncodeReply(reply));
+  };
+
+  const std::string& verb = tokens[0];
+
+  // Payload-carrying verbs: the line ends with the byte count.
+  std::string payload;
+  if (verb == "LOAD" || verb == "STATE") {
+    size_t nbytes = 0;
+    if (tokens.size() != 3 || !ParseSize(tokens.back(), &nbytes)) {
+      return send(ErrReply(kErrProto,
+                           StrCat("usage: ", verb, " <session> <nbytes>")));
+    }
+    if (nbytes > options_.max_payload) {
+      // The payload is unread: the frame is beyond repair, close after
+      // replying.
+      send(ErrReply(kErrProto, StrCat("payload exceeds ",
+                                      options_.max_payload, " bytes")));
+      return false;
+    }
+    if (!reader.ReadPayload(nbytes, &payload)) return false;
+  }
+
+  // Control verbs answered inline — they must work even when the
+  // admission queue is saturated.
+  if (verb == "PING") return send(OkReply("pong"));
+  if (verb == "SHUTDOWN") {
+    send(OkReply("draining"));
+    RequestShutdown();
+    return false;
+  }
+  if (stopping_.load(std::memory_order_relaxed)) {
+    return send(ErrReply(kErrShutdown, "server is draining"));
+  }
+
+  // Bounded admission: reply BUSY instead of queueing without limit.
+  if (admitted_.fetch_add(1, std::memory_order_acq_rel) >=
+      options_.max_pending) {
+    admitted_.fetch_sub(1, std::memory_order_acq_rel);
+    Reply reply;
+    reply.kind = Reply::Kind::kBusy;
+    return send(reply);
+  }
+
+  auto pending = std::make_shared<PendingReply>();
+  const auto enqueued = std::chrono::steady_clock::now();
+  bool submitted = pool_->Submit([this, pending, enqueued,
+                                  tokens = std::move(tokens),
+                                  payload = std::move(payload)] {
+    Reply reply;
+    const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - enqueued)
+                            .count();
+    if (options_.deadline_ms > 0 && waited > options_.deadline_ms) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      reply = ErrReply(kErrDeadline,
+                       StrCat("queued ", waited, " ms, deadline ",
+                              options_.deadline_ms, " ms"));
+    } else {
+      reply = Dispatch(tokens, payload);
+    }
+    admitted_.fetch_sub(1, std::memory_order_acq_rel);
+    pending->Set(std::move(reply));
+  });
+  if (!submitted) {  // pool already draining
+    admitted_.fetch_sub(1, std::memory_order_acq_rel);
+    return send(ErrReply(kErrShutdown, "server is draining"));
+  }
+  return send(pending->Get());
+}
+
+Reply Server::Dispatch(const std::vector<std::string>& tokens,
+                       const std::string& payload) {
+  const std::string& verb = tokens[0];
+  if (verb == "LOAD") return DispatchLoad(tokens, payload);
+  if (verb == "STATE") return DispatchState(tokens, payload);
+  if (verb == "STATS") return DispatchStats(tokens);
+
+  if (verb == "SLEEP") {
+    // Diagnostic: occupies a worker for <ms> — how the tests and the
+    // load benchmark provoke BUSY/deadline behaviour deterministically.
+    size_t ms = 0;
+    if (tokens.size() != 2 || !ParseSize(tokens[1], &ms) || ms > 10000) {
+      return ErrReply(kErrProto, "usage: SLEEP <ms≤10000>");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return OkReply(StrCat("slept=", ms));
+  }
+
+  // Everything below addresses a named session.
+  if (verb != "VIEW" && verb != "CHECK" && verb != "CLASSIFY" &&
+      verb != "OPTIMIZE") {
+    return ErrReply(kErrProto, StrCat("unknown command '", verb, "'"));
+  }
+  if (tokens.size() < 2) {
+    return ErrReply(kErrProto, StrCat(verb, " needs a session name"));
+  }
+  std::shared_ptr<Session> session = FindSession(tokens[1]);
+  if (session == nullptr) {
+    return ErrReply("not_found", StrCat("no session '", tokens[1],
+                                        "' (LOAD one first)"));
+  }
+
+  if (verb == "VIEW") {
+    if (tokens.size() != 3) {
+      return ErrReply(kErrProto, "usage: VIEW <session> <query-class>");
+    }
+    std::unique_lock<std::shared_mutex> lock(session->mu());
+    auto extent = session->DefineView(tokens[2]);
+    if (!extent.ok()) return StatusReply(extent.status());
+    return OkReply(StrCat("extent=", *extent));
+  }
+  if (verb == "CHECK") {
+    if (tokens.size() != 4) {
+      return ErrReply(kErrProto, "usage: CHECK <session> <C> <D>");
+    }
+    std::shared_lock<std::shared_mutex> lock(session->mu());
+    auto verdict = session->Check(tokens[2], tokens[3]);
+    if (!verdict.ok()) return StatusReply(verdict.status());
+    return OkReply(StrCat("subsumed=", *verdict ? "true" : "false"));
+  }
+  if (verb == "CLASSIFY") {
+    if (tokens.size() != 2) {
+      return ErrReply(kErrProto, "usage: CLASSIFY <session>");
+    }
+    std::shared_lock<std::shared_mutex> lock(session->mu());
+    auto hierarchy = session->Classify();
+    if (!hierarchy.ok()) return StatusReply(hierarchy.status());
+    return OkReply(std::move(*hierarchy));
+  }
+  if (verb == "OPTIMIZE") {
+    if (tokens.size() != 3) {
+      return ErrReply(kErrProto, "usage: OPTIMIZE <session> <query-class>");
+    }
+    std::shared_lock<std::shared_mutex> lock(session->mu());
+    auto plan = session->Optimize(tokens[2]);
+    if (!plan.ok()) return StatusReply(plan.status());
+    return OkReply(std::move(*plan));
+  }
+  return ErrReply(kErrProto, StrCat("unknown command '", verb, "'"));
+}
+
+Reply Server::DispatchLoad(const std::vector<std::string>& tokens,
+                           const std::string& payload) {
+  const std::string& name = tokens[1];
+  // Parse/translate outside any lock — LOAD of a big schema must not
+  // stall requests against other sessions.
+  auto session = Session::FromSource(payload, options_.checker);
+  if (!session.ok()) return StatusReply(session.status());
+  std::string summary = (*session)->Summary();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(name);
+    if (it == sessions_.end() && sessions_.size() >= options_.max_sessions) {
+      return ErrReply("resource_exhausted",
+                      StrCat("session limit (", options_.max_sessions,
+                             ") reached"));
+    }
+    // Replacing is atomic for new requests; in-flight requests finish
+    // against the old session via their shared_ptr.
+    sessions_[name] = std::move(*session);
+  }
+  return OkReply(StrCat("session=", name, " ", summary));
+}
+
+Reply Server::DispatchState(const std::vector<std::string>& tokens,
+                            const std::string& payload) {
+  std::shared_ptr<Session> session = FindSession(tokens[1]);
+  if (session == nullptr) {
+    return ErrReply("not_found", StrCat("no session '", tokens[1], "'"));
+  }
+  std::unique_lock<std::shared_mutex> lock(session->mu());
+  if (Status s = session->LoadState(payload); !s.ok()) {
+    return StatusReply(s);
+  }
+  return OkReply("state loaded (views reset, re-issue VIEW)");
+}
+
+Reply Server::DispatchStats(const std::vector<std::string>& tokens) {
+  ServerStats s = stats();
+  std::string text = StrCat(
+      "server: connections=", s.connections, " requests=", s.requests,
+      " ok=", s.ok, " err=", s.errors, " busy=", s.busy,
+      " deadline=", s.deadline_expired,
+      " pending=", admitted_.load(std::memory_order_relaxed),
+      " threads=", pool_->size(), " sessions=", s.sessions);
+  auto append = [&](const std::string& name,
+                    const std::shared_ptr<Session>& session) {
+    std::shared_lock<std::shared_mutex> lock(session->mu());
+    text = StrCat(text, "\nsession ", name, ": ", session->StatsText());
+  };
+  if (tokens.size() >= 2) {
+    std::shared_ptr<Session> session = FindSession(tokens[1]);
+    if (session == nullptr) {
+      return ErrReply("not_found", StrCat("no session '", tokens[1], "'"));
+    }
+    append(tokens[1], session);
+  } else {
+    std::vector<std::pair<std::string, std::shared_ptr<Session>>> all;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      all.assign(sessions_.begin(), sessions_.end());
+    }
+    for (const auto& [name, session] : all) append(name, session);
+  }
+  return OkReply(std::move(text));
+}
+
+std::shared_ptr<Session> Server::FindSession(const std::string& name) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.ok = ok_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.busy = busy_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    s.sessions = sessions_.size();
+  }
+  return s;
+}
+
+void Server::RequestShutdown() {
+  stopping_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::Wait() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_; });
+  if (torn_down_) {
+    // Another thread owns the teardown; wait for it to finish so the
+    // caller may destroy the server afterwards.
+    stop_cv_.wait(lock, [this] { return teardown_done_; });
+    return;
+  }
+  torn_down_ = true;
+  lock.unlock();
+  Teardown();
+  {
+    std::lock_guard<std::mutex> guard(stop_mu_);
+    teardown_done_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::Shutdown() {
+  RequestShutdown();
+  Wait();
+}
+
+void Server::Teardown() {
+  // 1. Stop accepting: shutdown() wakes the blocked accept(), close()
+  //    releases the port.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // 2. Graceful drain: every admitted request runs to completion and its
+  //    reply is written (the connection threads are still alive and
+  //    waiting). New Submits are rejected from here on.
+  pool_->Drain();
+
+  // 3. Unblock connection readers and join them.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace oodb::server

@@ -1,0 +1,144 @@
+// Optimizer-as-a-service: a standalone TCP daemon that keeps named
+// sessions (schema + SL axioms + QL concepts + materialized view catalog)
+// resident in memory and answers subsumption/classification/optimization
+// requests over the framed text protocol of wire.h.
+//
+// Concurrency shape: one acceptor thread; one lightweight reader thread
+// per connection that parses frames and waits for its request's reply;
+// the actual work runs on a shared service::ThreadPool behind a bounded
+// admission counter. When the admission queue is full the request is
+// answered `BUSY` immediately (backpressure instead of unbounded queue
+// growth); a request that waited in the queue past the configured
+// deadline is answered `ERR deadline` without running. SHUTDOWN (or
+// Shutdown()) stops accepting, drains the queued work, and closes
+// connections — the graceful-drain counterpart of the pool's Drain().
+#ifndef OODB_SERVER_SERVER_H_
+#define OODB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+#include "calculus/subsumption.h"
+#include "server/session.h"
+#include "server/wire.h"
+#include "service/thread_pool.h"
+
+namespace oodb::server {
+
+struct ServerOptions {
+  // TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  // back from port()).
+  uint16_t port = 0;
+  // Worker threads; 0 means std::thread::hardware_concurrency().
+  size_t num_threads = 0;
+  // Admission bound: requests admitted (queued or running) at once.
+  // Requests beyond it are answered BUSY.
+  size_t max_pending = 64;
+  // Budget in milliseconds a request may wait in the admission queue
+  // before it is answered `ERR deadline` instead of running. 0 = none.
+  int64_t deadline_ms = 0;
+  // Upper bound on LOAD/STATE payload sizes.
+  size_t max_payload = size_t{8} << 20;
+  // Upper bound on live named sessions.
+  size_t max_sessions = 64;
+  // Options for each session's shared checker (memo cache, pre-filter,
+  // engine pool).
+  calculus::CheckerOptions checker;
+};
+
+// Monotone server-wide counters (snapshot via Server::stats()).
+struct ServerStats {
+  uint64_t connections = 0;
+  uint64_t requests = 0;  // frames parsed, including rejected ones
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  uint64_t busy = 0;              // BUSY replies (admission bound hit)
+  uint64_t deadline_expired = 0;  // ERR deadline replies
+  size_t sessions = 0;            // live named sessions
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = ServerOptions());
+  // Joins everything; equivalent to Shutdown() if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds and listens on 127.0.0.1, spawns the acceptor. Returns the
+  // bound port.
+  Result<int> Start();
+
+  // Blocks until a shutdown is requested (SHUTDOWN frame or Shutdown()),
+  // then performs the drain + teardown. Call from the owning thread.
+  void Wait();
+
+  // Requests shutdown and performs Wait(). Must not be called from a
+  // connection or worker thread (it joins them).
+  void Shutdown();
+
+  int port() const { return port_; }
+  ServerStats stats() const;
+
+ private:
+  struct PendingReply;
+
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+  // Parses one framed request off `reader` and produces the reply.
+  // Returns false when the connection should close (EOF / frame error).
+  bool HandleRequest(FrameReader& reader, int fd);
+  Reply Dispatch(const std::vector<std::string>& tokens,
+                 const std::string& payload);
+  Reply DispatchLoad(const std::vector<std::string>& tokens,
+                     const std::string& payload);
+  Reply DispatchState(const std::vector<std::string>& tokens,
+                      const std::string& payload);
+  Reply DispatchStats(const std::vector<std::string>& tokens);
+  std::shared_ptr<Session> FindSession(const std::string& name);
+  void RequestShutdown();
+  void Teardown();
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::unique_ptr<service::ThreadPool> pool_;
+  std::atomic<size_t> admitted_{0};  // requests queued or running
+
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;  // guarded by conn_mu_
+  std::set<int> conn_fds_;                 // guarded by conn_mu_
+  std::thread acceptor_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;  // guarded by stop_mu_
+  bool torn_down_ = false;       // guarded by stop_mu_
+  bool teardown_done_ = false;   // guarded by stop_mu_
+  std::atomic<bool> stopping_{false};  // fast-path flag for request paths
+
+  mutable std::atomic<uint64_t> connections_{0};
+  mutable std::atomic<uint64_t> requests_{0};
+  mutable std::atomic<uint64_t> ok_{0};
+  mutable std::atomic<uint64_t> errors_{0};
+  mutable std::atomic<uint64_t> busy_{0};
+  mutable std::atomic<uint64_t> deadline_expired_{0};
+};
+
+}  // namespace oodb::server
+
+#endif  // OODB_SERVER_SERVER_H_

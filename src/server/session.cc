@@ -1,0 +1,157 @@
+#include "server/session.h"
+
+#include <utility>
+
+#include "base/strings.h"
+#include "db/instance.h"
+#include "dl/analyzer.h"
+
+namespace oodb::server {
+
+Result<std::unique_ptr<Session>> Session::FromSource(
+    const std::string& dl_source,
+    const calculus::CheckerOptions& checker_options) {
+  // Not make_unique: the constructor is private.
+  std::unique_ptr<Session> session(new Session());
+  session->terms_ = std::make_unique<ql::TermFactory>(&session->symbols_);
+  session->sigma_ = std::make_unique<schema::Schema>(session->terms_.get());
+  OODB_ASSIGN_OR_RETURN(dl::Model parsed,
+                        dl::ParseAndAnalyze(dl_source, &session->symbols_));
+  session->model_ = std::make_unique<dl::Model>(std::move(parsed));
+  session->warnings_ = session->model_->warnings();
+  session->translator_ =
+      std::make_unique<dl::Translator>(*session->model_, session->terms_.get());
+  OODB_RETURN_IF_ERROR(session->translator_->BuildSchema(session->sigma_.get()));
+  session->checker_ = std::make_unique<calculus::SubsumptionChecker>(
+      *session->sigma_, checker_options);
+  // An empty state up front: CHECK/CLASSIFY need none, and OPTIMIZE is
+  // well-defined over zero objects (plans, not answers).
+  session->database_ =
+      std::make_unique<db::Database>(*session->model_, &session->symbols_);
+  session->catalog_ = std::make_unique<views::ViewCatalog>(
+      session->database_.get(), session->translator_.get());
+  session->optimizer_ = std::make_unique<views::Optimizer>(
+      session->database_.get(), session->catalog_.get(), *session->sigma_,
+      session->translator_.get());
+  return session;
+}
+
+Status Session::LoadState(const std::string& odb_source) {
+  // A fresh database invalidates every materialized extent, so the
+  // catalog and optimizer are rebuilt; clients re-issue VIEW afterwards.
+  auto database =
+      std::make_unique<db::Database>(*model_, &symbols_);
+  OODB_RETURN_IF_ERROR(db::LoadInstance(odb_source, database.get()).status());
+  database_ = std::move(database);
+  catalog_ = std::make_unique<views::ViewCatalog>(database_.get(),
+                                                  translator_.get());
+  optimizer_ = std::make_unique<views::Optimizer>(
+      database_.get(), catalog_.get(), *sigma_, translator_.get());
+  return Status::Ok();
+}
+
+Result<size_t> Session::DefineView(const std::string& name) {
+  Symbol s = symbols_.Find(name);
+  if (!s.valid() || model_->FindClass(s) == nullptr) {
+    return NotFoundError(StrCat("no class named '", name, "'"));
+  }
+  OODB_RETURN_IF_ERROR(catalog_->DefineView(s));
+  return catalog_->Find(s)->extent.size();
+}
+
+Result<ql::ConceptId> Session::ConceptOf(const std::string& name) {
+  Symbol s = symbols_.Find(name);
+  const dl::ClassDef* def = s.valid() ? model_->FindClass(s) : nullptr;
+  if (def == nullptr) {
+    return NotFoundError(StrCat("no class named '", name, "'"));
+  }
+  if (!def->is_query) return terms_->Primitive(s);
+  return translator_->QueryConcept(s);
+}
+
+Result<bool> Session::Check(const std::string& c, const std::string& d) {
+  OODB_ASSIGN_OR_RETURN(ql::ConceptId cc, ConceptOf(c));
+  OODB_ASSIGN_OR_RETURN(ql::ConceptId dd, ConceptOf(d));
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  return checker_->Subsumes(cc, dd);
+}
+
+Result<std::string> Session::Classify() {
+  // Mirrors `oodbsub classify`: query classes join the schema hierarchy
+  // (paper Sect. 5). A fresh Classifier per request over the shared warm
+  // checker — the verdicts come from the memo cache after the first run.
+  calculus::Classifier classifier(*checker_);
+  for (const dl::ClassDef& def : model_->classes()) {
+    if (def.name == model_->object_class) continue;
+    auto concept_id = def.is_query
+                          ? translator_->QueryConcept(def.name)
+                          : Result<ql::ConceptId>(terms_->Primitive(def.name));
+    if (!concept_id.ok()) return concept_id.status();
+    OODB_RETURN_IF_ERROR(classifier.Add(def.name, *concept_id));
+  }
+  OODB_RETURN_IF_ERROR(classifier.Classify());
+  classifies_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(classify_mu_);
+    last_classify_ = classifier.classify_stats();
+    has_classified_ = true;
+  }
+  return classifier.ToString(symbols_);
+}
+
+Result<std::string> Session::Optimize(const std::string& query) {
+  Symbol s = symbols_.Find(query);
+  const dl::ClassDef* def = s.valid() ? model_->FindClass(s) : nullptr;
+  if (def == nullptr || !def->is_query) {
+    return NotFoundError(StrCat("no query class named '", query, "'"));
+  }
+  OODB_ASSIGN_OR_RETURN(views::QueryPlan plan, optimizer_->ChoosePlan(s));
+  optimizes_.fetch_add(1, std::memory_order_relaxed);
+  std::string text =
+      StrCat("uses_view=", plan.uses_view ? "true" : "false", "\n",
+             "view=", plan.uses_view ? symbols_.Name(plan.view) : "-", "\n",
+             "views_used=",
+             plan.views_used.empty()
+                 ? "-"
+                 : StrJoinMapped(plan.views_used, ",",
+                                 [&](Symbol v) { return symbols_.Name(v); }),
+             "\n", "pool=", plan.pool_size, "\n",
+             "checks=", plan.subsumption_checks, "\n",
+             "plan=", plan.explanation);
+  return text;
+}
+
+std::string Session::Summary() const {
+  size_t queries = 0;
+  for (const dl::ClassDef& def : model_->classes()) queries += def.is_query;
+  return StrCat("classes=", model_->classes().size() - queries,
+                " queries=", queries,
+                " axioms=", sigma_->inclusions().size() + sigma_->typings().size(),
+                " warnings=", warnings_.size());
+}
+
+std::string Session::StatsText() const {
+  const calculus::CheckerPerfStats perf = checker_->perf_stats();
+  std::string text = StrCat(
+      "checks=", checks_.load(std::memory_order_relaxed),
+      " classifies=", classifies_.load(std::memory_order_relaxed),
+      " optimizes=", optimizes_.load(std::memory_order_relaxed),
+      " views=", catalog_->views().size(),
+      " objects=", database_->num_objects(), "\n",
+      "engine_runs=", perf.engine_runs,
+      " prefilter_rejections=", perf.prefilter_rejections, "/",
+      perf.prefilter_checks, " memo_hits=", perf.cache.hits,
+      " memo_misses=", perf.cache.misses, " memo_entries=",
+      perf.cache.entries, " pool_reuses=", perf.pool_reuses, "/",
+      perf.pool_acquires);
+  std::lock_guard<std::mutex> lock(classify_mu_);
+  if (has_classified_) {
+    text = StrCat(text, "\nclassify_concepts=", last_classify_.concepts,
+                  " classify_checks=", last_classify_.checks_performed, "/",
+                  last_classify_.pairwise_checks,
+                  " classify_avoided=", last_classify_.checks_avoided);
+  }
+  return text;
+}
+
+}  // namespace oodb::server

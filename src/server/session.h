@@ -1,0 +1,100 @@
+// One resident unit of daemon state: a parsed DL schema, its SL
+// translation, the QL concept table, an (optional) database state, and a
+// materialized view catalog — everything a request needs, kept hot across
+// requests so the shared checker's memo cache, pre-filter signatures and
+// engine pool amortize over the connection stream.
+#ifndef OODB_SERVER_SESSION_H_
+#define OODB_SERVER_SESSION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/symbol.h"
+#include "calculus/services.h"
+#include "calculus/subsumption.h"
+#include "db/database.h"
+#include "dl/model.h"
+#include "dl/translate.h"
+#include "ql/term_factory.h"
+#include "schema/schema.h"
+#include "views/views.h"
+
+namespace oodb::server {
+
+// Thread compatibility: LOAD/STATE/VIEW mutate the session and require
+// the exclusive side of mu(); CHECK/CLASSIFY/OPTIMIZE/STATS only read
+// session structure (the checker itself is internally thread-safe) and
+// run under the shared side. The server enforces this locking.
+class Session {
+ public:
+  // Parses and translates a DL source into a fresh session with an empty
+  // database state. Parser warnings are collected, not printed.
+  static Result<std::unique_ptr<Session>> FromSource(
+      const std::string& dl_source,
+      const calculus::CheckerOptions& checker_options);
+
+  // Replaces the database state from `.odb` text. Views defined against
+  // the previous state are dropped (their extents are stale by
+  // construction); callers re-issue VIEW after STATE.
+  Status LoadState(const std::string& odb_source);
+
+  // Defines and materializes the named query class as a view.
+  // Returns the extent size.
+  Result<size_t> DefineView(const std::string& name);
+
+  // C ⊑_Σ D for two named classes, through the shared warm checker.
+  Result<bool> Check(const std::string& c, const std::string& d);
+
+  // Classifies schema + query classes; returns the hierarchy rendering.
+  Result<std::string> Classify();
+
+  // Runs the optimizer's plan choice for a named query class and renders
+  // the plan as `key=value` lines (see docs/server.md).
+  Result<std::string> Optimize(const std::string& query);
+
+  // One-line summary for the LOAD reply.
+  std::string Summary() const;
+
+  // Multi-line per-session counters + CheckerPerfStats/ClassifyStats
+  // pass-through for STATS.
+  std::string StatsText() const;
+
+  std::shared_mutex& mu() { return mu_; }
+
+ private:
+  Session() = default;
+
+  // Resolves a class name to its QL concept (query classes are
+  // translated; schema classes are primitive concepts).
+  Result<ql::ConceptId> ConceptOf(const std::string& name);
+
+  SymbolTable symbols_;
+  std::unique_ptr<ql::TermFactory> terms_;
+  std::unique_ptr<schema::Schema> sigma_;
+  std::unique_ptr<dl::Model> model_;
+  std::unique_ptr<dl::Translator> translator_;
+  std::unique_ptr<calculus::SubsumptionChecker> checker_;
+  std::unique_ptr<db::Database> database_;
+  std::unique_ptr<views::ViewCatalog> catalog_;
+  std::unique_ptr<views::Optimizer> optimizer_;
+  std::vector<std::string> warnings_;
+
+  // Request counters tick under the shared lock, so they are atomic.
+  std::atomic<uint64_t> checks_{0};
+  std::atomic<uint64_t> classifies_{0};
+  std::atomic<uint64_t> optimizes_{0};
+  mutable std::mutex classify_mu_;  // guards last_classify_
+  calculus::Classifier::ClassifyStats last_classify_;
+  bool has_classified_ = false;  // guarded by classify_mu_
+
+  mutable std::shared_mutex mu_;
+};
+
+}  // namespace oodb::server
+
+#endif  // OODB_SERVER_SESSION_H_

@@ -1,0 +1,120 @@
+#include "server/wire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+
+namespace oodb::server {
+
+Reply OkReply(std::string payload) {
+  Reply reply;
+  reply.kind = Reply::Kind::kOk;
+  reply.payload = std::move(payload);
+  return reply;
+}
+
+Reply ErrReply(std::string_view code, std::string_view message) {
+  Reply reply;
+  reply.kind = Reply::Kind::kErr;
+  reply.code = SanitizeLine(code);
+  reply.payload = SanitizeLine(message);
+  return reply;
+}
+
+std::string EncodeReply(const Reply& reply) {
+  switch (reply.kind) {
+    case Reply::Kind::kBusy:
+      return std::string(kBusyLine);
+    case Reply::Kind::kErr:
+      return "ERR " + reply.code + " " + reply.payload + "\n";
+    case Reply::Kind::kOk:
+      return "OK " + std::to_string(reply.payload.size()) + "\n" +
+             reply.payload + "\n";
+  }
+  return std::string(kBusyLine);  // unreachable
+}
+
+std::vector<std::string> SplitTokens(std::string_view line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::string SanitizeLine(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    out += std::iscntrl(static_cast<unsigned char>(c)) ? ' ' : c;
+  }
+  return out;
+}
+
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as an error return,
+    // not a process-killing SIGPIPE.
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool FrameReader::FillSome() {
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // EOF or error
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+}
+
+bool FrameReader::ReadLine(std::string* line, size_t max_line) {
+  for (;;) {
+    size_t nl = buffer_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      if (nl - pos_ > max_line) return false;
+      line->assign(buffer_, pos_, nl - pos_);
+      pos_ = nl + 1;
+      // Compact once the consumed prefix dominates the buffer.
+      if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+      }
+      return true;
+    }
+    if (buffer_.size() - pos_ > max_line) return false;
+    if (!FillSome()) return false;
+  }
+}
+
+bool FrameReader::ReadPayload(size_t n, std::string* payload) {
+  while (buffer_.size() - pos_ < n + 1) {
+    if (!FillSome()) return false;
+  }
+  payload->assign(buffer_, pos_, n);
+  if (buffer_[pos_ + n] != '\n') return false;  // frame out of sync
+  pos_ += n + 1;
+  if (pos_ * 2 > buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace oodb::server

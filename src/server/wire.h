@@ -1,0 +1,80 @@
+// Wire protocol of the optimizer daemon: a newline-delimited framed text
+// protocol over a byte stream (TCP), shared by server and client.
+//
+// Requests are one ASCII line `<VERB> <args...>\n`; the payload-carrying
+// verbs (LOAD, STATE) end their line with a byte count and follow it with
+// exactly that many payload bytes plus one terminating '\n'. Every request
+// gets exactly one reply:
+//
+//   OK <nbytes>\n<payload bytes>\n      success, framed result text
+//   ERR <code> <message>\n              failure (code is a status name)
+//   BUSY\n                              admission queue full, retry later
+//
+// Replies arrive in request order on each connection. See docs/server.md
+// for the full specification.
+#ifndef OODB_SERVER_WIRE_H_
+#define OODB_SERVER_WIRE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oodb::server {
+
+// Status line sent when the admission queue is full (backpressure).
+inline constexpr std::string_view kBusyLine = "BUSY\n";
+
+// Error codes used by the protocol layer itself (library errors reuse
+// StatusCodeName: "invalid_argument", "not_found", ...).
+inline constexpr std::string_view kErrProto = "proto";       // malformed frame
+inline constexpr std::string_view kErrDeadline = "deadline"; // queue-wait budget
+inline constexpr std::string_view kErrShutdown = "shutdown"; // server draining
+
+struct Reply {
+  enum class Kind { kOk, kErr, kBusy };
+  Kind kind = Kind::kOk;
+  std::string code;     // kErr only
+  std::string payload;  // kOk: result text; kErr: message
+};
+
+Reply OkReply(std::string payload);
+Reply ErrReply(std::string_view code, std::string_view message);
+
+// Serializes a reply into its on-wire byte form.
+std::string EncodeReply(const Reply& reply);
+
+// Splits on runs of spaces/tabs; never returns empty tokens.
+std::vector<std::string> SplitTokens(std::string_view line);
+
+// Replaces control characters (including newlines) with spaces so a
+// message can be embedded in a single-line ERR frame.
+std::string SanitizeLine(std::string_view text);
+
+// Writes all of `data` to `fd`, retrying on short writes and EINTR and
+// suppressing SIGPIPE. Returns false on any other error.
+bool SendAll(int fd, std::string_view data);
+
+// Buffered reader for the framing layer. Not thread-safe.
+class FrameReader {
+ public:
+  explicit FrameReader(int fd) : fd_(fd) {}
+
+  // Reads up to and including the next '\n'; returns the line without the
+  // terminator. False on EOF/error before a full line, or when the line
+  // exceeds `max_line` bytes (a malformed peer, not a real frame).
+  bool ReadLine(std::string* line, size_t max_line = 1 << 16);
+
+  // Reads exactly n payload bytes plus the terminating '\n'.
+  bool ReadPayload(size_t n, std::string* payload);
+
+ private:
+  bool FillSome();
+
+  int fd_;
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace oodb::server
+
+#endif  // OODB_SERVER_WIRE_H_

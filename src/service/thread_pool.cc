@@ -23,17 +23,32 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || shutdown_) return false;
     queue_.push(std::move(task));
   }
   work_ready_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  Wait();
+}
+
+size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + in_flight_;
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {

@@ -29,27 +29,41 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
-  // Enqueues one task. Tasks must not throw.
-  void Submit(std::function<void()> task);
+  // Enqueues one task. Tasks must not throw. Returns false (and drops
+  // the task) once Drain() has been called — the pool no longer accepts
+  // work.
+  bool Submit(std::function<void()> task);
 
   // Blocks until every submitted task has finished. Multiple threads may
   // Submit concurrently, but Wait assumes no new Submits race with it
   // (callers coordinate one batch at a time, as ParallelClassifier does).
   void Wait();
 
+  // Graceful shutdown, distinct from the destructor's stop: rejects all
+  // further Submits, then blocks until the queued and in-flight work has
+  // finished. The workers stay alive (the destructor still joins them);
+  // Drain is idempotent and safe to call from any non-worker thread.
+  void Drain();
+
+  // Tasks accepted but not yet finished (queued + running). A snapshot:
+  // concurrent Submits/completions may change it immediately.
+  size_t pending() const;
+
   // Runs body(0..n-1) across the pool and blocks until all n calls have
-  // returned. Work is claimed dynamically, one index at a time.
+  // returned. Work is claimed dynamically, one index at a time. Must not
+  // be called after Drain() (its tasks would be rejected).
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable idle_;
   std::queue<std::function<void()>> queue_;  // guarded by mu_
   size_t in_flight_ = 0;                     // guarded by mu_
+  bool draining_ = false;                    // guarded by mu_
   bool shutdown_ = false;                    // guarded by mu_
 };
 

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Error contract of the oodbsub CLI: every parse/validation failure must
+# exit non-zero with diagnostics on stderr and NOTHING on stdout, so
+# scripted callers (and the CI smoke) can detect errors reliably.
+#
+# usage: cli_errors_test.sh <path-to-oodbsub> <examples-data-dir>
+BIN="$1"
+DATA="$2"
+TMP="${TMPDIR:-/tmp}/oodbsub_cli_errors.$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+failures=0
+
+# expect_failure <name> <expected-exit> -- <args...>
+# expected-exit 'any' accepts any non-zero code.
+expect_failure() {
+  name="$1"; want="$2"; shift 3
+  "$BIN" "$@" >"$TMP/out" 2>"$TMP/err"
+  code=$?
+  if [ "$code" -eq 0 ]; then
+    echo "FAIL $name: exit 0, expected failure"; failures=$((failures+1)); return
+  fi
+  if [ "$want" != any ] && [ "$code" -ne "$want" ]; then
+    echo "FAIL $name: exit $code, expected $want"; failures=$((failures+1)); return
+  fi
+  if [ -s "$TMP/out" ]; then
+    echo "FAIL $name: diagnostics leaked to stdout:"; cat "$TMP/out"
+    failures=$((failures+1)); return
+  fi
+  if [ ! -s "$TMP/err" ]; then
+    echo "FAIL $name: no diagnostics on stderr"; failures=$((failures+1)); return
+  fi
+  echo "ok   $name (exit $code)"
+}
+
+printf 'Class Broken isA {' > "$TMP/broken.dl"
+
+expect_failure missing-schema-file    1  -- translate "$TMP/does-not-exist.dl"
+expect_failure syntax-error-schema    1  -- translate "$TMP/broken.dl"
+expect_failure unknown-class          1  -- check "$DATA/medical.dl" NoSuchClass ViewPatient
+expect_failure unknown-state-file     1  -- query "$DATA/medical.dl" "$TMP/none.odb" QueryPatient
+expect_failure unknown-view           1  -- optimize "$DATA/medical.dl" "$DATA/hospital.odb" QueryPatient NoSuchView
+expect_failure unknown-command        64 -- frobnicate "$DATA/medical.dl"
+expect_failure bad-thread-flag        64 -- classify "$DATA/medical.dl" --threads=0
+expect_failure no-arguments           64 --
+expect_failure rpc-unreachable        1  -- rpc 127.0.0.1:1 PING
+expect_failure rpc-bad-target         64 -- rpc not-a-target PING
+
+exit $failures

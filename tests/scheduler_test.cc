@@ -1,16 +1,23 @@
 // Scheduler equivalence: the semi-naive (watermark) evaluation must reach
 // exactly the completion the naive full-rescan scheduler reaches — same
 // verdicts, same store sizes, same individuals — on random workloads and
-// on the paper's example.
+// on the paper's example. Plus coverage of the other scheduler in the
+// system: the service ThreadPool's graceful Drain() used by the daemon.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "base/rng.h"
 #include "calculus/subsumption.h"
 #include "gen/generators.h"
 #include "medical_fixture.h"
 #include "ql/print.h"
+#include "service/thread_pool.h"
 
 namespace oodb::calculus {
 namespace {
@@ -107,3 +114,95 @@ TEST(Scheduler, TraceIsIdenticalOnTheExample) {
 
 }  // namespace
 }  // namespace oodb::calculus
+
+namespace oodb::service {
+namespace {
+
+TEST(ThreadPoolDrain, FinishesQueuedWorkThenRejectsNewSubmits) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&executed] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  pool.Drain();
+  EXPECT_EQ(executed.load(), 100);
+  EXPECT_EQ(pool.pending(), 0u);
+  // Drained pools reject (and drop) new work instead of queueing it.
+  EXPECT_FALSE(pool.Submit([&executed] { executed.fetch_add(1); }));
+  EXPECT_EQ(pool.pending(), 0u);
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPoolDrain, IsIdempotent) {
+  ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  ASSERT_TRUE(pool.Submit([&executed] { ++executed; }));
+  pool.Drain();
+  pool.Drain();
+  EXPECT_EQ(executed.load(), 1);
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolDrain, PendingCountsQueuedAndRunningTasks) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool started = false;
+  // One task occupies the single worker until released; the rest queue.
+  ASSERT_TRUE(pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  }));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return started; });
+  }
+  ASSERT_TRUE(pool.Submit([] {}));
+  ASSERT_TRUE(pool.Submit([] {}));
+  EXPECT_EQ(pool.pending(), 3u);  // 1 running + 2 queued
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Drain();  // the queued tasks still run: drain ≠ drop
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPoolDrain, ConcurrentSubmittersSeeCleanCutoff) {
+  // Tasks admitted before Drain() all run; Submits racing the drain
+  // either run to completion or report rejection — nothing is half-done.
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  std::atomic<int> accepted{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (pool.Submit([&executed] {
+              executed.fetch_add(1, std::memory_order_relaxed);
+            })) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          return;  // pool is draining: no further work is accepted
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pool.Drain();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(executed.load(), accepted.load());
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace oodb::service

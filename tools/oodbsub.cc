@@ -12,6 +12,10 @@
 //       evaluate a query class over a database state
 //   oodbsub optimize <schema.dl> <state.odb> <query> <view...>
 //       materialize the views and answer the query through the optimizer
+//   oodbsub serve [--port=N] [--threads=N] [--max-pending=N] [--deadline-ms=N]
+//       run the optimizer daemon (docs/server.md)
+//   oodbsub rpc <host:port> <VERB> [args...]
+//       send one framed request to a running daemon
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -36,6 +40,8 @@
 #include "ql/fol.h"
 #include "ql/print.h"
 #include "schema/schema.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "service/parallel_classifier.h"
 #include "views/views.h"
 
@@ -319,8 +325,97 @@ int Usage() {
       "  oodbsub minimize <schema.dl> <query>\n"
       "  oodbsub query <schema.dl> <state.odb> <query>\n"
       "  oodbsub optimize <schema.dl> <state.odb> <query> <view...>\n"
-      "  oodbsub state <schema.dl> <state.odb> [--deduce]\n");
+      "  oodbsub state <schema.dl> <state.odb> [--deduce]\n"
+      "  oodbsub serve [--port=N] [--threads=N] [--max-pending=N]"
+      " [--deadline-ms=N]\n"
+      "  oodbsub rpc <host:port> <VERB> [args...]   (LOAD/STATE take a"
+      " file path)\n"
+      "exit codes: 0 ok, 1 error (diagnostics on stderr), 2 not subsumed,\n"
+      "            3 illegal state, 4 server busy, 64 usage\n");
   return 64;
+}
+
+int CmdServe(const std::vector<std::string>& args) {
+  server::ServerOptions options;
+  for (const std::string& arg : args) {
+    const char* value = nullptr;
+    if (arg.rfind("--port=", 0) == 0) {
+      value = arg.c_str() + 7;
+      options.port = static_cast<uint16_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = arg.c_str() + 10;
+      options.num_threads = std::strtoul(value, nullptr, 10);
+    } else if (arg.rfind("--max-pending=", 0) == 0) {
+      value = arg.c_str() + 14;
+      options.max_pending = std::strtoul(value, nullptr, 10);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      value = arg.c_str() + 14;
+      options.deadline_ms = std::strtol(value, nullptr, 10);
+    } else {
+      return Usage();
+    }
+    if (*value == '\0') return Usage();
+  }
+  server::Server daemon(options);
+  auto port = daemon.Start();
+  if (!port.ok()) return Fail(port.status());
+  // The one line scripts scrape for the ephemeral port; flush before
+  // blocking so a pipe reader sees it immediately.
+  std::printf("listening on 127.0.0.1:%d\n", *port);
+  std::fflush(stdout);
+  daemon.Wait();
+  const server::ServerStats stats = daemon.stats();
+  std::fprintf(stderr,
+               "drained: %llu requests (%llu ok, %llu err, %llu busy, "
+               "%llu deadline) over %llu connections\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.ok),
+               static_cast<unsigned long long>(stats.errors),
+               static_cast<unsigned long long>(stats.busy),
+               static_cast<unsigned long long>(stats.deadline_expired),
+               static_cast<unsigned long long>(stats.connections));
+  return 0;
+}
+
+int CmdRpc(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  const std::string& target = args[0];
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon + 1 == target.size()) {
+    return Usage();
+  }
+  const std::string host = target.substr(0, colon);
+  const int port =
+      static_cast<int>(std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+  auto client = server::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+
+  const std::string& verb = args[1];
+  auto roundtrip = [&]() -> Result<std::string> {
+    if (verb == "LOAD" || verb == "STATE") {
+      // `rpc ... LOAD <session> <file.dl>`: the CLI frames the file
+      // contents as the payload.
+      if (args.size() != 4) {
+        return InvalidArgumentError(
+            StrCat("usage: rpc <host:port> ", verb, " <session> <file>"));
+      }
+      OODB_ASSIGN_OR_RETURN(std::string source, ReadFile(args[3]));
+      return verb == "LOAD" ? client->Load(args[2], source)
+                            : client->LoadState(args[2], source);
+    }
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    return client->Roundtrip(StrJoin(rest, " "));
+  };
+  auto reply = roundtrip();
+  if (!reply.ok()) {
+    if (reply.status().code() == StatusCode::kResourceExhausted) {
+      std::fprintf(stderr, "busy: admission queue full, retry later\n");
+      return 4;
+    }
+    return Fail(reply.status());
+  }
+  std::printf("%s\n", reply->c_str());
+  return 0;
 }
 
 }  // namespace
@@ -338,9 +433,25 @@ int main(int argc, char** argv) {
       ++it;
     }
   }
-  const size_t n = args.size();
-  if (n < 2) return Usage();
+  if (args.empty()) return Usage();
   std::string command = args[0];
+
+  // The daemon-side commands take no schema file.
+  if (command == "serve") {
+    return CmdServe({args.begin() + 1, args.end()});
+  }
+  if (command == "rpc") {
+    return CmdRpc({args.begin() + 1, args.end()});
+  }
+
+  // Validate the command *before* touching the schema path, so a typo'd
+  // command yields usage (64), not a misleading file error.
+  const bool known =
+      command == "translate" || command == "print" || command == "state" ||
+      command == "check" || command == "classify" || command == "minimize" ||
+      command == "query" || command == "optimize";
+  const size_t n = args.size();
+  if (!known || n < 2) return Usage();
 
   Session session;
   if (auto s = session.Open(args[1]); !s.ok()) return Fail(s);
