@@ -130,7 +130,7 @@ ql::ConceptId Translator::FilterConcept(
       // sound (the membership condition is merely weakened).
       const ClassDef* def = model_.FindClass(filter.name);
       if (def != nullptr && def->is_query && !in_progress_[filter.name]) {
-        auto inlined = QueryConcept(filter.name);
+        auto inlined = QueryConceptLocked(filter.name);
         if (inlined.ok()) return *inlined;
       }
       return terms_->Primitive(filter.name);
@@ -161,17 +161,27 @@ ql::PathId Translator::PathOf(const ResolvedPath& path,
 }
 
 Result<ql::ConceptId> Translator::ClassConcept(Symbol cls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ClassConceptLocked(cls);
+}
+
+Result<ql::ConceptId> Translator::QueryConcept(Symbol query_class) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QueryConceptLocked(query_class);
+}
+
+Result<ql::ConceptId> Translator::ClassConceptLocked(Symbol cls) {
   if (cls == model_.object_class) return terms_->Top();
   const ClassDef* def = model_.FindClass(cls);
   if (def == nullptr) {
     return NotFoundError(StrCat("unknown class '",
                                 terms_->symbols().Name(cls), "'"));
   }
-  if (def->is_query) return QueryConcept(cls);
+  if (def->is_query) return QueryConceptLocked(cls);
   return terms_->Primitive(cls);
 }
 
-Result<ql::ConceptId> Translator::QueryConcept(Symbol query_class) {
+Result<ql::ConceptId> Translator::QueryConceptLocked(Symbol query_class) {
   auto cached = query_cache_.find(query_class);
   if (cached != query_cache_.end()) return cached->second;
 
@@ -186,7 +196,7 @@ Result<ql::ConceptId> Translator::QueryConcept(Symbol query_class) {
   std::unordered_map<Symbol, Symbol> skolems;
   std::vector<ql::ConceptId> conjuncts;
   for (Symbol super : def->supers) {
-    OODB_ASSIGN_OR_RETURN(ql::ConceptId c, ClassConcept(super));
+    OODB_ASSIGN_OR_RETURN(ql::ConceptId c, ClassConceptLocked(super));
     conjuncts.push_back(c);
   }
 

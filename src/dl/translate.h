@@ -5,6 +5,7 @@
 #ifndef OODB_DL_TRANSLATE_H_
 #define OODB_DL_TRANSLATE_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +22,12 @@ namespace oodb::dl {
 // Non-structural parts (constraint clauses) are deliberately dropped here
 // — they stay behind in the Model for the database evaluator; this is the
 // paper's soundness-preserving abstraction.
+//
+// Thread-safe: QueryConcept/ClassConcept serialize on an internal mutex
+// (they memoize translations in unsynchronized maps), so concurrent
+// CHECK/CLASSIFY/OPTIMIZE requests may share one translator. The FOL
+// renderings below are stateless apart from TermFactory interning (itself
+// thread-safe) and need no lock.
 class Translator {
  public:
   // `model` and `terms` must outlive the translator.
@@ -61,6 +68,11 @@ class Translator {
   Result<ql::FormulaPtr> QueryClassToFol(Symbol query_class);
 
  private:
+  // The unlocked implementations; callers hold mu_. The public entry
+  // points wrap them because translation recurses (query supers and path
+  // filters may name other query classes).
+  Result<ql::ConceptId> QueryConceptLocked(Symbol query_class);
+  Result<ql::ConceptId> ClassConceptLocked(Symbol cls);
   ql::ConceptId FilterConcept(const ResolvedFilter& filter,
                               std::unordered_map<Symbol, Symbol>* skolems);
   ql::PathId PathOf(const ResolvedPath& path,
@@ -68,6 +80,8 @@ class Translator {
 
   const Model& model_;
   ql::TermFactory* terms_;
+  // Guards query_cache_ and in_progress_ (see class comment).
+  mutable std::mutex mu_;
   std::unordered_map<Symbol, ql::ConceptId> query_cache_;
   // Guards against recursive query references through path filters.
   std::unordered_map<Symbol, bool> in_progress_;

@@ -76,9 +76,11 @@ Result<std::string> Client::Roundtrip(const std::string& line,
   if (reply.rfind("OK ", 0) != 0) {
     return InternalError(StrCat("malformed reply '", reply, "'"));
   }
+  const char* digits = reply.c_str() + 3;
   char* end = nullptr;
-  unsigned long long nbytes = std::strtoull(reply.c_str() + 3, &end, 10);
-  if (end == nullptr || *end != '\0') {
+  unsigned long long nbytes = std::strtoull(digits, &end, 10);
+  // end == digits: no digits consumed ("OK " with an empty byte count).
+  if (end == nullptr || end == digits || *end != '\0') {
     return InternalError(StrCat("malformed reply '", reply, "'"));
   }
   std::string body;

@@ -104,12 +104,13 @@ void Server::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // listener closed: shutdown
     }
-    connections_.fetch_add(1, std::memory_order_relaxed);
+    ReapFinishedConnections();
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (stopping_.load(std::memory_order_relaxed)) {
       ::close(fd);
       continue;
     }
+    connections_.fetch_add(1, std::memory_order_relaxed);
     conn_fds_.insert(fd);
     conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
   }
@@ -122,8 +123,34 @@ void Server::ConnectionLoop(int fd) {
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conn_fds_.erase(fd);
+    finished_conn_ids_.push_back(std::this_thread::get_id());
   }
   ::close(fd);
+}
+
+void Server::ReapFinishedConnections() {
+  // Unjoined ids are never reused (the handle is still joinable), so
+  // matching by id cannot capture a live connection's thread.
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (finished_conn_ids_.empty()) return;
+    std::set<std::thread::id> finished(finished_conn_ids_.begin(),
+                                       finished_conn_ids_.end());
+    finished_conn_ids_.clear();
+    auto it = conn_threads_.begin();
+    while (it != conn_threads_.end()) {
+      if (finished.count(it->get_id()) > 0) {
+        done.push_back(std::move(*it));
+        it = conn_threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // The owning threads have already queued their ids, so these joins
+  // return (nearly) immediately.
+  for (std::thread& t : done) t.join();
 }
 
 bool Server::HandleRequest(FrameReader& reader, int fd) {
@@ -429,6 +456,7 @@ void Server::Teardown() {
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     threads.swap(conn_threads_);
+    finished_conn_ids_.clear();  // every handle is joined below
   }
   for (std::thread& t : threads) t.join();
 }

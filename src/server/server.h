@@ -95,6 +95,10 @@ class Server {
 
   void AcceptLoop();
   void ConnectionLoop(int fd);
+  // Joins connection threads that have finished, so a long-running daemon
+  // serving many short-lived connections does not accumulate unjoined
+  // thread handles. Called from AcceptLoop between accepts.
+  void ReapFinishedConnections();
   // Parses one framed request off `reader` and produces the reply.
   // Returns false when the connection should close (EOF / frame error).
   bool HandleRequest(FrameReader& reader, int fd);
@@ -121,6 +125,9 @@ class Server {
 
   std::mutex conn_mu_;
   std::vector<std::thread> conn_threads_;  // guarded by conn_mu_
+  // Ids of conn_threads_ entries whose ConnectionLoop has returned; their
+  // handles are joined by ReapFinishedConnections. Guarded by conn_mu_.
+  std::vector<std::thread::id> finished_conn_ids_;
   std::set<int> conn_fds_;                 // guarded by conn_mu_
   std::thread acceptor_;
 

@@ -28,8 +28,9 @@ namespace oodb::server {
 
 // Thread compatibility: LOAD/STATE/VIEW mutate the session and require
 // the exclusive side of mu(); CHECK/CLASSIFY/OPTIMIZE/STATS only read
-// session structure (the checker itself is internally thread-safe) and
-// run under the shared side. The server enforces this locking.
+// session structure (the checker and the translator — whose query-concept
+// memo these verbs populate — are internally thread-safe) and run under
+// the shared side. The server enforces this locking.
 class Session {
  public:
   // Parses and translates a DL source into a fresh session with an empty

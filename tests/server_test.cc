@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -310,6 +311,57 @@ TEST(Server, ShutdownDrainsAndRefusesNewConnections) {
     // which case the first roundtrip must fail.
     EXPECT_FALSE(late->Ping().ok());
   }
+}
+
+TEST(Server, ConcurrentRequestsOnAFreshSessionAreSafe) {
+  // Regression: the first CHECK/CLASSIFY/OPTIMIZE of a query class
+  // populates the translator's query-concept memo. Hitting a just-loaded
+  // session from many pool workers at once used to race on that memo
+  // (TSan-visible); the translator now serializes it internally.
+  ServerOptions options;
+  options.num_threads = 4;
+  Server server(options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  Rng rng(99);
+  gen::DlGenOptions gen_options;
+  gen_options.num_queries = 8;
+  gen::GeneratedDl dl = gen::GenerateDlSource(rng, gen_options);
+  {
+    Client client = MustConnect(*port);
+    auto loaded = client.Load("fresh", dl.source);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+  }
+
+  constexpr size_t kThreads = 8;
+  const size_t n = dl.query_names.size();
+  std::atomic<size_t> verdicts{0};
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Client c = MustConnect(*port);
+      // One worker in three starts with an uncached-path CLASSIFY or
+      // OPTIMIZE so all three read verbs contend on the memo.
+      if (t % 3 == 1) {
+        auto hierarchy = c.Classify("fresh");
+        EXPECT_TRUE(hierarchy.ok()) << hierarchy.status();
+      } else if (t % 3 == 2) {
+        auto plan = c.Optimize("fresh", dl.query_names[t % n]);
+        EXPECT_TRUE(plan.ok()) << plan.status();
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const std::string& cc = dl.query_names[(t + i) % n];
+        const std::string& dd = dl.query_names[(t + i + 1) % n];
+        auto verdict = c.Check("fresh", cc, dd);
+        EXPECT_TRUE(verdict.ok()) << verdict.status();
+        verdicts.fetch_add(verdict.ok() ? 1 : 0);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(verdicts.load(), kThreads * n);
+  server.Shutdown();
 }
 
 TEST(Server, LoadReplacesSessionAndStateResetsViews) {
