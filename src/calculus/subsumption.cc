@@ -1,5 +1,6 @@
 #include "calculus/subsumption.h"
 
+#include <string>
 #include <utility>
 
 namespace oodb::calculus {
@@ -38,13 +39,15 @@ SubsumptionChecker::EngineLease::~EngineLease() {
   }
 }
 
-Result<bool> SubsumptionChecker::Subsumes(ql::ConceptId c,
-                                          ql::ConceptId d) const {
+Result<bool> SubsumptionChecker::Subsumes(ql::ConceptId c, ql::ConceptId d,
+                                          obs::TraceContext* trace) const {
   const uint64_t key = PairMemoKey(c, d);
   if (options_.memoize) {
+    obs::ScopedSpan span(trace, obs::Phase::kMemo);
     if (std::optional<bool> cached = cache_.Lookup(key)) return *cached;
   }
   if (options_.prefilter) {
+    obs::ScopedSpan span(trace, obs::Phase::kPrefilter);
     prefilter_checks_.fetch_add(1, kRelaxed);
     if (prefilter_.Check(c, d) == PreFilterVerdict::kReject) {
       prefilter_rejections_.fetch_add(1, kRelaxed);
@@ -52,11 +55,19 @@ Result<bool> SubsumptionChecker::Subsumes(ql::ConceptId c,
       return false;
     }
   }
-  EngineLease engine(this);
-  engine_runs_.fetch_add(1, kRelaxed);
-  OODB_RETURN_IF_ERROR(engine->Run(c, d));
-  const bool subsumed = engine->clash() || engine->GoalFactHolds();
-  if (options_.memoize) cache_.Insert(key, subsumed);
+  bool subsumed = false;
+  {
+    obs::ScopedSpan span(trace, obs::Phase::kEngine);
+    EngineLease engine(this);
+    engine_runs_.fetch_add(1, kRelaxed);
+    OODB_RETURN_IF_ERROR(engine->Run(c, d));
+    subsumed = engine->clash() || engine->GoalFactHolds();
+    RecordEngineRun(engine->stats(), trace);
+  }
+  if (options_.memoize) {
+    obs::ScopedSpan span(trace, obs::Phase::kMemo);
+    cache_.Insert(key, subsumed);
+  }
   return subsumed;
 }
 
@@ -69,6 +80,7 @@ Result<SubsumptionOutcome> SubsumptionChecker::SubsumesDetailed(
   CompletionEngine engine(sigma_, engine_options);
   engine_runs_.fetch_add(1, kRelaxed);
   OODB_RETURN_IF_ERROR(engine.Run(c, d));
+  RecordEngineRun(engine.stats(), nullptr);
   SubsumptionOutcome outcome;
   outcome.via_clash = engine.clash();
   outcome.subsumed = engine.clash() || engine.GoalFactHolds();
@@ -78,7 +90,8 @@ Result<SubsumptionOutcome> SubsumptionChecker::SubsumesDetailed(
 }
 
 Result<std::vector<bool>> SubsumptionChecker::SubsumesBatch(
-    ql::ConceptId c, const std::vector<ql::ConceptId>& ds) const {
+    ql::ConceptId c, const std::vector<ql::ConceptId>& ds,
+    obs::TraceContext* trace) const {
   std::vector<bool> verdicts(ds.size(), false);
   // Pre-filter each goal first: a rejected Dᵢ is a non-subsumption no
   // matter what the completion does (the filter abstains whenever the
@@ -86,6 +99,7 @@ Result<std::vector<bool>> SubsumptionChecker::SubsumesBatch(
   std::vector<ql::ConceptId> live;
   std::vector<size_t> positions;
   if (options_.prefilter) {
+    obs::ScopedSpan span(trace, obs::Phase::kPrefilter);
     live.reserve(ds.size());
     positions.reserve(ds.size());
     for (size_t i = 0; i < ds.size(); ++i) {
@@ -104,9 +118,11 @@ Result<std::vector<bool>> SubsumptionChecker::SubsumesBatch(
   }
   if (live.empty()) return verdicts;
 
+  obs::ScopedSpan span(trace, obs::Phase::kEngine);
   EngineLease engine(this);
   engine_runs_.fetch_add(1, kRelaxed);
   OODB_RETURN_IF_ERROR(engine->RunBatch(c, live));
+  RecordEngineRun(engine->stats(), trace);
   for (size_t i = 0; i < live.size(); ++i) {
     verdicts[positions[i]] =
         engine->clash() || engine->GoalFactHoldsFor(live[i]);
@@ -118,6 +134,7 @@ Result<bool> SubsumptionChecker::Satisfiable(ql::ConceptId c) const {
   EngineLease engine(this);
   engine_runs_.fetch_add(1, kRelaxed);
   OODB_RETURN_IF_ERROR(engine->Run(c, ql::kInvalidConcept));
+  RecordEngineRun(engine->stats(), nullptr);
   return !engine->clash();
 }
 
@@ -126,6 +143,65 @@ Result<bool> SubsumptionChecker::Equivalent(ql::ConceptId c,
   OODB_ASSIGN_OR_RETURN(bool forward, Subsumes(c, d));
   if (!forward) return false;
   return Subsumes(d, c);
+}
+
+void SubsumptionChecker::RecordEngineRun(const RunStats& stats,
+                                         obs::TraceContext* trace) const {
+  if (obs::Enabled()) {
+    const auto ns = stats.duration.count();
+    engine_run_ns_.RecordAlways(ns > 0 ? static_cast<uint64_t>(ns) : 0);
+    for (size_t i = 0; i < stats.rule_applications.size(); ++i) {
+      const uint64_t n = stats.rule_applications[i];
+      if (n != 0) rule_totals_[i].fetch_add(n, kRelaxed);
+    }
+  }
+  if (trace != nullptr) {
+    for (size_t i = 0; i < stats.rule_applications.size(); ++i) {
+      const uint64_t n = stats.rule_applications[i];
+      if (n != 0) {
+        trace->AddCounter(
+            std::string("rule:") + RuleName(static_cast<Rule>(i)), n);
+      }
+    }
+  }
+}
+
+void SubsumptionChecker::AppendMetrics(obs::Collector& out,
+                                       const obs::Labels& labels) const {
+  const CheckerPerfStats s = perf_stats();
+  out.AddCounter("oodb_checker_engine_runs_total",
+                 "Completion runs actually performed", labels, s.engine_runs);
+  out.AddCounter("oodb_prefilter_checks_total",
+                 "Structural pre-filter necessary-condition tests", labels,
+                 s.prefilter_checks);
+  out.AddCounter("oodb_prefilter_rejections_total",
+                 "Checks answered false by the pre-filter alone", labels,
+                 s.prefilter_rejections);
+  out.AddCounter("oodb_engine_pool_acquires_total",
+                 "Engine leases handed out", labels, s.pool_acquires);
+  out.AddCounter("oodb_engine_pool_reuses_total",
+                 "Leases served from the pool without construction", labels,
+                 s.pool_reuses);
+  out.AddCounter("oodb_memo_hits_total", "Memo cache hits", labels,
+                 s.cache.hits);
+  out.AddCounter("oodb_memo_misses_total", "Memo cache misses", labels,
+                 s.cache.misses);
+  out.AddCounter("oodb_memo_insertions_total", "Memo cache insertions",
+                 labels, s.cache.insertions);
+  out.AddCounter("oodb_memo_evictions_total", "Memo cache evictions", labels,
+                 s.cache.evictions);
+  out.AddGauge("oodb_memo_entries", "Memo cache resident entries", labels,
+               s.cache.entries);
+  out.AddHistogram("oodb_engine_run_seconds",
+                   "Completion run wall time in seconds", labels,
+                   engine_run_ns_, 1e-9);
+  for (size_t i = 0; i < rule_totals_.size(); ++i) {
+    obs::Labels rule_labels = labels;
+    rule_labels.emplace_back("rule", RuleName(static_cast<Rule>(i)));
+    out.AddCounter("oodb_engine_rule_applications_total",
+                   "Calculus rule applications by rule", rule_labels,
+                   rule_totals_[i].load(kRelaxed));
+  }
 }
 
 CheckerPerfStats SubsumptionChecker::perf_stats() const {

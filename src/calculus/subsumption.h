@@ -3,6 +3,7 @@
 #ifndef OODB_CALCULUS_SUBSUMPTION_H_
 #define OODB_CALCULUS_SUBSUMPTION_H_
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,8 @@
 #include "calculus/memo_cache.h"
 #include "calculus/prefilter.h"
 #include "calculus/trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "schema/schema.h"
 
 namespace oodb::calculus {
@@ -81,15 +84,19 @@ class SubsumptionChecker {
         cache_(options.memo_capacity),
         prefilter_(sigma) {}
 
-  // Whether C ⊑_Σ D. Fails on non-QL inputs or resource caps.
-  Result<bool> Subsumes(ql::ConceptId c, ql::ConceptId d) const;
+  // Whether C ⊑_Σ D. Fails on non-QL inputs or resource caps. When a
+  // trace is supplied, the prefilter/memo/engine phases of this call are
+  // timed into it and the run's rule-application profile is appended.
+  Result<bool> Subsumes(ql::ConceptId c, ql::ConceptId d,
+                        obs::TraceContext* trace = nullptr) const;
 
   // Decides C ⊑_Σ Dᵢ for every Dᵢ with a SINGLE completion run (the
   // catalog-scan fast path; see CompletionEngine::RunBatch for why this
   // is sound). Pre-filtered Dᵢ are answered without entering the run.
   // Returns one verdict per input, in order.
   Result<std::vector<bool>> SubsumesBatch(
-      ql::ConceptId c, const std::vector<ql::ConceptId>& ds) const;
+      ql::ConceptId c, const std::vector<ql::ConceptId>& ds,
+      obs::TraceContext* trace = nullptr) const;
 
   // Subsumes with statistics and optional trace. Always performs the
   // full completion (no pre-filter short-cut, fresh engine): this is the
@@ -114,6 +121,20 @@ class SubsumptionChecker {
   // Snapshot of the check-avoidance counters.
   CheckerPerfStats perf_stats() const;
 
+  // Appends this checker's counters and histograms (memo cache, prefilter,
+  // pool, per-rule application totals, completion-run latency) to a metrics
+  // snapshot. `labels` is attached to every series, e.g. {{"session", n}}.
+  void AppendMetrics(obs::Collector& out, const obs::Labels& labels = {}) const;
+
+  // Completion-run wall-time distribution (nanosecond samples).
+  const obs::Histogram& engine_run_histogram() const { return engine_run_ns_; }
+
+  // Aggregate applications of one calculus rule across all runs.
+  uint64_t rule_total(Rule rule) const {
+    return rule_totals_[static_cast<size_t>(rule)].load(
+        std::memory_order_relaxed);
+  }
+
  private:
   // RAII lease of a pooled engine: acquired from the freelist (or
   // constructed on miss), returned on destruction. RunBatch Resets the
@@ -132,6 +153,12 @@ class SubsumptionChecker {
     std::unique_ptr<CompletionEngine> engine_;
   };
 
+  // Folds one finished completion run into the observability state: the
+  // run-latency histogram, the per-rule totals and (when given) the trace's
+  // rule-application counters. Costs one relaxed load when obs is disabled
+  // and no trace is attached.
+  void RecordEngineRun(const RunStats& stats, obs::TraceContext* trace) const;
+
   const schema::Schema& sigma_;
   Options options_;
   mutable ShardedMemoCache cache_;
@@ -145,6 +172,10 @@ class SubsumptionChecker {
   mutable std::atomic<uint64_t> prefilter_rejections_{0};
   mutable std::atomic<uint64_t> pool_acquires_{0};
   mutable std::atomic<uint64_t> pool_reuses_{0};
+
+  mutable obs::Histogram engine_run_ns_;
+  mutable std::array<std::atomic<uint64_t>, static_cast<size_t>(Rule::kCount)>
+      rule_totals_{};
 };
 
 }  // namespace oodb::calculus

@@ -1,0 +1,308 @@
+#include "obs/exposition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace oodb::obs {
+
+namespace {
+
+// Parses `{key="value",...}` starting at text[pos] == '{'. Advances pos past
+// the closing brace.
+Status ParseLabels(const std::string& line, size_t* pos, Labels* out) {
+  size_t i = *pos + 1;  // skip '{'
+  while (i < line.size() && line[i] != '}') {
+    const size_t eq = line.find('=', i);
+    if (eq == std::string::npos || eq + 1 >= line.size() ||
+        line[eq + 1] != '"') {
+      return InvalidArgumentError(StrCat("malformed label in '", line, "'"));
+    }
+    std::string key = line.substr(i, eq - i);
+    std::string value;
+    size_t j = eq + 2;
+    bool closed = false;
+    for (; j < line.size(); ++j) {
+      if (line[j] == '\\' && j + 1 < line.size()) {
+        char next = line[j + 1];
+        value.push_back(next == 'n' ? '\n' : next);
+        ++j;
+      } else if (line[j] == '"') {
+        closed = true;
+        break;
+      } else {
+        value.push_back(line[j]);
+      }
+    }
+    if (!closed) {
+      return InvalidArgumentError(
+          StrCat("unterminated label value in '", line, "'"));
+    }
+    out->emplace_back(std::move(key), std::move(value));
+    i = j + 1;
+    if (i < line.size() && line[i] == ',') ++i;
+  }
+  if (i >= line.size() || line[i] != '}') {
+    return InvalidArgumentError(StrCat("unterminated labels in '", line, "'"));
+  }
+  *pos = i + 1;
+  return Status::Ok();
+}
+
+bool LabelsMatch(const Labels& sample_labels, const Labels& want) {
+  for (const auto& [key, value] : want) {
+    bool found = false;
+    for (const auto& [skey, svalue] : sample_labels) {
+      if (skey == key && svalue == value) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+Labels StripLe(const Labels& labels) {
+  Labels out;
+  for (const auto& label : labels) {
+    if (label.first != "le") out.push_back(label);
+  }
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[48];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  }
+  return buf;
+}
+
+std::string FormatScalar(const std::string& name, double v) {
+  if (name.size() > 8 && name.rfind("_seconds") != std::string::npos) {
+    return FormatSeconds(v);
+  }
+  char buf[48];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+std::string SeriesKey(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x01';
+    key += k;
+    key += '\x02';
+    key += v;
+  }
+  return key;
+}
+
+std::string RenderSeriesLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += StrCat(k, "=\"", v, "\"");
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Sample>> ParseExposition(const std::string& text) {
+  std::vector<Sample> samples;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Comment: must be "# HELP <name> ..." or "# TYPE <name> <type>".
+      if (line.rfind("# HELP ", 0) != 0 && line.rfind("# TYPE ", 0) != 0) {
+        return InvalidArgumentError(
+            StrCat("malformed comment line '", line, "'"));
+      }
+      continue;
+    }
+    Sample sample;
+    size_t pos = line.find_first_of("{ ");
+    if (pos == std::string::npos) {
+      return InvalidArgumentError(StrCat("malformed sample line '", line, "'"));
+    }
+    sample.name = line.substr(0, pos);
+    if (sample.name.empty()) {
+      return InvalidArgumentError(StrCat("missing metric name in '", line, "'"));
+    }
+    if (line[pos] == '{') {
+      OODB_RETURN_IF_ERROR(ParseLabels(line, &pos, &sample.labels));
+      if (pos >= line.size() || line[pos] != ' ') {
+        return InvalidArgumentError(
+            StrCat("missing value in '", line, "'"));
+      }
+    }
+    const std::string value_text = line.substr(pos + 1);
+    if (value_text == "+Inf") {
+      sample.value = HUGE_VAL;
+    } else {
+      char* parse_end = nullptr;
+      sample.value = std::strtod(value_text.c_str(), &parse_end);
+      if (parse_end == value_text.c_str() || *parse_end != '\0') {
+        return InvalidArgumentError(
+            StrCat("malformed value '", value_text, "' in '", line, "'"));
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+double SampleValue(const std::vector<Sample>& samples, const std::string& name,
+                   const Labels& labels, double fallback) {
+  for (const Sample& sample : samples) {
+    if (sample.name == name && LabelsMatch(sample.labels, labels)) {
+      return sample.value;
+    }
+  }
+  return fallback;
+}
+
+std::vector<HistogramSummary> SummarizeHistograms(
+    const std::vector<Sample>& samples) {
+  // Group _bucket samples by (base name, labels-without-le); buckets arrive
+  // in ascending-le order from Collector::Render.
+  struct Series {
+    HistogramSummary summary;
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+  };
+  std::vector<Series> series;
+  auto series_of = [&](const std::string& base,
+                       const Labels& labels) -> Series& {
+    const std::string key = SeriesKey(base, labels);
+    for (Series& s : series) {
+      if (SeriesKey(s.summary.name, s.summary.labels) == key) return s;
+    }
+    series.emplace_back();
+    series.back().summary.name = base;
+    series.back().summary.labels = labels;
+    return series.back();
+  };
+
+  constexpr const char* kBucket = "_bucket";
+  for (const Sample& sample : samples) {
+    const size_t n = sample.name.size();
+    if (n > 7 && sample.name.compare(n - 7, 7, kBucket) == 0) {
+      const std::string base = sample.name.substr(0, n - 7);
+      double le = HUGE_VAL;
+      for (const auto& [k, v] : sample.labels) {
+        if (k == "le") le = v == "+Inf" ? HUGE_VAL : std::strtod(v.c_str(), nullptr);
+      }
+      Series& s = series_of(base, StripLe(sample.labels));
+      s.buckets.emplace_back(le, sample.value);
+    } else if (n > 4 && sample.name.compare(n - 4, 4, "_sum") == 0) {
+      series_of(sample.name.substr(0, n - 4), sample.labels).summary.sum =
+          sample.value;
+    } else if (n > 6 && sample.name.compare(n - 6, 6, "_count") == 0) {
+      series_of(sample.name.substr(0, n - 6), sample.labels).summary.count =
+          static_cast<uint64_t>(sample.value);
+    } else if (n > 4 && sample.name.compare(n - 4, 4, "_max") == 0) {
+      // Only attach to an existing histogram series; plain gauges ending in
+      // _max would otherwise create phantom histograms.
+      const std::string base = sample.name.substr(0, n - 4);
+      const std::string key = SeriesKey(base, sample.labels);
+      for (Series& s : series) {
+        if (SeriesKey(s.summary.name, s.summary.labels) == key) {
+          s.summary.max = sample.value;
+        }
+      }
+    }
+  }
+
+  std::vector<HistogramSummary> out;
+  for (Series& s : series) {
+    if (s.buckets.empty()) continue;  // _sum/_count without buckets
+    std::sort(s.buckets.begin(), s.buckets.end());
+    const double total = s.buckets.back().second;
+    auto quantile = [&](double q) -> double {
+      if (total <= 0) return 0.0;
+      const double rank = std::ceil(q * total);
+      for (const auto& [le, cumulative] : s.buckets) {
+        if (cumulative >= rank) {
+          // A bucket upper bound can exceed the exact observed max;
+          // cap so the summary never reports a quantile above it.
+          if (le == HUGE_VAL) return s.summary.max;
+          return s.summary.max > 0 ? std::min(le, s.summary.max) : le;
+        }
+      }
+      return s.summary.max;
+    };
+    s.summary.p50 = quantile(0.50);
+    s.summary.p90 = quantile(0.90);
+    s.summary.p99 = quantile(0.99);
+    out.push_back(std::move(s.summary));
+  }
+  return out;
+}
+
+std::string RenderHumanSnapshot(const std::vector<Sample>& samples) {
+  std::string out;
+  const std::vector<HistogramSummary> histograms =
+      SummarizeHistograms(samples);
+  if (!histograms.empty()) {
+    out += "latency histograms:\n";
+    for (const HistogramSummary& h : histograms) {
+      out += StrCat("  ", h.name, RenderSeriesLabels(h.labels), ": count=",
+                    h.count, " p50=", FormatScalar(h.name, h.p50), " p90=",
+                    FormatScalar(h.name, h.p90), " p99=",
+                    FormatScalar(h.name, h.p99), " max=",
+                    FormatScalar(h.name, h.max), "\n");
+    }
+  }
+  // Scalars: everything that is not part of a histogram family.
+  std::string scalars;
+  for (const Sample& sample : samples) {
+    const size_t n = sample.name.size();
+    auto ends_with = [&](const char* suffix, size_t len) {
+      return n > len && sample.name.compare(n - len, len, suffix) == 0;
+    };
+    if (ends_with("_bucket", 7) || ends_with("_sum", 4) ||
+        ends_with("_count", 6)) {
+      continue;
+    }
+    if (ends_with("_max", 4)) {
+      bool is_hist_max = false;
+      for (const HistogramSummary& h : histograms) {
+        if (sample.name == h.name + "_max") is_hist_max = true;
+      }
+      if (is_hist_max) continue;
+    }
+    scalars += StrCat("  ", sample.name, RenderSeriesLabels(sample.labels),
+                      " = ", FormatScalar(sample.name, sample.value), "\n");
+  }
+  if (!scalars.empty()) {
+    out += "counters and gauges:\n";
+    out += scalars;
+  }
+  return out;
+}
+
+}  // namespace oodb::obs

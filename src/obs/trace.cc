@@ -1,0 +1,160 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace oodb::obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kParse:
+      return "parse";
+    case Phase::kTranslate:
+      return "translate";
+    case Phase::kPrefilter:
+      return "prefilter";
+    case Phase::kMemo:
+      return "memo";
+    case Phase::kEngine:
+      return "engine";
+    case Phase::kReply:
+      return "reply";
+    case Phase::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+void TraceContext::AddCounter(const std::string& name, uint64_t delta) {
+  for (auto& [existing, value] : counters) {
+    if (existing == name) {
+      value += delta;
+      return;
+    }
+  }
+  counters.emplace_back(name, delta);
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string TraceContext::ToJsonLine() const {
+  std::string out = "{\"id\":";
+  AppendU64(&out, id);
+  out += ",\"verb\":";
+  AppendJsonString(&out, verb);
+  out += ",\"session\":";
+  AppendJsonString(&out, session);
+  out += ",\"ok\":";
+  out += ok ? "true" : "false";
+  out += ",\"wall_unix_ms\":";
+  AppendU64(&out, wall_unix_ms < 0 ? 0 : static_cast<uint64_t>(wall_unix_ms));
+  out += ",\"total_ns\":";
+  AppendU64(&out, total_ns);
+  out += ",\"phases\":{";
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    if (i != 0) out.push_back(',');
+    AppendJsonString(&out, std::string(PhaseName(static_cast<Phase>(i))) +
+                               "_ns");
+    out.push_back(':');
+    AppendU64(&out, phase_ns[i]);
+  }
+  out += "},\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendJsonString(&out, counters[i].first);
+    out.push_back(':');
+    AppendU64(&out, counters[i].second);
+  }
+  out += "}}";
+  return out;
+}
+
+void SlowQueryLog::Finish(TraceContext trace) {
+  if (!enabled()) return;
+  const uint64_t threshold_ns =
+      static_cast<uint64_t>(threshold_ms_) * 1000000ull;
+  if (trace.total_ns < threshold_ns) return;
+  trace.wall_unix_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ring_[next_] = std::move(trace);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceContext> SlowQueryLog::Last(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceContext> out;
+  const size_t available = ring_.size();
+  const size_t want = n < available ? n : available;
+  out.reserve(want);
+  // next_ points at the oldest entry once the ring is full; the newest entry
+  // is the one just before it.
+  for (size_t i = 0; i < want; ++i) {
+    const size_t idx = (next_ + available - 1 - i) % available;
+    out.push_back(ring_[idx]);
+  }
+  return out;
+}
+
+std::string SlowQueryLog::RenderJsonLines(size_t n) const {
+  std::string out;
+  for (const TraceContext& trace : Last(n)) {
+    out += trace.ToJsonLine();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+uint64_t SlowQueryLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+}  // namespace oodb::obs

@@ -1,0 +1,122 @@
+#ifndef OODB_OBS_TRACE_H_
+#define OODB_OBS_TRACE_H_
+
+// Per-request tracing: phase span timings plus a ring-buffer slow-query log.
+//
+// A TraceContext is created by the request entry point (the daemon's
+// dispatch loop) and handed down through the layers as an optional raw
+// pointer; every instrumented function accepts `obs::TraceContext* trace =
+// nullptr` so existing call sites keep compiling and pay nothing.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace oodb::obs {
+
+// Request phases, in pipeline order. kParse covers DL/ODB source parsing,
+// kTranslate query-class -> concept translation, kPrefilter the structural
+// pre-filter, kMemo memo-cache lookups/inserts, kEngine completion runs,
+// kReply serializing + writing the wire reply.
+enum class Phase : uint8_t {
+  kParse = 0,
+  kTranslate,
+  kPrefilter,
+  kMemo,
+  kEngine,
+  kReply,
+  kCount,
+};
+
+inline constexpr size_t kNumPhases = static_cast<size_t>(Phase::kCount);
+
+const char* PhaseName(Phase phase);
+
+// Mutable per-request trace. Not thread-safe by itself: a request is
+// processed by one worker at a time, and the hand-off between the
+// connection thread and the worker synchronizes via the reply queue.
+struct TraceContext {
+  uint64_t id = 0;
+  std::string verb;
+  std::string session;
+  bool ok = false;
+  uint64_t total_ns = 0;
+  int64_t wall_unix_ms = 0;  // stamped when the trace is finished
+  std::array<uint64_t, kNumPhases> phase_ns{};
+  // Free-form named counters, e.g. calculus rule applications ("rule:D1").
+  std::vector<std::pair<std::string, uint64_t>> counters;
+
+  void AddPhase(Phase phase, uint64_t ns) {
+    phase_ns[static_cast<size_t>(phase)] += ns;
+  }
+  void AddCounter(const std::string& name, uint64_t delta);
+
+  std::string ToJsonLine() const;
+};
+
+// RAII span: accumulates elapsed wall time into one phase of the trace.
+// Null-safe — a null trace makes construction and destruction free of
+// clock calls. A span that ran always records at least 1ns so tests can
+// assert "this phase happened" even when the clock granularity rounds the
+// elapsed time to zero.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceContext* trace, Phase phase) : trace_(trace), phase_(phase) {
+    if (trace_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedSpan() {
+    if (trace_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    trace_->AddPhase(phase_, ns > 0 ? static_cast<uint64_t>(ns) : 1);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceContext* trace_;
+  Phase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Fixed-capacity ring buffer of finished traces whose total latency met the
+// threshold. threshold_ms == 0 logs every request; threshold_ms < 0
+// disables the log entirely (requests are not traced at all).
+class SlowQueryLog {
+ public:
+  SlowQueryLog(size_t capacity, int64_t threshold_ms)
+      : capacity_(capacity == 0 ? 1 : capacity), threshold_ms_(threshold_ms) {}
+
+  bool enabled() const { return threshold_ms_ >= 0; }
+  int64_t threshold_ms() const { return threshold_ms_; }
+
+  // Stamps wall_unix_ms and stores the trace if it is slow enough.
+  void Finish(TraceContext trace);
+
+  // Newest-first snapshot of (at most) the last n entries.
+  std::vector<TraceContext> Last(size_t n) const;
+
+  // JSON lines, newest first, one object per slow query.
+  std::string RenderJsonLines(size_t n) const;
+
+  // Total traces recorded (not capped by capacity).
+  uint64_t recorded() const;
+
+ private:
+  const size_t capacity_;
+  const int64_t threshold_ms_;
+  mutable std::mutex mu_;
+  std::vector<TraceContext> ring_;  // grows up to capacity_, then wraps
+  size_t next_ = 0;                 // ring_ slot for the next entry
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace oodb::obs
+
+#endif  // OODB_OBS_TRACE_H_

@@ -138,6 +138,12 @@ Result<std::string> Client::Stats(const std::string& session) {
                                    : StrCat("STATS ", session));
 }
 
+Result<std::string> Client::Metrics() { return Roundtrip("METRICS"); }
+
+Result<std::string> Client::TraceLog(size_t n) {
+  return Roundtrip(StrCat("TRACE ", n));
+}
+
 Result<std::string> Client::Shutdown() { return Roundtrip("SHUTDOWN"); }
 
 }  // namespace oodb::server

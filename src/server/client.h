@@ -47,6 +47,10 @@ class Client {
   Result<std::string> Optimize(const std::string& session,
                                const std::string& query_class);
   Result<std::string> Stats(const std::string& session = "");
+  // Prometheus text exposition of the daemon's metrics registry.
+  Result<std::string> Metrics();
+  // Last n slow queries as JSON lines, newest first.
+  Result<std::string> TraceLog(size_t n = 10);
   Result<std::string> Shutdown();
 
  private:

@@ -33,6 +33,46 @@ bool ParseSize(const std::string& token, size_t* out) {
 
 }  // namespace
 
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kPing:
+      return "PING";
+    case Verb::kLoad:
+      return "LOAD";
+    case Verb::kState:
+      return "STATE";
+    case Verb::kView:
+      return "VIEW";
+    case Verb::kCheck:
+      return "CHECK";
+    case Verb::kClassify:
+      return "CLASSIFY";
+    case Verb::kOptimize:
+      return "OPTIMIZE";
+    case Verb::kStats:
+      return "STATS";
+    case Verb::kSleep:
+      return "SLEEP";
+    case Verb::kShutdown:
+      return "SHUTDOWN";
+    case Verb::kMetrics:
+      return "METRICS";
+    case Verb::kTrace:
+      return "TRACE";
+    case Verb::kOther:
+    case Verb::kCount:
+      break;
+  }
+  return "?";
+}
+
+Verb VerbOf(const std::string& token) {
+  for (size_t i = 0; i < static_cast<size_t>(Verb::kOther); ++i) {
+    if (token == VerbName(static_cast<Verb>(i))) return static_cast<Verb>(i);
+  }
+  return Verb::kOther;
+}
+
 // The reply slot a connection thread waits on while its request runs on
 // the pool.
 struct Server::PendingReply {
@@ -57,11 +97,77 @@ struct Server::PendingReply {
   }
 };
 
-Server::Server(ServerOptions options) : options_(std::move(options)) {
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      slow_log_(options_.slow_log_capacity, options_.slow_threshold_ms) {
   size_t threads = options_.num_threads;
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
   pool_ = std::make_unique<service::ThreadPool>(threads);
+  RegisterMetrics();
+}
+
+void Server::RegisterMetrics() {
+  // Latency histograms exist only for verbs that run through the pool;
+  // inline control verbs are not timed.
+  constexpr Verb kTimedVerbs[] = {Verb::kLoad,     Verb::kState,
+                                  Verb::kView,     Verb::kCheck,
+                                  Verb::kClassify, Verb::kOptimize,
+                                  Verb::kStats,    Verb::kSleep};
+  for (Verb verb : kTimedVerbs) {
+    latency_[static_cast<size_t>(verb)] = registry_.GetHistogram(
+        "oodb_server_request_seconds",
+        "End-to-end request latency (admission to reply written)",
+        {{"verb", VerbName(verb)}}, 1e-9);
+  }
+  registry_.AddCallback(
+      [this](obs::Collector& out) { AppendServerMetrics(out); });
+}
+
+void Server::AppendServerMetrics(obs::Collector& out) const {
+  const auto relaxed = std::memory_order_relaxed;
+  out.AddCounter("oodb_server_connections_total", "TCP connections accepted",
+                 {}, connections_.load(relaxed));
+  out.AddCounter("oodb_server_requests_total",
+                 "Frames parsed, including rejected ones", {},
+                 requests_.load(relaxed));
+  out.AddCounter("oodb_server_ok_total", "OK replies", {}, ok_.load(relaxed));
+  out.AddCounter("oodb_server_errors_total", "ERR replies", {},
+                 errors_.load(relaxed));
+  out.AddCounter("oodb_server_busy_total",
+                 "BUSY replies (admission bound hit)", {},
+                 busy_.load(relaxed));
+  out.AddCounter("oodb_server_deadline_expired_total",
+                 "Requests expired in the admission queue", {},
+                 deadline_expired_.load(relaxed));
+  out.AddCounter("oodb_server_slow_queries_total",
+                 "Requests recorded by the slow-query log", {},
+                 slow_log_.recorded());
+  for (size_t i = 0; i < kNumVerbs; ++i) {
+    const uint64_t n = verb_requests_[i].load(relaxed);
+    if (n == 0) continue;
+    const obs::Labels labels = {{"verb", VerbName(static_cast<Verb>(i))}};
+    out.AddCounter("oodb_server_verb_requests_total", "Requests by verb",
+                   labels, n);
+    out.AddCounter("oodb_server_verb_errors_total", "ERR replies by verb",
+                   labels, verb_errors_[i].load(relaxed));
+  }
+  out.AddGauge("oodb_server_pending",
+               "Requests admitted (queued or running)", {},
+               admitted_.load(relaxed));
+  out.AddGauge("oodb_server_threads", "Worker threads", {}, pool_->size());
+  std::vector<std::pair<std::string, std::shared_ptr<Session>>> all;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    all.assign(sessions_.begin(), sessions_.end());
+  }
+  out.AddGauge("oodb_server_sessions", "Live named sessions", {}, all.size());
+  for (const auto& [name, session] : all) {
+    // Same lock order as DispatchStats: sessions_mu_ released first, then
+    // each session's shared lock in turn.
+    std::shared_lock<std::shared_mutex> lock(session->mu());
+    session->AppendMetrics(out, {{"session", name}});
+  }
 }
 
 Server::~Server() {
@@ -159,6 +265,10 @@ bool Server::HandleRequest(FrameReader& reader, int fd) {
   std::vector<std::string> tokens = SplitTokens(line);
   if (tokens.empty()) return true;  // blank line: ignore
   requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string& verb = tokens[0];
+  const Verb vkind = VerbOf(verb);
+  verb_requests_[static_cast<size_t>(vkind)].fetch_add(
+      1, std::memory_order_relaxed);
 
   auto send = [&](const Reply& reply) {
     switch (reply.kind) {
@@ -167,6 +277,8 @@ bool Server::HandleRequest(FrameReader& reader, int fd) {
         break;
       case Reply::Kind::kErr:
         errors_.fetch_add(1, std::memory_order_relaxed);
+        verb_errors_[static_cast<size_t>(vkind)].fetch_add(
+            1, std::memory_order_relaxed);
         break;
       case Reply::Kind::kBusy:
         busy_.fetch_add(1, std::memory_order_relaxed);
@@ -174,8 +286,6 @@ bool Server::HandleRequest(FrameReader& reader, int fd) {
     }
     return SendAll(fd, EncodeReply(reply));
   };
-
-  const std::string& verb = tokens[0];
 
   // Payload-carrying verbs: the line ends with the byte count.
   std::string payload;
@@ -196,8 +306,23 @@ bool Server::HandleRequest(FrameReader& reader, int fd) {
   }
 
   // Control verbs answered inline — they must work even when the
-  // admission queue is saturated.
+  // admission queue is saturated. METRICS/TRACE stay observable under
+  // overload and while draining by the same rule.
   if (verb == "PING") return send(OkReply("pong"));
+  if (verb == "METRICS") {
+    if (tokens.size() != 1) {
+      return send(ErrReply(kErrProto, "usage: METRICS"));
+    }
+    return send(OkReply(registry_.RenderPrometheus()));
+  }
+  if (verb == "TRACE") {
+    size_t n = 10;
+    if (tokens.size() > 2 ||
+        (tokens.size() == 2 && !ParseSize(tokens[1], &n))) {
+      return send(ErrReply(kErrProto, "usage: TRACE [n]"));
+    }
+    return send(OkReply(slow_log_.RenderJsonLines(n)));
+  }
   if (verb == "SHUTDOWN") {
     send(OkReply("draining"));
     RequestShutdown();
@@ -216,9 +341,21 @@ bool Server::HandleRequest(FrameReader& reader, int fd) {
     return send(reply);
   }
 
+  // Per-request trace: spans are filled on the worker; the reply span and
+  // the finalization happen back on this connection thread (the reply
+  // queue's mutex orders the worker's writes before the reads here).
+  std::shared_ptr<obs::TraceContext> trace;
+  const bool observed = obs::Enabled();
+  if (observed && slow_log_.enabled()) {
+    trace = std::make_shared<obs::TraceContext>();
+    trace->id = trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    trace->verb = verb;
+    if (tokens.size() > 1 && vkind != Verb::kSleep) trace->session = tokens[1];
+  }
+
   auto pending = std::make_shared<PendingReply>();
   const auto enqueued = std::chrono::steady_clock::now();
-  bool submitted = pool_->Submit([this, pending, enqueued,
+  bool submitted = pool_->Submit([this, pending, enqueued, trace,
                                   tokens = std::move(tokens),
                                   payload = std::move(payload)] {
     Reply reply;
@@ -231,7 +368,7 @@ bool Server::HandleRequest(FrameReader& reader, int fd) {
                        StrCat("queued ", waited, " ms, deadline ",
                               options_.deadline_ms, " ms"));
     } else {
-      reply = Dispatch(tokens, payload);
+      reply = Dispatch(tokens, payload, trace.get());
     }
     admitted_.fetch_sub(1, std::memory_order_acq_rel);
     pending->Set(std::move(reply));
@@ -240,14 +377,34 @@ bool Server::HandleRequest(FrameReader& reader, int fd) {
     admitted_.fetch_sub(1, std::memory_order_acq_rel);
     return send(ErrReply(kErrShutdown, "server is draining"));
   }
-  return send(pending->Get());
+  const Reply reply = pending->Get();
+  bool sent;
+  {
+    obs::ScopedSpan span(trace.get(), obs::Phase::kReply);
+    sent = send(reply);
+  }
+  if (observed) {
+    const auto elapsed = std::chrono::steady_clock::now() - enqueued;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    const uint64_t total_ns = ns > 0 ? static_cast<uint64_t>(ns) : 1;
+    if (obs::Histogram* hist = latency_[static_cast<size_t>(vkind)]) {
+      hist->RecordAlways(total_ns);
+    }
+    if (trace != nullptr) {
+      trace->total_ns = total_ns;
+      trace->ok = reply.kind == Reply::Kind::kOk;
+      slow_log_.Finish(std::move(*trace));
+    }
+  }
+  return sent;
 }
 
 Reply Server::Dispatch(const std::vector<std::string>& tokens,
-                       const std::string& payload) {
+                       const std::string& payload, obs::TraceContext* trace) {
   const std::string& verb = tokens[0];
-  if (verb == "LOAD") return DispatchLoad(tokens, payload);
-  if (verb == "STATE") return DispatchState(tokens, payload);
+  if (verb == "LOAD") return DispatchLoad(tokens, payload, trace);
+  if (verb == "STATE") return DispatchState(tokens, payload, trace);
   if (verb == "STATS") return DispatchStats(tokens);
 
   if (verb == "SLEEP") {
@@ -280,6 +437,9 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
       return ErrReply(kErrProto, "usage: VIEW <session> <query-class>");
     }
     std::unique_lock<std::shared_mutex> lock(session->mu());
+    // Extent materialization evaluates the view body over the database;
+    // attribute it to the engine phase as one block.
+    obs::ScopedSpan span(trace, obs::Phase::kEngine);
     auto extent = session->DefineView(tokens[2]);
     if (!extent.ok()) return StatusReply(extent.status());
     return OkReply(StrCat("extent=", *extent));
@@ -289,7 +449,7 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
       return ErrReply(kErrProto, "usage: CHECK <session> <C> <D>");
     }
     std::shared_lock<std::shared_mutex> lock(session->mu());
-    auto verdict = session->Check(tokens[2], tokens[3]);
+    auto verdict = session->Check(tokens[2], tokens[3], trace);
     if (!verdict.ok()) return StatusReply(verdict.status());
     return OkReply(StrCat("subsumed=", *verdict ? "true" : "false"));
   }
@@ -298,7 +458,7 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
       return ErrReply(kErrProto, "usage: CLASSIFY <session>");
     }
     std::shared_lock<std::shared_mutex> lock(session->mu());
-    auto hierarchy = session->Classify();
+    auto hierarchy = session->Classify(trace);
     if (!hierarchy.ok()) return StatusReply(hierarchy.status());
     return OkReply(std::move(*hierarchy));
   }
@@ -307,7 +467,7 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
       return ErrReply(kErrProto, "usage: OPTIMIZE <session> <query-class>");
     }
     std::shared_lock<std::shared_mutex> lock(session->mu());
-    auto plan = session->Optimize(tokens[2]);
+    auto plan = session->Optimize(tokens[2], trace);
     if (!plan.ok()) return StatusReply(plan.status());
     return OkReply(std::move(*plan));
   }
@@ -315,11 +475,12 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
 }
 
 Reply Server::DispatchLoad(const std::vector<std::string>& tokens,
-                           const std::string& payload) {
+                           const std::string& payload,
+                           obs::TraceContext* trace) {
   const std::string& name = tokens[1];
   // Parse/translate outside any lock — LOAD of a big schema must not
   // stall requests against other sessions.
-  auto session = Session::FromSource(payload, options_.checker);
+  auto session = Session::FromSource(payload, options_.checker, trace);
   if (!session.ok()) return StatusReply(session.status());
   std::string summary = (*session)->Summary();
   {
@@ -338,12 +499,14 @@ Reply Server::DispatchLoad(const std::vector<std::string>& tokens,
 }
 
 Reply Server::DispatchState(const std::vector<std::string>& tokens,
-                            const std::string& payload) {
+                            const std::string& payload,
+                            obs::TraceContext* trace) {
   std::shared_ptr<Session> session = FindSession(tokens[1]);
   if (session == nullptr) {
     return ErrReply("not_found", StrCat("no session '", tokens[1], "'"));
   }
   std::unique_lock<std::shared_mutex> lock(session->mu());
+  obs::ScopedSpan span(trace, obs::Phase::kParse);
   if (Status s = session->LoadState(payload); !s.ok()) {
     return StatusReply(s);
   }
@@ -358,6 +521,14 @@ Reply Server::DispatchStats(const std::vector<std::string>& tokens) {
       " deadline=", s.deadline_expired,
       " pending=", admitted_.load(std::memory_order_relaxed),
       " threads=", pool_->size(), " sessions=", s.sessions);
+  if (!s.per_verb.empty()) {
+    std::string verbs;
+    for (const ServerStats::VerbCount& v : s.per_verb) {
+      verbs = StrCat(verbs, verbs.empty() ? "" : " ", v.verb, "=", v.requests,
+                     "/", v.errors);
+    }
+    text = StrCat(text, "\nverbs: ", verbs);
+  }
   auto append = [&](const std::string& name,
                     const std::shared_ptr<Session>& session) {
     std::shared_lock<std::shared_mutex> lock(session->mu());
@@ -394,6 +565,13 @@ ServerStats Server::stats() const {
   s.errors = errors_.load(std::memory_order_relaxed);
   s.busy = busy_.load(std::memory_order_relaxed);
   s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumVerbs; ++i) {
+    const uint64_t n = verb_requests_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    s.per_verb.push_back(
+        {VerbName(static_cast<Verb>(i)), n,
+         verb_errors_[i].load(std::memory_order_relaxed)});
+  }
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     s.sessions = sessions_.size();

@@ -15,6 +15,7 @@
 #ifndef OODB_SERVER_SERVER_H_
 #define OODB_SERVER_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -28,11 +29,37 @@
 
 #include "base/status.h"
 #include "calculus/subsumption.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/session.h"
 #include "server/wire.h"
 #include "service/thread_pool.h"
 
 namespace oodb::server {
+
+// Protocol verbs, for per-verb accounting. kOther bins unknown commands.
+enum class Verb : uint8_t {
+  kPing,
+  kLoad,
+  kState,
+  kView,
+  kCheck,
+  kClassify,
+  kOptimize,
+  kStats,
+  kSleep,
+  kShutdown,
+  kMetrics,
+  kTrace,
+  kOther,
+  kCount,
+};
+
+inline constexpr size_t kNumVerbs = static_cast<size_t>(Verb::kCount);
+
+// "CHECK", "CLASSIFY", ... ("?" for kOther).
+const char* VerbName(Verb verb);
+Verb VerbOf(const std::string& token);
 
 struct ServerOptions {
   // TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
@@ -50,6 +77,12 @@ struct ServerOptions {
   size_t max_payload = size_t{8} << 20;
   // Upper bound on live named sessions.
   size_t max_sessions = 64;
+  // Requests whose total latency is >= this many milliseconds are traced
+  // into the slow-query log (TRACE verb). 0 logs every request; negative
+  // disables request tracing entirely.
+  int64_t slow_threshold_ms = 100;
+  // Ring-buffer capacity of the slow-query log.
+  size_t slow_log_capacity = 128;
   // Options for each session's shared checker (memo cache, pre-filter,
   // engine pool).
   calculus::CheckerOptions checker;
@@ -64,6 +97,15 @@ struct ServerStats {
   uint64_t busy = 0;              // BUSY replies (admission bound hit)
   uint64_t deadline_expired = 0;  // ERR deadline replies
   size_t sessions = 0;            // live named sessions
+
+  // Per-verb request/error counts, in Verb order, verbs with zero
+  // requests omitted.
+  struct VerbCount {
+    const char* verb;
+    uint64_t requests;
+    uint64_t errors;
+  };
+  std::vector<VerbCount> per_verb;
 };
 
 class Server {
@@ -90,6 +132,10 @@ class Server {
   int port() const { return port_; }
   ServerStats stats() const;
 
+  // The daemon's metrics registry (also served by the METRICS verb).
+  obs::MetricsRegistry& registry() { return registry_; }
+  const obs::SlowQueryLog& slow_log() const { return slow_log_; }
+
  private:
   struct PendingReply;
 
@@ -103,12 +149,16 @@ class Server {
   // Returns false when the connection should close (EOF / frame error).
   bool HandleRequest(FrameReader& reader, int fd);
   Reply Dispatch(const std::vector<std::string>& tokens,
-                 const std::string& payload);
+                 const std::string& payload, obs::TraceContext* trace);
   Reply DispatchLoad(const std::vector<std::string>& tokens,
-                     const std::string& payload);
+                     const std::string& payload, obs::TraceContext* trace);
   Reply DispatchState(const std::vector<std::string>& tokens,
-                      const std::string& payload);
+                      const std::string& payload, obs::TraceContext* trace);
   Reply DispatchStats(const std::vector<std::string>& tokens);
+  // Registers the per-verb latency histograms and the snapshot callback.
+  void RegisterMetrics();
+  // Snapshot callback: server counters + every session's metrics.
+  void AppendServerMetrics(obs::Collector& out) const;
   std::shared_ptr<Session> FindSession(const std::string& name);
   void RequestShutdown();
   void Teardown();
@@ -144,6 +194,15 @@ class Server {
   mutable std::atomic<uint64_t> errors_{0};
   mutable std::atomic<uint64_t> busy_{0};
   mutable std::atomic<uint64_t> deadline_expired_{0};
+  mutable std::array<std::atomic<uint64_t>, kNumVerbs> verb_requests_{};
+  mutable std::array<std::atomic<uint64_t>, kNumVerbs> verb_errors_{};
+
+  obs::MetricsRegistry registry_;
+  obs::SlowQueryLog slow_log_;
+  std::atomic<uint64_t> trace_seq_{0};
+  // Request-latency histograms by verb (registry-owned); null for verbs
+  // answered inline (PING/METRICS/TRACE/SHUTDOWN) and unknown commands.
+  std::array<obs::Histogram*, kNumVerbs> latency_{};
 };
 
 }  // namespace oodb::server

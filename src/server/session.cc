@@ -10,18 +10,26 @@ namespace oodb::server {
 
 Result<std::unique_ptr<Session>> Session::FromSource(
     const std::string& dl_source,
-    const calculus::CheckerOptions& checker_options) {
+    const calculus::CheckerOptions& checker_options,
+    obs::TraceContext* trace) {
   // Not make_unique: the constructor is private.
   std::unique_ptr<Session> session(new Session());
   session->terms_ = std::make_unique<ql::TermFactory>(&session->symbols_);
   session->sigma_ = std::make_unique<schema::Schema>(session->terms_.get());
-  OODB_ASSIGN_OR_RETURN(dl::Model parsed,
-                        dl::ParseAndAnalyze(dl_source, &session->symbols_));
-  session->model_ = std::make_unique<dl::Model>(std::move(parsed));
+  {
+    obs::ScopedSpan span(trace, obs::Phase::kParse);
+    OODB_ASSIGN_OR_RETURN(dl::Model parsed,
+                          dl::ParseAndAnalyze(dl_source, &session->symbols_));
+    session->model_ = std::make_unique<dl::Model>(std::move(parsed));
+  }
   session->warnings_ = session->model_->warnings();
-  session->translator_ =
-      std::make_unique<dl::Translator>(*session->model_, session->terms_.get());
-  OODB_RETURN_IF_ERROR(session->translator_->BuildSchema(session->sigma_.get()));
+  {
+    obs::ScopedSpan span(trace, obs::Phase::kTranslate);
+    session->translator_ = std::make_unique<dl::Translator>(
+        *session->model_, session->terms_.get());
+    OODB_RETURN_IF_ERROR(
+        session->translator_->BuildSchema(session->sigma_.get()));
+  }
   session->checker_ = std::make_unique<calculus::SubsumptionChecker>(
       *session->sigma_, checker_options);
   // An empty state up front: CHECK/CLASSIFY need none, and OPTIMIZE is
@@ -69,27 +77,41 @@ Result<ql::ConceptId> Session::ConceptOf(const std::string& name) {
   return translator_->QueryConcept(s);
 }
 
-Result<bool> Session::Check(const std::string& c, const std::string& d) {
-  OODB_ASSIGN_OR_RETURN(ql::ConceptId cc, ConceptOf(c));
-  OODB_ASSIGN_OR_RETURN(ql::ConceptId dd, ConceptOf(d));
+Result<bool> Session::Check(const std::string& c, const std::string& d,
+                            obs::TraceContext* trace) {
+  ql::ConceptId cc = ql::kInvalidConcept;
+  ql::ConceptId dd = ql::kInvalidConcept;
+  {
+    obs::ScopedSpan span(trace, obs::Phase::kTranslate);
+    OODB_ASSIGN_OR_RETURN(cc, ConceptOf(c));
+    OODB_ASSIGN_OR_RETURN(dd, ConceptOf(d));
+  }
   checks_.fetch_add(1, std::memory_order_relaxed);
-  return checker_->Subsumes(cc, dd);
+  return checker_->Subsumes(cc, dd, trace);
 }
 
-Result<std::string> Session::Classify() {
+Result<std::string> Session::Classify(obs::TraceContext* trace) {
   // Mirrors `oodbsub classify`: query classes join the schema hierarchy
   // (paper Sect. 5). A fresh Classifier per request over the shared warm
   // checker — the verdicts come from the memo cache after the first run.
   calculus::Classifier classifier(*checker_);
-  for (const dl::ClassDef& def : model_->classes()) {
-    if (def.name == model_->object_class) continue;
-    auto concept_id = def.is_query
-                          ? translator_->QueryConcept(def.name)
-                          : Result<ql::ConceptId>(terms_->Primitive(def.name));
-    if (!concept_id.ok()) return concept_id.status();
-    OODB_RETURN_IF_ERROR(classifier.Add(def.name, *concept_id));
+  {
+    obs::ScopedSpan span(trace, obs::Phase::kTranslate);
+    for (const dl::ClassDef& def : model_->classes()) {
+      if (def.name == model_->object_class) continue;
+      auto concept_id =
+          def.is_query ? translator_->QueryConcept(def.name)
+                       : Result<ql::ConceptId>(terms_->Primitive(def.name));
+      if (!concept_id.ok()) return concept_id.status();
+      OODB_RETURN_IF_ERROR(classifier.Add(def.name, *concept_id));
+    }
   }
-  OODB_RETURN_IF_ERROR(classifier.Classify());
+  {
+    // The classification's subsumption checks (prefilter + memo + engine)
+    // are attributed to the engine phase as one block.
+    obs::ScopedSpan span(trace, obs::Phase::kEngine);
+    OODB_RETURN_IF_ERROR(classifier.Classify());
+  }
   classifies_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(classify_mu_);
@@ -99,13 +121,20 @@ Result<std::string> Session::Classify() {
   return classifier.ToString(symbols_);
 }
 
-Result<std::string> Session::Optimize(const std::string& query) {
+Result<std::string> Session::Optimize(const std::string& query,
+                                      obs::TraceContext* trace) {
   Symbol s = symbols_.Find(query);
   const dl::ClassDef* def = s.valid() ? model_->FindClass(s) : nullptr;
   if (def == nullptr || !def->is_query) {
     return NotFoundError(StrCat("no query class named '", query, "'"));
   }
-  OODB_ASSIGN_OR_RETURN(views::QueryPlan plan, optimizer_->ChoosePlan(s));
+  views::QueryPlan plan;
+  {
+    // Plan choice runs subsumption checks internally; attribute it to the
+    // engine phase as one block.
+    obs::ScopedSpan span(trace, obs::Phase::kEngine);
+    OODB_ASSIGN_OR_RETURN(plan, optimizer_->ChoosePlan(s));
+  }
   optimizes_.fetch_add(1, std::memory_order_relaxed);
   std::string text =
       StrCat("uses_view=", plan.uses_view ? "true" : "false", "\n",
@@ -152,6 +181,39 @@ std::string Session::StatsText() const {
                   " classify_avoided=", last_classify_.checks_avoided);
   }
   return text;
+}
+
+void Session::AppendMetrics(obs::Collector& out,
+                            const obs::Labels& labels) const {
+  out.AddCounter("oodb_session_checks_total", "CHECK requests served", labels,
+                 checks_.load(std::memory_order_relaxed));
+  out.AddCounter("oodb_session_classifies_total", "CLASSIFY requests served",
+                 labels, classifies_.load(std::memory_order_relaxed));
+  out.AddCounter("oodb_session_optimizes_total", "OPTIMIZE requests served",
+                 labels, optimizes_.load(std::memory_order_relaxed));
+  out.AddGauge("oodb_session_views", "Materialized views resident", labels,
+               catalog_->views().size());
+  out.AddGauge("oodb_session_objects", "Objects in the database state",
+               labels, database_->num_objects());
+  checker_->AppendMetrics(out, labels);
+  std::lock_guard<std::mutex> lock(classify_mu_);
+  if (has_classified_) {
+    out.AddGauge("oodb_classify_last_concepts",
+                 "Concepts in the most recent classification", labels,
+                 last_classify_.concepts);
+    out.AddGauge("oodb_classify_last_checks_performed",
+                 "Subsumption checks performed by the most recent "
+                 "classification",
+                 labels, last_classify_.checks_performed);
+    out.AddGauge("oodb_classify_last_pairwise_checks",
+                 "Pairwise-oracle check count of the most recent "
+                 "classification",
+                 labels, last_classify_.pairwise_checks);
+    out.AddGauge("oodb_classify_last_checks_avoided",
+                 "Checks avoided by enhanced traversal in the most recent "
+                 "classification",
+                 labels, last_classify_.checks_avoided);
+  }
 }
 
 }  // namespace oodb::server

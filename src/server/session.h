@@ -20,6 +20,8 @@
 #include "db/database.h"
 #include "dl/model.h"
 #include "dl/translate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ql/term_factory.h"
 #include "schema/schema.h"
 #include "views/views.h"
@@ -37,7 +39,8 @@ class Session {
   // database state. Parser warnings are collected, not printed.
   static Result<std::unique_ptr<Session>> FromSource(
       const std::string& dl_source,
-      const calculus::CheckerOptions& checker_options);
+      const calculus::CheckerOptions& checker_options,
+      obs::TraceContext* trace = nullptr);
 
   // Replaces the database state from `.odb` text. Views defined against
   // the previous state are dropped (their extents are stale by
@@ -49,14 +52,16 @@ class Session {
   Result<size_t> DefineView(const std::string& name);
 
   // C ⊑_Σ D for two named classes, through the shared warm checker.
-  Result<bool> Check(const std::string& c, const std::string& d);
+  Result<bool> Check(const std::string& c, const std::string& d,
+                     obs::TraceContext* trace = nullptr);
 
   // Classifies schema + query classes; returns the hierarchy rendering.
-  Result<std::string> Classify();
+  Result<std::string> Classify(obs::TraceContext* trace = nullptr);
 
   // Runs the optimizer's plan choice for a named query class and renders
   // the plan as `key=value` lines (see docs/server.md).
-  Result<std::string> Optimize(const std::string& query);
+  Result<std::string> Optimize(const std::string& query,
+                               obs::TraceContext* trace = nullptr);
 
   // One-line summary for the LOAD reply.
   std::string Summary() const;
@@ -64,6 +69,10 @@ class Session {
   // Multi-line per-session counters + CheckerPerfStats/ClassifyStats
   // pass-through for STATS.
   std::string StatsText() const;
+
+  // Appends this session's counters plus its checker's metrics to a
+  // snapshot. Callers hold at least the shared side of mu().
+  void AppendMetrics(obs::Collector& out, const obs::Labels& labels) const;
 
   std::shared_mutex& mu() { return mu_; }
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,6 +23,7 @@
 #include "dl/analyzer.h"
 #include "dl/translate.h"
 #include "gen/dl_gen.h"
+#include "obs/exposition.h"
 #include "ql/term_factory.h"
 #include "schema/schema.h"
 #include "server/client.h"
@@ -392,6 +394,192 @@ TEST(Server, LoadReplacesSessionAndStateResetsViews) {
   auto stats = client.Stats("s");
   ASSERT_TRUE(stats.ok());
   EXPECT_NE(stats->find("views=0"), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(Server, MetricsExpositionParsesAndCountersAreMonotone) {
+  Server server;
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+  Client client = MustConnect(*port);
+
+  Rng rng(11);
+  gen::GeneratedDl dl = gen::GenerateDlSource(rng);
+  ASSERT_TRUE(client.Load("m", dl.source).ok());
+
+  auto before_text = client.Metrics();
+  ASSERT_TRUE(before_text.ok()) << before_text.status();
+  auto before = obs::ParseExposition(*before_text);
+  ASSERT_TRUE(before.ok()) << before.status() << "\n" << *before_text;
+
+  // A scripted sequence: 3 checks (one repeated → memo traffic), one
+  // classify, one stats, one error (unknown session).
+  ASSERT_TRUE(client.Check("m", dl.query_names[0], dl.class_names[0]).ok());
+  ASSERT_TRUE(client.Check("m", dl.query_names[0], dl.class_names[0]).ok());
+  ASSERT_TRUE(
+      client.Check("m", dl.class_names[0], dl.query_names[0]).ok());
+  ASSERT_TRUE(client.Classify("m").ok());
+  ASSERT_TRUE(client.Stats("m").ok());
+  EXPECT_FALSE(client.Check("nosuch", "A", "B").ok());
+
+  auto after_text = client.Metrics();
+  ASSERT_TRUE(after_text.ok()) << after_text.status();
+  auto after = obs::ParseExposition(*after_text);
+  ASSERT_TRUE(after.ok()) << after.status() << "\n" << *after_text;
+
+  // Every counter present before must be present after with a value no
+  // smaller: counters are monotone across requests.
+  for (const obs::Sample& sample : *before) {
+    if (sample.name.size() >= 6 &&
+        sample.name.compare(sample.name.size() - 6, 6, "_total") == 0) {
+      EXPECT_GE(obs::SampleValue(*after, sample.name, sample.labels, -1),
+                sample.value)
+          << sample.name;
+    }
+  }
+
+  // The catalogue promised by docs/observability.md is populated.
+  EXPECT_GE(
+      obs::SampleValue(*after, "oodb_server_verb_requests_total",
+                       {{"verb", "CHECK"}}),
+      4.0);
+  EXPECT_GE(obs::SampleValue(*after, "oodb_server_verb_errors_total",
+                             {{"verb", "CHECK"}}),
+            1.0);
+  EXPECT_GE(obs::SampleValue(*after, "oodb_memo_hits_total",
+                             {{"session", "m"}}),
+            1.0);
+  EXPECT_GE(obs::SampleValue(*after, "oodb_prefilter_checks_total",
+                             {{"session", "m"}}),
+            1.0);
+  EXPECT_GE(obs::SampleValue(*after, "oodb_session_checks_total",
+                             {{"session", "m"}}),
+            3.0);
+  double rule_applications = 0;
+  for (const obs::Sample& sample : *after) {
+    if (sample.name == "oodb_engine_rule_applications_total") {
+      rule_applications += sample.value;
+    }
+  }
+  EXPECT_GT(rule_applications, 0.0);
+
+  // At least three latency histogram series with recorded samples.
+  auto histograms = obs::SummarizeHistograms(*after);
+  size_t populated = 0;
+  bool saw_check_latency = false;
+  for (const obs::HistogramSummary& h : histograms) {
+    if (h.count == 0) continue;
+    ++populated;
+    for (const auto& [key, value] : h.labels) {
+      if (h.name == "oodb_server_request_seconds" && key == "verb" &&
+          value == "CHECK") {
+        saw_check_latency = true;
+        EXPECT_GT(h.p50, 0.0);
+      }
+    }
+  }
+  EXPECT_GE(populated, 3u) << *after_text;
+  EXPECT_TRUE(saw_check_latency) << *after_text;
+
+  // STATS gained the per-verb line without disturbing the original one.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("server:"), std::string::npos);
+  EXPECT_NE(stats->find("verbs:"), std::string::npos);
+  EXPECT_NE(stats->find("CHECK="), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(Server, SlowQueryLogRecordsAllPhasesOfAnExpensiveCheck) {
+  ServerOptions options;
+  options.slow_threshold_ms = 0;  // log every request
+  Server server(options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+  Client client = MustConnect(*port);
+
+  // Deliberately expensive: deep path nesting over a recursive attribute
+  // forces long derivation chains through the engine.
+  std::string source =
+      "Class Node with attribute next: Node end Node\n"
+      "Attribute next with domain: Node range: Node end next\n";
+  const int kDepth = 8;
+  auto chain = [](int depth) {
+    std::string path;
+    for (int i = 0; i < depth; ++i) {
+      if (i > 0) path += ".";
+      path += "(next: Node)";
+    }
+    return path;
+  };
+  source += StrCat("QueryClass Deep isA Node with derived p1: ",
+                   chain(kDepth), " p2: ", chain(kDepth),
+                   " where p1 = p2 end Deep\n");
+  source += StrCat("QueryClass Deeper isA Node with derived q1: ",
+                   chain(kDepth + 1), " q2: ", chain(kDepth + 1),
+                   " where q1 = q2 end Deeper\n");
+
+  ASSERT_TRUE(client.Load("deep", source).ok());
+  ASSERT_TRUE(client.Check("deep", "Deeper", "Deep").ok());
+
+  auto lines = client.TraceLog(16);
+  ASSERT_TRUE(lines.ok()) << lines.status();
+
+  // Newest-first JSON lines; find the CHECK entry.
+  std::string check_line;
+  size_t start = 0;
+  while (start < lines->size()) {
+    size_t end = lines->find('\n', start);
+    if (end == std::string::npos) end = lines->size();
+    std::string line = lines->substr(start, end - start);
+    if (line.find("\"verb\":\"CHECK\"") != std::string::npos) {
+      check_line = line;
+      break;
+    }
+    start = end + 1;
+  }
+  ASSERT_FALSE(check_line.empty()) << *lines;
+  EXPECT_NE(check_line.find("\"session\":\"deep\""), std::string::npos)
+      << check_line;
+  EXPECT_NE(check_line.find("\"ok\":true"), std::string::npos) << check_line;
+
+  auto phase_ns = [&check_line](const std::string& key) -> uint64_t {
+    std::string needle = StrCat("\"", key, "\":");
+    size_t pos = check_line.find(needle);
+    if (pos == std::string::npos) return 0;
+    return std::strtoull(check_line.c_str() + pos + needle.size(), nullptr,
+                         10);
+  };
+  // A CHECK translates its operands, runs the prefilter, consults the
+  // memo, runs the engine and sends a reply: all five spans non-zero.
+  EXPECT_GT(phase_ns("translate_ns"), 0u) << check_line;
+  EXPECT_GT(phase_ns("prefilter_ns"), 0u) << check_line;
+  EXPECT_GT(phase_ns("memo_ns"), 0u) << check_line;
+  EXPECT_GT(phase_ns("engine_ns"), 0u) << check_line;
+  EXPECT_GT(phase_ns("reply_ns"), 0u) << check_line;
+  EXPECT_GT(phase_ns("total_ns"), 0u) << check_line;
+  // The rule-application profile rode along with the trace.
+  EXPECT_NE(check_line.find("\"rule:"), std::string::npos) << check_line;
+
+  // The LOAD entry recorded its parse span.
+  std::string load_line;
+  start = 0;
+  while (start < lines->size()) {
+    size_t end = lines->find('\n', start);
+    if (end == std::string::npos) end = lines->size();
+    std::string line = lines->substr(start, end - start);
+    if (line.find("\"verb\":\"LOAD\"") != std::string::npos) {
+      load_line = line;
+      break;
+    }
+    start = end + 1;
+  }
+  ASSERT_FALSE(load_line.empty()) << *lines;
+  std::swap(check_line, load_line);
+  EXPECT_GT(phase_ns("parse_ns"), 0u) << check_line;
+  std::swap(check_line, load_line);
+
+  EXPECT_GE(server.slow_log().recorded(), 2u);
   server.Shutdown();
 }
 

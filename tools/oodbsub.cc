@@ -13,9 +13,12 @@
 //   oodbsub optimize <schema.dl> <state.odb> <query> <view...>
 //       materialize the views and answer the query through the optimizer
 //   oodbsub serve [--port=N] [--threads=N] [--max-pending=N] [--deadline-ms=N]
-//       run the optimizer daemon (docs/server.md)
+//           [--metrics-threshold-ms=N]
+//       run the optimizer daemon (docs/server.md, docs/observability.md)
 //   oodbsub rpc <host:port> <VERB> [args...]
 //       send one framed request to a running daemon
+//   oodbsub stats <host:port> [session]
+//       human-readable snapshot of a running daemon's stats + metrics
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -37,6 +40,7 @@
 #include "dl/analyzer.h"
 #include "dl/printer.h"
 #include "dl/translate.h"
+#include "obs/exposition.h"
 #include "ql/fol.h"
 #include "ql/print.h"
 #include "schema/schema.h"
@@ -153,6 +157,27 @@ int CmdCheck(Session& session, const std::string& query,
     auto verdict = checker.Subsumes(*c, *d);
     if (!verdict.ok()) return Fail(verdict.status());
     PrintPerfStats(checker.perf_stats());
+    // Full completion once more for the rule-application profile and the
+    // measured run duration (RunStats::duration).
+    auto detailed = checker.SubsumesDetailed(*c, *d);
+    if (!detailed.ok()) return Fail(detailed.status());
+    const calculus::RunStats& rs = detailed->stats;
+    std::string rules;
+    for (size_t i = 0; i < rs.rule_applications.size(); ++i) {
+      const uint64_t count = rs.rule_applications[i];
+      if (count == 0) continue;
+      rules = StrCat(rules, rules.empty() ? "" : " ",
+                     calculus::RuleName(static_cast<calculus::Rule>(i)), "=",
+                     count);
+    }
+    std::printf("rules: %s (total %llu)\n",
+                rules.empty() ? "none" : rules.c_str(),
+                static_cast<unsigned long long>(rs.TotalApplications()));
+    std::printf(
+        "engine: %.3f ms (%zu individuals, %zu variables, %zu facts, "
+        "%zu goals, %zu rounds)\n",
+        static_cast<double>(rs.duration.count()) / 1e6, rs.individuals,
+        rs.variables, rs.facts, rs.goals, rs.rounds);
   }
   return explanation->subsumed ? 0 : 2;
 }
@@ -328,8 +353,10 @@ int Usage() {
       "  oodbsub state <schema.dl> <state.odb> [--deduce]\n"
       "  oodbsub serve [--port=N] [--threads=N] [--max-pending=N]"
       " [--deadline-ms=N]\n"
+      "                [--metrics-threshold-ms=N]\n"
       "  oodbsub rpc <host:port> <VERB> [args...]   (LOAD/STATE take a"
       " file path)\n"
+      "  oodbsub stats <host:port> [session]\n"
       "exit codes: 0 ok, 1 error (diagnostics on stderr), 2 not subsumed,\n"
       "            3 illegal state, 4 server busy, 64 usage\n");
   return 64;
@@ -351,6 +378,11 @@ int CmdServe(const std::vector<std::string>& args) {
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       value = arg.c_str() + 14;
       options.deadline_ms = std::strtol(value, nullptr, 10);
+    } else if (arg.rfind("--metrics-threshold-ms=", 0) == 0) {
+      // Slow-query log threshold: 0 logs everything, negative disables
+      // request tracing.
+      value = arg.c_str() + 23;
+      options.slow_threshold_ms = std::strtol(value, nullptr, 10);
     } else {
       return Usage();
     }
@@ -418,6 +450,30 @@ int CmdRpc(const std::vector<std::string>& args) {
   return 0;
 }
 
+int CmdStats(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) return Usage();
+  const std::string& target = args[0];
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon + 1 == target.size()) {
+    return Usage();
+  }
+  const std::string host = target.substr(0, colon);
+  const int port =
+      static_cast<int>(std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+  auto client = server::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+  auto stats = args.size() == 2 ? client->Stats(args[1]) : client->Stats();
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("%s\n\n", stats->c_str());
+  auto metrics = client->Metrics();
+  if (!metrics.ok()) return Fail(metrics.status());
+  // Round-tripping through the parser also validates the exposition.
+  auto samples = obs::ParseExposition(*metrics);
+  if (!samples.ok()) return Fail(samples.status());
+  std::printf("%s", obs::RenderHumanSnapshot(*samples).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -442,6 +498,9 @@ int main(int argc, char** argv) {
   }
   if (command == "rpc") {
     return CmdRpc({args.begin() + 1, args.end()});
+  }
+  if (command == "stats") {
+    return CmdStats({args.begin() + 1, args.end()});
   }
 
   // Validate the command *before* touching the schema path, so a typo'd
