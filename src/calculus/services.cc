@@ -155,282 +155,349 @@ Status Classifier::Add(Symbol name, ql::ConceptId concept_id) {
   }
   Node node;
   node.concept_id = concept_id;
+  node.order = next_order_++;
   nodes_.emplace(name, std::move(node));
   names_.push_back(name);
-  classified_ = false;
   return Status::Ok();
 }
 
 Status Classifier::Classify() {
-  stats_ = ClassifyStats{};
-  stats_.concepts = names_.size();
-  stats_.pairwise_checks =
-      names_.size() < 2 ? 0 : names_.size() * (names_.size() - 1);
-  for (auto& [name, node] : nodes_) {
-    node.parents.clear();
-    node.children.clear();
-    node.equivalents.clear();
-  }
-  OODB_RETURN_IF_ERROR(mode_ == Mode::kPairwise ? ClassifyPairwise()
-                                                : ClassifyEnhanced());
-  stats_.checks_avoided = stats_.pairwise_checks > stats_.checks_performed
-                              ? stats_.pairwise_checks - stats_.checks_performed
-                              : 0;
-  classified_ = true;
-  return Status::Ok();
-}
-
-Status Classifier::ClassifyPairwise() {
-  const size_t n = names_.size();
-  // Full subsumption matrix (n² checks, each polynomial).
-  std::vector<std::vector<bool>> below(n, std::vector<bool>(n, false));
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) {
-      if (i == j) {
-        below[i][j] = true;
-        continue;
-      }
-      ++stats_.checks_performed;
-      OODB_ASSIGN_OR_RETURN(
-          bool sub, checker_.Subsumes(nodes_.at(names_[i]).concept_id,
-                                      nodes_.at(names_[j]).concept_id));
-      below[i][j] = sub;
-    }
-  }
-  for (size_t i = 0; i < n; ++i) {
-    Node& node = nodes_.at(names_[i]);
-    for (size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      if (below[i][j] && below[j][i]) {
-        node.equivalents.push_back(names_[j]);
-        continue;
-      }
-      if (!below[i][j]) continue;
-      // j is a strict subsumer of i; direct iff no strict k between.
-      bool direct = true;
-      for (size_t k = 0; k < n && direct; ++k) {
-        if (k == i || k == j) continue;
-        if (below[i][k] && !below[k][i] && below[k][j] && !below[j][k]) {
-          direct = false;
-        }
-      }
-      if (direct) {
-        node.parents.push_back(names_[j]);
-        nodes_.at(names_[j]).children.push_back(names_[i]);
-      }
-    }
-  }
-  return Status::Ok();
-}
-
-Status Classifier::ClassifyEnhanced() {
-  // Incremental insertion into a DAG of Σ-equivalence classes. The DAG
-  // edges are always the transitive reduction of the strict subsumption
-  // order on the classes inserted so far, so reachability answers "is
-  // this pair already decided?" for free — the source of the avoidance.
-  struct Class {
-    std::vector<Symbol> members;  // in insertion order
-    ql::ConceptId rep = ql::kInvalidConcept;
-    std::vector<size_t> parents;   // direct super-classes
-    std::vector<size_t> children;  // direct sub-classes
-  };
-  enum Verdict : char { kUndecided = 0, kYes, kNo };
-
-  std::vector<Class> classes;
-  std::unordered_map<Symbol, size_t> class_of;
-
+  // Pending names join the persistent DAG one by one, in Add() order;
+  // names already classified are untouched. Uniqueness of the transitive
+  // reduction makes the result independent of how the DAG was grown.
   for (Symbol name : names_) {
-    const ql::ConceptId c = nodes_.at(name).concept_id;
-    const size_t m = classes.size();
+    if (class_of_.count(name) > 0) continue;
+    OODB_RETURN_IF_ERROR(InsertIntoDag(name));
+  }
+  RefreshAggregateStats();
+  return Status::Ok();
+}
 
-    // Topological order of the current DAG, parents before children.
-    std::vector<size_t> topo;
-    topo.reserve(m);
-    {
-      std::vector<char> done(m, 0);
-      std::vector<size_t> stack;
-      for (size_t start = 0; start < m; ++start) {
-        if (done[start]) continue;
-        stack.push_back(start);
-        while (!stack.empty()) {
-          size_t y = stack.back();
-          bool ready = true;
-          for (size_t p : classes[y].parents) {
-            if (!done[p]) {
-              stack.push_back(p);
-              ready = false;
-            }
-          }
-          if (!ready) continue;
-          stack.pop_back();
-          if (done[y]) continue;
-          done[y] = 1;
-          topo.push_back(y);
+Status Classifier::Insert(Symbol name, ql::ConceptId concept_id) {
+  OODB_RETURN_IF_ERROR(Add(name, concept_id));
+  return Classify();
+}
+
+Status Classifier::Remove(Symbol name) {
+  auto nit = nodes_.find(name);
+  if (nit == nodes_.end()) {
+    return NotFoundError("concept name not classified");
+  }
+  last_op_ = OpStats{};
+  last_op_.classes_before = live_classes_;
+  names_.erase(std::find(names_.begin(), names_.end(), name));
+
+  auto cit = class_of_.find(name);
+  if (cit == class_of_.end()) {  // pending Add(), never entered the DAG
+    nodes_.erase(nit);
+    RefreshAggregateStats();
+    return Status::Ok();
+  }
+  const size_t k = cit->second;
+  class_of_.erase(cit);
+  nodes_.erase(nit);
+  Class& klass = classes_[k];
+  klass.members.erase(
+      std::remove(klass.members.begin(), klass.members.end(), name),
+      klass.members.end());
+
+  if (!klass.members.empty()) {
+    // The class survives; re-anchor its representative on a remaining
+    // Σ-equivalent member and rebuild the neighborhood's name lists.
+    klass.rep = nodes_.at(klass.members.front()).concept_id;
+    RefreshClassMembers(k);
+    for (size_t p : klass.parents) RefreshClassMembers(p);
+    for (size_t ch : klass.children) RefreshClassMembers(ch);
+    RefreshAggregateStats();
+    return Status::Ok();
+  }
+
+  // Sole member gone: delete the class and repair the transitive
+  // reduction. New reduction edges can only run from a direct child c to
+  // a direct parent p of the deleted class, and (c, p) is needed exactly
+  // when p is unreachable from c through the remaining edges — witness
+  // paths never use other candidate edges, because direct children are
+  // mutually incomparable (and so are direct parents).
+  const std::vector<size_t> parents = klass.parents;
+  const std::vector<size_t> children = klass.children;
+  auto erase_value = [](std::vector<size_t>* v, size_t value) {
+    v->erase(std::remove(v->begin(), v->end(), value), v->end());
+  };
+  for (size_t p : parents) erase_value(&classes_[p].children, k);
+  for (size_t ch : children) erase_value(&classes_[ch].parents, k);
+
+  std::vector<std::pair<size_t, size_t>> missing;  // (child, parent)
+  std::vector<char> reach(classes_.size(), 0);
+  std::vector<size_t> stack;
+  for (size_t ch : children) {
+    std::fill(reach.begin(), reach.end(), 0);
+    reach[ch] = 1;
+    stack.push_back(ch);
+    while (!stack.empty()) {
+      size_t y = stack.back();
+      stack.pop_back();
+      for (size_t p : classes_[y].parents) {
+        if (!reach[p]) {
+          reach[p] = 1;
+          stack.push_back(p);
         }
       }
     }
+    for (size_t p : parents) {
+      if (!reach[p]) missing.emplace_back(ch, p);
+    }
+  }
+  for (const auto& [ch, p] : missing) {
+    classes_[ch].parents.push_back(p);
+    classes_[p].children.push_back(ch);
+    ++last_op_.edges_added;
+  }
 
-    // Top search: which classes subsume c? The subsumer set is upward
-    // closed (c ⊑ y and y ⊑ p give c ⊑ p), so once a class is out, every
-    // class below it is out without a check.
-    std::vector<char> up(m, kUndecided);
-    for (size_t y : topo) {
+  klass = Class{};  // tombstone (alive == false)
+  free_classes_.push_back(k);
+  --live_classes_;
+  for (size_t p : parents) RefreshClassMembers(p);
+  for (size_t ch : children) RefreshClassMembers(ch);
+  RefreshAggregateStats();
+  return Status::Ok();
+}
+
+std::vector<size_t> Classifier::TopoOrder() const {
+  std::vector<size_t> topo;
+  topo.reserve(live_classes_);
+  std::vector<char> done(classes_.size(), 0);
+  std::vector<size_t> stack;
+  for (size_t start = 0; start < classes_.size(); ++start) {
+    if (done[start] || !classes_[start].alive) continue;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      size_t y = stack.back();
+      bool ready = true;
+      for (size_t p : classes_[y].parents) {
+        if (!done[p]) {
+          stack.push_back(p);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      stack.pop_back();
+      if (done[y]) continue;
+      done[y] = 1;
+      topo.push_back(y);
+    }
+  }
+  return topo;
+}
+
+Status Classifier::InsertIntoDag(Symbol name) {
+  // The DAG edges are always the transitive reduction of the strict
+  // subsumption order on the classes present, so reachability answers
+  // "is this pair already decided?" for free — the source of the check
+  // avoidance in kEnhancedTraversal. kPairwise runs the same searches
+  // without pruning (every live class checked in both directions).
+  const ql::ConceptId c = nodes_.at(name).concept_id;
+  const size_t m = classes_.size();
+  const bool prune = mode_ == Mode::kEnhancedTraversal;
+  last_op_ = OpStats{};
+  last_op_.classes_before = live_classes_;
+
+  // Topological order of the current DAG, parents before children.
+  const std::vector<size_t> topo = TopoOrder();
+
+  // Top search: which classes subsume c? The subsumer set is upward
+  // closed (c ⊑ y and y ⊑ p give c ⊑ p), so once a class is out, every
+  // class below it is out without a check.
+  std::vector<char> up(m, 0);
+  for (size_t y : topo) {
+    if (prune) {
       bool pruned = false;
-      for (size_t p : classes[y].parents) {
-        if (up[p] == kNo) {
+      for (size_t p : classes_[y].parents) {
+        if (!up[p]) {
           pruned = true;
           break;
         }
       }
-      if (pruned) {
-        up[y] = kNo;
-        continue;
-      }
-      ++stats_.checks_performed;
-      OODB_ASSIGN_OR_RETURN(bool sub, checker_.Subsumes(c, classes[y].rep));
-      up[y] = sub ? kYes : kNo;
+      if (pruned) continue;  // up[y] stays "no"
     }
-    // Direct parents = minimal subsumers = subsumer classes none of
-    // whose DAG children also subsume.
-    std::vector<size_t> direct_parents;
-    for (size_t y = 0; y < m; ++y) {
-      if (up[y] != kYes) continue;
-      bool minimal = true;
-      for (size_t ch : classes[y].children) {
-        if (up[ch] == kYes) {
-          minimal = false;
-          break;
-        }
+    ++stats_.checks_performed;
+    ++last_op_.checks_performed;
+    OODB_ASSIGN_OR_RETURN(bool sub, checker_.Subsumes(c, classes_[y].rep));
+    up[y] = sub ? 1 : 0;
+  }
+  // Direct parents = minimal subsumers = subsumer classes none of whose
+  // DAG children also subsume.
+  std::vector<size_t> direct_parents;
+  for (size_t y : topo) {
+    if (!up[y]) continue;
+    bool minimal = true;
+    for (size_t ch : classes_[y].children) {
+      if (up[ch]) {
+        minimal = false;
+        break;
       }
-      if (minimal) direct_parents.push_back(y);
     }
+    if (minimal) direct_parents.push_back(y);
+  }
 
-    // Bottom search: which classes does c subsume? Any subsumee sits
-    // (weakly) below EVERY direct parent, so only the intersection of
-    // their down-sets is live; within it, a class whose child already
-    // failed fails too (ch ⊑ y ⊑ c would force ch ⊑ c).
-    std::vector<char> candidate(m, direct_parents.empty() ? char(1) : char(0));
-    if (!direct_parents.empty()) {
-      std::vector<char> reach(m, 0);
-      std::vector<size_t> stack;
-      for (size_t p : direct_parents) {
-        std::fill(reach.begin(), reach.end(), 0);
-        reach[p] = 1;
-        stack.push_back(p);
-        while (!stack.empty()) {
-          size_t y = stack.back();
-          stack.pop_back();
-          for (size_t ch : classes[y].children) {
-            if (!reach[ch]) {
-              reach[ch] = 1;
-              stack.push_back(ch);
-            }
-          }
-        }
-        for (size_t y = 0; y < m; ++y) {
-          if (p == direct_parents.front()) {
-            candidate[y] = reach[y];
-          } else {
-            candidate[y] = candidate[y] && reach[y];
+  // Bottom search: which classes does c subsume? Any subsumee sits
+  // (weakly) below EVERY direct parent, so only the intersection of
+  // their down-sets is live; within it, a class whose child already
+  // failed fails too (ch ⊑ y ⊑ c would force ch ⊑ c).
+  std::vector<char> candidate(m, 0);
+  if (!prune || direct_parents.empty()) {
+    for (size_t y : topo) candidate[y] = 1;
+  } else {
+    std::vector<char> reach(m, 0);
+    std::vector<size_t> stack;
+    for (size_t p : direct_parents) {
+      std::fill(reach.begin(), reach.end(), 0);
+      reach[p] = 1;
+      stack.push_back(p);
+      while (!stack.empty()) {
+        size_t y = stack.back();
+        stack.pop_back();
+        for (size_t ch : classes_[y].children) {
+          if (!reach[ch]) {
+            reach[ch] = 1;
+            stack.push_back(ch);
           }
         }
       }
+      for (size_t y = 0; y < m; ++y) {
+        if (p == direct_parents.front()) {
+          candidate[y] = reach[y];
+        } else {
+          candidate[y] = candidate[y] && reach[y];
+        }
+      }
     }
-    std::vector<char> down(m, kNo);
-    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-      size_t y = *it;
-      if (!candidate[y]) continue;  // y ⋢ some parent of c ⟹ y ⋢ c
+  }
+  std::vector<char> down(m, 0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    size_t y = *it;
+    if (!candidate[y]) continue;  // y ⋢ some parent of c ⟹ y ⋢ c
+    if (prune) {
       bool pruned = false;
-      for (size_t ch : classes[y].children) {
-        if (down[ch] == kNo) {
+      for (size_t ch : classes_[y].children) {
+        if (!down[ch]) {
           pruned = true;
           break;
         }
       }
       if (pruned) continue;
-      ++stats_.checks_performed;
-      OODB_ASSIGN_OR_RETURN(bool sub, checker_.Subsumes(classes[y].rep, c));
-      down[y] = sub ? kYes : kNo;
     }
+    ++stats_.checks_performed;
+    ++last_op_.checks_performed;
+    OODB_ASSIGN_OR_RETURN(bool sub, checker_.Subsumes(classes_[y].rep, c));
+    down[y] = sub ? 1 : 0;
+  }
 
-    // Equivalence: a class both above and below c absorbs the name
-    // (there can be at most one — distinct classes are never mutually
-    // subsuming).
-    size_t equiv = m;
-    for (size_t y = 0; y < m; ++y) {
-      if (up[y] == kYes && down[y] == kYes) {
-        equiv = y;
+  // Equivalence: a class both above and below c absorbs the name (there
+  // can be at most one — distinct classes are never mutually subsuming).
+  for (size_t y : topo) {
+    if (up[y] && down[y]) {
+      classes_[y].members.push_back(name);
+      class_of_.emplace(name, y);
+      RefreshClassMembers(y);
+      for (size_t p : classes_[y].parents) RefreshClassMembers(p);
+      for (size_t ch : classes_[y].children) RefreshClassMembers(ch);
+      return Status::Ok();
+    }
+  }
+
+  // New class: link to the direct parents and the maximal subsumees,
+  // then drop the parent↔child edges the new class now mediates (keeping
+  // the DAG transitively reduced).
+  std::vector<size_t> direct_children;
+  for (size_t y : topo) {
+    if (!down[y]) continue;
+    bool maximal = true;
+    for (size_t p : classes_[y].parents) {
+      if (down[p]) {
+        maximal = false;
         break;
       }
     }
-    if (equiv != m) {
-      classes[equiv].members.push_back(name);
-      class_of.emplace(name, equiv);
-      continue;
-    }
-
-    // New class: link to the direct parents and the maximal subsumees,
-    // then drop the parent↔child edges the new class now mediates
-    // (keeping the DAG transitively reduced).
-    std::vector<size_t> direct_children;
-    for (size_t y = 0; y < m; ++y) {
-      if (down[y] != kYes) continue;
-      bool maximal = true;
-      for (size_t p : classes[y].parents) {
-        if (down[p] == kYes) {
-          maximal = false;
-          break;
-        }
-      }
-      if (maximal) direct_children.push_back(y);
-    }
-    Class fresh;
-    fresh.members.push_back(name);
-    fresh.rep = c;
-    fresh.parents = direct_parents;
-    fresh.children = direct_children;
-    classes.push_back(std::move(fresh));
-    class_of.emplace(name, m);
-    auto erase_value = [](std::vector<size_t>* v, size_t value) {
-      v->erase(std::remove(v->begin(), v->end(), value), v->end());
-    };
-    for (size_t ch : direct_children) {
-      for (size_t p : direct_parents) {
-        erase_value(&classes[ch].parents, p);
-        erase_value(&classes[p].children, ch);
-      }
-      classes[ch].parents.push_back(m);
-    }
-    for (size_t p : direct_parents) classes[p].children.push_back(m);
+    if (maximal) direct_children.push_back(y);
   }
+  size_t idx;
+  if (!free_classes_.empty()) {
+    idx = free_classes_.back();
+    free_classes_.pop_back();
+  } else {
+    classes_.emplace_back();
+    idx = classes_.size() - 1;
+  }
+  Class& fresh = classes_[idx];
+  fresh = Class{};
+  fresh.alive = true;
+  fresh.members.push_back(name);
+  fresh.rep = c;
+  fresh.parents = direct_parents;
+  fresh.children = direct_children;
+  ++live_classes_;
+  class_of_.emplace(name, idx);
+  last_op_.edges_added = direct_parents.size() + direct_children.size();
+  auto erase_value = [](std::vector<size_t>* v, size_t value) {
+    v->erase(std::remove(v->begin(), v->end(), value), v->end());
+  };
+  for (size_t ch : direct_children) {
+    for (size_t p : direct_parents) {
+      erase_value(&classes_[ch].parents, p);
+      erase_value(&classes_[p].children, ch);
+    }
+    classes_[ch].parents.push_back(idx);
+  }
+  for (size_t p : direct_parents) classes_[p].children.push_back(idx);
 
-  // Expand the class DAG into the per-name lists of the pairwise
-  // rendering: every member of every adjacent class, in name-insertion
-  // order (which is exactly the pairwise loop order).
-  std::unordered_map<Symbol, size_t> name_index;
-  for (size_t i = 0; i < names_.size(); ++i) name_index.emplace(names_[i], i);
-  auto by_insertion = [&](std::vector<Symbol>* v) {
-    std::sort(v->begin(), v->end(), [&](Symbol a, Symbol b) {
-      return name_index.at(a) < name_index.at(b);
+  RefreshClassMembers(idx);
+  for (size_t p : direct_parents) RefreshClassMembers(p);
+  for (size_t ch : direct_children) RefreshClassMembers(ch);
+  return Status::Ok();
+}
+
+void Classifier::RefreshClassMembers(size_t k) {
+  // Expand this class's corner of the DAG into per-name lists: every
+  // member of every adjacent class, ordered by Add() sequence (which is
+  // exactly names() order, and what a from-scratch run produces).
+  auto by_insertion = [this](std::vector<Symbol>* v) {
+    std::sort(v->begin(), v->end(), [this](Symbol a, Symbol b) {
+      return nodes_.at(a).order < nodes_.at(b).order;
     });
   };
-  for (Symbol name : names_) {
+  const Class& klass = classes_[k];
+  for (Symbol name : klass.members) {
     Node& node = nodes_.at(name);
-    const Class& k = classes[class_of.at(name)];
-    for (Symbol other : k.members) {
+    node.equivalents.clear();
+    node.parents.clear();
+    node.children.clear();
+    for (Symbol other : klass.members) {
       if (other != name) node.equivalents.push_back(other);
     }
-    for (size_t p : k.parents) {
-      for (Symbol other : classes[p].members) node.parents.push_back(other);
+    for (size_t p : klass.parents) {
+      for (Symbol other : classes_[p].members) node.parents.push_back(other);
     }
-    for (size_t ch : k.children) {
-      for (Symbol other : classes[ch].members) node.children.push_back(other);
+    for (size_t ch : klass.children) {
+      for (Symbol other : classes_[ch].members) node.children.push_back(other);
     }
     by_insertion(&node.equivalents);
     by_insertion(&node.parents);
     by_insertion(&node.children);
   }
-  return Status::Ok();
+}
+
+void Classifier::RefreshAggregateStats() {
+  stats_.concepts = names_.size();
+  stats_.pairwise_checks =
+      names_.size() < 2 ? 0 : names_.size() * (names_.size() - 1);
+  stats_.checks_avoided = stats_.pairwise_checks > stats_.checks_performed
+                              ? stats_.pairwise_checks - stats_.checks_performed
+                              : 0;
+}
+
+ql::ConceptId Classifier::ConceptOf(Symbol name) const {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? ql::kInvalidConcept : it->second.concept_id;
 }
 
 std::vector<Symbol> Classifier::Parents(Symbol name) const {

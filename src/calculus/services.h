@@ -6,6 +6,7 @@
 #ifndef OODB_CALCULUS_SERVICES_H_
 #define OODB_CALCULUS_SERVICES_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -51,27 +52,44 @@ Result<ql::ConceptId> CommonSubsumer(const SubsumptionChecker& checker,
                                      const std::vector<ql::ConceptId>& cs);
 
 // Classifies named concepts into a subsumption hierarchy.
+//
+// The hierarchy is maintained INCREMENTALLY: internally the classifier
+// keeps a DAG of Σ-equivalence classes whose edges are the transitive
+// reduction of the strict subsumption order on the classes present, and
+// every mutation (Insert, Remove, or flushing pending Add()s via
+// Classify()) repairs that DAG locally instead of reclassifying. Because
+// the transitive reduction of a finite partial order is unique, the
+// resulting per-name Parents/Children/Equivalents lists are identical to
+// what a from-scratch classification of the surviving names (in names()
+// order) would produce — tests/incremental_classify_test.cc pins this
+// against a fresh oracle across randomized Insert/Remove interleavings.
 class Classifier {
  public:
-  // Insertion strategy for Classify(). Both modes produce the identical
-  // DAG (pinned by tests/classify_traversal_test.cc); they differ only
-  // in how many subsumption checks they issue.
+  // Search strategy used when a concept is inserted into the DAG. Both
+  // modes produce the identical DAG (pinned by
+  // tests/classify_traversal_test.cc); they differ only in how many
+  // subsumption checks they issue.
   enum class Mode {
-    // Insert concepts one by one into the evolving equivalence-class DAG
-    // with a top search (most-general subsumers first) and a bottom
-    // search (most-specific subsumees, restricted to the down-set of the
-    // found parents), pruning by transitivity in both directions. On
+    // Top search (most-general subsumers first) and bottom search
+    // (most-specific subsumees, restricted to the down-set of the found
+    // parents), pruning by transitivity in both directions. On
     // hierarchy-rich catalogs this skips the bulk of the n·(n-1) pairs.
     kEnhancedTraversal,
-    // Full n·(n-1) subsumption matrix. The reference oracle; also the
-    // right choice for flat catalogs, where traversal cannot prune.
+    // Exhaustive insertion: checks every existing class in both
+    // directions, no pruning. The reference strategy; also the right
+    // choice for flat catalogs, where traversal cannot prune.
     kPairwise,
   };
 
-  // Check-accounting of the last Classify() run. `pairwise_checks` is
-  // what the full matrix would issue; `checks_performed` counts the
-  // Subsumes() calls actually made (the checker's own memo/pre-filter
-  // savings are a separate layer, see SubsumptionChecker::perf_stats).
+  // Cumulative check-accounting over the classifier's lifetime.
+  // `concepts` is the number of names currently classified;
+  // `pairwise_checks` is what a from-scratch full matrix over the current
+  // names would issue (n·(n-1)); `checks_performed` counts the Subsumes()
+  // calls actually made by every mutation so far (the checker's own
+  // memo/pre-filter savings are a separate layer, see
+  // SubsumptionChecker::perf_stats). `checks_avoided` is the clamped
+  // difference — after many removals the cumulative count can exceed the
+  // matrix bound, in which case it reports 0.
   struct ClassifyStats {
     size_t concepts = 0;
     size_t pairwise_checks = 0;
@@ -79,16 +97,44 @@ class Classifier {
     size_t checks_avoided = 0;
   };
 
+  // Accounting of the single most recent DAG mutation (one insertion or
+  // one removal). `classes_before` is the number of equivalence classes
+  // the operation searched; `checks_performed` the subsumption checks it
+  // issued (always 0 for Remove — removal repairs by reachability alone);
+  // `edges_added` the transitive-reduction edges spliced in.
+  struct OpStats {
+    size_t classes_before = 0;
+    size_t checks_performed = 0;
+    size_t edges_added = 0;
+  };
+
   explicit Classifier(const SubsumptionChecker& checker,
                       Mode mode = Mode::kEnhancedTraversal)
       : checker_(checker), mode_(mode) {}
 
-  // Adds a named concept. Names must be unique.
+  // Adds a named concept without classifying it yet (names must be
+  // unique). Pending names join the DAG on the next Classify() or
+  // Insert(); until then their Parents/Children/Equivalents are empty.
   Status Add(Symbol name, ql::ConceptId concept_id);
 
-  // Computes the DAG. Call after all Add()s (idempotent; re-runs after
-  // further insertions).
+  // Classifies every pending Add() into the DAG, in insertion order.
+  // Idempotent when nothing is pending. Re-running after further Add()s
+  // extends the existing DAG incrementally; the result is identical to a
+  // fresh classification of all names (uniqueness of the transitive
+  // reduction), which tests/incremental_classify_test.cc verifies.
   Status Classify();
+
+  // Add() + Classify() in one step: classifies `concept_id` (and any
+  // other pending names) into the DAG immediately.
+  Status Insert(Symbol name, ql::ConceptId concept_id);
+
+  // Removes a name and repairs the DAG locally: if its equivalence class
+  // has other members the class survives; otherwise the class is deleted
+  // and each of its direct children is reconnected to exactly those
+  // direct parents it cannot already reach, keeping the edge set the
+  // transitive reduction of the remaining order. No subsumption checks
+  // are issued. Errors with kNotFound for unknown names.
+  Status Remove(Symbol name);
 
   // Direct (transitively reduced) super-concepts of `name`.
   std::vector<Symbol> Parents(Symbol name) const;
@@ -100,9 +146,16 @@ class Classifier {
   // first (parents follow children).
   Result<std::vector<Symbol>> SubsumersOf(ql::ConceptId concept_id) const;
 
+  bool Contains(Symbol name) const { return nodes_.count(name) > 0; }
+  // The concept registered for `name`, or ql::kInvalidConcept.
+  ql::ConceptId ConceptOf(Symbol name) const;
+
   const std::vector<Symbol>& names() const { return names_; }
   Mode mode() const { return mode_; }
   const ClassifyStats& classify_stats() const { return stats_; }
+  const OpStats& last_op_stats() const { return last_op_; }
+  // Number of Σ-equivalence classes currently in the DAG.
+  size_t num_classes() const { return live_classes_; }
 
   // Multi-line rendering of the hierarchy.
   std::string ToString(const SymbolTable& symbols) const;
@@ -110,20 +163,43 @@ class Classifier {
  private:
   struct Node {
     ql::ConceptId concept_id = ql::kInvalidConcept;
+    uint64_t order = 0;  // monotone Add() sequence number
     std::vector<Symbol> parents;
     std::vector<Symbol> children;
     std::vector<Symbol> equivalents;
   };
+  // A Σ-equivalence class in the persistent DAG. Slots of removed
+  // classes stay in `classes_` as dead tombstones (alive == false) and
+  // are recycled through `free_classes_`, so indices held in edge lists
+  // remain stable.
+  struct Class {
+    std::vector<Symbol> members;  // in Add() order
+    ql::ConceptId rep = ql::kInvalidConcept;
+    std::vector<size_t> parents;   // direct super-classes
+    std::vector<size_t> children;  // direct sub-classes
+    bool alive = false;
+  };
 
-  Status ClassifyPairwise();
-  Status ClassifyEnhanced();
+  // Classifies one name into the DAG (top/bottom search + splice).
+  Status InsertIntoDag(Symbol name);
+  // Live classes, parents before children.
+  std::vector<size_t> TopoOrder() const;
+  // Rebuilds the per-name lists of every member of class `k` (and only
+  // those) from the class adjacency.
+  void RefreshClassMembers(size_t k);
+  void RefreshAggregateStats();
 
   const SubsumptionChecker& checker_;
   Mode mode_;
   ClassifyStats stats_;
+  OpStats last_op_;
   std::vector<Symbol> names_;
   std::unordered_map<Symbol, Node> nodes_;
-  bool classified_ = false;
+  std::vector<Class> classes_;
+  std::vector<size_t> free_classes_;
+  std::unordered_map<Symbol, size_t> class_of_;
+  size_t live_classes_ = 0;
+  uint64_t next_order_ = 0;
 };
 
 }  // namespace oodb::calculus

@@ -1,5 +1,8 @@
 #include "gen/generators.h"
 
+#include <algorithm>
+#include <deque>
+
 #include "base/strings.h"
 
 namespace oodb::gen {
@@ -175,6 +178,61 @@ ql::ConceptId WeakenConcept(const schema::Schema& sigma,
     cur = WeakenOnce(sigma, terms, cur, rng);
   }
   return cur;
+}
+
+GeneratedCatalog GenerateCatalog(const GeneratedSchema& sig,
+                                 ql::TermFactory* terms, Rng& rng,
+                                 const CatalogGenOptions& options) {
+  GeneratedCatalog out;
+  const size_t total = options.num_concepts;
+  out.num_noise = std::min(
+      total, static_cast<size_t>(total * options.noise_fraction));
+  const size_t tree_target = total - out.num_noise;
+
+  // Each level refines by a SINGLE fresh conjunct: child = parent ⊓ r,
+  // so child ⊑_Σ parent by construction and concept size stays linear in
+  // depth.
+  ConceptGenOptions refine = options.conjunct;
+  refine.max_conjuncts = 1;
+
+  auto emit = [&](ql::ConceptId c, size_t parent, size_t level) {
+    size_t idx = out.names.size();
+    out.names.push_back(terms->symbols().Intern(StrCat("K", idx)));
+    out.concepts.push_back(c);
+    out.parent.push_back(parent);
+    out.level.push_back(level);
+    return idx;
+  };
+
+  // Breadth-first growth: shallow levels fill before deep ones, giving
+  // the classic taxonomy shape (few general ancestors, many leaves).
+  std::deque<size_t> frontier;
+  const size_t seed_roots = std::min(std::max<size_t>(options.num_roots, 1),
+                                     tree_target);
+  while (out.names.size() < tree_target) {
+    if (frontier.empty() || out.names.size() < seed_roots) {
+      // Seed roots up front; also restart with a fresh root whenever the
+      // whole forest is saturated at `depth`.
+      size_t idx = emit(GenerateConcept(sig, terms, rng, refine),
+                        kCatalogNoParent, 0);
+      if (options.depth > 0) frontier.push_back(idx);
+      continue;
+    }
+    size_t parent = frontier.front();
+    frontier.pop_front();
+    const size_t fan = std::max<size_t>(options.fan_out, 1);
+    for (size_t i = 0; i < fan && out.names.size() < tree_target; ++i) {
+      ql::ConceptId child = terms->And(
+          out.concepts[parent], GenerateConcept(sig, terms, rng, refine));
+      size_t idx = emit(child, parent, out.level[parent] + 1);
+      if (out.level[idx] < options.depth) frontier.push_back(idx);
+    }
+  }
+  for (size_t i = 0; i < out.num_noise; ++i) {
+    emit(GenerateConcept(sig, terms, rng, options.conjunct),
+         kCatalogNoParent, 0);
+  }
+  return out;
 }
 
 }  // namespace oodb::gen

@@ -60,6 +60,51 @@ ql::ConceptId GenerateConcept(const GeneratedSchema& sig,
                               const ConceptGenOptions& options =
                                   ConceptGenOptions());
 
+inline constexpr size_t kCatalogNoParent = ~size_t{0};
+
+// Shape of a synthetic named-concept catalog for classification
+// experiments (10k–100k concepts): a forest of `num_roots` general seed
+// concepts grown DOWNWARD level by level, where each child strengthens
+// its parent with one fresh conjunct — so child ⊑_Σ parent holds by
+// construction and the catalog is hierarchy-rich (few general ancestors,
+// many specific leaves: the shape where top/bottom-search insertion
+// touches only a neighborhood). A `noise_fraction` of unrelated flat
+// concepts is appended last.
+struct CatalogGenOptions {
+  size_t num_concepts = 1000;
+  size_t num_roots = 4;
+  // Children per expanded node (exact, except where num_concepts or
+  // depth cuts a level short).
+  size_t fan_out = 4;
+  // Maximum edges on any root→leaf chain. Nodes at this depth are not
+  // expanded; when every node is saturated a fresh root is started.
+  size_t depth = 8;
+  double noise_fraction = 0.0;
+  // Shape of the per-level refinement conjuncts (and of the noise
+  // concepts); refinements use a single conjunct regardless of
+  // max_conjuncts.
+  ConceptGenOptions conjunct;
+};
+
+struct GeneratedCatalog {
+  // Names K0, K1, … in emission order (tree first, noise last); the
+  // intended classifier insertion order.
+  std::vector<Symbol> names;
+  std::vector<ql::ConceptId> concepts;
+  // Structural ground truth: tree parent index per entry
+  // (kCatalogNoParent for roots and noise) and tree depth per entry
+  // (0 for roots and noise).
+  std::vector<size_t> parent;
+  std::vector<size_t> level;
+  size_t num_noise = 0;
+};
+
+// Deterministic per (sig, rng state, options).
+GeneratedCatalog GenerateCatalog(const GeneratedSchema& sig,
+                                 ql::TermFactory* terms, Rng& rng,
+                                 const CatalogGenOptions& options =
+                                     CatalogGenOptions());
+
 // Produces D with C ⊑_Σ D *by construction*, applying `steps` random
 // semantics-weakening transformations:
 //   * drop a conjunct of a ⊓

@@ -114,6 +114,11 @@ Result<size_t> Client::DefineView(const std::string& session,
   return static_cast<size_t>(std::strtoull(body.c_str() + 7, nullptr, 10));
 }
 
+Result<std::string> Client::Undefine(const std::string& session,
+                                     const std::string& query_class) {
+  return Roundtrip(StrCat("UNDEFINE ", session, " ", query_class));
+}
+
 Result<bool> Client::Check(const std::string& session, const std::string& c,
                            const std::string& d) {
   OODB_ASSIGN_OR_RETURN(

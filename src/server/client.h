@@ -41,6 +41,10 @@ class Client {
                                 const std::string& odb_source);
   Result<size_t> DefineView(const std::string& session,
                             const std::string& query_class);
+  // Drops the view (if materialized) and removes the query class from
+  // the session's resident taxonomy. Returns the `undefined=...` line.
+  Result<std::string> Undefine(const std::string& session,
+                               const std::string& query_class);
   Result<bool> Check(const std::string& session, const std::string& c,
                      const std::string& d);
   Result<std::string> Classify(const std::string& session);

@@ -43,6 +43,8 @@ const char* VerbName(Verb verb) {
       return "STATE";
     case Verb::kView:
       return "VIEW";
+    case Verb::kUndefine:
+      return "UNDEFINE";
     case Verb::kCheck:
       return "CHECK";
     case Verb::kClassify:
@@ -111,9 +113,10 @@ void Server::RegisterMetrics() {
   // Latency histograms exist only for verbs that run through the pool;
   // inline control verbs are not timed.
   constexpr Verb kTimedVerbs[] = {Verb::kLoad,     Verb::kState,
-                                  Verb::kView,     Verb::kCheck,
-                                  Verb::kClassify, Verb::kOptimize,
-                                  Verb::kStats,    Verb::kSleep};
+                                  Verb::kView,     Verb::kUndefine,
+                                  Verb::kCheck,    Verb::kClassify,
+                                  Verb::kOptimize, Verb::kStats,
+                                  Verb::kSleep};
   for (Verb verb : kTimedVerbs) {
     latency_[static_cast<size_t>(verb)] = registry_.GetHistogram(
         "oodb_server_request_seconds",
@@ -419,8 +422,8 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
   }
 
   // Everything below addresses a named session.
-  if (verb != "VIEW" && verb != "CHECK" && verb != "CLASSIFY" &&
-      verb != "OPTIMIZE") {
+  if (verb != "VIEW" && verb != "UNDEFINE" && verb != "CHECK" &&
+      verb != "CLASSIFY" && verb != "OPTIMIZE") {
     return ErrReply(kErrProto, StrCat("unknown command '", verb, "'"));
   }
   if (tokens.size() < 2) {
@@ -443,6 +446,18 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
     auto extent = session->DefineView(tokens[2]);
     if (!extent.ok()) return StatusReply(extent.status());
     return OkReply(StrCat("extent=", *extent));
+  }
+  if (verb == "UNDEFINE") {
+    if (tokens.size() != 3) {
+      return ErrReply(kErrProto, "usage: UNDEFINE <session> <query-class>");
+    }
+    std::unique_lock<std::shared_mutex> lock(session->mu());
+    // Taxonomy repair is pure graph surgery (no subsumption checks), but
+    // it is still session mutation; attribute it to the engine phase.
+    obs::ScopedSpan span(trace, obs::Phase::kEngine);
+    auto summary = session->UndefineView(tokens[2]);
+    if (!summary.ok()) return StatusReply(summary.status());
+    return OkReply(std::move(*summary));
   }
   if (verb == "CHECK") {
     if (tokens.size() != 4) {

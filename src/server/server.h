@@ -43,6 +43,7 @@ enum class Verb : uint8_t {
   kLoad,
   kState,
   kView,
+  kUndefine,
   kCheck,
   kClassify,
   kOptimize,

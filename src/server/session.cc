@@ -64,7 +64,52 @@ Result<size_t> Session::DefineView(const std::string& name) {
     return NotFoundError(StrCat("no class named '", name, "'"));
   }
   OODB_RETURN_IF_ERROR(catalog_->DefineView(s));
+  {
+    // Keep the resident taxonomy in sync: a class UNDEFINEd out of it
+    // re-enters on DEFINE, by incremental insertion if the DAG is warm.
+    std::lock_guard<std::mutex> lock(classify_mu_);
+    taxonomy_excluded_.erase(s);
+    if (classifier_ != nullptr && !classifier_->Contains(s)) {
+      OODB_ASSIGN_OR_RETURN(ql::ConceptId concept_id, ConceptOf(name));
+      OODB_RETURN_IF_ERROR(classifier_->Insert(s, concept_id));
+      ++taxonomy_inserts_;
+      last_classify_ = classifier_->classify_stats();
+      has_classified_ = true;
+    }
+  }
   return catalog_->Find(s)->extent.size();
+}
+
+Result<std::string> Session::UndefineView(const std::string& name) {
+  Symbol s = symbols_.Find(name);
+  const dl::ClassDef* def = s.valid() ? model_->FindClass(s) : nullptr;
+  if (def == nullptr || !def->is_query) {
+    return NotFoundError(StrCat("no query class named '", name, "'"));
+  }
+  bool view_dropped = false;
+  if (catalog_->Find(s) != nullptr) {
+    OODB_RETURN_IF_ERROR(catalog_->DropView(s));
+    view_dropped = true;
+  }
+  bool taxonomy_removed = false;
+  {
+    std::lock_guard<std::mutex> lock(classify_mu_);
+    if (classifier_ != nullptr && classifier_->Contains(s)) {
+      OODB_RETURN_IF_ERROR(classifier_->Remove(s));
+      taxonomy_removed = true;
+      ++taxonomy_removes_;
+      last_classify_ = classifier_->classify_stats();
+      has_classified_ = true;
+    }
+    // Recorded even when the taxonomy is cold, so a later first CLASSIFY
+    // builds without the class.
+    taxonomy_excluded_.insert(s);
+  }
+  undefines_.fetch_add(1, std::memory_order_relaxed);
+  return StrCat("undefined=", name,
+                " view_dropped=", view_dropped ? "true" : "false",
+                " taxonomy_removed=", taxonomy_removed ? "true" : "false",
+                " views=", catalog_->views().size());
 }
 
 Result<ql::ConceptId> Session::ConceptOf(const std::string& name) {
@@ -90,35 +135,43 @@ Result<bool> Session::Check(const std::string& c, const std::string& d,
   return checker_->Subsumes(cc, dd, trace);
 }
 
-Result<std::string> Session::Classify(obs::TraceContext* trace) {
-  // Mirrors `oodbsub classify`: query classes join the schema hierarchy
-  // (paper Sect. 5). A fresh Classifier per request over the shared warm
-  // checker — the verdicts come from the memo cache after the first run.
-  calculus::Classifier classifier(*checker_);
+Status Session::EnsureClassifierLocked(obs::TraceContext* trace) {
+  if (classifier_ != nullptr) return Status::Ok();
+  auto classifier = std::make_unique<calculus::Classifier>(*checker_);
   {
     obs::ScopedSpan span(trace, obs::Phase::kTranslate);
     for (const dl::ClassDef& def : model_->classes()) {
       if (def.name == model_->object_class) continue;
+      if (taxonomy_excluded_.count(def.name) > 0) continue;
       auto concept_id =
           def.is_query ? translator_->QueryConcept(def.name)
                        : Result<ql::ConceptId>(terms_->Primitive(def.name));
       if (!concept_id.ok()) return concept_id.status();
-      OODB_RETURN_IF_ERROR(classifier.Add(def.name, *concept_id));
+      OODB_RETURN_IF_ERROR(classifier->Add(def.name, *concept_id));
     }
   }
   {
     // The classification's subsumption checks (prefilter + memo + engine)
     // are attributed to the engine phase as one block.
     obs::ScopedSpan span(trace, obs::Phase::kEngine);
-    OODB_RETURN_IF_ERROR(classifier.Classify());
+    OODB_RETURN_IF_ERROR(classifier->Classify());
   }
+  classifier_ = std::move(classifier);
+  return Status::Ok();
+}
+
+Result<std::string> Session::Classify(obs::TraceContext* trace) {
+  // Mirrors `oodbsub classify`: query classes join the schema hierarchy
+  // (paper Sect. 5). The taxonomy is resident: the first call classifies
+  // from scratch over the shared warm checker, later calls render the
+  // DAG that DefineView/UndefineView keep current incrementally — a warm
+  // CLASSIFY issues zero subsumption checks.
+  std::lock_guard<std::mutex> lock(classify_mu_);
+  OODB_RETURN_IF_ERROR(EnsureClassifierLocked(trace));
   classifies_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(classify_mu_);
-    last_classify_ = classifier.classify_stats();
-    has_classified_ = true;
-  }
-  return classifier.ToString(symbols_);
+  last_classify_ = classifier_->classify_stats();
+  has_classified_ = true;
+  return classifier_->ToString(symbols_);
 }
 
 Result<std::string> Session::Optimize(const std::string& query,
@@ -165,6 +218,7 @@ std::string Session::StatsText() const {
       "checks=", checks_.load(std::memory_order_relaxed),
       " classifies=", classifies_.load(std::memory_order_relaxed),
       " optimizes=", optimizes_.load(std::memory_order_relaxed),
+      " undefines=", undefines_.load(std::memory_order_relaxed),
       " views=", catalog_->views().size(),
       " objects=", database_->num_objects(), "\n",
       "engine_runs=", perf.engine_runs,
@@ -178,7 +232,9 @@ std::string Session::StatsText() const {
     text = StrCat(text, "\nclassify_concepts=", last_classify_.concepts,
                   " classify_checks=", last_classify_.checks_performed, "/",
                   last_classify_.pairwise_checks,
-                  " classify_avoided=", last_classify_.checks_avoided);
+                  " classify_avoided=", last_classify_.checks_avoided,
+                  " classify_inserts=", taxonomy_inserts_,
+                  " classify_removes=", taxonomy_removes_);
   }
   return text;
 }
@@ -191,6 +247,8 @@ void Session::AppendMetrics(obs::Collector& out,
                  labels, classifies_.load(std::memory_order_relaxed));
   out.AddCounter("oodb_session_optimizes_total", "OPTIMIZE requests served",
                  labels, optimizes_.load(std::memory_order_relaxed));
+  out.AddCounter("oodb_session_undefines_total", "UNDEFINE requests served",
+                 labels, undefines_.load(std::memory_order_relaxed));
   out.AddGauge("oodb_session_views", "Materialized views resident", labels,
                catalog_->views().size());
   out.AddGauge("oodb_session_objects", "Objects in the database state",
@@ -213,6 +271,12 @@ void Session::AppendMetrics(obs::Collector& out,
                  "Checks avoided by enhanced traversal in the most recent "
                  "classification",
                  labels, last_classify_.checks_avoided);
+    out.AddCounter("oodb_classify_inserts_total",
+                   "Incremental taxonomy insertions (DEFINE on a warm DAG)",
+                   labels, taxonomy_inserts_);
+    out.AddCounter("oodb_classify_removes_total",
+                   "Incremental taxonomy removals (UNDEFINE on a warm DAG)",
+                   labels, taxonomy_removes_);
   }
 }
 

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "base/status.h"
@@ -28,11 +29,13 @@
 
 namespace oodb::server {
 
-// Thread compatibility: LOAD/STATE/VIEW mutate the session and require
-// the exclusive side of mu(); CHECK/CLASSIFY/OPTIMIZE/STATS only read
-// session structure (the checker and the translator — whose query-concept
-// memo these verbs populate — are internally thread-safe) and run under
-// the shared side. The server enforces this locking.
+// Thread compatibility: LOAD/STATE/VIEW/UNDEFINE mutate the session and
+// require the exclusive side of mu(); CHECK/CLASSIFY/OPTIMIZE/STATS only
+// read session structure (the checker and the translator — whose
+// query-concept memo these verbs populate — are internally thread-safe)
+// and run under the shared side. The resident taxonomy (see Classify) is
+// additionally guarded by classify_mu_, always acquired after mu(). The
+// server enforces this locking.
 class Session {
  public:
   // Parses and translates a DL source into a fresh session with an empty
@@ -47,15 +50,26 @@ class Session {
   // construction); callers re-issue VIEW after STATE.
   Status LoadState(const std::string& odb_source);
 
-  // Defines and materializes the named query class as a view.
-  // Returns the extent size.
+  // Defines and materializes the named query class as a view. Returns
+  // the extent size. If the resident taxonomy is built and the class was
+  // previously UNDEFINEd out of it, it is re-inserted incrementally.
   Result<size_t> DefineView(const std::string& name);
+
+  // Undefines a query class: drops its materialized view (if any) and
+  // removes it from the resident taxonomy via incremental DAG repair.
+  // The exclusion survives STATE (the taxonomy is Σ-level, not
+  // data-level) and lasts until a DEFINE re-inserts the class or a LOAD
+  // replaces the session. Returns a `key=value` summary line.
+  Result<std::string> UndefineView(const std::string& name);
 
   // C ⊑_Σ D for two named classes, through the shared warm checker.
   Result<bool> Check(const std::string& c, const std::string& d,
                      obs::TraceContext* trace = nullptr);
 
   // Classifies schema + query classes; returns the hierarchy rendering.
+  // The taxonomy is RESIDENT: the first call classifies from scratch,
+  // later calls only render the incrementally-maintained DAG (DEFINE
+  // inserts, UNDEFINE removes — no reclassification on a warm session).
   Result<std::string> Classify(obs::TraceContext* trace = nullptr);
 
   // Runs the optimizer's plan choice for a named query class and renders
@@ -83,6 +97,10 @@ class Session {
   // translated; schema classes are primitive concepts).
   Result<ql::ConceptId> ConceptOf(const std::string& name);
 
+  // Builds the resident classifier over schema + query classes (minus
+  // taxonomy exclusions) if absent. Callers hold classify_mu_.
+  Status EnsureClassifierLocked(obs::TraceContext* trace);
+
   SymbolTable symbols_;
   std::unique_ptr<ql::TermFactory> terms_;
   std::unique_ptr<schema::Schema> sigma_;
@@ -98,9 +116,18 @@ class Session {
   std::atomic<uint64_t> checks_{0};
   std::atomic<uint64_t> classifies_{0};
   std::atomic<uint64_t> optimizes_{0};
-  mutable std::mutex classify_mu_;  // guards last_classify_
+  std::atomic<uint64_t> undefines_{0};
+  // classify_mu_ guards everything below: the resident incrementally
+  // maintained classifier, the set of query classes UNDEFINEd out of it,
+  // insert/remove accounting, and the stats snapshot. Lock order:
+  // mu() (either side) before classify_mu_.
+  mutable std::mutex classify_mu_;
+  std::unique_ptr<calculus::Classifier> classifier_;
+  std::unordered_set<Symbol> taxonomy_excluded_;
+  uint64_t taxonomy_inserts_ = 0;
+  uint64_t taxonomy_removes_ = 0;
   calculus::Classifier::ClassifyStats last_classify_;
-  bool has_classified_ = false;  // guarded by classify_mu_
+  bool has_classified_ = false;
 
   mutable std::shared_mutex mu_;
 };

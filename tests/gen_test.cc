@@ -1,11 +1,15 @@
 // Tests for the workload generators: determinism, well-formedness of
 // generated artifacts, and the soundness of the weakening transformations
 // (checked semantically on random models, independently of the calculus).
+#include <algorithm>
+#include <unordered_set>
+
 #include <gtest/gtest.h>
 
 #include "base/rng.h"
 #include "base/strings.h"
 #include "calculus/engine.h"
+#include "calculus/subsumption.h"
 #include "gen/generators.h"
 #include "interp/eval.h"
 #include "interp/model_gen.h"
@@ -84,6 +88,119 @@ TEST(Generators, WeakeningIsSemanticallySound) {
       }
     }
   }
+}
+
+TEST(CatalogGen, DeterministicForFixedSeed) {
+  auto run = [](uint64_t seed) {
+    SymbolTable symbols;
+    ql::TermFactory f(&symbols);
+    schema::Schema sigma(&f);
+    Rng rng(seed);
+    GeneratedSchema sig = GenerateSchema(&sigma, rng);
+    CatalogGenOptions options;
+    options.num_concepts = 200;
+    options.noise_fraction = 0.1;
+    GeneratedCatalog cat = GenerateCatalog(sig, &f, rng, options);
+    std::string fingerprint = oodb::StrCat("n=", cat.names.size());
+    for (size_t i = 0; i < cat.concepts.size(); i += 17) {
+      fingerprint += oodb::StrCat("|", i, ":", ql::ConceptToString(f, cat.concepts[i]),
+                                  "@", cat.level[i]);
+    }
+    return fingerprint;
+  };
+  EXPECT_EQ(run(404), run(404));
+  EXPECT_NE(run(404), run(405));
+}
+
+TEST(CatalogGen, RespectsDepthFanOutAndRootCount) {
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  Rng rng(91);
+  GeneratedSchema sig = GenerateSchema(&sigma, rng);
+  CatalogGenOptions options;
+  options.num_concepts = 500;
+  options.num_roots = 3;
+  options.fan_out = 4;
+  options.depth = 5;
+  options.noise_fraction = 0.05;
+  GeneratedCatalog cat = GenerateCatalog(sig, &f, rng, options);
+  ASSERT_EQ(cat.names.size(), options.num_concepts);
+  ASSERT_EQ(cat.concepts.size(), options.num_concepts);
+  EXPECT_EQ(cat.num_noise, size_t{25});
+
+  const size_t tree = cat.names.size() - cat.num_noise;
+  std::vector<size_t> children_of(cat.names.size(), 0);
+  size_t roots = 0;
+  for (size_t i = 0; i < tree; ++i) {
+    if (cat.parent[i] == kCatalogNoParent) {
+      ++roots;
+      EXPECT_EQ(cat.level[i], 0u);
+      continue;
+    }
+    ASSERT_LT(cat.parent[i], i) << "parents precede children";
+    ++children_of[cat.parent[i]];
+    EXPECT_EQ(cat.level[i], cat.level[cat.parent[i]] + 1);
+    EXPECT_LE(cat.level[i], options.depth);
+  }
+  EXPECT_GE(roots, options.num_roots);
+  for (size_t i = 0; i < tree; ++i) {
+    EXPECT_LE(children_of[i], options.fan_out);
+  }
+  // Breadth-first growth with fan-out 4 over 3 roots must actually reach
+  // several levels and saturate most expanded nodes.
+  EXPECT_GT(*std::max_element(cat.level.begin(), cat.level.end()), 2u);
+  // Noise entries carry no tree structure.
+  for (size_t i = tree; i < cat.names.size(); ++i) {
+    EXPECT_EQ(cat.parent[i], kCatalogNoParent);
+    EXPECT_EQ(cat.level[i], 0u);
+  }
+}
+
+TEST(CatalogGen, ConceptsAreWellFormedQlAndChildrenAreSubsumed) {
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  Rng rng(92);
+  GeneratedSchema sig = GenerateSchema(&sigma, rng);
+  CatalogGenOptions options;
+  options.num_concepts = 300;
+  options.noise_fraction = 0.1;
+  GeneratedCatalog cat = GenerateCatalog(sig, &f, rng, options);
+  for (ql::ConceptId c : cat.concepts) {
+    ASSERT_TRUE(calculus::ValidateQlConcept(f, c).ok());
+  }
+  // child = parent ⊓ refinement gives child ⊑_Σ parent by construction;
+  // confirm through the checker on a sample.
+  calculus::SubsumptionChecker checker(sigma);
+  for (size_t i = 0; i < cat.names.size(); i += 7) {
+    if (cat.parent[i] == kCatalogNoParent) continue;
+    auto sub = checker.Subsumes(cat.concepts[i], cat.concepts[cat.parent[i]]);
+    ASSERT_TRUE(sub.ok());
+    EXPECT_TRUE(*sub);
+  }
+}
+
+TEST(CatalogGen, ScalesToTensOfThousands) {
+  SymbolTable symbols;
+  ql::TermFactory f(&symbols);
+  schema::Schema sigma(&f);
+  Rng rng(93);
+  GeneratedSchema sig = GenerateSchema(&sigma, rng);
+  CatalogGenOptions options;
+  options.num_concepts = 20000;
+  options.fan_out = 8;
+  options.depth = 10;
+  options.noise_fraction = 0.02;
+  GeneratedCatalog cat = GenerateCatalog(sig, &f, rng, options);
+  ASSERT_EQ(cat.names.size(), size_t{20000});
+  // All names unique (interning a duplicate would return an old symbol).
+  std::unordered_set<Symbol> seen(cat.names.begin(), cat.names.end());
+  EXPECT_EQ(seen.size(), cat.names.size());
+  // Hierarchy-rich: the bulk of the catalog sits strictly below a root.
+  size_t below = 0;
+  for (size_t p : cat.parent) below += p != kCatalogNoParent;
+  EXPECT_GT(below, cat.names.size() / 2);
 }
 
 TEST(Generators, WeakeningEventuallyReachesTop) {

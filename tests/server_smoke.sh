@@ -1,7 +1,7 @@
 #!/bin/sh
 # Daemon smoke test: start `oodbsub serve` on an ephemeral port, run a
-# scripted client session (LOAD / CHECK / STATE / VIEW / OPTIMIZE /
-# CLASSIFY / STATS / SHUTDOWN) through `oodbsub rpc`, and assert the
+# scripted client session (LOAD / CHECK / STATE / VIEW / UNDEFINE /
+# OPTIMIZE / CLASSIFY / STATS / SHUTDOWN) through `oodbsub rpc`, and assert the
 # server drains and exits cleanly. This is the CI server-smoke job.
 #
 # usage: server_smoke.sh <path-to-oodbsub> <examples-data-dir>
@@ -42,7 +42,12 @@ echo "daemon on $T"
 "$BIN" rpc "$T" VIEW med ViewPatient          | grep -q 'extent='
 "$BIN" rpc "$T" OPTIMIZE med QueryPatient     | grep -q 'plan='
 "$BIN" rpc "$T" CLASSIFY med                  | grep -q 'parents:'
+"$BIN" rpc "$T" UNDEFINE med ViewPatient      | grep -q 'taxonomy_removed=true'
+"$BIN" rpc "$T" CLASSIFY med                  | { ! grep -q 'ViewPatient'; }
+"$BIN" rpc "$T" VIEW med ViewPatient          | grep -q 'extent='
+"$BIN" rpc "$T" CLASSIFY med                  | grep -q 'ViewPatient'
 "$BIN" rpc "$T" STATS med                     | grep -q 'engine_runs='
+"$BIN" rpc "$T" STATS med                     | grep -q 'classify_removes=1'
 "$BIN" rpc "$T" SHUTDOWN                      | grep -q 'draining'
 
 # The daemon must exit 0 on its own after the drain.

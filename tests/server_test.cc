@@ -17,6 +17,7 @@
 
 #include "base/rng.h"
 #include "base/strings.h"
+#include "calculus/services.h"
 #include "calculus/subsumption.h"
 #include "db/database.h"
 #include "db/instance.h"
@@ -487,6 +488,223 @@ TEST(Server, MetricsExpositionParsesAndCountersAreMonotone) {
   EXPECT_NE(stats->find("server:"), std::string::npos);
   EXPECT_NE(stats->find("verbs:"), std::string::npos);
   EXPECT_NE(stats->find("CHECK="), std::string::npos);
+  server.Shutdown();
+}
+
+// Builds the same resident taxonomy the session keeps: every model class
+// except the implicit root, in declaration order. Driven with the same
+// Insert/Remove sequence as the wire session, its rendering must stay
+// byte-identical to the CLASSIFY payload.
+std::unique_ptr<calculus::Classifier> MirrorClassifier(Reference& ref) {
+  auto mirror = std::make_unique<calculus::Classifier>(*ref.checker);
+  for (const dl::ClassDef& def : ref.model->classes()) {
+    if (def.name == ref.model->object_class) continue;
+    auto concept_id = ref.ConceptOf(ref.symbols.Name(def.name));
+    EXPECT_TRUE(concept_id.ok()) << concept_id.status();
+    EXPECT_TRUE(mirror->Add(def.name, *concept_id).ok());
+  }
+  EXPECT_TRUE(mirror->Classify().ok());
+  return mirror;
+}
+
+TEST(Server, UndefineKeepsWireTaxonomyIdenticalToMirrorClassifier) {
+  Server server;
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+  Client client = MustConnect(*port);
+
+  Rng rng(23);
+  gen::DlGenOptions options;
+  options.num_queries = 6;
+  options.where_prob = 0.0;  // structural-only queries are all viewable
+  gen::GeneratedDl dl = gen::GenerateDlSource(rng, options);
+  std::string state = gen::GenerateDlState(dl, rng);
+  auto ref = Reference::FromSource(dl.source);
+  ASSERT_NE(ref, nullptr) << dl.source;
+  ASSERT_TRUE(client.Load("tax", dl.source).ok());
+  ASSERT_TRUE(client.LoadState("tax", state).ok());
+
+  // Cold build: the first CLASSIFY must match a from-scratch mirror.
+  auto mirror = MirrorClassifier(*ref);
+  auto payload = client.Classify("tax");
+  ASSERT_TRUE(payload.ok()) << payload.status();
+  EXPECT_EQ(*payload, mirror->ToString(ref->symbols));
+
+  // Find a query the catalog accepts, with the view actually defined so
+  // UNDEFINE exercises both the catalog drop and the taxonomy removal.
+  std::string q;
+  for (const std::string& name : dl.query_names) {
+    if (client.DefineView("tax", name).ok()) {
+      q = name;
+      break;
+    }
+  }
+  ASSERT_FALSE(q.empty()) << dl.source;
+  Symbol qs = ref->symbols.Find(q);
+
+  auto reply = client.Undefine("tax", q);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(*reply, StrCat("undefined=", q,
+                           " view_dropped=true taxonomy_removed=true"
+                           " views=0"));
+  ASSERT_TRUE(mirror->Remove(qs).ok());
+  payload = client.Classify("tax");
+  ASSERT_TRUE(payload.ok()) << payload.status();
+  EXPECT_EQ(*payload, mirror->ToString(ref->symbols));
+
+  // A second UNDEFINE of the same class: nothing left to drop or remove.
+  reply = client.Undefine("tax", q);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(*reply, StrCat("undefined=", q,
+                           " view_dropped=false taxonomy_removed=false"
+                           " views=0"));
+
+  // Warm-session DEFINE re-inserts incrementally: the class rejoins the
+  // resident DAG (at the end of the name order) without a rebuild.
+  ASSERT_TRUE(client.DefineView("tax", q).ok());
+  auto concept_id = ref->ConceptOf(q);
+  ASSERT_TRUE(concept_id.ok()) << concept_id.status();
+  ASSERT_TRUE(mirror->Insert(qs, *concept_id).ok());
+  EXPECT_EQ(mirror->names().back(), qs);
+  payload = client.Classify("tax");
+  ASSERT_TRUE(payload.ok()) << payload.status();
+  EXPECT_EQ(*payload, mirror->ToString(ref->symbols));
+
+  // The session exposes the incremental-maintenance counters.
+  auto stats = client.Stats("tax");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats->find("undefines=2"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("classify_inserts=1"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("classify_removes=1"), std::string::npos) << *stats;
+
+  // Error contract.
+  EXPECT_FALSE(client.Undefine("nosuch", q).ok());        // unknown session
+  EXPECT_FALSE(client.Undefine("tax", "Zilch").ok());     // unknown class
+  EXPECT_FALSE(client.Undefine("tax", dl.class_names[0]).ok());  // not a query
+  auto malformed = client.Roundtrip("UNDEFINE tax");      // arity
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_NE(malformed.status().message().find("proto"), std::string::npos);
+  // Protocol errors leave the connection usable.
+  EXPECT_TRUE(client.Ping().ok());
+  server.Shutdown();
+}
+
+TEST(Server, UndefineBeforeFirstClassifyExcludesTheClassFromColdBuild) {
+  Server server;
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+  Client client = MustConnect(*port);
+
+  Rng rng(29);
+  gen::DlGenOptions options;
+  options.where_prob = 0.0;
+  gen::GeneratedDl dl = gen::GenerateDlSource(rng, options);
+  auto ref = Reference::FromSource(dl.source);
+  ASSERT_NE(ref, nullptr) << dl.source;
+  ASSERT_TRUE(client.Load("cold", dl.source).ok());
+
+  // UNDEFINE while the taxonomy is still cold: no view exists and no DAG
+  // to repair, but the exclusion must be recorded...
+  const std::string& q = dl.query_names[0];
+  auto reply = client.Undefine("cold", q);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(*reply, StrCat("undefined=", q,
+                           " view_dropped=false taxonomy_removed=false"
+                           " views=0"));
+
+  // ...so the first CLASSIFY builds without the class: identical to a
+  // mirror that classified everything and then removed it (uniqueness of
+  // the transitive reduction makes the two routes agree except for name
+  // order, which removal does not disturb).
+  auto mirror = MirrorClassifier(*ref);
+  Symbol qs = ref->symbols.Find(q);
+  ASSERT_TRUE(mirror->Remove(qs).ok());
+  auto payload = client.Classify("cold");
+  ASSERT_TRUE(payload.ok()) << payload.status();
+  EXPECT_EQ(*payload, mirror->ToString(ref->symbols));
+  EXPECT_EQ(payload->find(q), std::string::npos) << *payload;
+  server.Shutdown();
+}
+
+TEST(Server, ConcurrentReadersDuringDefineUndefineWritersAreSafe) {
+  // TSan target: VIEW/UNDEFINE take the session writer lock and mutate
+  // the resident taxonomy under classify_mu_; CHECK and CLASSIFY run as
+  // readers. Races between the incremental DAG repair and the readers'
+  // memo/classifier access would be visible here.
+  ServerOptions options;
+  options.num_threads = 4;
+  Server server(options);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  Rng rng(31);
+  gen::DlGenOptions gen_options;
+  gen_options.num_queries = 8;
+  gen_options.where_prob = 0.0;
+  gen::GeneratedDl dl = gen::GenerateDlSource(rng, gen_options);
+  std::string state = gen::GenerateDlState(dl, rng);
+
+  std::vector<std::string> viewable;
+  {
+    Client client = MustConnect(*port);
+    ASSERT_TRUE(client.Load("mut", dl.source).ok());
+    ASSERT_TRUE(client.LoadState("mut", state).ok());
+    ASSERT_TRUE(client.Classify("mut").ok());  // warm the taxonomy
+    for (const std::string& name : dl.query_names) {
+      if (client.DefineView("mut", name).ok()) viewable.push_back(name);
+      if (viewable.size() == 2) break;
+    }
+  }
+  ASSERT_GE(viewable.size(), 2u) << dl.source;
+
+  constexpr size_t kWriters = 2;
+  constexpr size_t kReaders = 3;
+  constexpr size_t kRounds = 25;
+  std::atomic<size_t> write_ops{0}, read_ops{0};
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kWriters; ++t) {
+    workers.emplace_back([&, t] {
+      // Each writer owns one query class: UNDEFINE/VIEW ping-pong keeps
+      // the incremental Remove/Insert path hot without inter-writer
+      // interference on catalog state.
+      Client c = MustConnect(*port);
+      const std::string& q = viewable[t];
+      for (size_t i = 0; i < kRounds; ++i) {
+        auto undefined = c.Undefine("mut", q);
+        EXPECT_TRUE(undefined.ok()) << undefined.status();
+        auto defined = c.DefineView("mut", q);
+        EXPECT_TRUE(defined.ok()) << defined.status();
+        write_ops.fetch_add(2);
+      }
+    });
+  }
+  for (size_t t = 0; t < kReaders; ++t) {
+    workers.emplace_back([&, t] {
+      Client c = MustConnect(*port);
+      const size_t n = dl.query_names.size();
+      for (size_t i = 0; i < kRounds; ++i) {
+        auto verdict = c.Check("mut", dl.query_names[(t + i) % n],
+                               dl.query_names[(t + i + 1) % n]);
+        EXPECT_TRUE(verdict.ok()) << verdict.status();
+        auto hierarchy = c.Classify("mut");
+        EXPECT_TRUE(hierarchy.ok()) << hierarchy.status();
+        read_ops.fetch_add(2);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(write_ops.load(), kWriters * kRounds * 2);
+  EXPECT_EQ(read_ops.load(), kReaders * kRounds * 2);
+
+  // After the dust settles the taxonomy is intact: one final wire
+  // CLASSIFY must agree with an in-process mirror driven through the same
+  // net effect (every class present; writer classes re-inserted last).
+  Client client = MustConnect(*port);
+  auto payload = client.Classify("mut");
+  ASSERT_TRUE(payload.ok()) << payload.status();
+  for (const std::string& name : dl.query_names) {
+    EXPECT_NE(payload->find(name), std::string::npos) << *payload;
+  }
   server.Shutdown();
 }
 
