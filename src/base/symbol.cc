@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "base/strings.h"
+#include "base/sync.h"
 
 namespace oodb {
 
@@ -11,7 +12,7 @@ SymbolTable::SymbolTable() {
 }
 
 Symbol SymbolTable::Intern(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   auto it = index_.find(name);
   if (it != index_.end()) return Symbol(it->second);
   uint32_t id = static_cast<uint32_t>(names_.size());
@@ -21,7 +22,7 @@ Symbol SymbolTable::Intern(std::string_view name) {
 }
 
 Symbol SymbolTable::Find(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   auto it = index_.find(name);
   if (it == index_.end()) return Symbol();
   return Symbol(it->second);
@@ -33,7 +34,7 @@ const std::string& SymbolTable::Name(Symbol s) const {
 }
 
 Symbol SymbolTable::Fresh(std::string_view prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   for (;;) {
     std::string candidate = StrCat(prefix, "#", ++fresh_counter_);
     if (index_.find(candidate) != index_.end()) continue;

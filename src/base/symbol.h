@@ -9,12 +9,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "base/chunked.h"
+#include "base/sync.h"
 
 namespace oodb {
 
@@ -72,11 +72,12 @@ class SymbolTable {
  private:
   // Chunked storage never relocates its elements, so string_view keys into
   // the stored strings stay valid as the table grows, and readers can
-  // resolve names without taking mu_.
+  // resolve names without taking mu_ (deliberately unguarded; see the
+  // memory-ordering contract in base/chunked.h).
   ChunkedVector<std::string> names_;
-  std::unordered_map<std::string_view, uint32_t> index_;  // guarded by mu_
-  uint64_t fresh_counter_ = 0;                            // guarded by mu_
-  mutable std::mutex mu_;
+  mutable base::Mutex mu_;
+  std::unordered_map<std::string_view, uint32_t> index_ GUARDED_BY(mu_);
+  uint64_t fresh_counter_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace oodb

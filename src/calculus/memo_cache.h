@@ -11,9 +11,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
+
+#include "base/sync.h"
 
 namespace oodb::calculus {
 
@@ -46,7 +47,7 @@ class ShardedMemoCache {
 
   std::optional<bool> Lookup(uint64_t key) const {
     Shard& shard = shards_[ShardOf(key)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    base::MutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -58,7 +59,7 @@ class ShardedMemoCache {
 
   void Insert(uint64_t key, bool verdict) {
     Shard& shard = shards_[ShardOf(key)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    base::MutexLock lock(&shard.mu);
     if (shard.map.size() >= shard_capacity_) {
       shard.evictions += shard.map.size();
       shard.map.clear();
@@ -71,7 +72,7 @@ class ShardedMemoCache {
   size_t size() const {
     size_t total = 0;
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      base::MutexLock lock(&shard.mu);
       total += shard.map.size();
     }
     return total;
@@ -83,7 +84,7 @@ class ShardedMemoCache {
     stats.misses = misses_.load(std::memory_order_relaxed);
     stats.insertions = insertions_.load(std::memory_order_relaxed);
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      base::MutexLock lock(&shard.mu);
       stats.evictions += shard.evictions;
       stats.entries += shard.map.size();
     }
@@ -92,7 +93,7 @@ class ShardedMemoCache {
 
   void Clear() {
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      base::MutexLock lock(&shard.mu);
       shard.map.clear();
     }
   }
@@ -108,9 +109,9 @@ class ShardedMemoCache {
  private:
   // Padded to a cache line so neighboring shard locks don't false-share.
   struct alignas(64) Shard {
-    std::mutex mu;
-    std::unordered_map<uint64_t, bool> map;  // guarded by mu
-    uint64_t evictions = 0;                  // guarded by mu
+    base::Mutex mu;
+    std::unordered_map<uint64_t, bool> map GUARDED_BY(mu);
+    uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
   size_t shard_capacity_;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "base/sync.h"
+
 namespace oodb::calculus {
 
 namespace {
@@ -24,7 +26,7 @@ const ConceptSignature& StructuralPreFilter::TargetSignature(
 const ConceptSignature& StructuralPreFilter::Memoize(
     SignatureMap* map, ql::ConceptId id, bool query_side) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(&mu_);
     auto it = map->find(id);
     if (it != map->end()) return *it->second;
   }
@@ -32,7 +34,7 @@ const ConceptSignature& StructuralPreFilter::Memoize(
   // arena and the schema indexes, both lock-free reads.
   auto sig = std::make_unique<const ConceptSignature>(
       query_side ? ComputeQuerySignature(id) : ComputeTargetSignature(id));
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   auto [it, inserted] = map->emplace(id, std::move(sig));
   return *it->second;
 }

@@ -31,11 +31,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "base/symbol.h"
+#include "base/sync.h"
 #include "ql/term.h"
 #include "ql/term_factory.h"
 #include "schema/schema.h"
@@ -135,9 +135,9 @@ class StructuralPreFilter {
   // pointers, so the lock is held only for map lookup/insert — never
   // across a computation. A racing duplicate compute inserts an equal
   // value and one copy is dropped.
-  mutable std::mutex mu_;
-  mutable SignatureMap query_sigs_;   // guarded by mu_
-  mutable SignatureMap target_sigs_;  // guarded by mu_
+  mutable base::Mutex mu_;
+  mutable SignatureMap query_sigs_ GUARDED_BY(mu_);
+  mutable SignatureMap target_sigs_ GUARDED_BY(mu_);
 };
 
 }  // namespace oodb::calculus

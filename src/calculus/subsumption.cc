@@ -3,6 +3,8 @@
 #include <string>
 #include <utility>
 
+#include "base/sync.h"
+
 namespace oodb::calculus {
 
 namespace {
@@ -18,7 +20,7 @@ SubsumptionChecker::EngineLease::EngineLease(
     : checker_(checker) {
   checker_->pool_acquires_.fetch_add(1, kRelaxed);
   {
-    std::lock_guard<std::mutex> lock(checker_->pool_mu_);
+    base::MutexLock lock(&checker_->pool_mu_);
     if (!checker_->pool_.empty()) {
       engine_ = std::move(checker_->pool_.back());
       checker_->pool_.pop_back();
@@ -33,7 +35,7 @@ SubsumptionChecker::EngineLease::EngineLease(
 }
 
 SubsumptionChecker::EngineLease::~EngineLease() {
-  std::lock_guard<std::mutex> lock(checker_->pool_mu_);
+  base::MutexLock lock(&checker_->pool_mu_);
   if (checker_->pool_.size() < checker_->options_.engine_pool_capacity) {
     checker_->pool_.push_back(std::move(engine_));
   }

@@ -6,10 +6,10 @@
 #include <array>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "base/status.h"
+#include "base/sync.h"
 #include "calculus/engine.h"
 #include "calculus/memo_cache.h"
 #include "calculus/prefilter.h"
@@ -164,8 +164,9 @@ class SubsumptionChecker {
   mutable ShardedMemoCache cache_;
   StructuralPreFilter prefilter_;
 
-  mutable std::mutex pool_mu_;
-  mutable std::vector<std::unique_ptr<CompletionEngine>> pool_;  // guarded
+  mutable base::Mutex pool_mu_;
+  mutable std::vector<std::unique_ptr<CompletionEngine>> pool_
+      GUARDED_BY(pool_mu_);
 
   mutable std::atomic<uint64_t> engine_runs_{0};
   mutable std::atomic<uint64_t> prefilter_checks_{0};

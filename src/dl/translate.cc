@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "base/strings.h"
+#include "base/sync.h"
 
 namespace oodb::dl {
 
@@ -161,12 +162,12 @@ ql::PathId Translator::PathOf(const ResolvedPath& path,
 }
 
 Result<ql::ConceptId> Translator::ClassConcept(Symbol cls) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   return ClassConceptLocked(cls);
 }
 
 Result<ql::ConceptId> Translator::QueryConcept(Symbol query_class) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   return QueryConceptLocked(query_class);
 }
 

@@ -5,12 +5,12 @@
 #ifndef OODB_DL_TRANSLATE_H_
 #define OODB_DL_TRANSLATE_H_
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
+#include "base/sync.h"
 #include "dl/model.h"
 #include "ql/fol.h"
 #include "ql/term_factory.h"
@@ -50,11 +50,11 @@ class Translator {
   // Path variables are skolemized to fresh constants (Sect. 4.4,
   // "Variables on Paths" — sound because views are variable-free).
   // Results are cached per query class.
-  Result<ql::ConceptId> QueryConcept(Symbol query_class);
+  Result<ql::ConceptId> QueryConcept(Symbol query_class) EXCLUDES(mu_);
 
   // The concept of any class name: ⊤ for Object, the primitive concept
   // for schema classes, QueryConcept for query classes.
-  Result<ql::ConceptId> ClassConcept(Symbol cls);
+  Result<ql::ConceptId> ClassConcept(Symbol cls) EXCLUDES(mu_);
 
   // Figure 2: the FOL formulas of one schema class / attribute declaration
   // (including the non-structural constraint, with `this` as the free
@@ -71,20 +71,23 @@ class Translator {
   // The unlocked implementations; callers hold mu_. The public entry
   // points wrap them because translation recurses (query supers and path
   // filters may name other query classes).
-  Result<ql::ConceptId> QueryConceptLocked(Symbol query_class);
-  Result<ql::ConceptId> ClassConceptLocked(Symbol cls);
+  Result<ql::ConceptId> QueryConceptLocked(Symbol query_class)
+      REQUIRES(mu_);
+  Result<ql::ConceptId> ClassConceptLocked(Symbol cls) REQUIRES(mu_);
   ql::ConceptId FilterConcept(const ResolvedFilter& filter,
-                              std::unordered_map<Symbol, Symbol>* skolems);
+                              std::unordered_map<Symbol, Symbol>* skolems)
+      REQUIRES(mu_);
   ql::PathId PathOf(const ResolvedPath& path,
-                    std::unordered_map<Symbol, Symbol>* skolems);
+                    std::unordered_map<Symbol, Symbol>* skolems)
+      REQUIRES(mu_);
 
   const Model& model_;
   ql::TermFactory* terms_;
   // Guards query_cache_ and in_progress_ (see class comment).
-  mutable std::mutex mu_;
-  std::unordered_map<Symbol, ql::ConceptId> query_cache_;
+  mutable base::Mutex mu_;
+  std::unordered_map<Symbol, ql::ConceptId> query_cache_ GUARDED_BY(mu_);
   // Guards against recursive query references through path filters.
-  std::unordered_map<Symbol, bool> in_progress_;
+  std::unordered_map<Symbol, bool> in_progress_ GUARDED_BY(mu_);
 };
 
 // Whether `query_class` is structural *transitively*: neither it nor any

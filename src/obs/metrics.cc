@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "base/sync.h"
+
 namespace oodb::obs {
 
 namespace {
@@ -168,7 +170,7 @@ MetricsRegistry::Entry* MetricsRegistry::Find(Kind kind,
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help,
                                      const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   if (Entry* entry = Find(Kind::kCounter, name, labels)) {
     return entry->counter.get();
   }
@@ -186,7 +188,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help,
                                  const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   if (Entry* entry = Find(Kind::kGauge, name, labels)) {
     return entry->gauge.get();
   }
@@ -204,7 +206,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          const Labels& labels, double scale) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   if (Entry* entry = Find(Kind::kHistogram, name, labels)) {
     return entry->histogram.get();
   }
@@ -221,12 +223,12 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 void MetricsRegistry::AddCallback(std::function<void(Collector&)> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   callbacks_.push_back(std::move(fn));
 }
 
 void MetricsRegistry::Collect(Collector& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   for (const auto& entry : entries_) {
     switch (entry->kind) {
       case Kind::kCounter:

@@ -16,10 +16,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "base/sync.h"
 
 namespace oodb::obs {
 
@@ -183,11 +184,12 @@ class MetricsRegistry {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
-  Entry* Find(Kind kind, const std::string& name, const Labels& labels);
+  Entry* Find(Kind kind, const std::string& name, const Labels& labels)
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Entry>> entries_;
-  std::vector<std::function<void(Collector&)>> callbacks_;
+  mutable base::Mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
+  std::vector<std::function<void(Collector&)>> callbacks_ GUARDED_BY(mu_);
 };
 
 }  // namespace oodb::obs

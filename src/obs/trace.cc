@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "base/sync.h"
+
 namespace oodb::obs {
 
 const char* PhaseName(Phase phase) {
@@ -118,7 +120,7 @@ void SlowQueryLog::Finish(TraceContext trace) {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::system_clock::now().time_since_epoch())
           .count();
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   ++recorded_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(trace));
@@ -129,7 +131,7 @@ void SlowQueryLog::Finish(TraceContext trace) {
 }
 
 std::vector<TraceContext> SlowQueryLog::Last(size_t n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   std::vector<TraceContext> out;
   const size_t available = ring_.size();
   const size_t want = n < available ? n : available;
@@ -153,7 +155,7 @@ std::string SlowQueryLog::RenderJsonLines(size_t n) const {
 }
 
 uint64_t SlowQueryLog::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   return recorded_;
 }
 

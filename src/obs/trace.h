@@ -11,10 +11,11 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "base/sync.h"
 
 namespace oodb::obs {
 
@@ -111,10 +112,11 @@ class SlowQueryLog {
  private:
   const size_t capacity_;
   const int64_t threshold_ms_;
-  mutable std::mutex mu_;
-  std::vector<TraceContext> ring_;  // grows up to capacity_, then wraps
-  size_t next_ = 0;                 // ring_ slot for the next entry
-  uint64_t recorded_ = 0;
+  mutable base::Mutex mu_;
+  // Grows up to capacity_, then wraps; next_ is the slot for the next entry.
+  std::vector<TraceContext> ring_ GUARDED_BY(mu_);
+  size_t next_ GUARDED_BY(mu_) = 0;
+  uint64_t recorded_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace oodb::obs

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "base/sync.h"
+
 namespace oodb::ql {
 
 TermFactory::TermFactory(SymbolTable* symbols) : symbols_(symbols) {
@@ -51,7 +53,7 @@ ConceptId TermFactory::InternLocked(const ConceptNode& node) {
 }
 
 ConceptId TermFactory::Intern(const ConceptNode& node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   return InternLocked(node);
 }
 
@@ -155,7 +157,7 @@ PathId TermFactory::InternPathLocked(std::vector<Restriction> restrictions) {
 }
 
 PathId TermFactory::MakePath(std::vector<Restriction> restrictions) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   return InternPathLocked(std::move(restrictions));
 }
 
@@ -187,7 +189,7 @@ PathId TermFactory::Suffix(PathId p, size_t from) {
   if (from == 1) {
     // The calculus peels paths one restriction at a time; memoize the
     // common case so repeated completions don't rebuild the tail vector.
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(&mu_);
     auto it = tail_cache_.find(p);
     if (it != tail_cache_.end()) return it->second;
     const auto& pr = paths_[p];

@@ -3,7 +3,6 @@
 #define OODB_QL_TERM_FACTORY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -11,6 +10,7 @@
 
 #include "base/chunked.h"
 #include "base/symbol.h"
+#include "base/sync.h"
 #include "ql/term.h"
 
 namespace oodb::ql {
@@ -112,23 +112,26 @@ class TermFactory {
   std::vector<ConceptId> Subconcepts(ConceptId id) const;
 
  private:
-  ConceptId Intern(const ConceptNode& node);
-  ConceptId InternLocked(const ConceptNode& node);
-  PathId InternPathLocked(std::vector<Restriction> restrictions);
-  size_t ComputeSizeLocked(const ConceptNode& node) const;
+  ConceptId Intern(const ConceptNode& node) EXCLUDES(mu_);
+  ConceptId InternLocked(const ConceptNode& node) REQUIRES(mu_);
+  PathId InternPathLocked(std::vector<Restriction> restrictions)
+      REQUIRES(mu_);
+  size_t ComputeSizeLocked(const ConceptNode& node) const REQUIRES(mu_);
 
   SymbolTable* symbols_;
   // Interned nodes; [0] is an invalid sentinel ([0] of paths_ is ε).
-  // Pointer-stable so accessors need no lock (see class comment).
+  // Pointer-stable so accessors need no lock (see class comment);
+  // deliberately unguarded, appends serialize on mu_.
   ChunkedVector<ConceptNode> concepts_;
   ChunkedVector<std::vector<Restriction>> paths_;
   ChunkedVector<size_t> sizes_;  // ConceptSize, computed at intern time
-  // Dedup indexes and the Suffix(p, 1) memo; guarded by mu_.
-  std::unordered_map<ConceptNode, ConceptId, ConceptNodeHash> concept_index_;
+  mutable base::Mutex mu_;
+  // Dedup indexes and the Suffix(p, 1) memo.
+  std::unordered_map<ConceptNode, ConceptId, ConceptNodeHash> concept_index_
+      GUARDED_BY(mu_);
   std::unordered_map<std::vector<Restriction>, PathId, PathVecHash>
-      path_index_;
-  std::unordered_map<PathId, PathId> tail_cache_;
-  mutable std::mutex mu_;
+      path_index_ GUARDED_BY(mu_);
+  std::unordered_map<PathId, PathId> tail_cache_ GUARDED_BY(mu_);
   ConceptId top_;
 };
 

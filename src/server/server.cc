@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "base/strings.h"
+#include "base/sync.h"
 
 namespace oodb::server {
 
@@ -78,23 +79,23 @@ Verb VerbOf(const std::string& token) {
 // The reply slot a connection thread waits on while its request runs on
 // the pool.
 struct Server::PendingReply {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  Reply reply;
+  base::Mutex mu;
+  base::CondVar cv;
+  bool done GUARDED_BY(mu) = false;
+  Reply reply GUARDED_BY(mu);
 
   void Set(Reply r) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      base::MutexLock lock(&mu);
       reply = std::move(r);
       done = true;
     }
-    cv.notify_one();
+    cv.NotifyOne();
   }
 
   Reply Get() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return done; });
+    base::MutexLock lock(&mu);
+    while (!done) cv.Wait(mu);
     return std::move(reply);
   }
 };
@@ -161,14 +162,14 @@ void Server::AppendServerMetrics(obs::Collector& out) const {
   out.AddGauge("oodb_server_threads", "Worker threads", {}, pool_->size());
   std::vector<std::pair<std::string, std::shared_ptr<Session>>> all;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    base::MutexLock lock(&sessions_mu_);
     all.assign(sessions_.begin(), sessions_.end());
   }
   out.AddGauge("oodb_server_sessions", "Live named sessions", {}, all.size());
   for (const auto& [name, session] : all) {
     // Same lock order as DispatchStats: sessions_mu_ released first, then
     // each session's shared lock in turn.
-    std::shared_lock<std::shared_mutex> lock(session->mu());
+    base::ReaderLock lock(&session->mu());
     session->AppendMetrics(out, {{"session", name}});
   }
 }
@@ -214,7 +215,7 @@ void Server::AcceptLoop() {
       return;  // listener closed: shutdown
     }
     ReapFinishedConnections();
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    base::MutexLock lock(&conn_mu_);
     if (stopping_.load(std::memory_order_relaxed)) {
       ::close(fd);
       continue;
@@ -230,7 +231,7 @@ void Server::ConnectionLoop(int fd) {
   while (HandleRequest(reader, fd)) {
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    base::MutexLock lock(&conn_mu_);
     conn_fds_.erase(fd);
     finished_conn_ids_.push_back(std::this_thread::get_id());
   }
@@ -242,7 +243,7 @@ void Server::ReapFinishedConnections() {
   // matching by id cannot capture a live connection's thread.
   std::vector<std::thread> done;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    base::MutexLock lock(&conn_mu_);
     if (finished_conn_ids_.empty()) return;
     std::set<std::thread::id> finished(finished_conn_ids_.begin(),
                                        finished_conn_ids_.end());
@@ -439,7 +440,7 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
     if (tokens.size() != 3) {
       return ErrReply(kErrProto, "usage: VIEW <session> <query-class>");
     }
-    std::unique_lock<std::shared_mutex> lock(session->mu());
+    base::WriterLock lock(&session->mu());
     // Extent materialization evaluates the view body over the database;
     // attribute it to the engine phase as one block.
     obs::ScopedSpan span(trace, obs::Phase::kEngine);
@@ -451,7 +452,7 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
     if (tokens.size() != 3) {
       return ErrReply(kErrProto, "usage: UNDEFINE <session> <query-class>");
     }
-    std::unique_lock<std::shared_mutex> lock(session->mu());
+    base::WriterLock lock(&session->mu());
     // Taxonomy repair is pure graph surgery (no subsumption checks), but
     // it is still session mutation; attribute it to the engine phase.
     obs::ScopedSpan span(trace, obs::Phase::kEngine);
@@ -463,7 +464,7 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
     if (tokens.size() != 4) {
       return ErrReply(kErrProto, "usage: CHECK <session> <C> <D>");
     }
-    std::shared_lock<std::shared_mutex> lock(session->mu());
+    base::ReaderLock lock(&session->mu());
     auto verdict = session->Check(tokens[2], tokens[3], trace);
     if (!verdict.ok()) return StatusReply(verdict.status());
     return OkReply(StrCat("subsumed=", *verdict ? "true" : "false"));
@@ -472,7 +473,7 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
     if (tokens.size() != 2) {
       return ErrReply(kErrProto, "usage: CLASSIFY <session>");
     }
-    std::shared_lock<std::shared_mutex> lock(session->mu());
+    base::ReaderLock lock(&session->mu());
     auto hierarchy = session->Classify(trace);
     if (!hierarchy.ok()) return StatusReply(hierarchy.status());
     return OkReply(std::move(*hierarchy));
@@ -481,7 +482,7 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
     if (tokens.size() != 3) {
       return ErrReply(kErrProto, "usage: OPTIMIZE <session> <query-class>");
     }
-    std::shared_lock<std::shared_mutex> lock(session->mu());
+    base::ReaderLock lock(&session->mu());
     auto plan = session->Optimize(tokens[2], trace);
     if (!plan.ok()) return StatusReply(plan.status());
     return OkReply(std::move(*plan));
@@ -499,7 +500,7 @@ Reply Server::DispatchLoad(const std::vector<std::string>& tokens,
   if (!session.ok()) return StatusReply(session.status());
   std::string summary = (*session)->Summary();
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    base::MutexLock lock(&sessions_mu_);
     auto it = sessions_.find(name);
     if (it == sessions_.end() && sessions_.size() >= options_.max_sessions) {
       return ErrReply("resource_exhausted",
@@ -520,7 +521,7 @@ Reply Server::DispatchState(const std::vector<std::string>& tokens,
   if (session == nullptr) {
     return ErrReply("not_found", StrCat("no session '", tokens[1], "'"));
   }
-  std::unique_lock<std::shared_mutex> lock(session->mu());
+  base::WriterLock lock(&session->mu());
   obs::ScopedSpan span(trace, obs::Phase::kParse);
   if (Status s = session->LoadState(payload); !s.ok()) {
     return StatusReply(s);
@@ -546,7 +547,7 @@ Reply Server::DispatchStats(const std::vector<std::string>& tokens) {
   }
   auto append = [&](const std::string& name,
                     const std::shared_ptr<Session>& session) {
-    std::shared_lock<std::shared_mutex> lock(session->mu());
+    base::ReaderLock lock(&session->mu());
     text = StrCat(text, "\nsession ", name, ": ", session->StatsText());
   };
   if (tokens.size() >= 2) {
@@ -558,7 +559,7 @@ Reply Server::DispatchStats(const std::vector<std::string>& tokens) {
   } else {
     std::vector<std::pair<std::string, std::shared_ptr<Session>>> all;
     {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
+      base::MutexLock lock(&sessions_mu_);
       all.assign(sessions_.begin(), sessions_.end());
     }
     for (const auto& [name, session] : all) append(name, session);
@@ -567,7 +568,7 @@ Reply Server::DispatchStats(const std::vector<std::string>& tokens) {
 }
 
 std::shared_ptr<Session> Server::FindSession(const std::string& name) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  base::MutexLock lock(&sessions_mu_);
   auto it = sessions_.find(name);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -588,7 +589,7 @@ ServerStats Server::stats() const {
          verb_errors_[i].load(std::memory_order_relaxed)});
   }
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    base::MutexLock lock(&sessions_mu_);
     s.sessions = sessions_.size();
   }
   return s;
@@ -597,29 +598,32 @@ ServerStats Server::stats() const {
 void Server::RequestShutdown() {
   stopping_.store(true, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    base::MutexLock lock(&stop_mu_);
     stop_requested_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
 }
 
 void Server::Wait() {
-  std::unique_lock<std::mutex> lock(stop_mu_);
-  stop_cv_.wait(lock, [this] { return stop_requested_; });
+  // Hand-over-hand: the lock is dropped across Teardown(), so the scoped
+  // guard does not fit — raw Lock/Unlock, balanced on every path.
+  stop_mu_.Lock();
+  while (!stop_requested_) stop_cv_.Wait(stop_mu_);
   if (torn_down_) {
     // Another thread owns the teardown; wait for it to finish so the
     // caller may destroy the server afterwards.
-    stop_cv_.wait(lock, [this] { return teardown_done_; });
+    while (!teardown_done_) stop_cv_.Wait(stop_mu_);
+    stop_mu_.Unlock();
     return;
   }
   torn_down_ = true;
-  lock.unlock();
+  stop_mu_.Unlock();
   Teardown();
   {
-    std::lock_guard<std::mutex> guard(stop_mu_);
+    base::MutexLock guard(&stop_mu_);
     teardown_done_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
 }
 
 void Server::Shutdown() {
@@ -642,12 +646,12 @@ void Server::Teardown() {
 
   // 3. Unblock connection readers and join them.
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    base::MutexLock lock(&conn_mu_);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    base::MutexLock lock(&conn_mu_);
     threads.swap(conn_threads_);
     finished_conn_ids_.clear();  // every handle is joined below
   }

@@ -17,17 +17,16 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/status.h"
+#include "base/sync.h"
 #include "calculus/subsumption.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -124,14 +123,14 @@ class Server {
 
   // Blocks until a shutdown is requested (SHUTDOWN frame or Shutdown()),
   // then performs the drain + teardown. Call from the owning thread.
-  void Wait();
+  void Wait() EXCLUDES(stop_mu_);
 
   // Requests shutdown and performs Wait(). Must not be called from a
   // connection or worker thread (it joins them).
-  void Shutdown();
+  void Shutdown() EXCLUDES(stop_mu_);
 
   int port() const { return port_; }
-  ServerStats stats() const;
+  ServerStats stats() const EXCLUDES(sessions_mu_);
 
   // The daemon's metrics registry (also served by the METRICS verb).
   obs::MetricsRegistry& registry() { return registry_; }
@@ -140,12 +139,12 @@ class Server {
  private:
   struct PendingReply;
 
-  void AcceptLoop();
-  void ConnectionLoop(int fd);
+  void AcceptLoop() EXCLUDES(conn_mu_);
+  void ConnectionLoop(int fd) EXCLUDES(conn_mu_);
   // Joins connection threads that have finished, so a long-running daemon
   // serving many short-lived connections does not accumulate unjoined
   // thread handles. Called from AcceptLoop between accepts.
-  void ReapFinishedConnections();
+  void ReapFinishedConnections() EXCLUDES(conn_mu_);
   // Parses one framed request off `reader` and produces the reply.
   // Returns false when the connection should close (EOF / frame error).
   bool HandleRequest(FrameReader& reader, int fd);
@@ -159,10 +158,12 @@ class Server {
   // Registers the per-verb latency histograms and the snapshot callback.
   void RegisterMetrics();
   // Snapshot callback: server counters + every session's metrics.
-  void AppendServerMetrics(obs::Collector& out) const;
-  std::shared_ptr<Session> FindSession(const std::string& name);
-  void RequestShutdown();
-  void Teardown();
+  void AppendServerMetrics(obs::Collector& out) const
+      EXCLUDES(sessions_mu_);
+  std::shared_ptr<Session> FindSession(const std::string& name)
+      EXCLUDES(sessions_mu_);
+  void RequestShutdown() EXCLUDES(stop_mu_);
+  void Teardown() EXCLUDES(conn_mu_);
 
   ServerOptions options_;
   int listen_fd_ = -1;
@@ -171,22 +172,28 @@ class Server {
   std::unique_ptr<service::ThreadPool> pool_;
   std::atomic<size_t> admitted_{0};  // requests queued or running
 
-  mutable std::mutex sessions_mu_;
-  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  // The three server mutexes are never held simultaneously today (each
+  // critical section releases before the next lock is taken); the
+  // declared order below pins the permitted nesting should one ever
+  // appear: sessions_mu_ -> conn_mu_ -> stop_mu_, and any session lock
+  // only after sessions_mu_ is released (see docs/concurrency.md).
+  mutable base::Mutex sessions_mu_ ACQUIRED_BEFORE(conn_mu_, stop_mu_);
+  std::map<std::string, std::shared_ptr<Session>> sessions_
+      GUARDED_BY(sessions_mu_);
 
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;  // guarded by conn_mu_
+  base::Mutex conn_mu_ ACQUIRED_BEFORE(stop_mu_);
+  std::vector<std::thread> conn_threads_ GUARDED_BY(conn_mu_);
   // Ids of conn_threads_ entries whose ConnectionLoop has returned; their
-  // handles are joined by ReapFinishedConnections. Guarded by conn_mu_.
-  std::vector<std::thread::id> finished_conn_ids_;
-  std::set<int> conn_fds_;                 // guarded by conn_mu_
+  // handles are joined by ReapFinishedConnections.
+  std::vector<std::thread::id> finished_conn_ids_ GUARDED_BY(conn_mu_);
+  std::set<int> conn_fds_ GUARDED_BY(conn_mu_);
   std::thread acceptor_;
 
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool stop_requested_ = false;  // guarded by stop_mu_
-  bool torn_down_ = false;       // guarded by stop_mu_
-  bool teardown_done_ = false;   // guarded by stop_mu_
+  base::Mutex stop_mu_;
+  base::CondVar stop_cv_;
+  bool stop_requested_ GUARDED_BY(stop_mu_) = false;
+  bool torn_down_ GUARDED_BY(stop_mu_) = false;
+  bool teardown_done_ GUARDED_BY(stop_mu_) = false;
   std::atomic<bool> stopping_{false};  // fast-path flag for request paths
 
   mutable std::atomic<uint64_t> connections_{0};

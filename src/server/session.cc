@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "base/strings.h"
+#include "base/sync.h"
 #include "db/instance.h"
 #include "dl/analyzer.h"
 
@@ -14,6 +15,10 @@ Result<std::unique_ptr<Session>> Session::FromSource(
     obs::TraceContext* trace) {
   // Not make_unique: the constructor is private.
   std::unique_ptr<Session> session(new Session());
+  // The session is unpublished, so the lock is uncontended; it is taken
+  // anyway because database_/catalog_/optimizer_ are written below and
+  // the analysis (rightly) has no notion of "not yet shared".
+  base::WriterLock init_lock(&session->mu_);
   session->terms_ = std::make_unique<ql::TermFactory>(&session->symbols_);
   session->sigma_ = std::make_unique<schema::Schema>(session->terms_.get());
   {
@@ -67,7 +72,7 @@ Result<size_t> Session::DefineView(const std::string& name) {
   {
     // Keep the resident taxonomy in sync: a class UNDEFINEd out of it
     // re-enters on DEFINE, by incremental insertion if the DAG is warm.
-    std::lock_guard<std::mutex> lock(classify_mu_);
+    base::MutexLock lock(&classify_mu_);
     taxonomy_excluded_.erase(s);
     if (classifier_ != nullptr && !classifier_->Contains(s)) {
       OODB_ASSIGN_OR_RETURN(ql::ConceptId concept_id, ConceptOf(name));
@@ -93,7 +98,7 @@ Result<std::string> Session::UndefineView(const std::string& name) {
   }
   bool taxonomy_removed = false;
   {
-    std::lock_guard<std::mutex> lock(classify_mu_);
+    base::MutexLock lock(&classify_mu_);
     if (classifier_ != nullptr && classifier_->Contains(s)) {
       OODB_RETURN_IF_ERROR(classifier_->Remove(s));
       taxonomy_removed = true;
@@ -166,7 +171,7 @@ Result<std::string> Session::Classify(obs::TraceContext* trace) {
   // from scratch over the shared warm checker, later calls render the
   // DAG that DefineView/UndefineView keep current incrementally — a warm
   // CLASSIFY issues zero subsumption checks.
-  std::lock_guard<std::mutex> lock(classify_mu_);
+  base::MutexLock lock(&classify_mu_);
   OODB_RETURN_IF_ERROR(EnsureClassifierLocked(trace));
   classifies_.fetch_add(1, std::memory_order_relaxed);
   last_classify_ = classifier_->classify_stats();
@@ -227,7 +232,7 @@ std::string Session::StatsText() const {
       " memo_misses=", perf.cache.misses, " memo_entries=",
       perf.cache.entries, " pool_reuses=", perf.pool_reuses, "/",
       perf.pool_acquires);
-  std::lock_guard<std::mutex> lock(classify_mu_);
+  base::MutexLock lock(&classify_mu_);
   if (has_classified_) {
     text = StrCat(text, "\nclassify_concepts=", last_classify_.concepts,
                   " classify_checks=", last_classify_.checks_performed, "/",
@@ -254,7 +259,7 @@ void Session::AppendMetrics(obs::Collector& out,
   out.AddGauge("oodb_session_objects", "Objects in the database state",
                labels, database_->num_objects());
   checker_->AppendMetrics(out, labels);
-  std::lock_guard<std::mutex> lock(classify_mu_);
+  base::MutexLock lock(&classify_mu_);
   if (has_classified_) {
     out.AddGauge("oodb_classify_last_concepts",
                  "Concepts in the most recent classification", labels,

@@ -8,14 +8,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "base/status.h"
 #include "base/symbol.h"
+#include "base/sync.h"
 #include "calculus/services.h"
 #include "calculus/subsumption.h"
 #include "db/database.h"
@@ -48,58 +47,69 @@ class Session {
   // Replaces the database state from `.odb` text. Views defined against
   // the previous state are dropped (their extents are stale by
   // construction); callers re-issue VIEW after STATE.
-  Status LoadState(const std::string& odb_source);
+  Status LoadState(const std::string& odb_source) REQUIRES(mu_);
 
   // Defines and materializes the named query class as a view. Returns
   // the extent size. If the resident taxonomy is built and the class was
   // previously UNDEFINEd out of it, it is re-inserted incrementally.
-  Result<size_t> DefineView(const std::string& name);
+  Result<size_t> DefineView(const std::string& name) REQUIRES(mu_);
 
   // Undefines a query class: drops its materialized view (if any) and
   // removes it from the resident taxonomy via incremental DAG repair.
   // The exclusion survives STATE (the taxonomy is Σ-level, not
   // data-level) and lasts until a DEFINE re-inserts the class or a LOAD
   // replaces the session. Returns a `key=value` summary line.
-  Result<std::string> UndefineView(const std::string& name);
+  Result<std::string> UndefineView(const std::string& name) REQUIRES(mu_);
 
   // C ⊑_Σ D for two named classes, through the shared warm checker.
   Result<bool> Check(const std::string& c, const std::string& d,
-                     obs::TraceContext* trace = nullptr);
+                     obs::TraceContext* trace = nullptr)
+      REQUIRES_SHARED(mu_);
 
   // Classifies schema + query classes; returns the hierarchy rendering.
   // The taxonomy is RESIDENT: the first call classifies from scratch,
   // later calls only render the incrementally-maintained DAG (DEFINE
   // inserts, UNDEFINE removes — no reclassification on a warm session).
-  Result<std::string> Classify(obs::TraceContext* trace = nullptr);
+  Result<std::string> Classify(obs::TraceContext* trace = nullptr)
+      REQUIRES_SHARED(mu_);
 
   // Runs the optimizer's plan choice for a named query class and renders
   // the plan as `key=value` lines (see docs/server.md).
   Result<std::string> Optimize(const std::string& query,
-                               obs::TraceContext* trace = nullptr);
+                               obs::TraceContext* trace = nullptr)
+      REQUIRES_SHARED(mu_);
 
   // One-line summary for the LOAD reply.
   std::string Summary() const;
 
   // Multi-line per-session counters + CheckerPerfStats/ClassifyStats
   // pass-through for STATS.
-  std::string StatsText() const;
+  std::string StatsText() const REQUIRES_SHARED(mu_);
 
   // Appends this session's counters plus its checker's metrics to a
   // snapshot. Callers hold at least the shared side of mu().
-  void AppendMetrics(obs::Collector& out, const obs::Labels& labels) const;
-
-  std::shared_mutex& mu() { return mu_; }
+  void AppendMetrics(obs::Collector& out, const obs::Labels& labels) const
+      REQUIRES_SHARED(mu_);
 
  private:
+  // The server is the only caller allowed to lock a session: it picks the
+  // side of mu_ per verb (see the class comment) through mu() below.
+  friend class Server;
+
   Session() = default;
+
+  // The session-wide lock, exposed to the server's Reader/WriterLock
+  // sites; RETURN_CAPABILITY ties the result to mu_ for the analysis.
+  base::SharedMutex& mu() RETURN_CAPABILITY(mu_) { return mu_; }
 
   // Resolves a class name to its QL concept (query classes are
   // translated; schema classes are primitive concepts).
   Result<ql::ConceptId> ConceptOf(const std::string& name);
 
   // Builds the resident classifier over schema + query classes (minus
-  // taxonomy exclusions) if absent. Callers hold classify_mu_.
-  Status EnsureClassifierLocked(obs::TraceContext* trace);
+  // taxonomy exclusions) if absent.
+  Status EnsureClassifierLocked(obs::TraceContext* trace)
+      REQUIRES(classify_mu_);
 
   SymbolTable symbols_;
   std::unique_ptr<ql::TermFactory> terms_;
@@ -107,9 +117,13 @@ class Session {
   std::unique_ptr<dl::Model> model_;
   std::unique_ptr<dl::Translator> translator_;
   std::unique_ptr<calculus::SubsumptionChecker> checker_;
-  std::unique_ptr<db::Database> database_;
-  std::unique_ptr<views::ViewCatalog> catalog_;
-  std::unique_ptr<views::Optimizer> optimizer_;
+  // The database state and everything derived from it are replaced
+  // wholesale by LoadState, so they live under mu_ (exclusive to swap,
+  // shared to read). Members above are set once before the session is
+  // published and never change.
+  std::unique_ptr<db::Database> database_ GUARDED_BY(mu_);
+  std::unique_ptr<views::ViewCatalog> catalog_ GUARDED_BY(mu_);
+  std::unique_ptr<views::Optimizer> optimizer_ GUARDED_BY(mu_);
   std::vector<std::string> warnings_;
 
   // Request counters tick under the shared lock, so they are atomic.
@@ -117,19 +131,19 @@ class Session {
   std::atomic<uint64_t> classifies_{0};
   std::atomic<uint64_t> optimizes_{0};
   std::atomic<uint64_t> undefines_{0};
-  // classify_mu_ guards everything below: the resident incrementally
-  // maintained classifier, the set of query classes UNDEFINEd out of it,
+  // classify_mu_ guards the resident incrementally maintained
+  // classifier, the set of query classes UNDEFINEd out of it,
   // insert/remove accounting, and the stats snapshot. Lock order:
-  // mu() (either side) before classify_mu_.
-  mutable std::mutex classify_mu_;
-  std::unique_ptr<calculus::Classifier> classifier_;
-  std::unordered_set<Symbol> taxonomy_excluded_;
-  uint64_t taxonomy_inserts_ = 0;
-  uint64_t taxonomy_removes_ = 0;
-  calculus::Classifier::ClassifyStats last_classify_;
-  bool has_classified_ = false;
+  // mu_ (either side) before classify_mu_ — declared on mu_ below.
+  mutable base::Mutex classify_mu_;
+  std::unique_ptr<calculus::Classifier> classifier_ GUARDED_BY(classify_mu_);
+  std::unordered_set<Symbol> taxonomy_excluded_ GUARDED_BY(classify_mu_);
+  uint64_t taxonomy_inserts_ GUARDED_BY(classify_mu_) = 0;
+  uint64_t taxonomy_removes_ GUARDED_BY(classify_mu_) = 0;
+  calculus::Classifier::ClassifyStats last_classify_ GUARDED_BY(classify_mu_);
+  bool has_classified_ GUARDED_BY(classify_mu_) = false;
 
-  mutable std::shared_mutex mu_;
+  mutable base::SharedMutex mu_ ACQUIRED_BEFORE(classify_mu_);
 };
 
 }  // namespace oodb::server

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "base/sync.h"
+
 namespace oodb::service {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -16,38 +18,38 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(&mu_);
     if (draining_ || shutdown_) return false;
     queue_.push(std::move(task));
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  base::MutexLock lock(&mu_);
+  while (!(queue_.empty() && in_flight_ == 0)) idle_.Wait(mu_);
 }
 
 void ThreadPool::Drain() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(&mu_);
     draining_ = true;
   }
   Wait();
 }
 
 size_t ThreadPool::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   return queue_.size() + in_flight_;
 }
 
@@ -71,8 +73,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      base::MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_ready_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown and drained
       task = std::move(queue_.front());
       queue_.pop();
@@ -80,9 +82,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      base::MutexLock lock(&mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) idle_.NotifyAll();
     }
   }
 }

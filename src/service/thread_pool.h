@@ -6,13 +6,13 @@
 #ifndef OODB_SERVICE_THREAD_POOL_H_
 #define OODB_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "base/sync.h"
 
 namespace oodb::service {
 
@@ -32,39 +32,40 @@ class ThreadPool {
   // Enqueues one task. Tasks must not throw. Returns false (and drops
   // the task) once Drain() has been called — the pool no longer accepts
   // work.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) EXCLUDES(mu_);
 
   // Blocks until every submitted task has finished. Multiple threads may
   // Submit concurrently, but Wait assumes no new Submits race with it
   // (callers coordinate one batch at a time, as ParallelClassifier does).
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   // Graceful shutdown, distinct from the destructor's stop: rejects all
   // further Submits, then blocks until the queued and in-flight work has
   // finished. The workers stay alive (the destructor still joins them);
   // Drain is idempotent and safe to call from any non-worker thread.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   // Tasks accepted but not yet finished (queued + running). A snapshot:
   // concurrent Submits/completions may change it immediately.
-  size_t pending() const;
+  size_t pending() const EXCLUDES(mu_);
 
   // Runs body(0..n-1) across the pool and blocks until all n calls have
   // returned. Work is claimed dynamically, one index at a time. Must not
   // be called after Drain() (its tasks would be rejected).
-  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body)
+      EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable idle_;
-  std::queue<std::function<void()>> queue_;  // guarded by mu_
-  size_t in_flight_ = 0;                     // guarded by mu_
-  bool draining_ = false;                    // guarded by mu_
-  bool shutdown_ = false;                    // guarded by mu_
+  mutable base::Mutex mu_;
+  base::CondVar work_ready_;
+  base::CondVar idle_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool draining_ GUARDED_BY(mu_) = false;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace oodb::service

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Contract test for tools/lint/check_consistency.py:
+#   1. the linter passes on the real tree;
+#   2. it demonstrably fails when the UNDEFINE command row is removed
+#      from docs/server.md (the documented-drift case it exists for);
+#   3. it fails when a bench baseline loses its EXPERIMENTS.md row.
+#
+# usage: lint_consistency_test.sh <repo_root>
+set -eu
+
+ROOT="$1"
+LINTER="$ROOT/tools/lint/check_consistency.py"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# 1. Clean tree passes.
+python3 "$LINTER" --root "$ROOT"
+
+# Build a minimal tree copy holding exactly the files the linter reads.
+mkdir -p "$TMP/src/server" "$TMP/docs" "$TMP/tests" "$TMP/bench"
+cp "$ROOT/src/server/server.h" "$ROOT/src/server/server.cc" "$TMP/src/server/"
+cp "$ROOT/docs/server.md" "$TMP/docs/"
+cp "$ROOT/tests/server_test.cc" "$TMP/tests/"
+cp "$ROOT/bench/CMakeLists.txt" "$TMP/bench/"
+cp "$ROOT"/bench/bench_*.cc "$TMP/bench/"
+cp "$ROOT"/BENCH_*.json "$ROOT/EXPERIMENTS.md" "$TMP/"
+python3 "$LINTER" --root "$TMP"  # the copy must also pass
+
+# 2. Removing the UNDEFINE row from the command table must fail.
+grep -v '^| `UNDEFINE ' "$ROOT/docs/server.md" > "$TMP/docs/server.md"
+if python3 "$LINTER" --root "$TMP" 2>/dev/null; then
+  echo "FAIL: linter passed with the UNDEFINE row removed" >&2
+  exit 1
+fi
+cp "$ROOT/docs/server.md" "$TMP/docs/"
+
+# 3. A bench baseline without an experiment heading must fail.
+grep -v 'bench_obs' "$ROOT/EXPERIMENTS.md" > "$TMP/EXPERIMENTS.md"
+if python3 "$LINTER" --root "$TMP" 2>/dev/null; then
+  echo "FAIL: linter passed with the bench_obs experiment row removed" >&2
+  exit 1
+fi
+
+echo "lint_consistency_test: PASS"

@@ -1,0 +1,18 @@
+// MUST NOT COMPILE under -Werror=thread-safety: acquiring a mutex that
+// is already held (self-deadlock).
+#include "base/sync.h"
+
+namespace {
+
+oodb::base::Mutex mu;
+int value GUARDED_BY(mu) = 0;
+
+int DoubleAcquire() {
+  oodb::base::MutexLock outer(&mu);
+  oodb::base::MutexLock inner(&mu);  // BAD: mu is already held
+  return value;
+}
+
+}  // namespace
+
+int main() { return DoubleAcquire(); }

@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under -Werror=thread-safety: calling an EXCLUDES
+// method while holding the excluded mutex (the re-entrant deadlock the
+// public/Locked split in ql/term_factory.h exists to prevent).
+#include "base/sync.h"
+
+namespace {
+
+class Factory {
+ public:
+  void Intern() EXCLUDES(mu_) {
+    oodb::base::MutexLock lock(&mu_);
+    ++interned_;
+  }
+  void InternTwo() {
+    oodb::base::MutexLock lock(&mu_);
+    Intern();  // BAD: mu_ is held, Intern would deadlock
+  }
+
+ private:
+  oodb::base::Mutex mu_;
+  int interned_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Factory f;
+  f.InternTwo();
+  return 0;
+}

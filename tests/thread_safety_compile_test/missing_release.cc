@@ -1,0 +1,20 @@
+// MUST NOT COMPILE under -Werror=thread-safety: a raw Lock() with a
+// return path that never unlocks.
+#include "base/sync.h"
+
+namespace {
+
+oodb::base::Mutex mu;
+int value GUARDED_BY(mu) = 0;
+
+int LeakLock(bool flag) {
+  mu.Lock();
+  if (flag) return value;  // BAD: returns with mu still held
+  int v = value;
+  mu.Unlock();
+  return v;
+}
+
+}  // namespace
+
+int main() { return LeakLock(true); }

@@ -1,0 +1,23 @@
+// MUST NOT COMPILE under -Werror=thread-safety: calling a REQUIRES
+// method without holding the declared capability.
+#include "base/sync.h"
+
+namespace {
+
+class Table {
+ public:
+  void InsertLocked() REQUIRES(mu_) { ++entries_; }
+  void Insert() { InsertLocked(); }  // BAD: caller does not hold mu_
+
+ private:
+  oodb::base::Mutex mu_;
+  int entries_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  t.Insert();
+  return 0;
+}

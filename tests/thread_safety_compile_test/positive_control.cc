@@ -1,0 +1,54 @@
+// MUST COMPILE cleanly under -Werror=thread-safety: disciplined use of
+// every wrapper. A failure here means the harness flags are broken and
+// the negative tests above prove nothing.
+#include "base/sync.h"
+
+namespace {
+
+class Disciplined {
+ public:
+  void Bump() {
+    oodb::base::MutexLock lock(&mu_);
+    ++value_;
+    cv_.NotifyAll();
+  }
+
+  void WaitForPositive() {
+    oodb::base::MutexLock lock(&mu_);
+    while (value_ <= 0) cv_.Wait(mu_);
+  }
+
+  int Snapshot() const {
+    oodb::base::ReaderLock lock(&smu_);
+    return shared_value_;
+  }
+
+  void Publish(int v) {
+    oodb::base::WriterLock lock(&smu_);
+    shared_value_ = v;
+  }
+
+  int HandOverHand() {
+    mu_.Lock();
+    int v = value_;
+    mu_.Unlock();
+    return v;
+  }
+
+ private:
+  mutable oodb::base::Mutex mu_;
+  oodb::base::CondVar cv_;
+  int value_ GUARDED_BY(mu_) = 0;
+  mutable oodb::base::SharedMutex smu_;
+  int shared_value_ GUARDED_BY(smu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Disciplined d;
+  d.Bump();
+  d.WaitForPositive();
+  d.Publish(d.HandOverHand());
+  return d.Snapshot();
+}

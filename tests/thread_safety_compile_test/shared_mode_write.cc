@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under -Werror=thread-safety: writing a GUARDED_BY
+// member while holding only the shared (reader) side of its mutex.
+#include "base/sync.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Rename() {
+    oodb::base::ReaderLock lock(&mu_);
+    ++generation_;  // BAD: writes need the exclusive side
+  }
+
+ private:
+  oodb::base::SharedMutex mu_;
+  int generation_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry r;
+  r.Rename();
+  return 0;
+}

@@ -1,0 +1,21 @@
+// MUST NOT COMPILE under -Werror=thread-safety: reading a GUARDED_BY
+// member without holding its mutex.
+#include "base/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Get() const { return value_; }  // BAD: mu_ not held
+
+ private:
+  mutable oodb::base::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Get();
+}

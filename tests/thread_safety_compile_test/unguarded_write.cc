@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under -Werror=thread-safety: writing a GUARDED_BY
+// member without holding its mutex.
+#include "base/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() { ++value_; }  // BAD: mu_ not held
+
+ private:
+  oodb::base::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Repo-specific consistency lint: wire protocol vs docs vs metrics vs
+tests, and bench baselines vs bench sources vs EXPERIMENTS.md.
+
+The daemon's protocol surface is spread over four artifacts that drift
+independently: the Verb enum (src/server/server.h), the VerbName switch
+and per-verb metrics registration (src/server/server.cc), the command
+table in docs/server.md, and the contract tests (tests/server_test.cc).
+UNDEFINE-style rot — a verb added to the wire but never documented,
+timed, or tested — is exactly what this pass fails CI for.
+
+Checks (each failure is one line on stderr; exit 1 if any):
+  1. Every Verb enumerator (minus kOther/kCount) has a VerbName case.
+  2. Every wire verb has a command row in docs/server.md ("## 2.
+     Commands" table, rows starting with the verb in backticks).
+  3. Every wire verb is accounted for in metrics: either in the
+     kTimedVerbs latency-histogram list (server.cc) or in the
+     inline-verbs list documented next to latency_ (server.h).
+  4. Every wire verb is mentioned in tests/server_test.cc
+     (case-insensitive — the test client wraps verbs in methods).
+  5. Every docs/server.md command row names a real wire verb (no
+     documented-but-unimplemented commands).
+  6. Every BENCH_<x>.json baseline has bench/bench_<x>.cc, a
+     registration in bench/CMakeLists.txt, and a `bench_<x>` reference
+     in an experiment heading of EXPERIMENTS.md.
+  7. Every bench/bench_<x>.cc is registered in bench/CMakeLists.txt.
+
+Run locally:  python3 tools/lint/check_consistency.py [--root DIR]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+
+def read(root: pathlib.Path, rel: str) -> str:
+    return (root / rel).read_text(encoding="utf-8")
+
+
+def parse_verb_enum(server_h: str) -> list[str]:
+    """Enumerators of `enum class Verb`, in order, without kOther/kCount."""
+    m = re.search(r"enum class Verb[^{]*\{([^}]*)\}", server_h, re.S)
+    if not m:
+        sys.exit("check_consistency: cannot find `enum class Verb` "
+                 "in src/server/server.h")
+    names = re.findall(r"\bk[A-Z]\w*", m.group(1))
+    return [n for n in names if n not in ("kOther", "kCount")]
+
+
+def parse_verb_names(server_cc: str) -> dict[str, str]:
+    """Mapping enumerator -> wire string from the VerbName switch."""
+    m = re.search(r"const char\* VerbName\(Verb verb\) \{(.*?)\n\}",
+                  server_cc, re.S)
+    if not m:
+        sys.exit("check_consistency: cannot find VerbName() "
+                 "in src/server/server.cc")
+    return dict(re.findall(
+        r"case Verb::(k\w+):\s*return \"([A-Z]+)\";", m.group(1)))
+
+
+def parse_timed_verbs(server_cc: str) -> set[str]:
+    """Enumerators listed in the kTimedVerbs histogram registration."""
+    m = re.search(r"kTimedVerbs\[\]\s*=\s*\{([^}]*)\}", server_cc)
+    if not m:
+        sys.exit("check_consistency: cannot find kTimedVerbs "
+                 "in src/server/server.cc")
+    return set(re.findall(r"Verb::(k\w+)", m.group(1)))
+
+
+def parse_inline_verbs(server_h: str) -> set[str]:
+    """Wire names in the 'answered inline (A/B/C)' comment by latency_."""
+    m = re.search(r"answered inline \(([A-Z/]+)\)", server_h)
+    if not m:
+        sys.exit("check_consistency: cannot find the 'answered inline "
+                 "(...)' comment in src/server/server.h")
+    return set(m.group(1).split("/"))
+
+
+def parse_doc_verbs(server_md: str) -> set[str]:
+    """First backticked token of each command-table row."""
+    section = re.search(r"## 2\. Commands(.*?)(?:\n## |\Z)", server_md, re.S)
+    if not section:
+        sys.exit("check_consistency: cannot find the '## 2. Commands' "
+                 "section in docs/server.md")
+    return set(re.findall(r"^\|\s*`([A-Z]+)\b", section.group(1), re.M))
+
+
+def check_wire(root: pathlib.Path, errors: list[str]) -> None:
+    server_h = read(root, "src/server/server.h")
+    server_cc = read(root, "src/server/server.cc")
+    server_md = read(root, "docs/server.md")
+    server_test = read(root, "tests/server_test.cc").lower()
+
+    enumerators = parse_verb_enum(server_h)
+    names = parse_verb_names(server_cc)
+    timed = parse_timed_verbs(server_cc)
+    inline = parse_inline_verbs(server_h)
+    documented = parse_doc_verbs(server_md)
+
+    for enumerator in enumerators:
+        verb = names.get(enumerator)
+        if verb is None:
+            errors.append(f"Verb::{enumerator} has no VerbName case "
+                          "in src/server/server.cc")
+            continue
+        if verb not in documented:
+            errors.append(f"wire verb {verb} has no command row in "
+                          "docs/server.md (section '## 2. Commands')")
+        if enumerator not in timed and verb not in inline:
+            errors.append(
+                f"wire verb {verb} is neither in kTimedVerbs "
+                "(src/server/server.cc) nor listed as answered inline "
+                "next to latency_ (src/server/server.h) — it would be "
+                "served without latency accounting")
+        if verb.lower() not in server_test:
+            errors.append(f"wire verb {verb} is never mentioned in "
+                          "tests/server_test.cc")
+
+    implemented = set(names.values())
+    for verb in sorted(documented - implemented):
+        errors.append(f"docs/server.md documents command {verb} which is "
+                      "not a wire verb in src/server/server.h")
+
+
+def check_bench(root: pathlib.Path, errors: list[str]) -> None:
+    cmake = read(root, "bench/CMakeLists.txt")
+    experiments = read(root, "EXPERIMENTS.md")
+    registered = set(re.findall(r"\b(bench_\w+)\b", cmake))
+    headings = [line for line in experiments.splitlines()
+                if line.startswith("## ")]
+    heading_text = "\n".join(headings)
+
+    for baseline in sorted(root.glob("BENCH_*.json")):
+        bench = "bench_" + baseline.stem[len("BENCH_"):]
+        if not (root / "bench" / f"{bench}.cc").exists():
+            errors.append(f"{baseline.name} has no bench/{bench}.cc")
+        if bench not in registered:
+            errors.append(f"{baseline.name}: {bench} is not registered "
+                          "in bench/CMakeLists.txt")
+        if bench not in heading_text:
+            errors.append(f"{baseline.name}: no experiment heading in "
+                          f"EXPERIMENTS.md references {bench}")
+
+    for source in sorted((root / "bench").glob("bench_*.cc")):
+        if source.stem not in registered:
+            errors.append(f"bench/{source.name} is not registered in "
+                          "bench/CMakeLists.txt")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_root = pathlib.Path(__file__).resolve().parent.parent.parent
+    parser.add_argument("--root", type=pathlib.Path, default=default_root,
+                        help="repository root (default: two levels up "
+                             "from this script)")
+    args = parser.parse_args()
+
+    errors: list[str] = []
+    check_wire(args.root, errors)
+    check_bench(args.root, errors)
+
+    if errors:
+        for error in errors:
+            print(f"check_consistency: {error}", file=sys.stderr)
+        print(f"check_consistency: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print("check_consistency: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
