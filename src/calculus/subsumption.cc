@@ -95,28 +95,49 @@ Result<std::vector<bool>> SubsumptionChecker::SubsumesBatch(
     ql::ConceptId c, const std::vector<ql::ConceptId>& ds,
     obs::TraceContext* trace) const {
   std::vector<bool> verdicts(ds.size(), false);
-  // Pre-filter each goal first: a rejected Dᵢ is a non-subsumption no
-  // matter what the completion does (the filter abstains whenever the
+  // Memoized pairs are settled without joining the run: the shared
+  // completion only sees goals whose verdict is genuinely unknown, and
+  // a fully warmed batch never leases an engine at all.
+  std::vector<size_t> open;
+  if (options_.memoize) {
+    obs::ScopedSpan span(trace, obs::Phase::kMemo);
+    open.reserve(ds.size());
+    for (size_t i = 0; i < ds.size(); ++i) {
+      if (std::optional<bool> cached = cache_.Lookup(PairMemoKey(c, ds[i]))) {
+        verdicts[i] = *cached;
+      } else {
+        open.push_back(i);
+      }
+    }
+  } else {
+    open.resize(ds.size());
+    for (size_t i = 0; i < ds.size(); ++i) open[i] = i;
+  }
+  if (open.empty()) return verdicts;
+
+  // Pre-filter each remaining goal: a rejected Dᵢ is a non-subsumption
+  // no matter what the completion does (the filter abstains whenever the
   // clash branch of Theorem 4.7 is live), so it need not join the run.
   std::vector<ql::ConceptId> live;
   std::vector<size_t> positions;
   if (options_.prefilter) {
     obs::ScopedSpan span(trace, obs::Phase::kPrefilter);
-    live.reserve(ds.size());
-    positions.reserve(ds.size());
-    for (size_t i = 0; i < ds.size(); ++i) {
+    live.reserve(open.size());
+    positions.reserve(open.size());
+    for (size_t i : open) {
       prefilter_checks_.fetch_add(1, kRelaxed);
       if (prefilter_.Check(c, ds[i]) == PreFilterVerdict::kReject) {
         prefilter_rejections_.fetch_add(1, kRelaxed);
+        if (options_.memoize) cache_.Insert(PairMemoKey(c, ds[i]), false);
         continue;
       }
       live.push_back(ds[i]);
       positions.push_back(i);
     }
   } else {
-    live = ds;
-    positions.resize(ds.size());
-    for (size_t i = 0; i < ds.size(); ++i) positions[i] = i;
+    live.reserve(open.size());
+    for (size_t i : open) live.push_back(ds[i]);
+    positions = std::move(open);
   }
   if (live.empty()) return verdicts;
 
@@ -126,8 +147,12 @@ Result<std::vector<bool>> SubsumptionChecker::SubsumesBatch(
   OODB_RETURN_IF_ERROR(engine->RunBatch(c, live));
   RecordEngineRun(engine->stats(), trace);
   for (size_t i = 0; i < live.size(); ++i) {
-    verdicts[positions[i]] =
+    const bool subsumed =
         engine->clash() || engine->GoalFactHoldsFor(live[i]);
+    verdicts[positions[i]] = subsumed;
+    if (options_.memoize) {
+      cache_.Insert(PairMemoKey(c, live[i]), subsumed);
+    }
   }
   return verdicts;
 }

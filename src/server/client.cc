@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -16,13 +17,26 @@ Client::Client(int fd)
     : fd_(fd), reader_(std::make_unique<FrameReader>(fd)) {}
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      reader_(std::move(other.reader_)),
+      binary_(other.binary_),
+      next_id_(other.next_id_),
+      out_(std::move(other.out_)),
+      in_(std::move(other.in_)),
+      in_pos_(other.in_pos_),
+      pending_(std::move(other.pending_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     reader_ = std::move(other.reader_);
+    binary_ = other.binary_;
+    next_id_ = other.next_id_;
+    out_ = std::move(other.out_);
+    in_ = std::move(other.in_);
+    in_pos_ = other.in_pos_;
+    pending_ = std::move(other.pending_);
   }
   return *this;
 }
@@ -46,11 +60,133 @@ Result<Client> Client::Connect(const std::string& host, int port) {
     return FailedPreconditionError(
         StrCat("cannot connect to ", host, ":", port));
   }
+  int one = 1;
+  // Requests are single small frames awaited synchronously (or pipelined
+  // back to back); Nagle only adds latency here.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Client(fd);
+}
+
+Status Client::EnableBinary() {
+  if (binary_) return Status::Ok();
+  if (!WriteFully(fd_, kBinaryPreamble)) {
+    return InternalError("connection lost while negotiating binary mode");
+  }
+  binary_ = true;
+  return Status::Ok();
+}
+
+Result<std::string> Client::ReplyToResult(Reply reply) {
+  switch (reply.kind) {
+    case Reply::Kind::kOk:
+      return std::move(reply.payload);
+    case Reply::Kind::kBusy:
+      return ResourceExhaustedError("BUSY");
+    case Reply::Kind::kErr:
+      return FailedPreconditionError(
+          StrCat(reply.code, ": ", reply.payload));
+  }
+  return InternalError("malformed reply");
+}
+
+Result<uint64_t> Client::SendFrame(uint64_t id, std::string frame) {
+  out_ += frame;
+  return id;
+}
+
+Status Client::Flush() {
+  if (out_.empty()) return Status::Ok();
+  if (!WriteFully(fd_, out_)) {
+    return InternalError("connection lost while sending");
+  }
+  out_.clear();
+  return Status::Ok();
+}
+
+Result<uint64_t> Client::SubmitLine(const std::string& line,
+                                    const std::string* payload) {
+  if (!binary_) return FailedPreconditionError("EnableBinary() first");
+  const uint64_t id = next_id_++;
+  return SendFrame(id, EncodeBinaryLineRequest(
+                           id, line, payload ? *payload : std::string_view{}));
+}
+
+Result<uint64_t> Client::SubmitCheck(const std::string& session,
+                                     const std::string& c,
+                                     const std::string& d) {
+  if (!binary_) return FailedPreconditionError("EnableBinary() first");
+  const uint64_t id = next_id_++;
+  return SendFrame(id, EncodeBinaryCheckRequest(id, session, c, d));
+}
+
+Result<uint64_t> Client::SubmitCheckBatch(
+    const std::string& session,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  if (!binary_) return FailedPreconditionError("EnableBinary() first");
+  if (pairs.size() > kMaxBatchPairs) {
+    return InvalidArgumentError(
+        StrCat("batch exceeds ", kMaxBatchPairs, " pairs"));
+  }
+  const uint64_t id = next_id_++;
+  return SendFrame(id, EncodeBinaryBatchCheckRequest(id, session, pairs));
+}
+
+Result<BinaryReply> Client::ReadReplyFrame() {
+  for (;;) {
+    size_t consumed = 0;
+    BinaryReply out;
+    std::string error;
+    std::string_view buf = std::string_view(in_).substr(in_pos_);
+    switch (ParseBinaryReply(buf, &consumed, &out, &error)) {
+      case ParseStatus::kFrame:
+        // Consume by cursor, not erase: a pipelined burst of replies
+        // would otherwise memmove the tail once per frame.
+        in_pos_ += consumed;
+        if (in_pos_ == in_.size()) {
+          in_.clear();
+          in_pos_ = 0;
+        }
+        return out;
+      case ParseStatus::kBad:
+        return InternalError(StrCat("malformed reply frame: ", error));
+      case ParseStatus::kNeedMore:
+        break;
+    }
+    if (in_pos_ > 0) {
+      in_.erase(0, in_pos_);
+      in_pos_ = 0;
+    }
+    char chunk[16 << 10];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return InternalError("connection lost while awaiting reply");
+    }
+    in_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<std::string> Client::Await(uint64_t id) {
+  OODB_RETURN_IF_ERROR(Flush());
+  auto it = pending_.find(id);
+  if (it != pending_.end()) {
+    Reply reply = std::move(it->second);
+    pending_.erase(it);
+    return ReplyToResult(std::move(reply));
+  }
+  for (;;) {
+    OODB_ASSIGN_OR_RETURN(BinaryReply frame, ReadReplyFrame());
+    if (frame.id == id) return ReplyToResult(std::move(frame.reply));
+    pending_[frame.id] = std::move(frame.reply);
+  }
 }
 
 Result<std::string> Client::Roundtrip(const std::string& line,
                                       const std::string* payload) {
+  if (binary_) {
+    OODB_ASSIGN_OR_RETURN(uint64_t id, SubmitLine(line, payload));
+    return Await(id);
+  }
   std::string frame = line;
   frame += '\n';
   if (payload != nullptr) {
@@ -90,6 +226,36 @@ Result<std::string> Client::Roundtrip(const std::string& line,
   return body;
 }
 
+Result<std::vector<bool>> ParseBatchVerdicts(const std::string& body,
+                                             size_t expected) {
+  constexpr std::string_view kPrefix = "subsumed=";
+  if (body.rfind(kPrefix, 0) != 0) {
+    return InternalError(StrCat("malformed BCHECK reply '", body, "'"));
+  }
+  std::vector<bool> verdicts;
+  verdicts.reserve(expected);
+  std::string_view rest = std::string_view(body).substr(kPrefix.size());
+  while (!rest.empty()) {
+    size_t comma = rest.find(',');
+    std::string_view token = rest.substr(0, comma);
+    if (token == "true") {
+      verdicts.push_back(true);
+    } else if (token == "false") {
+      verdicts.push_back(false);
+    } else {
+      return InternalError(StrCat("malformed BCHECK verdict '",
+                                  std::string(token), "'"));
+    }
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  if (verdicts.size() != expected) {
+    return InternalError(StrCat("BCHECK returned ", verdicts.size(),
+                                " verdicts for ", expected, " pairs"));
+  }
+  return verdicts;
+}
+
 Status Client::Ping() { return Roundtrip("PING").status(); }
 
 Result<std::string> Client::Load(const std::string& session,
@@ -121,12 +287,32 @@ Result<std::string> Client::Undefine(const std::string& session,
 
 Result<bool> Client::Check(const std::string& session, const std::string& c,
                            const std::string& d) {
-  OODB_ASSIGN_OR_RETURN(
-      std::string body,
-      Roundtrip(StrCat("CHECK ", session, " ", c, " ", d)));
+  std::string body;
+  if (binary_) {
+    OODB_ASSIGN_OR_RETURN(uint64_t id, SubmitCheck(session, c, d));
+    OODB_ASSIGN_OR_RETURN(body, Await(id));
+  } else {
+    OODB_ASSIGN_OR_RETURN(
+        body, Roundtrip(StrCat("CHECK ", session, " ", c, " ", d)));
+  }
   if (body == "subsumed=true") return true;
   if (body == "subsumed=false") return false;
   return InternalError(StrCat("malformed CHECK reply '", body, "'"));
+}
+
+Result<std::vector<bool>> Client::CheckBatch(
+    const std::string& session,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::string body;
+  if (binary_) {
+    OODB_ASSIGN_OR_RETURN(uint64_t id, SubmitCheckBatch(session, pairs));
+    OODB_ASSIGN_OR_RETURN(body, Await(id));
+  } else {
+    std::string line = StrCat("BCHECK ", session);
+    for (const auto& [c, d] : pairs) line = StrCat(line, " ", c, " ", d);
+    OODB_ASSIGN_OR_RETURN(body, Roundtrip(line));
+  }
+  return ParseBatchVerdicts(body, pairs.size());
 }
 
 Result<std::string> Client::Classify(const std::string& session) {

@@ -1,23 +1,40 @@
-// Small blocking client for the optimizer daemon: one TCP connection,
-// synchronous request/reply over the wire.h framing. Used by the
-// `oodbsub rpc` subcommand, the load benchmark and the end-to-end tests.
+// Small client for the optimizer daemon: one TCP connection, the wire.h
+// framing. Used by the `oodbsub rpc` subcommand, the load benchmark and
+// the end-to-end tests.
+//
+// Two modes on the same object:
+//
+// - Text (default): synchronous Roundtrip over the legacy newline
+//   protocol, one reply per request in order.
+// - Binary: after EnableBinary() the connection speaks the length-
+//   prefixed framing. Roundtrip and the typed wrappers keep working
+//   (they become submit + await of a single frame), and the pipelined
+//   API (SubmitLine/SubmitCheck/SubmitCheckBatch + Await) allows many
+//   requests in flight, with replies matched by request id — the server
+//   may complete them out of order.
 #ifndef OODB_SERVER_CLIENT_H_
 #define OODB_SERVER_CLIENT_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/status.h"
 #include "server/wire.h"
 
 namespace oodb::server {
 
-// Not thread-safe: replies are matched to requests by connection order,
-// so give each thread its own client.
+// Not thread-safe: replies are matched to requests by connection order
+// (text) or by an unsynchronized id table (binary), so give each thread
+// its own client.
 class Client {
  public:
   // Connects to the daemon on `host:port` (host is a dotted quad;
-  // "127.0.0.1" for the local daemon).
+  // "127.0.0.1" for the local daemon). The socket is TCP_NODELAY: every
+  // request is latency-bound and smaller than a segment.
   static Result<Client> Connect(const std::string& host, int port);
 
   Client(Client&& other) noexcept;
@@ -26,14 +43,42 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();
 
+  // Switches the connection to the binary protocol by sending the
+  // negotiation preamble. Call before the first request; irreversible.
+  Status EnableBinary();
+  bool binary() const { return binary_; }
+
   // Sends one already-framed request line (no trailing newline) plus an
   // optional payload, and reads the reply. Returns the OK payload;
   // BUSY maps to kResourceExhausted with message "BUSY", ERR frames to
-  // kFailedPrecondition with "<code>: <message>".
+  // kFailedPrecondition with "<code>: <message>". In binary mode this is
+  // a pipeline of depth one: SubmitLine + Await.
   Result<std::string> Roundtrip(const std::string& line,
                                 const std::string* payload = nullptr);
 
-  // Convenience wrappers over the protocol verbs.
+  // ---- Pipelined binary API (EnableBinary() first) ----
+
+  // Each Submit* stages one frame and returns its request id without
+  // waiting for the reply; any number may be in flight. Staged frames
+  // are buffered and written in one batch by the next Await (or an
+  // explicit Flush), so a pipeline of depth N costs one send, not N.
+  Result<uint64_t> SubmitLine(const std::string& line,
+                              const std::string* payload = nullptr);
+  Result<uint64_t> SubmitCheck(const std::string& session,
+                               const std::string& c, const std::string& d);
+  Result<uint64_t> SubmitCheckBatch(
+      const std::string& session,
+      const std::vector<std::pair<std::string, std::string>>& pairs);
+
+  // Writes any staged frames to the socket without awaiting replies.
+  Status Flush();
+
+  // Flushes staged frames, then blocks until the reply for `id`
+  // arrives, buffering replies to other ids along the way. Maps
+  // OK/ERR/BUSY exactly like Roundtrip.
+  Result<std::string> Await(uint64_t id);
+
+  // ---- Convenience wrappers over the protocol verbs (both modes) ----
   Status Ping();
   Result<std::string> Load(const std::string& session,
                            const std::string& dl_source);
@@ -47,6 +92,11 @@ class Client {
                                const std::string& query_class);
   Result<bool> Check(const std::string& session, const std::string& c,
                      const std::string& d);
+  // Batched CHECK (the BCHECK verb): one verdict per pair, in order.
+  // Text mode sends one BCHECK line; binary mode one kBatchCheck frame.
+  Result<std::vector<bool>> CheckBatch(
+      const std::string& session,
+      const std::vector<std::pair<std::string, std::string>>& pairs);
   Result<std::string> Classify(const std::string& session);
   Result<std::string> Optimize(const std::string& session,
                                const std::string& query_class);
@@ -60,9 +110,28 @@ class Client {
  private:
   explicit Client(int fd);
 
+  // Stages one encoded binary frame, returning the id it carries.
+  Result<uint64_t> SendFrame(uint64_t id, std::string frame);
+  // Reads exactly one binary reply frame off the socket.
+  Result<BinaryReply> ReadReplyFrame();
+  // OK payload / ERR / BUSY mapping shared by Roundtrip and Await.
+  Result<std::string> ReplyToResult(Reply reply);
+
   int fd_ = -1;
-  std::unique_ptr<FrameReader> reader_;
+  std::unique_ptr<FrameReader> reader_;  // text mode framing
+  bool binary_ = false;
+  uint64_t next_id_ = 1;
+  std::string out_;  // staged frames awaiting Flush
+  std::string in_;   // binary mode receive buffer
+  size_t in_pos_ = 0;  // parse cursor into in_
+  // Replies that arrived while awaiting a different id.
+  std::map<uint64_t, Reply> pending_;
 };
+
+// Parses a `subsumed=true,false,...` BCHECK reply body into verdicts.
+// `expected` is the pair count the request carried.
+Result<std::vector<bool>> ParseBatchVerdicts(const std::string& body,
+                                             size_t expected);
 
 }  // namespace oodb::server
 

@@ -2,9 +2,14 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -16,6 +21,19 @@
 namespace oodb::server {
 
 namespace {
+
+// epoll tags: the listener and the eventfd get reserved ids; connections
+// use their conns_ key (>= 2).
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kEventTag = 1;
+
+// Text command lines longer than this are a malformed peer (matches
+// FrameReader::ReadLine's default cap on the client side).
+constexpr size_t kMaxTextLine = 1 << 16;
+
+// Soft cap on a connection's unwritten output. Reading (and therefore
+// parsing) pauses above it; nothing is ever dropped.
+constexpr size_t kMaxOutBuffer = size_t{16} << 20;
 
 Reply StatusReply(const Status& status) {
   return ErrReply(StatusCodeName(status.code()), status.message());
@@ -48,6 +66,8 @@ const char* VerbName(Verb verb) {
       return "UNDEFINE";
     case Verb::kCheck:
       return "CHECK";
+    case Verb::kBcheck:
+      return "BCHECK";
     case Verb::kClassify:
       return "CLASSIFY";
     case Verb::kOptimize:
@@ -76,28 +96,30 @@ Verb VerbOf(const std::string& token) {
   return Verb::kOther;
 }
 
-// The reply slot a connection thread waits on while its request runs on
-// the pool.
-struct Server::PendingReply {
-  base::Mutex mu;
-  base::CondVar cv;
-  bool done GUARDED_BY(mu) = false;
-  Reply reply GUARDED_BY(mu);
+// Per-connection state machine, owned by the event-loop thread. A
+// connection is always in one of three read states (deciding the
+// preamble, streaming frames, read side closed) and flushes its output
+// buffer opportunistically, arming EPOLLOUT only while bytes remain.
+struct Server::Connection {
+  int fd = -1;
+  uint64_t id = 0;
 
-  void Set(Reply r) {
-    {
-      base::MutexLock lock(&mu);
-      reply = std::move(r);
-      done = true;
-    }
-    cv.NotifyOne();
-  }
+  // Protocol negotiation: text vs binary is decided by the first bytes.
+  bool preamble_decided = false;
+  bool binary = false;
 
-  Reply Get() {
-    base::MutexLock lock(&mu);
-    while (!done) cv.Wait(mu);
-    return std::move(reply);
-  }
+  std::string in;      // received, not yet parsed past in_pos
+  size_t in_pos = 0;   // parse cursor into in
+  std::string out;     // encoded replies not yet written past out_pos
+  size_t out_pos = 0;  // write cursor into out
+
+  size_t inflight = 0;        // pooled requests outstanding
+  bool text_waiting = false;  // text: one pooled request at a time
+                              // (replies must stay in request order)
+  bool rd_eof = false;        // peer half-closed; no more input
+  bool closing = false;       // finish inflight + flush, then close
+  bool discard_input = false;  // stream unrecoverable: parse no more
+  uint32_t armed = 0;          // epoll interest currently registered
 };
 
 Server::Server(ServerOptions options)
@@ -107,6 +129,10 @@ Server::Server(ServerOptions options)
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
   pool_ = std::make_unique<service::ThreadPool>(threads);
+  // The input cap must admit the largest legal frame in one piece: a
+  // text LOAD/STATE payload or a binary frame, plus header slack.
+  in_cap_ =
+      std::max(options_.max_payload, size_t{kMaxBinaryFrame}) + (64u << 10);
   RegisterMetrics();
 }
 
@@ -115,9 +141,9 @@ void Server::RegisterMetrics() {
   // inline control verbs are not timed.
   constexpr Verb kTimedVerbs[] = {Verb::kLoad,     Verb::kState,
                                   Verb::kView,     Verb::kUndefine,
-                                  Verb::kCheck,    Verb::kClassify,
-                                  Verb::kOptimize, Verb::kStats,
-                                  Verb::kSleep};
+                                  Verb::kCheck,    Verb::kBcheck,
+                                  Verb::kClassify, Verb::kOptimize,
+                                  Verb::kStats,    Verb::kSleep};
   for (Verb verb : kTimedVerbs) {
     latency_[static_cast<size_t>(verb)] = registry_.GetHistogram(
         "oodb_server_request_seconds",
@@ -159,6 +185,9 @@ void Server::AppendServerMetrics(obs::Collector& out) const {
   out.AddGauge("oodb_server_pending",
                "Requests admitted (queued or running)", {},
                admitted_.load(relaxed));
+  out.AddGauge("oodb_server_open_connections",
+               "Connections registered with the event loop", {},
+               open_conns_.load(relaxed));
   out.AddGauge("oodb_server_threads", "Worker threads", {}, pool_->size());
   std::vector<std::pair<std::string, std::shared_ptr<Session>>> all;
   {
@@ -179,7 +208,7 @@ Server::~Server() {
 }
 
 Result<int> Server::Start() {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return InternalError("socket() failed");
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -192,7 +221,7 @@ Result<int> Server::Start() {
     return FailedPreconditionError(
         StrCat("cannot bind 127.0.0.1:", options_.port));
   }
-  if (::listen(fd, 128) != 0) {
+  if (::listen(fd, 1024) != 0) {
     ::close(fd);
     return InternalError("listen() failed");
   }
@@ -201,139 +230,325 @@ Result<int> Server::Start() {
     ::close(fd);
     return InternalError("getsockname() failed");
   }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || event_fd_ < 0) {
+    ::close(fd);
+    return InternalError("epoll_create1()/eventfd() failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    return InternalError("epoll_ctl(listen) failed");
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kEventTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) != 0) {
+    ::close(fd);
+    return InternalError("epoll_ctl(eventfd) failed");
+  }
   listen_fd_ = fd;
   port_ = ntohs(addr.sin_port);
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  loop_ = std::thread([this] { EventLoop(); });
   return port_;
 }
 
-void Server::AcceptLoop() {
+void Server::EventLoop() {
+  bool listener_active = true;
+  std::array<epoll_event, 128> events;
   for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_acquire) && listener_active) {
+      // Deregister and close the listener: the port is released and new
+      // connects are refused while the drain completes.
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listener_active = false;
+    }
+    if (loop_stop_.load(std::memory_order_acquire)) {
+      // The pool has drained: every admitted request has queued its
+      // completion. Route the leftovers and flush what the sockets will
+      // take within a bounded grace period.
+      DrainCompletions();
+      FinalFlush();
+      break;
+    }
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        if (listener_active) HandleAccept();
+        continue;
+      }
+      if (tag == kEventTag) {
+        uint64_t counter = 0;
+        while (::read(event_fd_, &counter, sizeof(counter)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+        HandleReadable(*it->second);
+        it = conns_.find(tag);
+        if (it == conns_.end()) continue;
+      }
+      if (events[i].events & EPOLLOUT) HandleWritable(*it->second);
+    }
+    DrainCompletions();
+  }
+  // Loop exit: drop whatever is left.
+  for (auto& [id, conn] : conns_) ::close(conn->fd);
+  conns_.clear();
+  open_conns_.store(0, std::memory_order_relaxed);
+  if (listener_active) ::close(listen_fd_);
+}
+
+void Server::HandleAccept() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // listener closed: shutdown
+      return;  // EAGAIN (drained) or transient accept error
     }
-    ReapFinishedConnections();
-    base::MutexLock lock(&conn_mu_);
-    if (stopping_.load(std::memory_order_relaxed)) {
+    int one = 1;
+    // Replies are small and latency-bound: never wait for Nagle.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
       ::close(fd);
       continue;
     }
+    conn->armed = EPOLLIN;
     connections_.fetch_add(1, std::memory_order_relaxed);
-    conn_fds_.insert(fd);
-    conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+    open_conns_.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
   }
 }
 
-void Server::ConnectionLoop(int fd) {
-  FrameReader reader(fd);
-  while (HandleRequest(reader, fd)) {
+void Server::HandleReadable(Connection& conn) {
+  char chunk[32 << 10];
+  bool fatal = false;
+  while (conn.in.size() - conn.in_pos < in_cap_) {
+    ssize_t r = ::read(conn.fd, chunk, sizeof(chunk));
+    if (r > 0) {
+      conn.in.append(chunk, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      // Half-close: the peer may still be waiting for replies to frames
+      // it pipelined before the FIN, so finish those before closing.
+      conn.rd_eof = true;
+      conn.closing = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    fatal = true;
+    break;
   }
-  {
-    base::MutexLock lock(&conn_mu_);
-    conn_fds_.erase(fd);
-    finished_conn_ids_.push_back(std::this_thread::get_id());
+  if (fatal) {
+    CloseConnection(conn.id);
+    return;
   }
-  ::close(fd);
+  if (!conn.preamble_decided && !conn.in.empty()) {
+    const size_t n = std::min(conn.in.size(), kBinaryPreamble.size());
+    if (conn.in.compare(0, n, kBinaryPreamble.data(), n) != 0) {
+      conn.preamble_decided = true;  // not a preamble prefix: legacy text
+    } else if (conn.in.size() >= kBinaryPreamble.size()) {
+      conn.preamble_decided = true;
+      conn.binary = true;
+      conn.in_pos = kBinaryPreamble.size();
+    }
+    // else: a strict prefix of the preamble; wait for more bytes.
+  }
+  ParseFrames(conn);
+  FlushOutput(conn);
 }
 
-void Server::ReapFinishedConnections() {
-  // Unjoined ids are never reused (the handle is still joinable), so
-  // matching by id cannot capture a live connection's thread.
-  std::vector<std::thread> done;
-  {
-    base::MutexLock lock(&conn_mu_);
-    if (finished_conn_ids_.empty()) return;
-    std::set<std::thread::id> finished(finished_conn_ids_.begin(),
-                                       finished_conn_ids_.end());
-    finished_conn_ids_.clear();
-    auto it = conn_threads_.begin();
-    while (it != conn_threads_.end()) {
-      if (finished.count(it->get_id()) > 0) {
-        done.push_back(std::move(*it));
-        it = conn_threads_.erase(it);
-      } else {
-        ++it;
-      }
+void Server::HandleWritable(Connection& conn) { FlushOutput(conn); }
+
+void Server::ParseFrames(Connection& conn) {
+  if (!conn.preamble_decided) return;
+  while (!conn.discard_input) {
+    if (conn.out.size() - conn.out_pos > kMaxOutBuffer) break;
+    if (conn.binary) {
+      if (conn.inflight >= options_.max_inflight_per_conn) break;
+      if (!ParseBinaryFrame(conn)) break;
+    } else {
+      if (conn.text_waiting) break;
+      if (!ParseTextFrame(conn)) break;
     }
   }
-  // The owning threads have already queued their ids, so these joins
-  // return (nearly) immediately.
-  for (std::thread& t : done) t.join();
+  // Compact once the consumed prefix dominates the buffer.
+  if (conn.in_pos == conn.in.size()) {
+    conn.in.clear();
+    conn.in_pos = 0;
+  } else if (conn.in_pos > (1u << 20)) {
+    conn.in.erase(0, conn.in_pos);
+    conn.in_pos = 0;
+  }
+  if (!pending_work_.empty()) SubmitPooled(conn);
 }
 
-bool Server::HandleRequest(FrameReader& reader, int fd) {
-  std::string line;
-  if (!reader.ReadLine(&line)) return false;
-  std::vector<std::string> tokens = SplitTokens(line);
-  if (tokens.empty()) return true;  // blank line: ignore
+bool Server::ParseTextFrame(Connection& conn) {
+  std::string_view buf = std::string_view(conn.in).substr(conn.in_pos);
+  const size_t nl = buf.find('\n');
+  if (nl == std::string_view::npos) {
+    if (buf.size() > kMaxTextLine) {
+      // Malformed peer (unterminated line); no reply can be framed.
+      conn.closing = true;
+      conn.discard_input = true;
+    }
+    return false;
+  }
+  if (nl > kMaxTextLine) {
+    conn.closing = true;
+    conn.discard_input = true;
+    return false;
+  }
+  std::vector<std::string> tokens = SplitTokens(buf.substr(0, nl));
+  if (tokens.empty()) {  // blank line: ignore
+    conn.in_pos += nl + 1;
+    return true;
+  }
+  const std::string& verb = tokens[0];
+
+  // Payload-carrying verbs: the line ends with the byte count; the
+  // payload plus one terminating '\n' follows.
+  std::string payload;
+  size_t frame_len = nl + 1;
+  if (verb == "LOAD" || verb == "STATE") {
+    size_t nbytes = 0;
+    if (tokens.size() != 3 || !ParseSize(tokens.back(), &nbytes)) {
+      conn.in_pos += frame_len;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      verb_requests_[static_cast<size_t>(VerbOf(verb))].fetch_add(
+          1, std::memory_order_relaxed);
+      QueueReply(conn, 0,
+                 ErrReply(kErrProto,
+                          StrCat("usage: ", verb, " <session> <nbytes>")),
+                 VerbOf(verb));
+      return true;
+    }
+    if (nbytes > options_.max_payload) {
+      // The payload cannot be admitted: reply, then close (the unread
+      // bytes make the stream unrecoverable).
+      conn.in_pos += frame_len;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      verb_requests_[static_cast<size_t>(VerbOf(verb))].fetch_add(
+          1, std::memory_order_relaxed);
+      QueueReply(conn, 0,
+                 ErrReply(kErrProto, StrCat("payload exceeds ",
+                                            options_.max_payload, " bytes")),
+                 VerbOf(verb));
+      conn.closing = true;
+      conn.discard_input = true;
+      return true;
+    }
+    if (buf.size() < nl + 1 + nbytes + 1) return false;  // need more bytes
+    if (buf[nl + 1 + nbytes] != '\n') {  // frame out of sync
+      conn.closing = true;
+      conn.discard_input = true;
+      return false;
+    }
+    payload.assign(buf.substr(nl + 1, nbytes));
+    frame_len += nbytes + 1;
+  }
+  conn.in_pos += frame_len;
+  HandleFrame(conn, 0, std::move(tokens), std::move(payload));
+  return true;
+}
+
+bool Server::ParseBinaryFrame(Connection& conn) {
+  std::string_view buf = std::string_view(conn.in).substr(conn.in_pos);
+  if (buf.empty()) return false;
+  size_t consumed = 0;
+  BinaryRequest req;
+  std::string error;
+  switch (ParseBinaryRequest(buf, &consumed, &req, &error)) {
+    case ParseStatus::kNeedMore:
+      return false;
+    case ParseStatus::kBad:
+      // Addressed to the frame's id when the header was readable; the
+      // framing is gone, so close after the reply flushes.
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      verb_requests_[static_cast<size_t>(Verb::kOther)].fetch_add(
+          1, std::memory_order_relaxed);
+      QueueReply(conn, req.id, ErrReply(kErrProto, error), Verb::kOther);
+      conn.closing = true;
+      conn.discard_input = true;
+      return false;
+    case ParseStatus::kFrame:
+      break;
+  }
+  conn.in_pos += consumed;
+  HandleFrame(conn, req.id, std::move(req.tokens), std::move(req.payload));
+  return true;
+}
+
+void Server::HandleFrame(Connection& conn, uint64_t request_id,
+                         std::vector<std::string> tokens,
+                         std::string payload) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  if (tokens.empty()) {  // binary kLine frame with an empty command line
+    verb_requests_[static_cast<size_t>(Verb::kOther)].fetch_add(
+        1, std::memory_order_relaxed);
+    QueueReply(conn, request_id, ErrReply(kErrProto, "empty command"),
+               Verb::kOther);
+    return;
+  }
   const std::string& verb = tokens[0];
   const Verb vkind = VerbOf(verb);
   verb_requests_[static_cast<size_t>(vkind)].fetch_add(
       1, std::memory_order_relaxed);
 
-  auto send = [&](const Reply& reply) {
-    switch (reply.kind) {
-      case Reply::Kind::kOk:
-        ok_.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case Reply::Kind::kErr:
-        errors_.fetch_add(1, std::memory_order_relaxed);
-        verb_errors_[static_cast<size_t>(vkind)].fetch_add(
-            1, std::memory_order_relaxed);
-        break;
-      case Reply::Kind::kBusy:
-        busy_.fetch_add(1, std::memory_order_relaxed);
-        break;
-    }
-    return SendAll(fd, EncodeReply(reply));
-  };
-
-  // Payload-carrying verbs: the line ends with the byte count.
-  std::string payload;
-  if (verb == "LOAD" || verb == "STATE") {
-    size_t nbytes = 0;
-    if (tokens.size() != 3 || !ParseSize(tokens.back(), &nbytes)) {
-      return send(ErrReply(kErrProto,
-                           StrCat("usage: ", verb, " <session> <nbytes>")));
-    }
-    if (nbytes > options_.max_payload) {
-      // The payload is unread: the frame is beyond repair, close after
-      // replying.
-      send(ErrReply(kErrProto, StrCat("payload exceeds ",
-                                      options_.max_payload, " bytes")));
-      return false;
-    }
-    if (!reader.ReadPayload(nbytes, &payload)) return false;
+  // Control verbs answered inline on the loop — they must work even when
+  // the admission queue is saturated. METRICS/TRACE stay observable
+  // under overload and while draining by the same rule.
+  if (verb == "PING") {
+    return QueueReply(conn, request_id, OkReply("pong"), vkind);
   }
-
-  // Control verbs answered inline — they must work even when the
-  // admission queue is saturated. METRICS/TRACE stay observable under
-  // overload and while draining by the same rule.
-  if (verb == "PING") return send(OkReply("pong"));
   if (verb == "METRICS") {
     if (tokens.size() != 1) {
-      return send(ErrReply(kErrProto, "usage: METRICS"));
+      return QueueReply(conn, request_id,
+                        ErrReply(kErrProto, "usage: METRICS"), vkind);
     }
-    return send(OkReply(registry_.RenderPrometheus()));
+    return QueueReply(conn, request_id, OkReply(registry_.RenderPrometheus()),
+                      vkind);
   }
   if (verb == "TRACE") {
     size_t n = 10;
     if (tokens.size() > 2 ||
         (tokens.size() == 2 && !ParseSize(tokens[1], &n))) {
-      return send(ErrReply(kErrProto, "usage: TRACE [n]"));
+      return QueueReply(conn, request_id,
+                        ErrReply(kErrProto, "usage: TRACE [n]"), vkind);
     }
-    return send(OkReply(slow_log_.RenderJsonLines(n)));
+    return QueueReply(conn, request_id, OkReply(slow_log_.RenderJsonLines(n)),
+                      vkind);
   }
   if (verb == "SHUTDOWN") {
-    send(OkReply("draining"));
+    QueueReply(conn, request_id, OkReply("draining"), vkind);
     RequestShutdown();
-    return false;
+    conn.closing = true;
+    conn.discard_input = true;
+    return;
   }
   if (stopping_.load(std::memory_order_relaxed)) {
-    return send(ErrReply(kErrShutdown, "server is draining"));
+    return QueueReply(conn, request_id,
+                      ErrReply(kErrShutdown, "server is draining"), vkind);
   }
 
   // Bounded admission: reply BUSY instead of queueing without limit.
@@ -342,52 +557,122 @@ bool Server::HandleRequest(FrameReader& reader, int fd) {
     admitted_.fetch_sub(1, std::memory_order_acq_rel);
     Reply reply;
     reply.kind = Reply::Kind::kBusy;
-    return send(reply);
+    return QueueReply(conn, request_id, reply, vkind);
   }
 
-  // Per-request trace: spans are filled on the worker; the reply span and
-  // the finalization happen back on this connection thread (the reply
-  // queue's mutex orders the worker's writes before the reads here).
+  // Per-request trace: spans are filled on the worker, which also
+  // finalizes the trace and the latency histogram when it encodes the
+  // reply (the loop only moves bytes from there on).
   std::shared_ptr<obs::TraceContext> trace;
-  const bool observed = obs::Enabled();
-  if (observed && slow_log_.enabled()) {
+  if (obs::Enabled() && slow_log_.enabled()) {
     trace = std::make_shared<obs::TraceContext>();
     trace->id = trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     trace->verb = verb;
     if (tokens.size() > 1 && vkind != Verb::kSleep) trace->session = tokens[1];
   }
 
-  auto pending = std::make_shared<PendingReply>();
-  const auto enqueued = std::chrono::steady_clock::now();
-  bool submitted = pool_->Submit([this, pending, enqueued, trace,
-                                  tokens = std::move(tokens),
-                                  payload = std::move(payload)] {
-    Reply reply;
-    const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
-                            std::chrono::steady_clock::now() - enqueued)
-                            .count();
-    if (options_.deadline_ms > 0 && waited > options_.deadline_ms) {
-      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
-      reply = ErrReply(kErrDeadline,
-                       StrCat("queued ", waited, " ms, deadline ",
-                              options_.deadline_ms, " ms"));
-    } else {
-      reply = Dispatch(tokens, payload, trace.get());
-    }
-    admitted_.fetch_sub(1, std::memory_order_acq_rel);
-    pending->Set(std::move(reply));
-  });
-  if (!submitted) {  // pool already draining
-    admitted_.fetch_sub(1, std::memory_order_acq_rel);
-    return send(ErrReply(kErrShutdown, "server is draining"));
+  conn.inflight++;
+  if (!conn.binary) conn.text_waiting = true;
+  PooledWork work;
+  work.request_id = request_id;
+  work.vkind = vkind;
+  work.trace = std::move(trace);
+  work.enqueued = std::chrono::steady_clock::now();
+  work.tokens = std::move(tokens);
+  work.payload = std::move(payload);
+  pending_work_.push_back(std::move(work));
+}
+
+void Server::SubmitPooled(Connection& conn) {
+  // Rollback addresses, should the pool refuse the burst (it destroys
+  // the unrun task — and the work it captured — when draining).
+  std::vector<std::pair<uint64_t, Verb>> staged;
+  staged.reserve(pending_work_.size());
+  for (const PooledWork& w : pending_work_) {
+    staged.emplace_back(w.request_id, w.vkind);
   }
-  const Reply reply = pending->Get();
-  bool sent;
+  const uint64_t conn_id = conn.id;
+  const bool binary = conn.binary;
+  bool submitted = pool_->Submit(
+      [this, conn_id, binary, work = std::move(pending_work_)]() mutable {
+        std::vector<Completion> batch;
+        batch.reserve(work.size());
+        for (PooledWork& w : work) {
+          batch.push_back(FinalizeOnWorker(conn_id, binary, std::move(w)));
+        }
+        PushCompletions(std::move(batch));
+      });
+  pending_work_.clear();  // moved-from: restore the between-passes invariant
+  if (!submitted) {  // pool already draining
+    for (const auto& [request_id, vkind] : staged) {
+      admitted_.fetch_sub(1, std::memory_order_acq_rel);
+      conn.inflight--;
+      conn.text_waiting = false;
+      QueueReply(conn, request_id,
+                 ErrReply(kErrShutdown, "server is draining"), vkind);
+    }
+  }
+}
+
+void Server::QueueReply(Connection& conn, uint64_t request_id,
+                        const Reply& reply, Verb vkind) {
+  switch (reply.kind) {
+    case Reply::Kind::kOk:
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Reply::Kind::kErr:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      verb_errors_[static_cast<size_t>(vkind)].fetch_add(
+          1, std::memory_order_relaxed);
+      break;
+    case Reply::Kind::kBusy:
+      busy_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  conn.out.append(conn.binary ? EncodeBinaryReply(request_id, reply)
+                              : EncodeReply(reply));
+}
+
+Server::Completion Server::FinalizeOnWorker(uint64_t conn_id, bool binary,
+                                            PooledWork work) {
+  Reply reply;
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - work.enqueued)
+                          .count();
+  if (options_.deadline_ms > 0 && waited > options_.deadline_ms) {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    reply = ErrReply(kErrDeadline,
+                     StrCat("queued ", waited, " ms, deadline ",
+                            options_.deadline_ms, " ms"));
+  } else {
+    reply = Dispatch(work.tokens, work.payload, work.trace.get());
+  }
+  admitted_.fetch_sub(1, std::memory_order_acq_rel);
+
+  const uint64_t request_id = work.request_id;
+  const Verb vkind = work.vkind;
+  const std::shared_ptr<obs::TraceContext>& trace = work.trace;
+  const auto enqueued = work.enqueued;
+  switch (reply.kind) {
+    case Reply::Kind::kOk:
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Reply::Kind::kErr:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      verb_errors_[static_cast<size_t>(vkind)].fetch_add(
+          1, std::memory_order_relaxed);
+      break;
+    case Reply::Kind::kBusy:
+      busy_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  std::string bytes;
   {
     obs::ScopedSpan span(trace.get(), obs::Phase::kReply);
-    sent = send(reply);
+    bytes = binary ? EncodeBinaryReply(request_id, reply)
+                   : EncodeReply(reply);
   }
-  if (observed) {
+  if (obs::Enabled()) {
     const auto elapsed = std::chrono::steady_clock::now() - enqueued;
     const auto ns =
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
@@ -401,7 +686,125 @@ bool Server::HandleRequest(FrameReader& reader, int fd) {
       slow_log_.Finish(std::move(*trace));
     }
   }
-  return sent;
+  return Completion{conn_id, std::move(bytes)};
+}
+
+void Server::PushCompletions(std::vector<Completion> batch) {
+  bool was_empty;
+  {
+    base::MutexLock lock(&comp_mu_);
+    was_empty = completions_.empty();
+    for (Completion& c : batch) completions_.push_back(std::move(c));
+  }
+  // One wakeup per empty→non-empty transition: the loop drains the whole
+  // vector at once, so later pushes ride the same eventfd signal.
+  if (was_empty) WakeLoop();
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    base::MutexLock lock(&comp_mu_);
+    batch.swap(completions_);
+  }
+  if (batch.empty()) return;
+  std::vector<uint64_t> touched;
+  for (Completion& c : batch) {
+    auto it = conns_.find(c.conn_id);
+    if (it == conns_.end()) continue;  // connection died while running
+    Connection& conn = *it->second;
+    conn.out.append(c.bytes);
+    if (conn.inflight > 0) conn.inflight--;
+    conn.text_waiting = false;
+    if (touched.empty() || touched.back() != c.conn_id) {
+      touched.push_back(c.conn_id);
+    }
+  }
+  for (uint64_t id : touched) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    // A completion may unblock parsing (text ordering, pipeline bound).
+    ParseFrames(*it->second);
+    FlushOutput(*it->second);
+  }
+}
+
+void Server::FlushOutput(Connection& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    ssize_t w = ::send(conn.fd, conn.out.data() + conn.out_pos,
+                       conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (w > 0) {
+      conn.out_pos += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseConnection(conn.id);  // peer is gone; replies are undeliverable
+    return;
+  }
+  if (conn.out_pos == conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+  } else if (conn.out_pos > (1u << 20)) {
+    conn.out.erase(0, conn.out_pos);
+    conn.out_pos = 0;
+  }
+  // ParseFrames ran before every flush, so an empty pipe here means no
+  // further progress is possible on a closing connection.
+  if (conn.closing && conn.inflight == 0 && conn.out.empty()) {
+    CloseConnection(conn.id);
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void Server::UpdateInterest(Connection& conn) {
+  uint32_t want = 0;
+  const size_t unparsed = conn.in.size() - conn.in_pos;
+  const size_t pending = conn.out.size() - conn.out_pos;
+  if (!conn.rd_eof && !conn.discard_input && unparsed < in_cap_ &&
+      pending < kMaxOutBuffer) {
+    want |= EPOLLIN;
+  }
+  if (pending > 0) want |= EPOLLOUT;
+  if (want == conn.armed) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  conn.armed = want;
+}
+
+void Server::CloseConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  open_conns_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::FinalFlush() {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  for (auto& [id, conn] : conns_) {
+    while (conn->out_pos < conn->out.size()) {
+      ssize_t w = ::send(conn->fd, conn->out.data() + conn->out_pos,
+                         conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+      if (w > 0) {
+        conn->out_pos += static_cast<size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (std::chrono::steady_clock::now() >= deadline) break;
+        pollfd pfd{conn->fd, POLLOUT, 0};
+        ::poll(&pfd, 1, 50);
+        continue;
+      }
+      break;  // peer gone
+    }
+  }
 }
 
 Reply Server::Dispatch(const std::vector<std::string>& tokens,
@@ -424,7 +827,7 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
 
   // Everything below addresses a named session.
   if (verb != "VIEW" && verb != "UNDEFINE" && verb != "CHECK" &&
-      verb != "CLASSIFY" && verb != "OPTIMIZE") {
+      verb != "BCHECK" && verb != "CLASSIFY" && verb != "OPTIMIZE") {
     return ErrReply(kErrProto, StrCat("unknown command '", verb, "'"));
   }
   if (tokens.size() < 2) {
@@ -468,6 +871,33 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
     auto verdict = session->Check(tokens[2], tokens[3], trace);
     if (!verdict.ok()) return StatusReply(verdict.status());
     return OkReply(StrCat("subsumed=", *verdict ? "true" : "false"));
+  }
+  if (verb == "BCHECK") {
+    // Batched CHECK: N pairs, one verdict per pair, in order. One frame
+    // buys one dispatch, one session lock, and grouped SubsumesBatch
+    // runs instead of N full round trips.
+    if (tokens.size() < 2 || (tokens.size() - 2) % 2 != 0) {
+      return ErrReply(kErrProto, "usage: BCHECK <session> [<C> <D>]...");
+    }
+    const size_t count = (tokens.size() - 2) / 2;
+    if (count > kMaxBatchPairs) {
+      return ErrReply(kErrProto,
+                      StrCat("batch exceeds ", kMaxBatchPairs, " pairs"));
+    }
+    std::vector<std::pair<std::string, std::string>> pairs;
+    pairs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      pairs.emplace_back(tokens[2 + 2 * i], tokens[3 + 2 * i]);
+    }
+    base::ReaderLock lock(&session->mu());
+    auto verdicts = session->CheckBatch(pairs, trace);
+    if (!verdicts.ok()) return StatusReply(verdicts.status());
+    std::string text = "subsumed=";
+    for (size_t i = 0; i < verdicts->size(); ++i) {
+      if (i > 0) text += ',';
+      text += (*verdicts)[i] ? "true" : "false";
+    }
+    return OkReply(std::move(text));
   }
   if (verb == "CLASSIFY") {
     if (tokens.size() != 2) {
@@ -581,6 +1011,7 @@ ServerStats Server::stats() const {
   s.errors = errors_.load(std::memory_order_relaxed);
   s.busy = busy_.load(std::memory_order_relaxed);
   s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.open_connections = open_conns_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < kNumVerbs; ++i) {
     const uint64_t n = verb_requests_[i].load(std::memory_order_relaxed);
     if (n == 0) continue;
@@ -596,7 +1027,7 @@ ServerStats Server::stats() const {
 }
 
 void Server::RequestShutdown() {
-  stopping_.store(true, std::memory_order_relaxed);
+  stopping_.store(true, std::memory_order_release);
   {
     base::MutexLock lock(&stop_mu_);
     stop_requested_ = true;
@@ -632,30 +1063,34 @@ void Server::Shutdown() {
 }
 
 void Server::Teardown() {
-  // 1. Stop accepting: shutdown() wakes the blocked accept(), close()
-  //    releases the port.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (acceptor_.joinable()) acceptor_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  // 1. Wake the loop: it sees stopping_, deregisters + closes the
+  //    listener, and starts answering ERR shutdown to new frames. New
+  //    connects are refused from here on.
+  WakeLoop();
 
-  // 2. Graceful drain: every admitted request runs to completion and its
-  //    reply is written (the connection threads are still alive and
-  //    waiting). New Submits are rejected from here on.
+  // 2. Graceful drain: every admitted request runs to completion and
+  //    queues its encoded reply; the loop keeps flushing them while we
+  //    block here.
   pool_->Drain();
 
-  // 3. Unblock connection readers and join them.
-  {
-    base::MutexLock lock(&conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  std::vector<std::thread> threads;
-  {
-    base::MutexLock lock(&conn_mu_);
-    threads.swap(conn_threads_);
-    finished_conn_ids_.clear();  // every handle is joined below
-  }
-  for (std::thread& t : threads) t.join();
+  // 3. Final handshake: the loop routes the remaining completions, gives
+  //    the sockets a bounded grace period to take the bytes, closes every
+  //    connection, and exits.
+  loop_stop_.store(true, std::memory_order_release);
+  WakeLoop();
+  if (loop_.joinable()) loop_.join();
+
+  // 4. The loop is gone: its fds are safe to close from this thread.
+  if (event_fd_ >= 0) ::close(event_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  event_fd_ = -1;
+  epoll_fd_ = -1;
+  listen_fd_ = -1;  // the loop closed it when it saw stopping_
+}
+
+void Server::WakeLoop() {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
 }
 
 }  // namespace oodb::server

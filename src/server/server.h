@@ -1,17 +1,26 @@
 // Optimizer-as-a-service: a standalone TCP daemon that keeps named
 // sessions (schema + SL axioms + QL concepts + materialized view catalog)
 // resident in memory and answers subsumption/classification/optimization
-// requests over the framed text protocol of wire.h.
+// requests over the framed protocols of wire.h (legacy newline text and
+// length-prefixed binary, negotiated per connection on one port).
 //
-// Concurrency shape: one acceptor thread; one lightweight reader thread
-// per connection that parses frames and waits for its request's reply;
-// the actual work runs on a shared service::ThreadPool behind a bounded
-// admission counter. When the admission queue is full the request is
+// Concurrency shape: ONE epoll event-loop thread owns every connection —
+// non-blocking sockets, each connection a small state machine (reading
+// frames → dispatch → writing replies) with per-connection input/output
+// buffers and partial read/write resumption. The actual work still runs
+// on a shared service::ThreadPool behind a bounded admission counter;
+// finished requests hand their encoded reply back to the loop through a
+// mutex-guarded completion queue plus an eventfd wakeup. Binary
+// connections may pipeline many frames (replies tagged with request ids,
+// completing out of order); text connections keep the legacy
+// one-reply-per-request-in-order contract by parsing at most one pooled
+// request at a time. When the admission queue is full the request is
 // answered `BUSY` immediately (backpressure instead of unbounded queue
 // growth); a request that waited in the queue past the configured
 // deadline is answered `ERR deadline` without running. SHUTDOWN (or
-// Shutdown()) stops accepting, drains the queued work, and closes
-// connections — the graceful-drain counterpart of the pool's Drain().
+// Shutdown()) stops accepting, drains the queued work, flushes the
+// replies, and closes connections — the graceful-drain counterpart of
+// the pool's Drain().
 #ifndef OODB_SERVER_SERVER_H_
 #define OODB_SERVER_SERVER_H_
 
@@ -20,7 +29,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +52,7 @@ enum class Verb : uint8_t {
   kView,
   kUndefine,
   kCheck,
+  kBcheck,
   kClassify,
   kOptimize,
   kStats,
@@ -77,6 +86,10 @@ struct ServerOptions {
   size_t max_payload = size_t{8} << 20;
   // Upper bound on live named sessions.
   size_t max_sessions = 64;
+  // Pipelining bound: pooled requests in flight per connection. Frames
+  // beyond it stay in the connection's input buffer (backpressure via
+  // paused parsing, then paused reading), never dropped.
+  size_t max_inflight_per_conn = 256;
   // Requests whose total latency is >= this many milliseconds are traced
   // into the slow-query log (TRACE verb). 0 logs every request; negative
   // disables request tracing entirely.
@@ -90,13 +103,14 @@ struct ServerOptions {
 
 // Monotone server-wide counters (snapshot via Server::stats()).
 struct ServerStats {
-  uint64_t connections = 0;
-  uint64_t requests = 0;  // frames parsed, including rejected ones
+  uint64_t connections = 0;  // accepted over the server's lifetime
+  uint64_t requests = 0;     // frames parsed, including rejected ones
   uint64_t ok = 0;
   uint64_t errors = 0;
   uint64_t busy = 0;              // BUSY replies (admission bound hit)
   uint64_t deadline_expired = 0;  // ERR deadline replies
   size_t sessions = 0;            // live named sessions
+  size_t open_connections = 0;    // connections currently registered
 
   // Per-verb request/error counts, in Verb order, verbs with zero
   // requests omitted.
@@ -117,7 +131,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds and listens on 127.0.0.1, spawns the acceptor. Returns the
+  // Binds and listens on 127.0.0.1, spawns the event loop. Returns the
   // bound port.
   Result<int> Start();
 
@@ -126,7 +140,7 @@ class Server {
   void Wait() EXCLUDES(stop_mu_);
 
   // Requests shutdown and performs Wait(). Must not be called from a
-  // connection or worker thread (it joins them).
+  // worker or the event-loop thread (it joins them).
   void Shutdown() EXCLUDES(stop_mu_);
 
   int port() const { return port_; }
@@ -137,17 +151,67 @@ class Server {
   const obs::SlowQueryLog& slow_log() const { return slow_log_; }
 
  private:
-  struct PendingReply;
+  // Per-connection state machine. Owned and touched EXCLUSIVELY by the
+  // event-loop thread (thread-confined, hence no lock): workers never see
+  // a Connection — they address completions by connection id.
+  struct Connection;
 
-  void AcceptLoop() EXCLUDES(conn_mu_);
-  void ConnectionLoop(int fd) EXCLUDES(conn_mu_);
-  // Joins connection threads that have finished, so a long-running daemon
-  // serving many short-lived connections does not accumulate unjoined
-  // thread handles. Called from AcceptLoop between accepts.
-  void ReapFinishedConnections() EXCLUDES(conn_mu_);
-  // Parses one framed request off `reader` and produces the reply.
-  // Returns false when the connection should close (EOF / frame error).
-  bool HandleRequest(FrameReader& reader, int fd);
+  // An encoded reply travelling from a worker back to the event loop.
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string bytes;  // already in wire form (text or binary)
+  };
+
+  // One admitted request waiting to ride the next pool submission. A
+  // parse pass over a pipelined connection collects every complete frame
+  // into pending_work_ and hands the burst to the pool as a single task,
+  // so the handoff and completion-wakeup costs amortize over the burst.
+  struct PooledWork {
+    uint64_t request_id = 0;
+    Verb vkind = Verb::kOther;
+    std::shared_ptr<obs::TraceContext> trace;
+    std::chrono::steady_clock::time_point enqueued;
+    std::vector<std::string> tokens;
+    std::string payload;
+  };
+
+  // ---- Event-loop side (all run on loop_ only) ----
+  void EventLoop();
+  void HandleAccept();
+  void HandleReadable(Connection& conn);
+  void HandleWritable(Connection& conn);
+  // Parses as many complete frames as the connection's buffers and
+  // pipelining bounds allow, dispatching each.
+  void ParseFrames(Connection& conn);
+  bool ParseTextFrame(Connection& conn);    // one frame; false = no progress
+  bool ParseBinaryFrame(Connection& conn);  // one frame; false = no progress
+  // Routes one decoded frame: inline verbs answered on the loop,
+  // everything else admitted onto the pool.
+  void HandleFrame(Connection& conn, uint64_t request_id,
+                   std::vector<std::string> tokens, std::string payload);
+  // Appends an inline (loop-thread) reply to the connection's output.
+  void QueueReply(Connection& conn, uint64_t request_id, const Reply& reply,
+                  Verb vkind);
+  // Submits the frames collected by the current parse pass as one pool
+  // task (rolling them back with shutdown errors if the pool refuses).
+  void SubmitPooled(Connection& conn);
+  // Drains the completion queue into connection output buffers.
+  void DrainCompletions() EXCLUDES(comp_mu_);
+  void FlushOutput(Connection& conn);
+  // Keeps EPOLLIN/EPOLLOUT interest in sync with buffer state.
+  void UpdateInterest(Connection& conn);
+  void CloseConnection(uint64_t conn_id);
+  // Best-effort flush of every connection's pending output at teardown.
+  void FinalFlush();
+
+  // ---- Worker side ----
+  // Runs one admitted request to its encoded reply: deadline check,
+  // Dispatch, per-verb stats, histogram and trace finalization.
+  Completion FinalizeOnWorker(uint64_t conn_id, bool binary, PooledWork work);
+  // Publishes a burst of encoded replies to the loop: one lock, and one
+  // eventfd wakeup per empty→non-empty transition of the queue.
+  void PushCompletions(std::vector<Completion> batch) EXCLUDES(comp_mu_);
+
   Reply Dispatch(const std::vector<std::string>& tokens,
                  const std::string& payload, obs::TraceContext* trace);
   Reply DispatchLoad(const std::vector<std::string>& tokens,
@@ -163,38 +227,46 @@ class Server {
   std::shared_ptr<Session> FindSession(const std::string& name)
       EXCLUDES(sessions_mu_);
   void RequestShutdown() EXCLUDES(stop_mu_);
-  void Teardown() EXCLUDES(conn_mu_);
+  void Teardown();
+  void WakeLoop();  // writes the eventfd so a blocked epoll_wait returns
 
   ServerOptions options_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;  // worker → loop wakeup (completions, teardown)
   int port_ = 0;
 
   std::unique_ptr<service::ThreadPool> pool_;
   std::atomic<size_t> admitted_{0};  // requests queued or running
+  // Per-connection input cap: the largest legal frame (text payload or
+  // binary frame) plus header slack. Reading pauses above it.
+  size_t in_cap_ = 0;
 
-  // The three server mutexes are never held simultaneously today (each
-  // critical section releases before the next lock is taken); the
-  // declared order below pins the permitted nesting should one ever
-  // appear: sessions_mu_ -> conn_mu_ -> stop_mu_, and any session lock
-  // only after sessions_mu_ is released (see docs/concurrency.md).
-  mutable base::Mutex sessions_mu_ ACQUIRED_BEFORE(conn_mu_, stop_mu_);
+  // Lock order: sessions_mu_ -> stop_mu_; comp_mu_ is a leaf taken by
+  // itself (push from workers, swap from the loop) and never held across
+  // a call out (see docs/concurrency.md).
+  mutable base::Mutex sessions_mu_ ACQUIRED_BEFORE(stop_mu_);
   std::map<std::string, std::shared_ptr<Session>> sessions_
       GUARDED_BY(sessions_mu_);
 
-  base::Mutex conn_mu_ ACQUIRED_BEFORE(stop_mu_);
-  std::vector<std::thread> conn_threads_ GUARDED_BY(conn_mu_);
-  // Ids of conn_threads_ entries whose ConnectionLoop has returned; their
-  // handles are joined by ReapFinishedConnections.
-  std::vector<std::thread::id> finished_conn_ids_ GUARDED_BY(conn_mu_);
-  std::set<int> conn_fds_ GUARDED_BY(conn_mu_);
-  std::thread acceptor_;
+  base::Mutex comp_mu_;
+  std::vector<Completion> completions_ GUARDED_BY(comp_mu_);
+
+  // Connection table: event-loop thread only (thread-confined).
+  std::map<uint64_t, std::unique_ptr<Connection>> conns_;
+  // Burst under assembly by the current ParseFrames pass (loop-confined;
+  // always empty between passes).
+  std::vector<PooledWork> pending_work_;
+  uint64_t next_conn_id_ = 2;  // 0 = listen tag, 1 = eventfd tag
+  std::thread loop_;
 
   base::Mutex stop_mu_;
   base::CondVar stop_cv_;
   bool stop_requested_ GUARDED_BY(stop_mu_) = false;
   bool torn_down_ GUARDED_BY(stop_mu_) = false;
   bool teardown_done_ GUARDED_BY(stop_mu_) = false;
-  std::atomic<bool> stopping_{false};  // fast-path flag for request paths
+  std::atomic<bool> stopping_{false};   // fast-path flag for request paths
+  std::atomic<bool> loop_stop_{false};  // final wakeup for the event loop
 
   mutable std::atomic<uint64_t> connections_{0};
   mutable std::atomic<uint64_t> requests_{0};
@@ -202,6 +274,7 @@ class Server {
   mutable std::atomic<uint64_t> errors_{0};
   mutable std::atomic<uint64_t> busy_{0};
   mutable std::atomic<uint64_t> deadline_expired_{0};
+  mutable std::atomic<size_t> open_conns_{0};
   mutable std::array<std::atomic<uint64_t>, kNumVerbs> verb_requests_{};
   mutable std::array<std::atomic<uint64_t>, kNumVerbs> verb_errors_{};
 

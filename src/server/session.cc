@@ -1,5 +1,6 @@
 #include "server/session.h"
 
+#include <unordered_map>
 #include <utility>
 
 #include "base/strings.h"
@@ -138,6 +139,42 @@ Result<bool> Session::Check(const std::string& c, const std::string& d,
   }
   checks_.fetch_add(1, std::memory_order_relaxed);
   return checker_->Subsumes(cc, dd, trace);
+}
+
+Result<std::vector<bool>> Session::CheckBatch(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    obs::TraceContext* trace) {
+  std::vector<ql::ConceptId> lhs(pairs.size());
+  std::vector<ql::ConceptId> rhs(pairs.size());
+  {
+    obs::ScopedSpan span(trace, obs::Phase::kTranslate);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      OODB_ASSIGN_OR_RETURN(lhs[i], ConceptOf(pairs[i].first));
+      OODB_ASSIGN_OR_RETURN(rhs[i], ConceptOf(pairs[i].second));
+    }
+  }
+  // Group pair indices by left operand, preserving first-seen order, so
+  // each distinct C costs one SubsumesBatch call over all its Ds.
+  std::unordered_map<ql::ConceptId, size_t> group_of;
+  std::vector<std::pair<ql::ConceptId, std::vector<size_t>>> groups;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    auto [it, inserted] = group_of.emplace(lhs[i], groups.size());
+    if (inserted) groups.push_back({lhs[i], {}});
+    groups[it->second].second.push_back(i);
+  }
+  std::vector<bool> verdicts(pairs.size());
+  for (const auto& [c, indices] : groups) {
+    std::vector<ql::ConceptId> ds;
+    ds.reserve(indices.size());
+    for (size_t i : indices) ds.push_back(rhs[i]);
+    OODB_ASSIGN_OR_RETURN(std::vector<bool> group_verdicts,
+                          checker_->SubsumesBatch(c, ds, trace));
+    for (size_t k = 0; k < indices.size(); ++k) {
+      verdicts[indices[k]] = group_verdicts[k];
+    }
+  }
+  checks_.fetch_add(pairs.size(), std::memory_order_relaxed);
+  return verdicts;
 }
 
 Status Session::EnsureClassifierLocked(obs::TraceContext* trace) {

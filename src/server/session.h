@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "base/status.h"
@@ -65,6 +66,14 @@ class Session {
   Result<bool> Check(const std::string& c, const std::string& d,
                      obs::TraceContext* trace = nullptr)
       REQUIRES_SHARED(mu_);
+
+  // Cᵢ ⊑_Σ Dᵢ for every pair, one verdict per pair in order (the BCHECK
+  // verb). Pairs sharing a left operand are grouped onto a single
+  // SubsumesBatch call — the catalog-scan fast path one completion run
+  // decides — so a query-vs-view-catalog batch costs one engine run.
+  Result<std::vector<bool>> CheckBatch(
+      const std::vector<std::pair<std::string, std::string>>& pairs,
+      obs::TraceContext* trace = nullptr) REQUIRES_SHARED(mu_);
 
   // Classifies schema + query classes; returns the hierarchy rendering.
   // The taxonomy is RESIDENT: the first call classifies from scratch,

@@ -3,8 +3,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cstring>
 
 namespace oodb::server {
 
@@ -57,7 +59,280 @@ std::string SanitizeLine(std::string_view text) {
   return out;
 }
 
-bool SendAll(int fd, std::string_view data) {
+// ---- Binary encode ---------------------------------------------------------
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+namespace {
+
+uint16_t GetU16(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(u[0] | (u[1] << 8));
+}
+
+uint32_t GetU32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  for (int i = 7; i >= 0; --i) v = (v << 8) | u[i];
+  return v;
+}
+
+void AppendStr16(std::string* out, std::string_view s) {
+  AppendU16(out, static_cast<uint16_t>(s.size()));
+  out->append(s);
+}
+
+// Reads a u16-prefixed string out of body[*pos..); false on overrun.
+bool GetStr16(std::string_view body, size_t* pos, std::string* out) {
+  if (body.size() - *pos < 2) return false;
+  const uint16_t n = GetU16(body.data() + *pos);
+  *pos += 2;
+  if (body.size() - *pos < n) return false;
+  out->assign(body.data() + *pos, n);
+  *pos += n;
+  return true;
+}
+
+// Stamps the frame header (everything after the length prefix is already
+// in `frame`) and returns the finished wire bytes.
+std::string FinishFrame(std::string frame) {
+  std::string out;
+  out.reserve(4 + frame.size());
+  AppendU32(&out, static_cast<uint32_t>(frame.size()));
+  out += frame;
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeBinaryLineRequest(uint64_t id, std::string_view line,
+                                    std::string_view payload) {
+  std::string frame;
+  frame.reserve(13 + line.size() + payload.size() + 6);
+  AppendU64(&frame, id);
+  frame.push_back(static_cast<char>(Opcode::kLine));
+  AppendStr16(&frame, line);
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  return FinishFrame(std::move(frame));
+}
+
+std::string EncodeBinaryCheckRequest(uint64_t id, std::string_view session,
+                                     std::string_view c, std::string_view d) {
+  std::string frame;
+  frame.reserve(9 + session.size() + c.size() + d.size() + 6);
+  AppendU64(&frame, id);
+  frame.push_back(static_cast<char>(Opcode::kCheck));
+  AppendStr16(&frame, session);
+  AppendStr16(&frame, c);
+  AppendStr16(&frame, d);
+  return FinishFrame(std::move(frame));
+}
+
+std::string EncodeBinaryBatchCheckRequest(
+    uint64_t id, std::string_view session,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::string frame;
+  AppendU64(&frame, id);
+  frame.push_back(static_cast<char>(Opcode::kBatchCheck));
+  AppendStr16(&frame, session);
+  AppendU32(&frame, static_cast<uint32_t>(pairs.size()));
+  for (const auto& [c, d] : pairs) {
+    AppendStr16(&frame, c);
+    AppendStr16(&frame, d);
+  }
+  return FinishFrame(std::move(frame));
+}
+
+std::string EncodeBinaryReply(uint64_t id, const Reply& reply) {
+  std::string frame;
+  frame.reserve(9 + reply.code.size() + reply.payload.size() + 8);
+  AppendU64(&frame, id);
+  switch (reply.kind) {
+    case Reply::Kind::kOk:
+      frame.push_back(static_cast<char>(BinaryStatus::kOk));
+      AppendU32(&frame, static_cast<uint32_t>(reply.payload.size()));
+      frame.append(reply.payload);
+      break;
+    case Reply::Kind::kErr:
+      frame.push_back(static_cast<char>(BinaryStatus::kErr));
+      AppendStr16(&frame, reply.code);
+      AppendU32(&frame, static_cast<uint32_t>(reply.payload.size()));
+      frame.append(reply.payload);
+      break;
+    case Reply::Kind::kBusy:
+      frame.push_back(static_cast<char>(BinaryStatus::kBusy));
+      break;
+  }
+  return FinishFrame(std::move(frame));
+}
+
+// ---- Binary decode ---------------------------------------------------------
+
+namespace {
+
+// Common header parse: length prefix + id. Returns kFrame when the whole
+// frame is buffered, with *body set to the bytes after the id field.
+ParseStatus ParseHeader(std::string_view buf, size_t* consumed, uint64_t* id,
+                        std::string_view* body, std::string* error) {
+  if (buf.size() < 4) return ParseStatus::kNeedMore;
+  const uint32_t frame_len = GetU32(buf.data());
+  if (frame_len > kMaxBinaryFrame) {
+    *error = "frame length " + std::to_string(frame_len) + " exceeds " +
+             std::to_string(kMaxBinaryFrame);
+    return ParseStatus::kBad;
+  }
+  if (frame_len < 9) {  // id (8) + opcode/status (1)
+    *error = "frame length " + std::to_string(frame_len) +
+             " below the 9-byte header";
+    return ParseStatus::kBad;
+  }
+  if (buf.size() - 4 < frame_len) return ParseStatus::kNeedMore;
+  *id = GetU64(buf.data() + 4);
+  *body = buf.substr(13, frame_len - 9);
+  *consumed = 4 + frame_len;
+  return ParseStatus::kFrame;
+}
+
+}  // namespace
+
+ParseStatus ParseBinaryRequest(std::string_view buf, size_t* consumed,
+                               BinaryRequest* out, std::string* error) {
+  out->id = 0;
+  std::string_view body;
+  ParseStatus st = ParseHeader(buf, consumed, &out->id, &body, error);
+  if (st != ParseStatus::kFrame) return st;
+  const auto op = static_cast<Opcode>(buf[12]);
+  out->op = op;
+  out->tokens.clear();
+  out->payload.clear();
+  size_t pos = 0;
+  switch (op) {
+    case Opcode::kLine: {
+      std::string line;
+      if (!GetStr16(body, &pos, &line)) break;
+      if (body.size() - pos < 4) break;
+      const uint32_t payload_len = GetU32(body.data() + pos);
+      pos += 4;
+      if (body.size() - pos != payload_len) break;
+      out->payload.assign(body.data() + pos, payload_len);
+      out->tokens = SplitTokens(line);
+      return ParseStatus::kFrame;
+    }
+    case Opcode::kCheck: {
+      std::string session, c, d;
+      if (!GetStr16(body, &pos, &session) || !GetStr16(body, &pos, &c) ||
+          !GetStr16(body, &pos, &d) || pos != body.size()) {
+        break;
+      }
+      out->tokens = {"CHECK", std::move(session), std::move(c), std::move(d)};
+      return ParseStatus::kFrame;
+    }
+    case Opcode::kBatchCheck: {
+      std::string session;
+      if (!GetStr16(body, &pos, &session)) break;
+      if (body.size() - pos < 4) break;
+      const uint32_t count = GetU32(body.data() + pos);
+      pos += 4;
+      if (count > kMaxBatchPairs) {
+        *error = "batch of " + std::to_string(count) + " pairs exceeds " +
+                 std::to_string(kMaxBatchPairs);
+        return ParseStatus::kBad;
+      }
+      out->tokens.reserve(2 + 2 * count);
+      out->tokens.push_back("BCHECK");
+      out->tokens.push_back(std::move(session));
+      bool ok = true;
+      for (uint32_t i = 0; i < count && ok; ++i) {
+        std::string c, d;
+        ok = GetStr16(body, &pos, &c) && GetStr16(body, &pos, &d);
+        if (ok) {
+          out->tokens.push_back(std::move(c));
+          out->tokens.push_back(std::move(d));
+        }
+      }
+      if (!ok || pos != body.size()) break;
+      return ParseStatus::kFrame;
+    }
+    default:
+      *error = "unknown opcode " + std::to_string(buf[12]);
+      return ParseStatus::kBad;
+  }
+  *error = "truncated or overlong frame body (opcode " +
+           std::to_string(static_cast<int>(op)) + ")";
+  return ParseStatus::kBad;
+}
+
+ParseStatus ParseBinaryReply(std::string_view buf, size_t* consumed,
+                             BinaryReply* out, std::string* error) {
+  out->id = 0;
+  std::string_view body;
+  ParseStatus st = ParseHeader(buf, consumed, &out->id, &body, error);
+  if (st != ParseStatus::kFrame) return st;
+  const auto status = static_cast<BinaryStatus>(buf[12]);
+  size_t pos = 0;
+  switch (status) {
+    case BinaryStatus::kOk: {
+      if (body.size() < 4) break;
+      const uint32_t n = GetU32(body.data());
+      pos = 4;
+      if (body.size() - pos != n) break;
+      out->reply.kind = Reply::Kind::kOk;
+      out->reply.code.clear();
+      out->reply.payload.assign(body.data() + pos, n);
+      return ParseStatus::kFrame;
+    }
+    case BinaryStatus::kErr: {
+      std::string code;
+      if (!GetStr16(body, &pos, &code)) break;
+      if (body.size() - pos < 4) break;
+      const uint32_t n = GetU32(body.data() + pos);
+      pos += 4;
+      if (body.size() - pos != n) break;
+      out->reply.kind = Reply::Kind::kErr;
+      out->reply.code = std::move(code);
+      out->reply.payload.assign(body.data() + pos, n);
+      return ParseStatus::kFrame;
+    }
+    case BinaryStatus::kBusy:
+      if (!body.empty()) break;
+      out->reply.kind = Reply::Kind::kBusy;
+      out->reply.code.clear();
+      out->reply.payload.clear();
+      return ParseStatus::kFrame;
+    default:
+      break;
+  }
+  *error = "malformed binary reply (status " +
+           std::to_string(static_cast<int>(buf[12])) + ")";
+  return ParseStatus::kBad;
+}
+
+// ---- Blocking fd helpers ---------------------------------------------------
+
+bool WriteFully(int fd, std::string_view data) {
   size_t sent = 0;
   while (sent < data.size()) {
     // MSG_NOSIGNAL: a peer that hung up must surface as an error return,
@@ -69,6 +344,20 @@ bool SendAll(int fd, std::string_view data) {
       return false;
     }
     sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadFully(int fd, size_t n, std::string* out) {
+  char chunk[4096];
+  size_t got = 0;
+  while (got < n) {
+    const size_t want = std::min(n - got, sizeof(chunk));
+    ssize_t r = ::recv(fd, chunk, want, 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;  // EOF or error before n bytes
+    out->append(chunk, static_cast<size_t>(r));
+    got += static_cast<size_t>(r);
   }
   return true;
 }

@@ -1,22 +1,44 @@
-// Wire protocol of the optimizer daemon: a newline-delimited framed text
-// protocol over a byte stream (TCP), shared by server and client.
+// Wire protocols of the optimizer daemon, shared by server and client.
 //
-// Requests are one ASCII line `<VERB> <args...>\n`; the payload-carrying
-// verbs (LOAD, STATE) end their line with a byte count and follow it with
-// exactly that many payload bytes plus one terminating '\n'. Every request
-// gets exactly one reply:
+// Two framings are served on the same port:
 //
-//   OK <nbytes>\n<payload bytes>\n      success, framed result text
-//   ERR <code> <message>\n              failure (code is a status name)
-//   BUSY\n                              admission queue full, retry later
+// 1. The legacy newline-delimited TEXT protocol. Requests are one ASCII
+//    line `<VERB> <args...>\n`; the payload-carrying verbs (LOAD, STATE)
+//    end their line with a byte count and follow it with exactly that
+//    many payload bytes plus one terminating '\n'. Every request gets
+//    exactly one reply, in request order per connection:
 //
-// Replies arrive in request order on each connection. See docs/server.md
-// for the full specification.
+//      OK <nbytes>\n<payload bytes>\n      success, framed result text
+//      ERR <code> <message>\n              failure (code is a status name)
+//      BUSY\n                              admission queue full, retry later
+//
+// 2. The length-prefixed BINARY protocol, negotiated by the 4-byte
+//    preamble "OSB1" as the very first bytes a client sends. Binary
+//    frames carry a client-chosen request id that is echoed in the
+//    reply, so many requests may be pipelined per connection and the
+//    replies may complete OUT OF ORDER. Layout (all integers
+//    little-endian):
+//
+//      request:  u32 frame_len | u64 request_id | u8 opcode | body
+//      reply:    u32 frame_len | u64 request_id | u8 status | body
+//
+//    `frame_len` counts the bytes after the length field itself.
+//    Opcodes: kLine carries any text-protocol command line (u16 len +
+//    bytes) plus an optional payload (u32 len + bytes); kCheck carries
+//    three u16-prefixed strings (session, C, D); kBatchCheck carries a
+//    u16 session, a u32 pair count, and that many (C, D) string pairs —
+//    the wire form of the BCHECK verb, executed via SubsumesBatch.
+//    Reply statuses mirror the text replies: kOk (u32 len + payload),
+//    kErr (u16 code + u32 message), kBusy (empty body).
+//
+// See docs/server.md for the full specification.
 #ifndef OODB_SERVER_WIRE_H_
 #define OODB_SERVER_WIRE_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace oodb::server {
@@ -30,6 +52,27 @@ inline constexpr std::string_view kErrProto = "proto";       // malformed frame
 inline constexpr std::string_view kErrDeadline = "deadline"; // queue-wait budget
 inline constexpr std::string_view kErrShutdown = "shutdown"; // server draining
 
+// ---- Binary framing constants ---------------------------------------------
+
+// First bytes on a connection that opt into the binary protocol. No text
+// verb starts with this sequence, so the framings share one port.
+inline constexpr std::string_view kBinaryPreamble = "OSB1";
+
+// Upper bound on `frame_len`; larger announcements are a malformed peer
+// and close the connection (the unread bytes are unrecoverable).
+inline constexpr uint32_t kMaxBinaryFrame = 16u << 20;
+
+// Upper bound on (C, D) pairs per BCHECK frame / text BCHECK line.
+inline constexpr size_t kMaxBatchPairs = 4096;
+
+enum class Opcode : uint8_t {
+  kLine = 1,        // any text command line + optional payload
+  kCheck = 2,       // CHECK <session> <C> <D>
+  kBatchCheck = 3,  // BCHECK <session> <C,D>...
+};
+
+enum class BinaryStatus : uint8_t { kOk = 0, kErr = 1, kBusy = 2 };
+
 struct Reply {
   enum class Kind { kOk, kErr, kBusy };
   Kind kind = Kind::kOk;
@@ -40,7 +83,7 @@ struct Reply {
 Reply OkReply(std::string payload);
 Reply ErrReply(std::string_view code, std::string_view message);
 
-// Serializes a reply into its on-wire byte form.
+// Serializes a reply into its on-wire text byte form.
 std::string EncodeReply(const Reply& reply);
 
 // Splits on runs of spaces/tabs; never returns empty tokens.
@@ -50,11 +93,77 @@ std::vector<std::string> SplitTokens(std::string_view line);
 // message can be embedded in a single-line ERR frame.
 std::string SanitizeLine(std::string_view text);
 
+// ---- Binary encode / decode ------------------------------------------------
+
+// Little-endian integer append/read helpers for the framing layer.
+void AppendU16(std::string* out, uint16_t v);
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+
+// Client-side request encoders. Strings longer than 65535 bytes are
+// truncated-free rejected at the callsite (class names and command lines
+// are far below the cap in practice; EncodeBinaryLineRequest callers keep
+// lines under the text protocol's 64 KiB line cap anyway).
+std::string EncodeBinaryLineRequest(uint64_t id, std::string_view line,
+                                    std::string_view payload = {});
+std::string EncodeBinaryCheckRequest(uint64_t id, std::string_view session,
+                                     std::string_view c, std::string_view d);
+std::string EncodeBinaryBatchCheckRequest(
+    uint64_t id, std::string_view session,
+    const std::vector<std::pair<std::string, std::string>>& pairs);
+
+// Server-side reply encoder.
+std::string EncodeBinaryReply(uint64_t id, const Reply& reply);
+
+// A parsed binary request, decoded into the same token form the text
+// dispatcher consumes (kCheck -> {"CHECK", session, C, D}; kBatchCheck ->
+// {"BCHECK", session, C1, D1, ...}; kLine -> SplitTokens(line)), so both
+// framings share one dispatch path and one behaviour.
+struct BinaryRequest {
+  uint64_t id = 0;
+  Opcode op = Opcode::kLine;
+  std::vector<std::string> tokens;
+  std::string payload;
+};
+
+struct BinaryReply {
+  uint64_t id = 0;
+  Reply reply;
+};
+
+enum class ParseStatus {
+  kNeedMore,  // the buffer holds no complete frame yet
+  kFrame,     // one frame parsed; *consumed bytes were used
+  kBad,       // malformed frame; the stream is unrecoverable
+};
+
+// Incremental request parser: examines buf[0..) for one complete frame.
+// On kFrame, *consumed is the frame's full byte length. On kBad, *error
+// holds a one-line diagnostic and *out->id the request id if the header
+// was readable (0 otherwise), so the server can address its ERR reply.
+ParseStatus ParseBinaryRequest(std::string_view buf, size_t* consumed,
+                               BinaryRequest* out, std::string* error);
+
+// Incremental reply parser (client side), same contract.
+ParseStatus ParseBinaryReply(std::string_view buf, size_t* consumed,
+                             BinaryReply* out, std::string* error);
+
+// ---- Blocking fd helpers ---------------------------------------------------
+
 // Writes all of `data` to `fd`, retrying on short writes and EINTR and
 // suppressing SIGPIPE. Returns false on any other error.
-bool SendAll(int fd, std::string_view data);
+bool WriteFully(int fd, std::string_view data);
 
-// Buffered reader for the framing layer. Not thread-safe.
+// Backwards-compatible alias kept for existing call sites.
+inline bool SendAll(int fd, std::string_view data) {
+  return WriteFully(fd, data);
+}
+
+// Reads exactly `n` bytes into `out` (appended), retrying on short reads
+// and EINTR. Returns false on EOF or error before `n` bytes arrived.
+bool ReadFully(int fd, size_t n, std::string* out);
+
+// Buffered reader for the text framing layer. Not thread-safe.
 class FrameReader {
  public:
   explicit FrameReader(int fd) : fd_(fd) {}

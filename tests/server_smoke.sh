@@ -1,8 +1,10 @@
 #!/bin/sh
 # Daemon smoke test: start `oodbsub serve` on an ephemeral port, run a
 # scripted client session (LOAD / CHECK / STATE / VIEW / UNDEFINE /
-# OPTIMIZE / CLASSIFY / STATS / SHUTDOWN) through `oodbsub rpc`, and assert the
-# server drains and exits cleanly. This is the CI server-smoke job.
+# OPTIMIZE / CLASSIFY / STATS / SHUTDOWN) through `oodbsub rpc`, repeat
+# the core verbs over the binary framing (`rpc --binary`, including the
+# batched BCHECK), and assert the server drains and exits cleanly. This
+# is the CI server-smoke job.
 #
 # usage: server_smoke.sh <path-to-oodbsub> <examples-data-dir>
 set -e
@@ -48,6 +50,18 @@ echo "daemon on $T"
 "$BIN" rpc "$T" CLASSIFY med                  | grep -q 'ViewPatient'
 "$BIN" rpc "$T" STATS med                     | grep -q 'engine_runs='
 "$BIN" rpc "$T" STATS med                     | grep -q 'classify_removes=1'
+
+# Batched CHECK over the text protocol, then the same session over the
+# binary framing: verdicts must be byte-identical across framings.
+"$BIN" rpc "$T" BCHECK med QueryPatient ViewPatient ViewPatient QueryPatient \
+  | grep -q '^subsumed=true,false$'
+"$BIN" rpc --binary "$T" PING                 | grep -q '^pong$'
+"$BIN" rpc --binary "$T" CHECK med QueryPatient ViewPatient \
+  | grep -q '^subsumed=true$'
+"$BIN" rpc --binary "$T" BCHECK med QueryPatient ViewPatient ViewPatient QueryPatient \
+  | grep -q '^subsumed=true,false$'
+"$BIN" rpc --binary "$T" STATS med            | grep -q 'engine_runs='
+
 "$BIN" rpc "$T" SHUTDOWN                      | grep -q 'draining'
 
 # The daemon must exit 0 on its own after the drain.

@@ -7,12 +7,20 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "base/rng.h"
@@ -798,6 +806,321 @@ TEST(Server, SlowQueryLogRecordsAllPhasesOfAnExpensiveCheck) {
   std::swap(check_line, load_line);
 
   EXPECT_GE(server.slow_log().recorded(), 2u);
+  server.Shutdown();
+}
+
+// A raw binary-mode connection (no Client conveniences): preamble plus
+// hand-crafted frames, for exercising the server's parser directly.
+struct RawBinaryConn {
+  int fd = -1;
+
+  static RawBinaryConn Open(int port) {
+    RawBinaryConn conn;
+    conn.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(conn.fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(conn.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+        0);
+    EXPECT_TRUE(WriteFully(conn.fd, kBinaryPreamble));
+    return conn;
+  }
+
+  // Reads one reply frame (blocking).
+  Result<BinaryReply> ReadReply() {
+    std::string buf;
+    if (!ReadFully(fd, 4, &buf)) return InternalError("EOF on length");
+    size_t consumed = 0;
+    BinaryReply out;
+    std::string error;
+    if (ParseBinaryReply(buf, &consumed, &out, &error) == ParseStatus::kBad) {
+      return InternalError(error);
+    }
+    const size_t frame_len = static_cast<uint8_t>(buf[0]) |
+                             (static_cast<uint8_t>(buf[1]) << 8) |
+                             (static_cast<uint8_t>(buf[2]) << 16) |
+                             (static_cast<size_t>(static_cast<uint8_t>(buf[3]))
+                              << 24);
+    if (!ReadFully(fd, frame_len, &buf)) return InternalError("EOF on body");
+    if (ParseBinaryReply(buf, &consumed, &out, &error) !=
+        ParseStatus::kFrame) {
+      return InternalError(error);
+    }
+    return out;
+  }
+
+  bool AtEof() {
+    char c;
+    ssize_t n;
+    do {
+      n = ::recv(fd, &c, 1, 0);
+    } while (n < 0 && errno == EINTR);
+    return n == 0;
+  }
+
+  ~RawBinaryConn() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+// The tentpole differential: over the full 384-pair seeded corpus, the
+// verdict bytes served by text CHECK (joined), text BCHECK and binary
+// BCHECK must be identical — and must match the in-process checker.
+TEST(Server, BatchVerdictBytesMatchSingleChecksAcrossFramings) {
+  Server server;
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+  Client text = MustConnect(*port);
+  Client binary = MustConnect(*port);
+  ASSERT_TRUE(binary.EnableBinary().ok());
+
+  size_t pairs_total = 0;
+  for (uint64_t seed : {11u, 22u, 33u, 44u}) {
+    Rng rng(seed);
+    gen::DlGenOptions options;
+    options.num_classes = 7;
+    options.num_attrs = 4;
+    options.num_queries = 8;
+    gen::GeneratedDl dl = gen::GenerateDlSource(rng, options);
+
+    auto ref = Reference::FromSource(dl.source);
+    ASSERT_NE(ref, nullptr) << dl.source;
+    const std::string session = StrCat("corpus", seed);
+    auto loaded = text.Load(session, dl.source);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (const std::string& c : dl.query_names) {
+      for (const std::string& d : dl.query_names) pairs.emplace_back(c, d);
+      for (size_t i = 0; i < 4 && i < dl.class_names.size(); ++i) {
+        pairs.emplace_back(c, dl.class_names[i]);
+      }
+    }
+    pairs_total += pairs.size();
+
+    // Expected bytes from per-pair text CHECKs and the reference.
+    std::string expected = "subsumed=";
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      auto ref_verdict = ref->Check(pairs[i].first, pairs[i].second);
+      ASSERT_TRUE(ref_verdict.ok()) << ref_verdict.status();
+      auto wire_verdict =
+          text.Check(session, pairs[i].first, pairs[i].second);
+      ASSERT_TRUE(wire_verdict.ok()) << wire_verdict.status();
+      ASSERT_EQ(*ref_verdict, *wire_verdict)
+          << pairs[i].first << " ⊑? " << pairs[i].second;
+      if (i > 0) expected += ',';
+      expected += *ref_verdict ? "true" : "false";
+    }
+
+    // Text BCHECK: one line, raw body compared byte for byte.
+    std::string line = StrCat("BCHECK ", session);
+    for (const auto& [c, d] : pairs) line = StrCat(line, " ", c, " ", d);
+    auto text_body = text.Roundtrip(line);
+    ASSERT_TRUE(text_body.ok()) << text_body.status();
+    EXPECT_EQ(*text_body, expected);
+
+    // Binary BCHECK: one kBatchCheck frame, same bytes.
+    auto id = binary.SubmitCheckBatch(session, pairs);
+    ASSERT_TRUE(id.ok()) << id.status();
+    auto binary_body = binary.Await(*id);
+    ASSERT_TRUE(binary_body.ok()) << binary_body.status();
+    EXPECT_EQ(*binary_body, expected);
+
+    // And the typed wrapper agrees in both modes.
+    auto typed = binary.CheckBatch(session, pairs);
+    ASSERT_TRUE(typed.ok()) << typed.status();
+    ASSERT_EQ(typed->size(), pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ((*typed)[i], (*ref->Check(pairs[i].first, pairs[i].second)));
+    }
+  }
+  EXPECT_EQ(pairs_total, 384u);
+  server.Shutdown();
+}
+
+TEST(Server, BatchCheckValidatesItsFrame) {
+  Server server;
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+  Client client = MustConnect(*port);
+  const std::string source = "Class A with end A\nClass B isA A with end B\n";
+  auto loaded = client.Load("s", source);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // Zero pairs is a valid (empty) batch.
+  auto empty = client.Roundtrip("BCHECK s");
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_EQ(*empty, "subsumed=");
+  auto typed_empty = client.CheckBatch("s", {});
+  ASSERT_TRUE(typed_empty.ok());
+  EXPECT_TRUE(typed_empty->empty());
+
+  // An odd operand count cannot form pairs.
+  auto odd = client.Roundtrip("BCHECK s B A B");
+  ASSERT_FALSE(odd.ok());
+  EXPECT_NE(odd.status().message().find("proto"), std::string::npos);
+
+  // Unknown names fail the whole batch with the library's error code.
+  auto bad = client.Roundtrip("BCHECK s B NoSuchClass");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("not_found"), std::string::npos);
+
+  // A mixed batch with a shared left operand exercises the grouped
+  // SubsumesBatch path: B ⊑ A, B ⊑ B, A ⋢ B.
+  auto verdicts = client.CheckBatch("s", {{"B", "A"}, {"B", "B"}, {"A", "B"}});
+  ASSERT_TRUE(verdicts.ok()) << verdicts.status();
+  EXPECT_EQ(*verdicts, (std::vector<bool>{true, true, false}));
+  server.Shutdown();
+}
+
+TEST(Server, BinaryModeServesEveryVerbAndSharesSessionsWithText) {
+  Server server;
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+  Client binary = MustConnect(*port);
+  ASSERT_TRUE(binary.EnableBinary().ok());
+
+  // The full verb surface over binary kLine frames (typed wrappers all
+  // route through Roundtrip, which pipelines depth-one in binary mode).
+  EXPECT_TRUE(binary.Ping().ok());
+  const std::string source =
+      "Class A with end A\nClass B isA A with end B\nQueryClass Q isA A with end Q\n";
+  auto loaded = binary.Load("shared", source);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto extent = binary.DefineView("shared", "Q");
+  EXPECT_TRUE(extent.ok()) << extent.status();
+  auto verdict = binary.Check("shared", "B", "A");  // kCheck frame
+  ASSERT_TRUE(verdict.ok()) << verdict.status();
+  EXPECT_TRUE(*verdict);
+  EXPECT_TRUE(binary.Classify("shared").ok());
+  EXPECT_TRUE(binary.Optimize("shared", "Q").ok());
+  auto stats = binary.Stats("shared");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats->find("session shared:"), std::string::npos);
+  auto metrics = binary.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_NE(metrics->find("oodb_server_requests_total"), std::string::npos);
+  EXPECT_TRUE(binary.TraceLog(5).ok());
+  auto undef = binary.Undefine("shared", "Q");
+  EXPECT_TRUE(undef.ok()) << undef.status();
+
+  // A concurrent text connection sees the same session state: the
+  // framings share one dispatcher and one session table.
+  Client text = MustConnect(*port);
+  auto text_verdict = text.Check("shared", "B", "A");
+  ASSERT_TRUE(text_verdict.ok()) << text_verdict.status();
+  EXPECT_TRUE(*text_verdict);
+
+  // Binary protocol errors surface as ERR frames, connection usable.
+  auto bad = binary.Roundtrip("FROBNICATE x");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("proto"), std::string::npos);
+  EXPECT_TRUE(binary.Ping().ok());
+  server.Shutdown();
+}
+
+TEST(Server, PipelinedBinaryRepliesCompleteOutOfOrder) {
+  Server server;
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+  Client client = MustConnect(*port);
+  ASSERT_TRUE(client.EnableBinary().ok());
+
+  // A slow pooled request then a fast inline one, pipelined on one
+  // connection. The PING reply must come back while the SLEEP runs.
+  auto slow = client.SubmitLine("SLEEP 400");
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  auto fast = client.SubmitLine("PING");
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto pong = client.Await(*fast);
+  const auto fast_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_EQ(*pong, "pong");
+  EXPECT_LT(fast_ms, 300) << "PING reply waited behind SLEEP";
+  auto slept = client.Await(*slow);
+  ASSERT_TRUE(slept.ok()) << slept.status();
+  EXPECT_EQ(*slept, "slept=400");
+
+  // The reverse await order stashes the early reply until it is claimed.
+  auto slow2 = client.SubmitLine("SLEEP 50");
+  auto fast2 = client.SubmitLine("PING");
+  ASSERT_TRUE(slow2.ok() && fast2.ok());
+  auto slept2 = client.Await(*slow2);  // ping reply arrives first, buffered
+  ASSERT_TRUE(slept2.ok()) << slept2.status();
+  auto pong2 = client.Await(*fast2);  // served from the buffer
+  ASSERT_TRUE(pong2.ok()) << pong2.status();
+  EXPECT_EQ(*pong2, "pong");
+  server.Shutdown();
+}
+
+TEST(Server, MalformedBinaryFramesGetAnAddressedErrThenClose) {
+  Server server;
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  {  // Unknown opcode: ERR proto addressed to the frame's id, then EOF.
+    RawBinaryConn conn = RawBinaryConn::Open(*port);
+    std::string frame;
+    AppendU64(&frame, 55);
+    frame.push_back(static_cast<char>(0x7f));
+    std::string wire;
+    AppendU32(&wire, static_cast<uint32_t>(frame.size()));
+    wire += frame;
+    ASSERT_TRUE(WriteFully(conn.fd, wire));
+    auto reply = conn.ReadReply();
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(reply->id, 55u);
+    EXPECT_EQ(reply->reply.kind, Reply::Kind::kErr);
+    EXPECT_EQ(reply->reply.code, "proto");
+    EXPECT_TRUE(conn.AtEof());
+  }
+  {  // Oversized frame announcement: fatal before any body arrives.
+    RawBinaryConn conn = RawBinaryConn::Open(*port);
+    std::string wire;
+    AppendU32(&wire, kMaxBinaryFrame + 1);
+    ASSERT_TRUE(WriteFully(conn.fd, wire));
+    auto reply = conn.ReadReply();
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(reply->reply.kind, Reply::Kind::kErr);
+    EXPECT_TRUE(conn.AtEof());
+  }
+  {  // A truncated frame never parses: the server just waits, and the
+     // connection closes cleanly when the client gives up.
+    RawBinaryConn conn = RawBinaryConn::Open(*port);
+    std::string wire = EncodeBinaryCheckRequest(1, "s", "A", "B");
+    ASSERT_TRUE(WriteFully(conn.fd, wire.substr(0, wire.size() - 3)));
+    ::shutdown(conn.fd, SHUT_WR);
+    EXPECT_TRUE(conn.AtEof());
+  }
+
+  // The server survived all three abuses.
+  Client client = MustConnect(*port);
+  EXPECT_TRUE(client.Ping().ok());
+  server.Shutdown();
+}
+
+TEST(Server, ManyConcurrentConnectionsStayResponsive) {
+  Server server;
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  // One event loop carries hundreds of connections; the early ones stay
+  // live and responsive behind the later ones.
+  std::vector<Client> clients;
+  clients.reserve(256);
+  for (int i = 0; i < 256; ++i) clients.push_back(MustConnect(*port));
+  EXPECT_TRUE(clients.front().Ping().ok());
+  EXPECT_TRUE(clients[128].Ping().ok());
+  EXPECT_TRUE(clients.back().Ping().ok());
+  auto stats = server.stats();
+  EXPECT_GE(stats.open_connections, 256u);
+  for (Client& c : clients) EXPECT_TRUE(c.Ping().ok());
   server.Shutdown();
 }
 

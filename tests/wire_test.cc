@@ -1,0 +1,318 @@
+// Unit tests of the binary wire framing: encoder/parser roundtrips,
+// malformed/truncated/oversized frames, incremental (byte-at-a-time)
+// parsing, and the blocking fd helpers under deliberately fragmented
+// socketpair traffic — every short-read/short-write path the epoll
+// server and the pipelined client rely on.
+#include "server/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace oodb::server {
+namespace {
+
+using Pairs = std::vector<std::pair<std::string, std::string>>;
+
+TEST(Wire, BinaryCheckRequestRoundtrips) {
+  const std::string wire =
+      EncodeBinaryCheckRequest(0xdeadbeefcafe1234ull, "sess", "QClass", "VTop");
+  size_t consumed = 0;
+  BinaryRequest req;
+  std::string error;
+  ASSERT_EQ(ParseBinaryRequest(wire, &consumed, &req, &error),
+            ParseStatus::kFrame)
+      << error;
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(req.id, 0xdeadbeefcafe1234ull);
+  EXPECT_EQ(req.op, Opcode::kCheck);
+  EXPECT_EQ(req.tokens,
+            (std::vector<std::string>{"CHECK", "sess", "QClass", "VTop"}));
+  EXPECT_TRUE(req.payload.empty());
+}
+
+TEST(Wire, BinaryLineRequestCarriesPayloadAndSplitsTokens) {
+  const std::string wire =
+      EncodeBinaryLineRequest(7, "LOAD demo 11", "class A end");
+  size_t consumed = 0;
+  BinaryRequest req;
+  std::string error;
+  ASSERT_EQ(ParseBinaryRequest(wire, &consumed, &req, &error),
+            ParseStatus::kFrame)
+      << error;
+  EXPECT_EQ(req.id, 7u);
+  EXPECT_EQ(req.tokens,
+            (std::vector<std::string>{"LOAD", "demo", "11"}));
+  EXPECT_EQ(req.payload, "class A end");
+}
+
+TEST(Wire, BinaryBatchCheckRequestRoundtrips) {
+  const Pairs pairs = {{"A", "B"}, {"C", "D"}, {"A", "D"}};
+  const std::string wire = EncodeBinaryBatchCheckRequest(42, "s", pairs);
+  size_t consumed = 0;
+  BinaryRequest req;
+  std::string error;
+  ASSERT_EQ(ParseBinaryRequest(wire, &consumed, &req, &error),
+            ParseStatus::kFrame)
+      << error;
+  EXPECT_EQ(req.id, 42u);
+  EXPECT_EQ(req.op, Opcode::kBatchCheck);
+  EXPECT_EQ(req.tokens, (std::vector<std::string>{"BCHECK", "s", "A", "B",
+                                                  "C", "D", "A", "D"}));
+}
+
+TEST(Wire, ZeroLengthBatchIsAValidFrame) {
+  const std::string wire = EncodeBinaryBatchCheckRequest(1, "s", {});
+  size_t consumed = 0;
+  BinaryRequest req;
+  std::string error;
+  ASSERT_EQ(ParseBinaryRequest(wire, &consumed, &req, &error),
+            ParseStatus::kFrame)
+      << error;
+  EXPECT_EQ(req.tokens, (std::vector<std::string>{"BCHECK", "s"}));
+}
+
+TEST(Wire, EveryProperPrefixNeedsMoreAndConsumedAdvancesFrameExactly) {
+  const std::string wire =
+      EncodeBinaryCheckRequest(99, "session-name", "LongConcept", "D");
+  for (size_t n = 0; n < wire.size(); ++n) {
+    size_t consumed = 0;
+    BinaryRequest req;
+    std::string error;
+    EXPECT_EQ(ParseBinaryRequest(std::string_view(wire).substr(0, n),
+                                 &consumed, &req, &error),
+              ParseStatus::kNeedMore)
+        << "prefix of " << n << " bytes";
+  }
+  // Two frames back to back: each parse consumes exactly one.
+  std::string two = wire + EncodeBinaryBatchCheckRequest(100, "s", {{"A", "B"}});
+  size_t consumed = 0;
+  BinaryRequest req;
+  std::string error;
+  ASSERT_EQ(ParseBinaryRequest(two, &consumed, &req, &error),
+            ParseStatus::kFrame);
+  EXPECT_EQ(req.id, 99u);
+  ASSERT_EQ(consumed, wire.size());
+  std::string_view rest = std::string_view(two).substr(consumed);
+  ASSERT_EQ(ParseBinaryRequest(rest, &consumed, &req, &error),
+            ParseStatus::kFrame);
+  EXPECT_EQ(req.id, 100u);
+  EXPECT_EQ(consumed, rest.size());
+}
+
+TEST(Wire, OversizedFrameLengthIsRejectedBeforeBuffering) {
+  std::string wire;
+  AppendU32(&wire, kMaxBinaryFrame + 1);
+  // Only the length prefix has arrived; the announcement alone is fatal.
+  size_t consumed = 0;
+  BinaryRequest req;
+  std::string error;
+  EXPECT_EQ(ParseBinaryRequest(wire, &consumed, &req, &error),
+            ParseStatus::kBad);
+  EXPECT_NE(error.find("exceeds"), std::string::npos) << error;
+}
+
+TEST(Wire, FrameLengthBelowHeaderIsRejected) {
+  std::string wire;
+  AppendU32(&wire, 8);  // 9 is the minimum (id + opcode)
+  wire.append(8, '\0');
+  size_t consumed = 0;
+  BinaryRequest req;
+  std::string error;
+  EXPECT_EQ(ParseBinaryRequest(wire, &consumed, &req, &error),
+            ParseStatus::kBad);
+}
+
+TEST(Wire, UnknownOpcodeIsRejectedWithTheFrameId) {
+  std::string frame;
+  AppendU64(&frame, 77);
+  frame.push_back(static_cast<char>(0x5a));
+  std::string wire;
+  AppendU32(&wire, static_cast<uint32_t>(frame.size()));
+  wire += frame;
+  size_t consumed = 0;
+  BinaryRequest req;
+  std::string error;
+  EXPECT_EQ(ParseBinaryRequest(wire, &consumed, &req, &error),
+            ParseStatus::kBad);
+  EXPECT_EQ(req.id, 77u);  // readable header: the ERR reply is addressable
+  EXPECT_NE(error.find("opcode"), std::string::npos) << error;
+}
+
+TEST(Wire, TruncatedBodyInsideACompleteFrameIsRejected) {
+  // A kCheck frame whose declared strings overrun the frame body.
+  std::string frame;
+  AppendU64(&frame, 5);
+  frame.push_back(static_cast<char>(Opcode::kCheck));
+  AppendU16(&frame, 200);  // string of 200 bytes... that never arrives
+  frame += "ab";
+  std::string wire;
+  AppendU32(&wire, static_cast<uint32_t>(frame.size()));
+  wire += frame;
+  size_t consumed = 0;
+  BinaryRequest req;
+  std::string error;
+  EXPECT_EQ(ParseBinaryRequest(wire, &consumed, &req, &error),
+            ParseStatus::kBad);
+  EXPECT_EQ(req.id, 5u);
+}
+
+TEST(Wire, TrailingGarbageAfterAValidBodyIsRejected) {
+  std::string good = EncodeBinaryCheckRequest(3, "s", "A", "B");
+  // Extend the frame by one byte and fix up the length prefix.
+  std::string frame = good.substr(4) + "!";
+  std::string wire;
+  AppendU32(&wire, static_cast<uint32_t>(frame.size()));
+  wire += frame;
+  size_t consumed = 0;
+  BinaryRequest req;
+  std::string error;
+  EXPECT_EQ(ParseBinaryRequest(wire, &consumed, &req, &error),
+            ParseStatus::kBad);
+}
+
+TEST(Wire, BatchCountAboveTheCapIsRejected) {
+  std::string frame;
+  AppendU64(&frame, 9);
+  frame.push_back(static_cast<char>(Opcode::kBatchCheck));
+  AppendU16(&frame, 1);
+  frame += "s";
+  AppendU32(&frame, static_cast<uint32_t>(kMaxBatchPairs + 1));
+  std::string wire;
+  AppendU32(&wire, static_cast<uint32_t>(frame.size()));
+  wire += frame;
+  size_t consumed = 0;
+  BinaryRequest req;
+  std::string error;
+  EXPECT_EQ(ParseBinaryRequest(wire, &consumed, &req, &error),
+            ParseStatus::kBad);
+  EXPECT_NE(error.find("exceeds"), std::string::npos) << error;
+}
+
+TEST(Wire, BinaryRepliesRoundtripAllThreeKinds) {
+  const uint64_t id = 0x0123456789abcdefull;
+  for (const Reply& sent :
+       {OkReply("subsumed=true,false"), ErrReply("proto", "bad frame"),
+        [] {
+          Reply r;
+          r.kind = Reply::Kind::kBusy;
+          return r;
+        }()}) {
+    const std::string wire = EncodeBinaryReply(id, sent);
+    // Every proper prefix needs more bytes.
+    for (size_t n = 0; n < wire.size(); ++n) {
+      size_t consumed = 0;
+      BinaryReply out;
+      std::string error;
+      EXPECT_EQ(ParseBinaryReply(std::string_view(wire).substr(0, n),
+                                 &consumed, &out, &error),
+                ParseStatus::kNeedMore);
+    }
+    size_t consumed = 0;
+    BinaryReply out;
+    std::string error;
+    ASSERT_EQ(ParseBinaryReply(wire, &consumed, &out, &error),
+              ParseStatus::kFrame)
+        << error;
+    EXPECT_EQ(consumed, wire.size());
+    EXPECT_EQ(out.id, id);
+    EXPECT_EQ(out.reply.kind, sent.kind);
+    EXPECT_EQ(out.reply.code, sent.code);
+    EXPECT_EQ(out.reply.payload, sent.payload);
+  }
+}
+
+TEST(Wire, UnknownReplyStatusIsRejected) {
+  std::string frame;
+  AppendU64(&frame, 1);
+  frame.push_back(static_cast<char>(9));
+  std::string wire;
+  AppendU32(&wire, static_cast<uint32_t>(frame.size()));
+  wire += frame;
+  size_t consumed = 0;
+  BinaryReply out;
+  std::string error;
+  EXPECT_EQ(ParseBinaryReply(wire, &consumed, &out, &error),
+            ParseStatus::kBad);
+}
+
+// The fd helpers must assemble frames correctly no matter how the kernel
+// fragments them: the writer pushes one byte per send so every read on
+// the other side is a short read.
+TEST(Wire, ReadFullyReassemblesAFrameWrittenByteByByte) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string wire = EncodeBinaryReply(
+      321, OkReply(std::string(1000, 'x') + "end-of-payload"));
+  std::thread writer([&] {
+    for (char c : wire) {
+      ASSERT_TRUE(WriteFully(fds[0], std::string_view(&c, 1)));
+    }
+    ::close(fds[0]);
+  });
+  std::string buf;
+  ASSERT_TRUE(ReadFully(fds[1], 4, &buf));  // length prefix
+  size_t consumed = 0;
+  BinaryReply out;
+  std::string error;
+  ASSERT_EQ(ParseBinaryReply(buf, &consumed, &out, &error),
+            ParseStatus::kNeedMore);
+  ASSERT_TRUE(ReadFully(fds[1], wire.size() - 4, &buf));
+  ASSERT_EQ(ParseBinaryReply(buf, &consumed, &out, &error),
+            ParseStatus::kFrame)
+      << error;
+  EXPECT_EQ(out.id, 321u);
+  EXPECT_EQ(out.reply.payload.size(), 1014u);
+  // EOF before the requested byte count fails cleanly.
+  std::string rest;
+  EXPECT_FALSE(ReadFully(fds[1], 1, &rest));
+  writer.join();
+  ::close(fds[1]);
+}
+
+TEST(Wire, FrameReaderHandlesFragmentedTextFrames) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string frames = "OK 5\nhello\nERR proto nope\n";
+  std::thread writer([&] {
+    for (char c : frames) {
+      ASSERT_TRUE(WriteFully(fds[0], std::string_view(&c, 1)));
+    }
+    ::close(fds[0]);
+  });
+  FrameReader reader(fds[1]);
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line, "OK 5");
+  std::string payload;
+  ASSERT_TRUE(reader.ReadPayload(5, &payload));
+  EXPECT_EQ(payload, "hello");
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line, "ERR proto nope");
+  EXPECT_FALSE(reader.ReadLine(&line));  // EOF
+  writer.join();
+  ::close(fds[1]);
+}
+
+TEST(Wire, WriteFullySurvivesAClosedPeerWithoutSignalling) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  // First writes may land in the socket buffer; eventually the dead peer
+  // must surface as `false`, never as SIGPIPE.
+  bool ok = true;
+  for (int i = 0; i < 64 && ok; ++i) {
+    ok = WriteFully(fds[0], std::string(4096, 'y'));
+  }
+  EXPECT_FALSE(ok);
+  ::close(fds[0]);
+}
+
+}  // namespace
+}  // namespace oodb::server

@@ -24,11 +24,18 @@ Checks (each failure is one line on stderr; exit 1 if any):
      registration in bench/CMakeLists.txt, and a `bench_<x>` reference
      in an experiment heading of EXPERIMENTS.md.
   7. Every bench/bench_<x>.cc is registered in bench/CMakeLists.txt.
+  8. The daemon bench artifact agrees with its source and docs: the
+     pipeline-depth sweep in bench/bench_server.cc matches the
+     `pipeline_depths` field of BENCH_server.json, the protocol list is
+     text,binary, the checked-in baseline is green (no transport errors
+     or verdict mismatches), and every headline field is documented in
+     docs/server.md.
 
 Run locally:  python3 tools/lint/check_consistency.py [--root DIR]
 """
 
 import argparse
+import json
 import pathlib
 import re
 import sys
@@ -148,6 +155,51 @@ def check_bench(root: pathlib.Path, errors: list[str]) -> None:
                           "bench/CMakeLists.txt")
 
 
+def check_server_bench(root: pathlib.Path, errors: list[str]) -> None:
+    """BENCH_server.json fields vs bench/bench_server.cc vs docs/server.md."""
+    bench_cc = read(root, "bench/bench_server.cc")
+    server_md = read(root, "docs/server.md")
+    try:
+        baseline = json.loads(read(root, "BENCH_server.json"))
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"BENCH_server.json is missing or unparsable: {e}")
+        return
+
+    m = re.search(r"kDepths\s*=\s*\{([0-9,\s]+)\}", bench_cc)
+    if not m:
+        errors.append("cannot find the kDepths sweep in "
+                      "bench/bench_server.cc")
+        return
+    src_depths = [int(x) for x in m.group(1).split(",") if x.strip()]
+    json_depths = [int(x) for x in
+                   str(baseline.get("pipeline_depths", "")).split(",")
+                   if x.strip()]
+    if src_depths != json_depths:
+        errors.append(
+            f"pipeline depth sweep drifted: bench/bench_server.cc sweeps "
+            f"{src_depths} but BENCH_server.json records {json_depths}")
+
+    if baseline.get("protocol_modes") != "text,binary":
+        errors.append("BENCH_server.json protocol_modes is "
+                      f"{baseline.get('protocol_modes')!r}, expected "
+                      "'text,binary'")
+
+    for gate in ("transport_errors", "verdict_mismatches"):
+        if baseline.get(gate) != 0:
+            errors.append(f"checked-in BENCH_server.json has {gate}="
+                          f"{baseline.get(gate)!r} — the baseline must be "
+                          "a green run")
+
+    headline = ("text_rps", "binary_best_rps", "speedup_vs_text",
+                "bcheck_checks_per_sec", "idle_connections")
+    for field in headline:
+        if field not in baseline:
+            errors.append(f"BENCH_server.json lacks headline field {field}")
+        if field not in server_md:
+            errors.append(f"docs/server.md does not document the "
+                          f"BENCH_server.json field {field}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     default_root = pathlib.Path(__file__).resolve().parent.parent.parent
@@ -159,6 +211,7 @@ def main() -> int:
     errors: list[str] = []
     check_wire(args.root, errors)
     check_bench(args.root, errors)
+    check_server_bench(args.root, errors)
 
     if errors:
         for error in errors:

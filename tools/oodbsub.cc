@@ -354,8 +354,8 @@ int Usage() {
       "  oodbsub serve [--port=N] [--threads=N] [--max-pending=N]"
       " [--deadline-ms=N]\n"
       "                [--metrics-threshold-ms=N]\n"
-      "  oodbsub rpc <host:port> <VERB> [args...]   (LOAD/STATE take a"
-      " file path)\n"
+      "  oodbsub rpc [--binary] <host:port> <VERB> [args...]   (LOAD/STATE"
+      " take a file path)\n"
       "  oodbsub stats <host:port> [session]\n"
       "exit codes: 0 ok, 1 error (diagnostics on stderr), 2 not subsumed,\n"
       "            3 illegal state, 4 server busy, 64 usage\n");
@@ -409,7 +409,18 @@ int CmdServe(const std::vector<std::string>& args) {
   return 0;
 }
 
-int CmdRpc(const std::vector<std::string>& args) {
+int CmdRpc(std::vector<std::string> args) {
+  // `--binary` anywhere after `rpc` switches the connection to the
+  // length-prefixed framing before the request is sent.
+  bool binary = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--binary") {
+      binary = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
   if (args.size() < 2) return Usage();
   const std::string& target = args[0];
   const size_t colon = target.rfind(':');
@@ -421,6 +432,10 @@ int CmdRpc(const std::vector<std::string>& args) {
       static_cast<int>(std::strtoul(target.c_str() + colon + 1, nullptr, 10));
   auto client = server::Client::Connect(host, port);
   if (!client.ok()) return Fail(client.status());
+  if (binary) {
+    Status negotiated = client->EnableBinary();
+    if (!negotiated.ok()) return Fail(negotiated);
+  }
 
   const std::string& verb = args[1];
   auto roundtrip = [&]() -> Result<std::string> {
