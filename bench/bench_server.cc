@@ -513,6 +513,8 @@ int Run(int argc, char** argv) {
   }
   json.Add("binary_best_depth", static_cast<uint64_t>(kDepths[best]));
   json.Add("binary_best_rps", binary[best].rps);
+  json.Add("binary_depth32_vs_depth1",
+           binary[0].rps > 0 ? binary[2].rps / binary[0].rps : 0.0);
   json.Add("speedup_pipelined", speedup_pipelined);
   json.Add("binary_best_checks_per_sec", binary_best_checks);
   json.Add("speedup_vs_text", speedup);
@@ -535,6 +537,11 @@ int Run(int argc, char** argv) {
   if (mismatches.load() != 0) return Fail("wire verdicts diverged");
   if (speedup < 3.0) {
     return Fail("binary per-check throughput under 3x text rps");
+  }
+  // Deep pipelines are what the writev-gathered flush exists for: depth
+  // 32 must never fall below depth 1.
+  if (binary[2].rps < binary[0].rps) {
+    return Fail("depth-32 binary throughput regressed below depth-1");
   }
   if (idle_open < idle_target) return Fail("could not open the idle herd");
   if (idle_alive != idle_open) return Fail("idle connections were dropped");

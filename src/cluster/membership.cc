@@ -1,0 +1,54 @@
+#include "cluster/membership.h"
+
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace oodb::cluster {
+
+std::string NodeAddr::ToString() const { return StrCat(host, ":", port); }
+
+Result<std::vector<NodeAddr>> ParseClusterSpec(const std::string& spec) {
+  std::vector<NodeAddr> nodes;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) {
+      return InvalidArgumentError(
+          StrCat("empty entry in cluster spec '", spec, "'"));
+    }
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == entry.size()) {
+      return InvalidArgumentError(
+          StrCat("cluster entry '", entry, "' is not host:port"));
+    }
+    char* end = nullptr;
+    const long port = std::strtol(entry.c_str() + colon + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || port < 1 || port > 65535) {
+      return InvalidArgumentError(
+          StrCat("cluster entry '", entry, "' has a bad port"));
+    }
+    NodeAddr node{entry.substr(0, colon), static_cast<int>(port)};
+    for (const NodeAddr& seen : nodes) {
+      if (seen == node) {
+        return InvalidArgumentError(
+            StrCat("duplicate cluster entry '", entry, "'"));
+      }
+    }
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+size_t SelfIndex(const std::vector<NodeAddr>& nodes, int port) {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].port == port) return i;
+  }
+  return kNotAMember;
+}
+
+}  // namespace oodb::cluster

@@ -1,0 +1,61 @@
+// Static cluster membership: the ordered node list every daemon and
+// every client is started with (`--cluster host:port,host:port,...`).
+// Session ownership is a pure function of this list (ring.h), so all
+// parties route identically as long as they were handed the same spec —
+// there is no gossip, discovery, or rebalancing. Changing the fleet
+// means restarting it with a new spec (docs/cluster.md §5).
+#ifndef OODB_CLUSTER_MEMBERSHIP_H_
+#define OODB_CLUSTER_MEMBERSHIP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace oodb::cluster {
+
+// One daemon instance. `host` is a dotted quad (the daemon binds
+// loopback today, so fleets are single-host multi-port; the spec syntax
+// already carries hosts for when a bind-address option lands).
+struct NodeAddr {
+  std::string host;
+  int port = 0;
+
+  std::string ToString() const;
+  bool operator==(const NodeAddr& other) const = default;
+};
+
+// Parses "host:port,host:port,...". Rejects empty entries, ports
+// outside [1, 65535], and duplicate addresses (two nodes on one
+// address cannot both own their slice of the ring).
+Result<std::vector<NodeAddr>> ParseClusterSpec(const std::string& spec);
+
+inline constexpr size_t kNotAMember = static_cast<size_t>(-1);
+
+// Index of the node whose port is `port`, or kNotAMember. Loopback
+// fleets self-identify by port: every node binds the same address.
+size_t SelfIndex(const std::vector<NodeAddr>& nodes, int port);
+
+// Everything a node (or a cluster client) needs to know about the
+// fleet. The node list must be identical — same entries, same order —
+// on every party; ownership is computed from it deterministically.
+struct ClusterConfig {
+  std::vector<NodeAddr> nodes;
+  // This daemon's index in `nodes`; kNotAMember for clients.
+  size_t self = kNotAMember;
+  // R: copies of each session in addition to the owner.
+  size_t replicas = 1;
+
+  bool enabled() const { return !nodes.empty(); }
+  // Replicas actually achievable with this fleet size.
+  size_t EffectiveReplicas() const {
+    if (nodes.empty()) return 0;
+    return std::min(replicas, nodes.size() - 1);
+  }
+};
+
+}  // namespace oodb::cluster
+
+#endif  // OODB_CLUSTER_MEMBERSHIP_H_

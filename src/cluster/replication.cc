@@ -1,0 +1,178 @@
+#include "cluster/replication.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "base/strings.h"
+
+namespace oodb::cluster {
+
+namespace {
+
+// The replica's ERR payload is "replica_gap: have=<n>" after the
+// client's "<code>: <message>" mapping.
+bool ParseReplicaGap(const std::string& message, uint64_t* have) {
+  constexpr std::string_view kCode = "replica_gap";
+  if (message.rfind(kCode, 0) != 0) return false;
+  const size_t pos = message.find("have=");
+  if (pos == std::string::npos) return false;
+  char* end = nullptr;
+  *have = std::strtoull(message.c_str() + pos + 5, &end, 10);
+  return end != nullptr && (*end == '\0' || *end == ' ');
+}
+
+}  // namespace
+
+PeerPool::PeerPool(std::vector<NodeAddr> nodes)
+    : nodes_(std::move(nodes)), idle_(nodes_.size()) {}
+
+Result<std::unique_ptr<server::Client>> PeerPool::Acquire(size_t node) {
+  if (node >= nodes_.size()) {
+    return InvalidArgumentError(StrCat("no cluster node ", node));
+  }
+  {
+    base::MutexLock lock(&mu_);
+    if (!idle_[node].empty()) {
+      std::unique_ptr<server::Client> client =
+          std::move(idle_[node].back());
+      idle_[node].pop_back();
+      return client;
+    }
+  }
+  OODB_ASSIGN_OR_RETURN(
+      server::Client fresh,
+      server::Client::Connect(nodes_[node].host, nodes_[node].port));
+  auto client = std::make_unique<server::Client>(std::move(fresh));
+  OODB_RETURN_IF_ERROR(client->EnableBinary());
+  return client;
+}
+
+void PeerPool::Release(size_t node, std::unique_ptr<server::Client> client,
+                       bool healthy) {
+  if (!healthy || node >= nodes_.size() || client == nullptr) return;
+  base::MutexLock lock(&mu_);
+  idle_[node].push_back(std::move(client));
+}
+
+Replicator::Replicator(const ClusterConfig& config, const Ring& ring,
+                       PeerPool* peers)
+    : config_(config), ring_(ring), peers_(peers) {}
+
+uint64_t Replicator::Record(const std::string& session, std::string line,
+                            std::string payload) {
+  base::MutexLock lock(&mu_);
+  Log& log = logs_[session];
+  if (!log.placed) {
+    log.placed = true;
+    log.replicas = ring_.ReplicasOf(session, config_.EffectiveReplicas());
+    log.acked.assign(log.replicas.size(), 0);
+  }
+  const uint64_t seq = log.next_seq++;
+  // A LOAD rebuilds the session from scratch: everything before it is
+  // superseded, so the retained log restarts at the LOAD entry.
+  if (line.rfind("LOAD ", 0) == 0) log.entries.clear();
+  log.entries.push_back(Entry{seq, std::move(line), std::move(payload)});
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  return seq;
+}
+
+void Replicator::Flush(const std::string& session) {
+  base::MutexLock send_lock(&send_mu_);
+  size_t slots = 0;
+  {
+    base::MutexLock lock(&mu_);
+    auto it = logs_.find(session);
+    if (it == logs_.end()) return;
+    slots = it->second.replicas.size();
+  }
+  for (size_t slot = 0; slot < slots; ++slot) {
+    // One extra pass when the replica rewinds us (resync): the second
+    // push starts from the replica's reported cursor.
+    if (PushToReplica(session, slot)) PushToReplica(session, slot);
+  }
+}
+
+bool Replicator::PushToReplica(const std::string& session, size_t slot) {
+  std::vector<Entry> tail;
+  size_t node = 0;
+  uint64_t acked = 0;
+  {
+    base::MutexLock lock(&mu_);
+    auto it = logs_.find(session);
+    if (it == logs_.end() || slot >= it->second.replicas.size()) {
+      return false;
+    }
+    const Log& log = it->second;
+    node = log.replicas[slot];
+    acked = log.acked[slot];
+    for (const Entry& e : log.entries) {
+      if (e.seq > acked) tail.push_back(e);
+    }
+  }
+  if (tail.empty()) return false;
+
+  auto borrowed = peers_->Acquire(node);
+  if (!borrowed.ok()) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::unique_ptr<server::Client> peer = std::move(*borrowed);
+  bool healthy = true;
+  bool rewound = false;
+  for (const Entry& e : tail) {
+    const std::string line = StrCat("REPL ", e.seq, " ", e.line);
+    sent_.fetch_add(1, std::memory_order_relaxed);
+    auto r =
+        peer->Roundtrip(line, e.payload.empty() ? nullptr : &e.payload);
+    if (r.ok()) {
+      acked = e.seq;
+      acked_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (r.status().code() == StatusCode::kFailedPrecondition) {
+      uint64_t have = 0;
+      if (ParseReplicaGap(r.status().message(), &have)) {
+        // The replica is behind where we believed: rewind the cursor to
+        // its applied sequence and let the caller push again.
+        resyncs_.fetch_add(1, std::memory_order_relaxed);
+        acked = have;
+        rewound = true;
+      } else {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    // BUSY or a transport error: leave the cursor; a later Flush
+    // retries. Transport errors poison the connection's framing.
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    healthy = r.status().code() == StatusCode::kResourceExhausted;
+    break;
+  }
+  peers_->Release(node, std::move(peer), healthy);
+
+  base::MutexLock lock(&mu_);
+  auto it = logs_.find(session);
+  if (it != logs_.end() && slot < it->second.acked.size()) {
+    it->second.acked[slot] = acked;
+  }
+  return rewound;
+}
+
+Replicator::Stats Replicator::stats() const {
+  Stats s;
+  s.recorded = recorded_.load(std::memory_order_relaxed);
+  s.sent = sent_.load(std::memory_order_relaxed);
+  s.acked = acked_.load(std::memory_order_relaxed);
+  s.failures = failures_.load(std::memory_order_relaxed);
+  s.resyncs = resyncs_.load(std::memory_order_relaxed);
+  base::MutexLock lock(&mu_);
+  for (const auto& [name, log] : logs_) {
+    for (const uint64_t acked : log.acked) {
+      const uint64_t applied = log.next_seq - 1;
+      if (applied > acked) s.max_lag = std::max(s.max_lag, applied - acked);
+    }
+  }
+  return s;
+}
+
+}  // namespace oodb::cluster

@@ -1,0 +1,81 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+
+namespace oodb::cluster {
+
+uint64_t HashKey(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  // Raw FNV-1a avalanches poorly when keys differ in one byte near the
+  // end — exactly the shape of vnode keys ("host:port#v"), which would
+  // leave the nodes' points correlated and the arcs badly skewed. The
+  // murmur3 finalizer decorrelates them.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+Ring::Ring(const std::vector<NodeAddr>& nodes, size_t vnodes_per_node)
+    : num_nodes_(nodes.size()) {
+  points_.reserve(nodes.size() * vnodes_per_node);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const std::string base = nodes[i].ToString();
+    for (size_t v = 0; v < vnodes_per_node; ++v) {
+      points_.emplace_back(HashKey(StrCat(base, "#", v)),
+                           static_cast<uint32_t>(i));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+size_t Ring::OwnerOf(std::string_view session) const {
+  if (points_.empty()) return kNotAMember;
+  const uint64_t h = HashKey(session);
+  auto it = std::upper_bound(points_.begin(), points_.end(),
+                             std::make_pair(h, uint32_t{0xffffffff}));
+  if (it == points_.end()) it = points_.begin();  // wrap past 2^64
+  return it->second;
+}
+
+std::vector<size_t> Ring::ReplicasOf(std::string_view session,
+                                     size_t r) const {
+  std::vector<size_t> replicas;
+  if (points_.empty() || r == 0) return replicas;
+  const uint64_t h = HashKey(session);
+  auto it = std::upper_bound(points_.begin(), points_.end(),
+                             std::make_pair(h, uint32_t{0xffffffff}));
+  if (it == points_.end()) it = points_.begin();
+  const size_t owner = it->second;
+  // Walk clockwise collecting distinct successors after the owner.
+  for (size_t step = 0; step < points_.size() && replicas.size() < r;
+       ++step) {
+    ++it;
+    if (it == points_.end()) it = points_.begin();
+    const size_t node = it->second;
+    if (node == owner) continue;
+    if (std::find(replicas.begin(), replicas.end(), node) !=
+        replicas.end()) {
+      continue;
+    }
+    replicas.push_back(node);
+  }
+  return replicas;
+}
+
+bool Ring::IsReplicaOf(std::string_view session, size_t node,
+                       size_t r) const {
+  const std::vector<size_t> replicas = ReplicasOf(session, r);
+  return std::find(replicas.begin(), replicas.end(), node) !=
+         replicas.end();
+}
+
+}  // namespace oodb::cluster

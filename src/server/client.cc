@@ -20,6 +20,7 @@ Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       reader_(std::move(other.reader_)),
       binary_(other.binary_),
+      dead_(other.dead_),
       next_id_(other.next_id_),
       out_(std::move(other.out_)),
       in_(std::move(other.in_)),
@@ -32,6 +33,7 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     reader_ = std::move(other.reader_);
     binary_ = other.binary_;
+    dead_ = other.dead_;
     next_id_ = other.next_id_;
     out_ = std::move(other.out_);
     in_ = std::move(other.in_);
@@ -67,9 +69,17 @@ Result<Client> Client::Connect(const std::string& host, int port) {
   return Client(fd);
 }
 
+namespace {
+Status DeadConnectionError() {
+  return InternalError("connection is dead after a transport error");
+}
+}  // namespace
+
 Status Client::EnableBinary() {
   if (binary_) return Status::Ok();
+  if (dead_) return DeadConnectionError();
   if (!WriteFully(fd_, kBinaryPreamble)) {
+    dead_ = true;
     return InternalError("connection lost while negotiating binary mode");
   }
   binary_ = true;
@@ -90,13 +100,16 @@ Result<std::string> Client::ReplyToResult(Reply reply) {
 }
 
 Result<uint64_t> Client::SendFrame(uint64_t id, std::string frame) {
+  if (dead_) return DeadConnectionError();
   out_ += frame;
   return id;
 }
 
 Status Client::Flush() {
+  if (dead_) return DeadConnectionError();
   if (out_.empty()) return Status::Ok();
   if (!WriteFully(fd_, out_)) {
+    dead_ = true;
     return InternalError("connection lost while sending");
   }
   out_.clear();
@@ -132,6 +145,7 @@ Result<uint64_t> Client::SubmitCheckBatch(
 }
 
 Result<BinaryReply> Client::ReadReplyFrame() {
+  if (dead_) return DeadConnectionError();
   for (;;) {
     size_t consumed = 0;
     BinaryReply out;
@@ -148,6 +162,7 @@ Result<BinaryReply> Client::ReadReplyFrame() {
         }
         return out;
       case ParseStatus::kBad:
+        dead_ = true;
         return InternalError(StrCat("malformed reply frame: ", error));
       case ParseStatus::kNeedMore:
         break;
@@ -160,6 +175,10 @@ Result<BinaryReply> Client::ReadReplyFrame() {
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
+      // The peer closed (or the socket died) with replies outstanding.
+      // Mark the client dead so a pipelined caller awaiting further ids
+      // fails immediately instead of re-reading a closed socket.
+      dead_ = true;
       return InternalError("connection lost while awaiting reply");
     }
     in_.append(chunk, static_cast<size_t>(n));
@@ -167,6 +186,7 @@ Result<BinaryReply> Client::ReadReplyFrame() {
 }
 
 Result<std::string> Client::Await(uint64_t id) {
+  if (dead_) return DeadConnectionError();
   OODB_RETURN_IF_ERROR(Flush());
   auto it = pending_.find(id);
   if (it != pending_.end()) {
@@ -187,6 +207,7 @@ Result<std::string> Client::Roundtrip(const std::string& line,
     OODB_ASSIGN_OR_RETURN(uint64_t id, SubmitLine(line, payload));
     return Await(id);
   }
+  if (dead_) return DeadConnectionError();
   std::string frame = line;
   frame += '\n';
   if (payload != nullptr) {
@@ -194,10 +215,12 @@ Result<std::string> Client::Roundtrip(const std::string& line,
     frame += '\n';
   }
   if (!SendAll(fd_, frame)) {
+    dead_ = true;
     return InternalError("connection lost while sending");
   }
   std::string reply;
   if (!reader_->ReadLine(&reply)) {
+    dead_ = true;
     return InternalError("connection lost while awaiting reply");
   }
   if (reply == "BUSY") return ResourceExhaustedError("BUSY");
@@ -221,6 +244,7 @@ Result<std::string> Client::Roundtrip(const std::string& line,
   }
   std::string body;
   if (!reader_->ReadPayload(static_cast<size_t>(nbytes), &body)) {
+    dead_ = true;
     return InternalError("connection lost while reading reply payload");
   }
   return body;

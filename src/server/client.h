@@ -120,6 +120,11 @@ class Client {
   int fd_ = -1;
   std::unique_ptr<FrameReader> reader_;  // text mode framing
   bool binary_ = false;
+  // Set on the first transport fault (send/recv failure, peer close,
+  // malformed frame). The stream position is unknowable from then on,
+  // so every later call fails fast instead of desynchronizing — or
+  // blocking forever — on a dead socket.
+  bool dead_ = false;
   uint64_t next_id_ = 1;
   std::string out_;  // staged frames awaiting Flush
   std::string in_;   // binary mode receive buffer

@@ -7,16 +7,20 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
+#include <deque>
 #include <utility>
 
 #include "base/strings.h"
 #include "base/sync.h"
+#include "cluster/cluster_client.h"
+#include "server/client.h"
 
 namespace oodb::server {
 
@@ -34,6 +38,15 @@ constexpr size_t kMaxTextLine = 1 << 16;
 // Soft cap on a connection's unwritten output. Reading (and therefore
 // parsing) pauses above it; nothing is ever dropped.
 constexpr size_t kMaxOutBuffer = size_t{16} << 20;
+
+// Output-queue chunking: replies append into the back chunk up to this
+// size, so a pipelined burst of small replies leaves as a few large
+// iovecs instead of hundreds of tiny ones.
+constexpr size_t kOutChunk = size_t{8} << 10;
+
+// iovec slots per sendmsg. Deep pipelines with large replies flush in
+// several calls; the gather write still beats one send per frame.
+constexpr int kMaxIov = 64;
 
 Reply StatusReply(const Status& status) {
   return ErrReply(StatusCodeName(status.code()), status.message());
@@ -82,6 +95,10 @@ const char* VerbName(Verb verb) {
       return "METRICS";
     case Verb::kTrace:
       return "TRACE";
+    case Verb::kRepl:
+      return "REPL";
+    case Verb::kForward:
+      return "FORWARD";
     case Verb::kOther:
     case Verb::kCount:
       break;
@@ -110,8 +127,12 @@ struct Server::Connection {
 
   std::string in;      // received, not yet parsed past in_pos
   size_t in_pos = 0;   // parse cursor into in
-  std::string out;     // encoded replies not yet written past out_pos
-  size_t out_pos = 0;  // write cursor into out
+
+  // Output: encoded replies queued as chunks and flushed with a single
+  // gather write (sendmsg) per syscall instead of one send per frame.
+  std::deque<std::string> outq;
+  size_t out_head = 0;   // write cursor into outq.front()
+  size_t out_bytes = 0;  // unwritten bytes across the whole queue
 
   size_t inflight = 0;        // pooled requests outstanding
   bool text_waiting = false;  // text: one pooled request at a time
@@ -133,6 +154,12 @@ Server::Server(ServerOptions options)
   // text LOAD/STATE payload or a binary frame, plus header slack.
   in_cap_ =
       std::max(options_.max_payload, size_t{kMaxBinaryFrame}) + (64u << 10);
+  if (options_.cluster.enabled()) {
+    ring_ = std::make_unique<cluster::Ring>(options_.cluster.nodes);
+    peers_ = std::make_unique<cluster::PeerPool>(options_.cluster.nodes);
+    replicator_ = std::make_unique<cluster::Replicator>(options_.cluster,
+                                                        *ring_, peers_.get());
+  }
   RegisterMetrics();
 }
 
@@ -143,7 +170,8 @@ void Server::RegisterMetrics() {
                                   Verb::kView,     Verb::kUndefine,
                                   Verb::kCheck,    Verb::kBcheck,
                                   Verb::kClassify, Verb::kOptimize,
-                                  Verb::kStats,    Verb::kSleep};
+                                  Verb::kStats,    Verb::kSleep,
+                                  Verb::kRepl,     Verb::kForward};
   for (Verb verb : kTimedVerbs) {
     latency_[static_cast<size_t>(verb)] = registry_.GetHistogram(
         "oodb_server_request_seconds",
@@ -189,6 +217,40 @@ void Server::AppendServerMetrics(obs::Collector& out) const {
                "Connections registered with the event loop", {},
                open_conns_.load(relaxed));
   out.AddGauge("oodb_server_threads", "Worker threads", {}, pool_->size());
+  if (ring_ != nullptr) {
+    // Cluster-only series: a single-node daemon's exposition is
+    // byte-identical to what it was before cluster mode existed.
+    out.AddCounter("oodb_server_forwards_total",
+                   "Requests proxied to another cluster node", {},
+                   forwards_.load(relaxed));
+    out.AddCounter("oodb_server_forward_failures_total",
+                   "Proxied requests with no reachable peer", {},
+                   forward_failures_.load(relaxed));
+    out.AddCounter("oodb_server_replica_reads_total",
+                   "Reads served from this node's replica copies", {},
+                   replica_reads_.load(relaxed));
+    out.AddCounter("oodb_server_repl_applies_total",
+                   "Replicated mutations applied in sequence", {},
+                   repl_applies_.load(relaxed));
+    out.AddCounter("oodb_server_repl_dups_total",
+                   "Replicated mutations already applied", {},
+                   repl_dups_.load(relaxed));
+    out.AddCounter("oodb_server_repl_gaps_total",
+                   "Replication gap rejections (resync trigger)", {},
+                   repl_gaps_.load(relaxed));
+    const cluster::Replicator::Stats rs = replicator_->stats();
+    out.AddCounter("oodb_server_repl_sent_total",
+                   "REPL frames pushed to replicas", {}, rs.sent);
+    out.AddCounter("oodb_server_repl_acked_total",
+                   "REPL frames acknowledged by replicas", {}, rs.acked);
+    out.AddCounter("oodb_server_repl_push_failures_total",
+                   "REPL pushes that failed (retried on next flush)", {},
+                   rs.failures);
+    out.AddCounter("oodb_server_repl_resyncs_total",
+                   "Replica resyncs (cursor rewinds)", {}, rs.resyncs);
+    out.AddGauge("oodb_server_repl_max_lag",
+                 "Worst replica lag in log entries", {}, rs.max_lag);
+  }
   std::vector<std::pair<std::string, std::shared_ptr<Session>>> all;
   {
     base::MutexLock lock(&sessions_mu_);
@@ -383,7 +445,7 @@ void Server::HandleWritable(Connection& conn) { FlushOutput(conn); }
 void Server::ParseFrames(Connection& conn) {
   if (!conn.preamble_decided) return;
   while (!conn.discard_input) {
-    if (conn.out.size() - conn.out_pos > kMaxOutBuffer) break;
+    if (conn.out_bytes > kMaxOutBuffer) break;
     if (conn.binary) {
       if (conn.inflight >= options_.max_inflight_per_conn) break;
       if (!ParseBinaryFrame(conn)) break;
@@ -427,12 +489,25 @@ bool Server::ParseTextFrame(Connection& conn) {
   const std::string& verb = tokens[0];
 
   // Payload-carrying verbs: the line ends with the byte count; the
-  // payload plus one terminating '\n' follows.
+  // payload plus one terminating '\n' follows. The cluster wrappers
+  // (`REPL <seq> LOAD …`, `FORWARD LOAD …`) frame their inner
+  // LOAD/STATE payload exactly like the bare line.
   std::string payload;
   size_t frame_len = nl + 1;
-  if (verb == "LOAD" || verb == "STATE") {
+  size_t inner = 0;
+  if (verb == "REPL") {
+    inner = 2;
+  } else if (verb == "FORWARD") {
+    inner = 1;
+  }
+  const bool bare_payload_verb = verb == "LOAD" || verb == "STATE";
+  const bool wrapped_payload_verb =
+      inner > 0 && tokens.size() == inner + 3 &&
+      (tokens[inner] == "LOAD" || tokens[inner] == "STATE");
+  if (bare_payload_verb || wrapped_payload_verb) {
     size_t nbytes = 0;
-    if (tokens.size() != 3 || !ParseSize(tokens.back(), &nbytes)) {
+    if ((bare_payload_verb && tokens.size() != 3) ||
+        !ParseSize(tokens.back(), &nbytes)) {
       conn.in_pos += frame_len;
       requests_.fetch_add(1, std::memory_order_relaxed);
       verb_requests_[static_cast<size_t>(VerbOf(verb))].fetch_add(
@@ -568,7 +643,12 @@ void Server::HandleFrame(Connection& conn, uint64_t request_id,
     trace = std::make_shared<obs::TraceContext>();
     trace->id = trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     trace->verb = verb;
-    if (tokens.size() > 1 && vkind != Verb::kSleep) trace->session = tokens[1];
+    // tokens[1] is the session name except for SLEEP (a duration) and
+    // the cluster envelopes (a sequence number / the inner verb).
+    if (tokens.size() > 1 && vkind != Verb::kSleep && vkind != Verb::kRepl &&
+        vkind != Verb::kForward) {
+      trace->session = tokens[1];
+    }
   }
 
   conn.inflight++;
@@ -629,8 +709,48 @@ void Server::QueueReply(Connection& conn, uint64_t request_id,
       busy_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
-  conn.out.append(conn.binary ? EncodeBinaryReply(request_id, reply)
-                              : EncodeReply(reply));
+  AppendOutput(conn, conn.binary ? EncodeBinaryReply(request_id, reply)
+                                 : EncodeReply(reply));
+}
+
+void Server::AppendOutput(Connection& conn, std::string bytes) {
+  conn.out_bytes += bytes.size();
+  if (!conn.outq.empty() &&
+      conn.outq.back().size() + bytes.size() <= kOutChunk) {
+    conn.outq.back().append(bytes);
+  } else {
+    conn.outq.push_back(std::move(bytes));
+  }
+}
+
+void Server::ConsumeOutput(Connection& conn, size_t n) {
+  conn.out_bytes -= n;
+  while (n > 0) {
+    std::string& front = conn.outq.front();
+    const size_t avail = front.size() - conn.out_head;
+    if (n < avail) {
+      conn.out_head += n;
+      return;
+    }
+    n -= avail;
+    conn.outq.pop_front();
+    conn.out_head = 0;
+  }
+}
+
+// Gathers up to kMaxIov chunks of pending output into `iov`. Returns
+// the slot count.
+int Server::GatherOutput(Connection& conn, iovec* iov) {
+  int n = 0;
+  size_t head = conn.out_head;
+  for (const std::string& chunk : conn.outq) {
+    if (n == kMaxIov) break;
+    iov[n].iov_base = const_cast<char*>(chunk.data()) + head;
+    iov[n].iov_len = chunk.size() - head;
+    head = 0;
+    ++n;
+  }
+  return n;
 }
 
 Server::Completion Server::FinalizeOnWorker(uint64_t conn_id, bool binary,
@@ -713,7 +833,7 @@ void Server::DrainCompletions() {
     auto it = conns_.find(c.conn_id);
     if (it == conns_.end()) continue;  // connection died while running
     Connection& conn = *it->second;
-    conn.out.append(c.bytes);
+    AppendOutput(conn, std::move(c.bytes));
     if (conn.inflight > 0) conn.inflight--;
     conn.text_waiting = false;
     if (touched.empty() || touched.back() != c.conn_id) {
@@ -730,11 +850,17 @@ void Server::DrainCompletions() {
 }
 
 void Server::FlushOutput(Connection& conn) {
-  while (conn.out_pos < conn.out.size()) {
-    ssize_t w = ::send(conn.fd, conn.out.data() + conn.out_pos,
-                       conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+  while (conn.out_bytes > 0) {
+    // One gather write per syscall: a pipelined burst of replies leaves
+    // in a handful of sendmsg calls, not one send per frame. sendmsg
+    // rather than writev for MSG_NOSIGNAL (no SIGPIPE on a dead peer).
+    iovec iov[kMaxIov];
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(GatherOutput(conn, iov));
+    ssize_t w = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
     if (w > 0) {
-      conn.out_pos += static_cast<size_t>(w);
+      ConsumeOutput(conn, static_cast<size_t>(w));
       continue;
     }
     if (w < 0 && errno == EINTR) continue;
@@ -742,16 +868,9 @@ void Server::FlushOutput(Connection& conn) {
     CloseConnection(conn.id);  // peer is gone; replies are undeliverable
     return;
   }
-  if (conn.out_pos == conn.out.size()) {
-    conn.out.clear();
-    conn.out_pos = 0;
-  } else if (conn.out_pos > (1u << 20)) {
-    conn.out.erase(0, conn.out_pos);
-    conn.out_pos = 0;
-  }
   // ParseFrames ran before every flush, so an empty pipe here means no
   // further progress is possible on a closing connection.
-  if (conn.closing && conn.inflight == 0 && conn.out.empty()) {
+  if (conn.closing && conn.inflight == 0 && conn.out_bytes == 0) {
     CloseConnection(conn.id);
     return;
   }
@@ -761,7 +880,7 @@ void Server::FlushOutput(Connection& conn) {
 void Server::UpdateInterest(Connection& conn) {
   uint32_t want = 0;
   const size_t unparsed = conn.in.size() - conn.in_pos;
-  const size_t pending = conn.out.size() - conn.out_pos;
+  const size_t pending = conn.out_bytes;
   if (!conn.rd_eof && !conn.discard_input && unparsed < in_cap_ &&
       pending < kMaxOutBuffer) {
     want |= EPOLLIN;
@@ -788,11 +907,14 @@ void Server::FinalFlush() {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(1);
   for (auto& [id, conn] : conns_) {
-    while (conn->out_pos < conn->out.size()) {
-      ssize_t w = ::send(conn->fd, conn->out.data() + conn->out_pos,
-                         conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+    while (conn->out_bytes > 0) {
+      iovec iov[kMaxIov];
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<size_t>(GatherOutput(*conn, iov));
+      ssize_t w = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
       if (w > 0) {
-        conn->out_pos += static_cast<size_t>(w);
+        ConsumeOutput(*conn, static_cast<size_t>(w));
         continue;
       }
       if (w < 0 && errno == EINTR) continue;
@@ -807,8 +929,185 @@ void Server::FinalFlush() {
   }
 }
 
+namespace {
+
+// Verbs that mutate session state — the ones the owner replicates.
+bool IsMutationVerb(const std::string& verb) {
+  return verb == "LOAD" || verb == "STATE" || verb == "VIEW" ||
+         verb == "UNDEFINE";
+}
+
+// Verbs addressing a named session in tokens[1] (the routable set).
+bool IsSessionVerb(const std::string& verb) {
+  return IsMutationVerb(verb) || verb == "CHECK" || verb == "BCHECK" ||
+         verb == "CLASSIFY" || verb == "OPTIMIZE" || verb == "STATS";
+}
+
+}  // namespace
+
 Reply Server::Dispatch(const std::vector<std::string>& tokens,
-                       const std::string& payload, obs::TraceContext* trace) {
+                       const std::string& payload, obs::TraceContext* trace,
+                       Route route) {
+  const std::string& verb = tokens[0];
+
+  // Cluster envelopes first: FORWARD unwraps to a re-dispatch with the
+  // ownership check suppressed, REPL to a serialized replica apply.
+  if (verb == "FORWARD") {
+    if (ring_ == nullptr) {
+      return ErrReply(kErrProto, "FORWARD outside cluster mode");
+    }
+    if (route != Route::kClient) {
+      return ErrReply(kErrProto, "nested FORWARD");
+    }
+    if (tokens.size() < 2) {
+      return ErrReply(kErrProto, "usage: FORWARD <verb> ...");
+    }
+    const std::vector<std::string> inner(tokens.begin() + 1, tokens.end());
+    return Dispatch(inner, payload, trace, Route::kForwarded);
+  }
+  if (verb == "REPL") return DispatchRepl(tokens, payload, trace);
+
+  // Ownership: a session verb arriving from an ordinary client on a
+  // node that does not own the session is served locally only when this
+  // node replicates it (reads), otherwise proxied to the owner.
+  if (ring_ != nullptr && route == Route::kClient && tokens.size() >= 2 &&
+      IsSessionVerb(verb)) {
+    const std::string& session = tokens[1];
+    const size_t owner = ring_->OwnerOf(session);
+    if (owner != options_.cluster.self) {
+      const bool replica_read =
+          !IsMutationVerb(verb) &&
+          ring_->IsReplicaOf(session, options_.cluster.self,
+                             options_.cluster.EffectiveReplicas());
+      if (replica_read) {
+        replica_reads_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        return ForwardToOwner(owner, tokens, payload);
+      }
+    }
+  }
+
+  Reply reply = DispatchLocal(tokens, payload, trace);
+
+  // Replication hook: the owner logs every applied mutation and pushes
+  // it to the session's replicas before the reply leaves this node.
+  // Replica applies never re-replicate.
+  if (ring_ != nullptr && route != Route::kReplica &&
+      reply.kind == Reply::Kind::kOk && tokens.size() >= 2 &&
+      IsMutationVerb(verb)) {
+    const std::string& session = tokens[1];
+    replicator_->Record(session, StrJoin(tokens, " "), payload);
+    replicator_->Flush(session);
+  }
+  return reply;
+}
+
+Reply Server::DispatchRepl(const std::vector<std::string>& tokens,
+                           const std::string& payload,
+                           obs::TraceContext* trace) {
+  if (ring_ == nullptr) {
+    return ErrReply(kErrProto, "REPL outside cluster mode");
+  }
+  size_t seq = 0;
+  if (tokens.size() < 4 || !ParseSize(tokens[1], &seq) || seq == 0) {
+    return ErrReply(kErrProto, "usage: REPL <seq> <verb> <session> ...");
+  }
+  const std::vector<std::string> inner(tokens.begin() + 2, tokens.end());
+  if (!IsMutationVerb(inner[0])) {
+    return ErrReply(kErrProto,
+                    StrCat("REPL cannot carry '", inner[0], "'"));
+  }
+  const std::string& session = inner[1];
+  // Serialized per daemon: pipelined REPL frames for one session may
+  // land on different workers, and they must apply in sequence order.
+  base::MutexLock lock(&repl_mu_);
+  uint64_t& applied = replica_applied_[session];
+  if (seq <= applied) {
+    // Duplicate delivery (owner retried after a lost ack): idempotent.
+    repl_dups_.fetch_add(1, std::memory_order_relaxed);
+    return OkReply(StrCat("applied=", applied, " dup=true"));
+  }
+  // In-sequence, or a LOAD — which rebuilds the session from scratch and
+  // is therefore a valid resync point at any forward sequence number.
+  if (seq != applied + 1 && inner[0] != "LOAD") {
+    repl_gaps_.fetch_add(1, std::memory_order_relaxed);
+    return ErrReply("replica_gap", StrCat("have=", applied));
+  }
+  Reply reply = Dispatch(inner, payload, trace, Route::kReplica);
+  if (reply.kind != Reply::Kind::kOk) return reply;
+  applied = seq;
+  repl_applies_.fetch_add(1, std::memory_order_relaxed);
+  return OkReply(StrCat("applied=", seq));
+}
+
+Reply Server::ForwardToOwner(size_t owner,
+                             const std::vector<std::string>& tokens,
+                             const std::string& payload) {
+  forwards_.fetch_add(1, std::memory_order_relaxed);
+  const std::string line = StrCat("FORWARD ", StrJoin(tokens, " "));
+  // The owner first; for idempotent reads, the session's replicas next,
+  // so every node keeps answering reads while the owner is down.
+  std::vector<size_t> targets{owner};
+  if (cluster::IsIdempotentVerb(tokens[0])) {
+    for (const size_t r : ring_->ReplicasOf(
+             tokens[1], options_.cluster.EffectiveReplicas())) {
+      if (r != options_.cluster.self) targets.push_back(r);
+    }
+  }
+  Reply reply = ErrReply("unavailable", "no cluster peer reachable");
+  for (const size_t node : targets) {
+    if (ForwardTo(node, line, payload, &reply)) return reply;
+  }
+  forward_failures_.fetch_add(1, std::memory_order_relaxed);
+  return reply;
+}
+
+bool Server::ForwardTo(size_t node, const std::string& line,
+                       const std::string& payload, Reply* reply) {
+  auto borrowed = peers_->Acquire(node);
+  if (!borrowed.ok()) {
+    *reply = ErrReply("unavailable",
+                      std::string(borrowed.status().message()));
+    return false;
+  }
+  std::unique_ptr<Client> peer = std::move(*borrowed);
+  auto r = peer->Roundtrip(line, payload.empty() ? nullptr : &payload);
+  bool healthy = true;
+  bool answered = true;
+  if (r.ok()) {
+    *reply = OkReply(std::move(*r));
+  } else {
+    switch (r.status().code()) {
+      case StatusCode::kResourceExhausted: {  // the peer answered BUSY
+        Reply busy;
+        busy.kind = Reply::Kind::kBusy;
+        *reply = busy;
+        break;
+      }
+      case StatusCode::kFailedPrecondition: {
+        // An ERR reply, carried as "<code>: <message>" — re-split it so
+        // the original error reaches the client unchanged.
+        const std::string msg(r.status().message());
+        const size_t sep = msg.find(": ");
+        *reply = sep == std::string::npos
+                     ? ErrReply(kErrProto, msg)
+                     : ErrReply(msg.substr(0, sep), msg.substr(sep + 2));
+        break;
+      }
+      default:  // transport fault: connection poisoned, peer maybe down
+        healthy = false;
+        answered = false;
+        *reply = ErrReply("unavailable", std::string(r.status().message()));
+        break;
+    }
+  }
+  peers_->Release(node, std::move(peer), healthy);
+  return answered;
+}
+
+Reply Server::DispatchLocal(const std::vector<std::string>& tokens,
+                            const std::string& payload,
+                            obs::TraceContext* trace) {
   const std::string& verb = tokens[0];
   if (verb == "LOAD") return DispatchLoad(tokens, payload, trace);
   if (verb == "STATE") return DispatchState(tokens, payload, trace);
@@ -975,6 +1274,20 @@ Reply Server::DispatchStats(const std::vector<std::string>& tokens) {
     }
     text = StrCat(text, "\nverbs: ", verbs);
   }
+  if (ring_ != nullptr) {
+    // Cluster mode only: a single-node daemon's STATS text is unchanged.
+    const cluster::Replicator::Stats rs = replicator_->stats();
+    text = StrCat(
+        text, "\ncluster: nodes=", options_.cluster.nodes.size(),
+        " self=", options_.cluster.self,
+        " replicas=", options_.cluster.EffectiveReplicas(),
+        " forwards=", s.forwards, " forward_failures=", s.forward_failures,
+        " replica_reads=", s.replica_reads,
+        " repl_applies=", s.repl_applies, " repl_dups=", s.repl_dups,
+        " repl_gaps=", s.repl_gaps, " repl_sent=", rs.sent,
+        " repl_acked=", rs.acked, " repl_failures=", rs.failures,
+        " repl_resyncs=", rs.resyncs, " repl_max_lag=", rs.max_lag);
+  }
   auto append = [&](const std::string& name,
                     const std::shared_ptr<Session>& session) {
     base::ReaderLock lock(&session->mu());
@@ -1012,6 +1325,12 @@ ServerStats Server::stats() const {
   s.busy = busy_.load(std::memory_order_relaxed);
   s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   s.open_connections = open_conns_.load(std::memory_order_relaxed);
+  s.forwards = forwards_.load(std::memory_order_relaxed);
+  s.forward_failures = forward_failures_.load(std::memory_order_relaxed);
+  s.replica_reads = replica_reads_.load(std::memory_order_relaxed);
+  s.repl_applies = repl_applies_.load(std::memory_order_relaxed);
+  s.repl_dups = repl_dups_.load(std::memory_order_relaxed);
+  s.repl_gaps = repl_gaps_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < kNumVerbs; ++i) {
     const uint64_t n = verb_requests_[i].load(std::memory_order_relaxed);
     if (n == 0) continue;

@@ -36,11 +36,16 @@
 #include "base/status.h"
 #include "base/sync.h"
 #include "calculus/subsumption.h"
+#include "cluster/membership.h"
+#include "cluster/replication.h"
+#include "cluster/ring.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/session.h"
 #include "server/wire.h"
 #include "service/thread_pool.h"
+
+struct iovec;  // <sys/uio.h>; forward-declared to keep it out of the API
 
 namespace oodb::server {
 
@@ -60,6 +65,8 @@ enum class Verb : uint8_t {
   kShutdown,
   kMetrics,
   kTrace,
+  kRepl,     // owner → replica: apply one logged mutation (cluster mode)
+  kForward,  // peer → owner: proxy a request for a session we don't own
   kOther,
   kCount,
 };
@@ -99,6 +106,11 @@ struct ServerOptions {
   // Options for each session's shared checker (memo cache, pre-filter,
   // engine pool).
   calculus::CheckerOptions checker;
+  // Cluster membership (docs/cluster.md). Empty = single-node mode, no
+  // routing or replication. When set, `cluster.self` must be this
+  // daemon's index in `cluster.nodes` (ports are static in cluster
+  // mode, so the caller knows it before Start()).
+  cluster::ClusterConfig cluster;
 };
 
 // Monotone server-wide counters (snapshot via Server::stats()).
@@ -111,6 +123,14 @@ struct ServerStats {
   uint64_t deadline_expired = 0;  // ERR deadline replies
   size_t sessions = 0;            // live named sessions
   size_t open_connections = 0;    // connections currently registered
+
+  // Cluster-mode counters; all zero in single-node mode.
+  uint64_t forwards = 0;          // requests proxied to another node
+  uint64_t forward_failures = 0;  // proxies with no reachable peer
+  uint64_t replica_reads = 0;     // reads served from a replica copy
+  uint64_t repl_applies = 0;      // REPL mutations applied in sequence
+  uint64_t repl_dups = 0;         // REPL already-applied (dup) acks
+  uint64_t repl_gaps = 0;         // REPL gap rejections (resync trigger)
 
   // Per-verb request/error counts, in Verb order, verbs with zero
   // requests omitted.
@@ -197,6 +217,13 @@ class Server {
   void SubmitPooled(Connection& conn);
   // Drains the completion queue into connection output buffers.
   void DrainCompletions() EXCLUDES(comp_mu_);
+  // Enqueues encoded reply bytes, coalescing small appends into the
+  // back chunk of the connection's output queue.
+  void AppendOutput(Connection& conn, std::string bytes);
+  // Advances the output queue past `n` written bytes.
+  void ConsumeOutput(Connection& conn, size_t n);
+  // Fills `iov` (kMaxIov slots) from the queue; returns the slot count.
+  int GatherOutput(Connection& conn, iovec* iov);
   void FlushOutput(Connection& conn);
   // Keeps EPOLLIN/EPOLLOUT interest in sync with buffer state.
   void UpdateInterest(Connection& conn);
@@ -212,8 +239,34 @@ class Server {
   // eventfd wakeup per empty→non-empty transition of the queue.
   void PushCompletions(std::vector<Completion> batch) EXCLUDES(comp_mu_);
 
+  // Who handed us this request — decides routing and replication.
+  // kClient: an ordinary connection; ownership is checked and the
+  //   request may be proxied (FORWARD) to the owning node.
+  // kForwarded: another node already routed it here; skip the ownership
+  //   check (we are the owner, or a replica serving a failed-over read)
+  //   but still replicate mutations.
+  // kReplica: a REPL apply; skip both (never re-replicate).
+  enum class Route : uint8_t { kClient, kForwarded, kReplica };
+
   Reply Dispatch(const std::vector<std::string>& tokens,
-                 const std::string& payload, obs::TraceContext* trace);
+                 const std::string& payload, obs::TraceContext* trace,
+                 Route route = Route::kClient);
+  // The single-node dispatch body: no routing, no replication.
+  Reply DispatchLocal(const std::vector<std::string>& tokens,
+                      const std::string& payload, obs::TraceContext* trace);
+  // REPL <seq> <verb> <session> ...: apply one replicated mutation if it
+  // is next in sequence (serialized per daemon by repl_mu_).
+  Reply DispatchRepl(const std::vector<std::string>& tokens,
+                     const std::string& payload, obs::TraceContext* trace)
+      EXCLUDES(repl_mu_);
+  // Proxies `tokens` to the owning node as a FORWARD frame; idempotent
+  // reads fail over to the session's replicas when the owner is down.
+  Reply ForwardToOwner(size_t owner, const std::vector<std::string>& tokens,
+                       const std::string& payload);
+  // One proxy attempt. Returns true if the peer answered (authoritative
+  // reply in *reply), false on a transport fault (try another node).
+  bool ForwardTo(size_t node, const std::string& line,
+                 const std::string& payload, Reply* reply);
   Reply DispatchLoad(const std::vector<std::string>& tokens,
                      const std::string& payload, obs::TraceContext* trace);
   Reply DispatchState(const std::vector<std::string>& tokens,
@@ -242,9 +295,21 @@ class Server {
   // binary frame) plus header slack. Reading pauses above it.
   size_t in_cap_ = 0;
 
-  // Lock order: sessions_mu_ -> stop_mu_; comp_mu_ is a leaf taken by
-  // itself (push from workers, swap from the loop) and never held across
-  // a call out (see docs/concurrency.md).
+  // ---- Cluster mode (all null when options_.cluster is empty) ----
+  std::unique_ptr<cluster::Ring> ring_;
+  std::unique_ptr<cluster::PeerPool> peers_;
+  std::unique_ptr<cluster::Replicator> replicator_;
+
+  // Lock order: repl_mu_ -> sessions_mu_ -> stop_mu_; comp_mu_ is a leaf
+  // taken by itself (push from workers, swap from the loop) and never
+  // held across a call out (see docs/concurrency.md). repl_mu_
+  // serializes replica applies across worker threads — it is held across
+  // the inner Dispatch so REPL frames for one session apply in sequence
+  // order even when pipelined onto different workers.
+  base::Mutex repl_mu_ ACQUIRED_BEFORE(sessions_mu_);
+  // Per replicated session: highest sequence number applied here.
+  std::map<std::string, uint64_t> replica_applied_ GUARDED_BY(repl_mu_);
+
   mutable base::Mutex sessions_mu_ ACQUIRED_BEFORE(stop_mu_);
   std::map<std::string, std::shared_ptr<Session>> sessions_
       GUARDED_BY(sessions_mu_);
@@ -275,6 +340,12 @@ class Server {
   mutable std::atomic<uint64_t> busy_{0};
   mutable std::atomic<uint64_t> deadline_expired_{0};
   mutable std::atomic<size_t> open_conns_{0};
+  mutable std::atomic<uint64_t> forwards_{0};
+  mutable std::atomic<uint64_t> forward_failures_{0};
+  mutable std::atomic<uint64_t> replica_reads_{0};
+  mutable std::atomic<uint64_t> repl_applies_{0};
+  mutable std::atomic<uint64_t> repl_dups_{0};
+  mutable std::atomic<uint64_t> repl_gaps_{0};
   mutable std::array<std::atomic<uint64_t>, kNumVerbs> verb_requests_{};
   mutable std::array<std::atomic<uint64_t>, kNumVerbs> verb_errors_{};
 

@@ -1,0 +1,134 @@
+#!/bin/sh
+# Cluster smoke test: start three daemons sharing one --cluster spec,
+# load sessions and define views through the routed client
+# (`rpc --cluster`), check verdicts both routed and per-node (FORWARD
+# and replica-read paths), then kill -9 the owner of one session and
+# assert reads on it still answer — with verdicts identical to before
+# the crash — while the other session is untouched. This is the CI
+# cluster-smoke job.
+#
+# usage: cluster_smoke.sh <path-to-oodbsub> <examples-data-dir>
+set -e
+BIN="$1"
+DATA="$2"
+TMP="${TMPDIR:-/tmp}/oodbsub_cluster_smoke.$$"
+mkdir -p "$TMP"
+
+P1= P2= P3= SPEC=
+SRV1= SRV2= SRV3=
+cleanup() {
+  for pid in $SRV1 $SRV2 $SRV3; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# Static membership needs ports known up front: probe bases derived from
+# the PID until all three daemons come up (a neighbour port may be taken).
+start_node() { # $1=port $2=logname  -> pid
+  "$BIN" serve --port="$1" --threads=2 --max-pending=64 \
+    --cluster="$SPEC" --replicas=1 \
+    >"$TMP/$2.out" 2>"$TMP/$2.err" &
+  echo $!
+}
+up() { # $1=port $2=logname  -> 0 once the daemon reports listening
+  i=0
+  while [ $i -lt 100 ]; do
+    grep -q "^listening on 127\.0\.0\.1:$1\$" "$TMP/$2.out" 2>/dev/null \
+      && return 0
+    i=$((i+1))
+    sleep 0.1
+  done
+  return 1
+}
+
+attempt=0
+while [ $attempt -lt 5 ]; do
+  BASE=$(( 21000 + ( ($$ + attempt * 311) % 20000 ) ))
+  P1=$BASE P2=$((BASE+1)) P3=$((BASE+2))
+  SPEC="127.0.0.1:$P1,127.0.0.1:$P2,127.0.0.1:$P3"
+  SRV1=$(start_node "$P1" n1)
+  SRV2=$(start_node "$P2" n2)
+  SRV3=$(start_node "$P3" n3)
+  if up "$P1" n1 && up "$P2" n2 && up "$P3" n3; then
+    break
+  fi
+  for pid in $SRV1 $SRV2 $SRV3; do kill -9 "$pid" 2>/dev/null || true; done
+  SRV1= SRV2= SRV3=
+  attempt=$((attempt+1))
+done
+[ -n "$SRV3" ] || { echo "FAIL: could not start a 3-node fleet"; exit 1; }
+echo "fleet on $SPEC"
+
+RPC="$BIN rpc --cluster=$SPEC --replicas=1"
+
+# Two sessions with different owners, so killing one owner leaves the
+# other session's owner alive.
+A=
+B=
+i=0
+while [ $i -lt 100 ]; do
+  S="sess$i"
+  O=$($RPC OWNER "$S" | sed -n 's/^owner=\([^ ]*\).*/\1/p')
+  [ -n "$O" ] || { echo "FAIL: OWNER gave no answer for $S"; exit 1; }
+  if [ -z "$A" ]; then
+    A=$S; OWNER_A=$O
+  elif [ "$O" != "$OWNER_A" ]; then
+    B=$S; break
+  fi
+  i=$((i+1))
+done
+[ -n "$B" ] || { echo "FAIL: no two sessions with distinct owners"; exit 1; }
+echo "session $A owned by $OWNER_A, session $B owned by $O"
+
+for S in "$A" "$B"; do
+  $RPC LOAD "$S" "$DATA/medical.dl" | grep -q "session=$S"
+  $RPC VIEW "$S" ViewPatient        | grep -q 'extent='
+done
+
+# Routed verdicts, and the same answers from every node directly: the
+# owner serves locally, its replica serves the replica-read path, and
+# the third node proxies over FORWARD.
+for S in "$A" "$B"; do
+  $RPC CHECK "$S" QueryPatient ViewPatient | grep -q '^subsumed=true$'
+  $RPC CHECK "$S" ViewPatient QueryPatient | grep -q '^subsumed=false$'
+  for T in "127.0.0.1:$P1" "127.0.0.1:$P2" "127.0.0.1:$P3"; do
+    "$BIN" rpc "$T" CHECK "$S" QueryPatient ViewPatient \
+      | grep -q '^subsumed=true$'
+    "$BIN" rpc "$T" CHECK "$S" ViewPatient QueryPatient \
+      | grep -q '^subsumed=false$'
+  done
+done
+
+# The cluster stats line shows replication happened.
+"$BIN" rpc "127.0.0.1:$P1" STATS | grep -q 'cluster: nodes=3'
+
+# Kill the owner of A (kill -9: no drain, no goodbye) and read on.
+case "$OWNER_A" in
+  *:$P1) kill -9 "$SRV1"; SRV1= ;;
+  *:$P2) kill -9 "$SRV2"; SRV2= ;;
+  *:$P3) kill -9 "$SRV3"; SRV3= ;;
+  *) echo "FAIL: unexpected owner $OWNER_A"; exit 1 ;;
+esac
+echo "killed owner of $A ($OWNER_A)"
+
+# Reads on A fail over to its replica — verdicts unchanged, zero
+# mismatches — and B never notices. Repeat to exercise the retry loop.
+j=0
+while [ $j -lt 3 ]; do
+  $RPC CHECK "$A" QueryPatient ViewPatient | grep -q '^subsumed=true$'
+  $RPC CHECK "$A" ViewPatient QueryPatient | grep -q '^subsumed=false$'
+  $RPC CHECK "$B" QueryPatient ViewPatient | grep -q '^subsumed=true$'
+  j=$((j+1))
+done
+$RPC BCHECK "$A" QueryPatient ViewPatient ViewPatient QueryPatient \
+  | grep -q '^subsumed=true,false$'
+
+# Mutations on the dead owner's session must fail fast, not hang.
+if $RPC VIEW "$A" QueryPatient >/dev/null 2>&1; then
+  echo "FAIL: mutation on an ownerless session succeeded"
+  exit 1
+fi
+
+echo "smoke ok: fleet served, failed over, verdicts never changed"

@@ -1,0 +1,377 @@
+// Cluster-mode tests: the consistent-hash ring (determinism, balance,
+// replica placement), membership parsing, the retry/backoff policy of
+// the cluster client (no sockets involved), and end-to-end fleets of
+// in-process daemons — forwarding, replica reads, the REPL sequence
+// protocol, and read failover after killing a session's owner.
+#include "cluster/cluster_client.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/strings.h"
+#include "cluster/membership.h"
+#include "cluster/replication.h"
+#include "cluster/ring.h"
+#include "gen/dl_gen.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace oodb::cluster {
+namespace {
+
+TEST(Cluster, ParseClusterSpecAcceptsAndRejects) {
+  auto nodes = ParseClusterSpec("127.0.0.1:7001,127.0.0.1:7002");
+  ASSERT_TRUE(nodes.ok()) << nodes.status();
+  ASSERT_EQ(nodes->size(), 2u);
+  EXPECT_EQ((*nodes)[0].host, "127.0.0.1");
+  EXPECT_EQ((*nodes)[0].port, 7001);
+  EXPECT_EQ((*nodes)[1].ToString(), "127.0.0.1:7002");
+
+  EXPECT_FALSE(ParseClusterSpec("").ok());
+  EXPECT_FALSE(ParseClusterSpec("127.0.0.1:7001,").ok());
+  EXPECT_FALSE(ParseClusterSpec("127.0.0.1").ok());            // no port
+  EXPECT_FALSE(ParseClusterSpec("127.0.0.1:0").ok());          // bad port
+  EXPECT_FALSE(ParseClusterSpec("127.0.0.1:70000").ok());      // bad port
+  EXPECT_FALSE(ParseClusterSpec("127.0.0.1:x").ok());          // bad port
+  EXPECT_FALSE(
+      ParseClusterSpec("127.0.0.1:7001,127.0.0.1:7001").ok());  // dup
+
+  EXPECT_EQ(SelfIndex(*nodes, 7002), 1u);
+  EXPECT_EQ(SelfIndex(*nodes, 7999), kNotAMember);
+}
+
+TEST(Cluster, RingIsDeterministicAcrossInstances) {
+  auto nodes = ParseClusterSpec(
+      "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003,127.0.0.1:7004");
+  ASSERT_TRUE(nodes.ok());
+  const Ring a(*nodes);
+  const Ring b(*nodes);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = StrCat("session-", i);
+    EXPECT_EQ(a.OwnerOf(key), b.OwnerOf(key));
+    EXPECT_EQ(a.ReplicasOf(key, 2), b.ReplicasOf(key, 2));
+  }
+}
+
+TEST(Cluster, RingBalancesKeysAcrossFourNodes) {
+  auto nodes = ParseClusterSpec(
+      "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003,127.0.0.1:7004");
+  ASSERT_TRUE(nodes.ok());
+  const Ring ring(*nodes);
+  std::vector<size_t> owned(4, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const size_t owner = ring.OwnerOf(StrCat("session-", i));
+    ASSERT_LT(owner, 4u);
+    owned[owner]++;
+  }
+  // 64 vnodes/node keeps every node within a loose band of fair share
+  // (250): no node starves (<5%) or hogs (>60%).
+  for (size_t n = 0; n < 4; ++n) {
+    EXPECT_GE(owned[n], 50u) << "node " << n << " starves";
+    EXPECT_LE(owned[n], 600u) << "node " << n << " hogs";
+  }
+}
+
+TEST(Cluster, ReplicasAreDistinctNonOwnersCappedByFleetSize) {
+  auto nodes = ParseClusterSpec(
+      "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003");
+  ASSERT_TRUE(nodes.ok());
+  const Ring ring(*nodes);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = StrCat("s", i);
+    const size_t owner = ring.OwnerOf(key);
+    for (const size_t r : {size_t{1}, size_t{2}, size_t{5}}) {
+      const std::vector<size_t> replicas = ring.ReplicasOf(key, r);
+      EXPECT_EQ(replicas.size(), std::min(r, size_t{2}));  // n-1 = 2
+      std::set<size_t> seen;
+      for (const size_t node : replicas) {
+        EXPECT_NE(node, owner);
+        EXPECT_TRUE(seen.insert(node).second) << "duplicate replica";
+        EXPECT_TRUE(ring.IsReplicaOf(key, node, r));
+      }
+      EXPECT_FALSE(ring.IsReplicaOf(key, owner, r));
+    }
+  }
+}
+
+TEST(Cluster, BackoffDelaysStayInTheJitteredEnvelopeAndCap) {
+  const BackoffPolicy policy{/*base_ms=*/5, /*cap_ms=*/200,
+                             /*max_attempts=*/6, /*jitter=*/0.5};
+  Rng rng(42);
+  for (size_t retry = 0; retry < 12; ++retry) {
+    const uint64_t full =
+        std::min<uint64_t>(200, uint64_t{5} << retry);  // deterministic cap
+    for (int sample = 0; sample < 64; ++sample) {
+      const uint64_t d = policy.DelayMs(retry, rng);
+      EXPECT_LE(d, full) << "retry " << retry;
+      EXPECT_GE(d, full / 2) << "retry " << retry;  // jitter floor (1-j)*d
+    }
+  }
+  // Far past the cap the shift must not overflow.
+  Rng rng2(7);
+  EXPECT_LE(policy.DelayMs(63, rng2), 200u);
+  // Zero jitter is fully deterministic.
+  const BackoffPolicy exact{10, 400, 4, 0.0};
+  Rng rng3(1);
+  EXPECT_EQ(exact.DelayMs(0, rng3), 10u);
+  EXPECT_EQ(exact.DelayMs(1, rng3), 20u);
+  EXPECT_EQ(exact.DelayMs(2, rng3), 40u);
+  EXPECT_EQ(exact.DelayMs(10, rng3), 400u);  // capped
+}
+
+TEST(Cluster, OnlyReadVerbsAreIdempotent) {
+  // Retried across nodes / served by replicas:
+  for (const char* verb :
+       {"CHECK", "BCHECK", "CLASSIFY", "STATS", "PING", "METRICS", "TRACE"}) {
+    EXPECT_TRUE(IsIdempotentVerb(verb)) << verb;
+  }
+  // Never replayed blindly:
+  for (const char* verb : {"LOAD", "STATE", "VIEW", "UNDEFINE", "OPTIMIZE",
+                           "SHUTDOWN", "SLEEP", "REPL", "FORWARD", "check"}) {
+    EXPECT_FALSE(IsIdempotentVerb(verb)) << verb;
+  }
+}
+
+// ---- In-process fleets --------------------------------------------------
+
+// Binds an ephemeral loopback port, reads it back, and releases it for
+// the daemon to rebind. A racing process could steal it in the gap; the
+// tests assert Start() so a theft fails loudly, not mysteriously.
+int GrabPort() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+struct Fleet {
+  ClusterConfig config;  // self = kNotAMember (the client's view)
+  std::vector<std::unique_ptr<server::Server>> servers;
+
+  static std::unique_ptr<Fleet> Start(size_t n, size_t replicas) {
+    auto fleet = std::make_unique<Fleet>();
+    for (size_t i = 0; i < n; ++i) {
+      fleet->config.nodes.push_back(
+          NodeAddr{"127.0.0.1", GrabPort()});
+    }
+    fleet->config.replicas = replicas;
+    for (size_t i = 0; i < n; ++i) {
+      server::ServerOptions options;
+      options.port = static_cast<uint16_t>(fleet->config.nodes[i].port);
+      // ≥2 workers per node: a forwarded mutation occupies one worker on
+      // the forwarder while the owner's replication push back to it
+      // needs another (docs/cluster.md §6).
+      options.num_threads = 2;
+      options.cluster = fleet->config;
+      options.cluster.self = i;
+      auto server = std::make_unique<server::Server>(std::move(options));
+      auto port = server->Start();
+      EXPECT_TRUE(port.ok()) << "node " << i << ": " << port.status();
+      if (!port.ok()) return nullptr;
+      fleet->servers.push_back(std::move(server));
+    }
+    return fleet;
+  }
+
+  void ShutdownAll() {
+    for (auto& server : servers) {
+      if (server != nullptr) server->Shutdown();
+    }
+  }
+};
+
+server::Client MustConnect(int port) {
+  auto client = server::Client::Connect("127.0.0.1", port);
+  EXPECT_TRUE(client.ok()) << client.status();
+  return std::move(client).value();
+}
+
+std::string TinyCorpus() {
+  Rng rng(1234);
+  gen::DlGenOptions options;
+  options.num_classes = 6;
+  options.num_attrs = 3;
+  options.num_queries = 6;
+  return gen::GenerateDlSource(rng, options).source;
+}
+
+TEST(Cluster, TwoNodeFleetForwardsMutationsAndServesReplicaReads) {
+  auto fleet = Fleet::Start(2, 1);
+  ASSERT_NE(fleet, nullptr);
+  const Ring ring(fleet->config.nodes);
+  // With two nodes and R=1, every session lives on both: one owner, one
+  // replica. Address the NON-owner directly, so LOAD/VIEW exercise the
+  // FORWARD proxy and CHECK the replica-read path.
+  const std::string session = "fwd-session";
+  const size_t owner = ring.OwnerOf(session);
+  const size_t other = 1 - owner;
+
+  const std::string source = TinyCorpus();
+  server::Client via_other =
+      MustConnect(fleet->config.nodes[other].port);
+  auto loaded = via_other.Load(session, source);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // Errors proxy back unchanged too (code intact through FORWARD).
+  auto bad = via_other.Check(session, "NoSuchClass", "AlsoMissing");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("not_found"), std::string::npos)
+      << bad.status().message();
+
+  // Same verdicts straight from the owner and via the replica.
+  server::Client via_owner =
+      MustConnect(fleet->config.nodes[owner].port);
+  size_t compared = 0;
+  for (const char* c : {"Q0", "Q1", "Q2"}) {
+    for (const char* d : {"Q0", "Q1", "Q2"}) {
+      auto want = via_owner.Check(session, c, d);
+      auto got = via_other.Check(session, c, d);
+      ASSERT_EQ(want.ok(), got.ok()) << c << " vs " << d;
+      if (want.ok()) {
+        EXPECT_EQ(*want, *got) << c << " vs " << d;
+        ++compared;
+      }
+    }
+  }
+  EXPECT_GT(compared, 0u);
+
+  // The forwarder proxied the mutations; the replica served the reads
+  // locally; the owner replicated the LOAD.
+  const server::ServerStats other_stats = fleet->servers[other]->stats();
+  EXPECT_GE(other_stats.forwards, 1u);
+  EXPECT_GE(other_stats.replica_reads, 1u);
+  EXPECT_GE(other_stats.repl_applies, 1u);
+  const server::ServerStats owner_stats = fleet->servers[owner]->stats();
+  EXPECT_EQ(owner_stats.forwards, 0u);
+
+  // STATS grows a cluster line in cluster mode.
+  auto stats = via_owner.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("cluster: nodes=2"), std::string::npos) << *stats;
+  fleet->ShutdownAll();
+}
+
+TEST(Cluster, ReplAppliesInSequenceAcceptsDupsAndRejectsGaps) {
+  auto fleet = Fleet::Start(2, 1);
+  ASSERT_NE(fleet, nullptr);
+  // Drive the replica protocol by hand against node 0, whatever it owns:
+  // REPL applies are exempt from ownership checks by design.
+  server::Client client = MustConnect(fleet->config.nodes[0].port);
+  const std::string source = TinyCorpus();
+
+  const std::string load = StrCat("REPL 1 LOAD rs ", source.size());
+  auto r = client.Roundtrip(load, &source);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, "applied=1");
+
+  // Duplicate delivery acks idempotently.
+  r = client.Roundtrip(load, &source);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, "applied=1 dup=true");
+
+  // A gap is rejected with the replica's cursor.
+  r = client.Roundtrip("REPL 3 VIEW rs Q0");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("replica_gap"), std::string::npos);
+  EXPECT_NE(r.status().message().find("have=1"), std::string::npos);
+
+  // The in-sequence mutation lands, and the session answers reads.
+  r = client.Roundtrip("REPL 2 VIEW rs Q0");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, "applied=2");
+  auto verdict = client.Check("rs", "Q0", "Q0");
+  ASSERT_TRUE(verdict.ok()) << verdict.status();
+  EXPECT_TRUE(*verdict);
+
+  // A LOAD is a valid resync point at any forward sequence number.
+  r = client.Roundtrip(StrCat("REPL 7 LOAD rs ", source.size()), &source);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, "applied=7");
+
+  // Non-mutations may not ride REPL.
+  r = client.Roundtrip("REPL 8 CHECK rs Q0 Q0");
+  ASSERT_FALSE(r.ok());
+
+  const server::ServerStats stats = fleet->servers[0]->stats();
+  EXPECT_EQ(stats.repl_applies, 3u);
+  EXPECT_GE(stats.repl_dups, 1u);
+  EXPECT_GE(stats.repl_gaps, 1u);
+  fleet->ShutdownAll();
+}
+
+TEST(Cluster, ClusterClientRoutesToOwnersAndFailsOverReads) {
+  auto fleet = Fleet::Start(3, 1);
+  ASSERT_NE(fleet, nullptr);
+  BackoffPolicy backoff;
+  backoff.base_ms = 1;
+  backoff.cap_ms = 20;
+  backoff.max_attempts = 6;
+  ClusterClient client(fleet->config, backoff);
+
+  // Two sessions with different owners, so killing one owner leaves the
+  // other session untouched.
+  const std::string source = TinyCorpus();
+  std::string a, b;
+  for (int i = 0; a.empty() || b.empty(); ++i) {
+    ASSERT_LT(i, 1000);
+    const std::string name = StrCat("sess-", i);
+    if (a.empty()) {
+      a = name;
+      continue;
+    }
+    if (client.OwnerOf(name) != client.OwnerOf(a)) b = name;
+  }
+  for (const std::string& s : {a, b}) {
+    auto loaded = client.Load(s, source);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    auto extent = client.DefineView(s, "Q0");
+    ASSERT_TRUE(extent.ok()) << extent.status();
+  }
+
+  // Baseline verdicts while everything is up.
+  auto before_a = client.Check(a, "Q0", "Q1");
+  auto before_b = client.Check(b, "Q0", "Q1");
+  ASSERT_TRUE(before_a.ok() && before_b.ok());
+
+  // Kill the owner of `a`. Reads on `a` must keep answering (served by
+  // its replica within the retry budget), with unchanged verdicts; `b`
+  // is unaffected; mutations on `a` fail fast (no owner to apply them).
+  const size_t owner_a = client.OwnerOf(a);
+  fleet->servers[owner_a]->Shutdown();
+  fleet->servers[owner_a].reset();
+
+  for (int i = 0; i < 5; ++i) {
+    auto after = client.Check(a, "Q0", "Q1");
+    ASSERT_TRUE(after.ok()) << after.status();
+    EXPECT_EQ(*after, *before_a);
+  }
+  EXPECT_GE(client.retry_stats().failovers, 1u);
+  auto after_b = client.Check(b, "Q0", "Q1");
+  ASSERT_TRUE(after_b.ok()) << after_b.status();
+  EXPECT_EQ(*after_b, *before_b);
+  EXPECT_FALSE(client.DefineView(a, "Q1").ok());
+  fleet->ShutdownAll();
+}
+
+}  // namespace
+}  // namespace oodb::cluster

@@ -3,7 +3,9 @@
 #   1. the linter passes on the real tree;
 #   2. it demonstrably fails when the UNDEFINE command row is removed
 #      from docs/server.md (the documented-drift case it exists for);
-#   3. it fails when a bench baseline loses its EXPERIMENTS.md row.
+#   3. it fails when a bench baseline loses its EXPERIMENTS.md row;
+#   4. it fails when BENCH_cluster.json drops a field bench_cluster.cc
+#      emits (schema drift between artifact and source).
 #
 # usage: lint_consistency_test.sh <repo_root>
 set -eu
@@ -20,7 +22,7 @@ python3 "$LINTER" --root "$ROOT"
 mkdir -p "$TMP/src/server" "$TMP/docs" "$TMP/tests" "$TMP/bench"
 cp "$ROOT/src/server/server.h" "$ROOT/src/server/server.cc" "$TMP/src/server/"
 cp "$ROOT/docs/server.md" "$TMP/docs/"
-cp "$ROOT/tests/server_test.cc" "$TMP/tests/"
+cp "$ROOT/tests/server_test.cc" "$ROOT/tests/cluster_test.cc" "$TMP/tests/"
 cp "$ROOT/bench/CMakeLists.txt" "$TMP/bench/"
 cp "$ROOT"/bench/bench_*.cc "$TMP/bench/"
 cp "$ROOT"/BENCH_*.json "$ROOT/EXPERIMENTS.md" "$TMP/"
@@ -38,6 +40,20 @@ cp "$ROOT/docs/server.md" "$TMP/docs/"
 grep -v 'bench_obs' "$ROOT/EXPERIMENTS.md" > "$TMP/EXPERIMENTS.md"
 if python3 "$LINTER" --root "$TMP" 2>/dev/null; then
   echo "FAIL: linter passed with the bench_obs experiment row removed" >&2
+  exit 1
+fi
+cp "$ROOT/EXPERIMENTS.md" "$TMP/"
+
+# 4. A cluster baseline missing an emitted field must fail.
+python3 - "$ROOT/BENCH_cluster.json" "$TMP/BENCH_cluster.json" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+del data["scaling_1_to_4"]
+json.dump(data, open(sys.argv[2], "w"))
+EOF
+if python3 "$LINTER" --root "$TMP" 2>/dev/null; then
+  echo "FAIL: linter passed with scaling_1_to_4 missing from" \
+       "BENCH_cluster.json" >&2
   exit 1
 fi
 

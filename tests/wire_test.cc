@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "server/client.h"
 
 #include <string>
 #include <thread>
@@ -298,6 +302,60 @@ TEST(Wire, FrameReaderHandlesFragmentedTextFrames) {
   EXPECT_FALSE(reader.ReadLine(&line));  // EOF
   writer.join();
   ::close(fds[1]);
+}
+
+// A reply frame truncated mid-header (the peer dies 6 bytes into the
+// next frame) must surface as a transport error on the pipelined Await
+// — and poison the client, so every later call fails fast instead of
+// rereading a closed socket.
+TEST(Wire, TruncatedReplyMidHeaderFailsAwaitAndPoisonsTheClient) {
+  int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  auto client = Client::Connect("127.0.0.1", ntohs(addr.sin_port));
+  ASSERT_TRUE(client.ok()) << client.status().message();
+  int sfd = ::accept(lfd, nullptr, nullptr);
+  ASSERT_GE(sfd, 0);
+
+  ASSERT_TRUE(client->EnableBinary().ok());
+  auto id1 = client->SubmitLine("PING");
+  auto id2 = client->SubmitLine("PING");
+  ASSERT_TRUE(id1.ok() && id2.ok());
+  ASSERT_TRUE(client->Flush().ok());
+
+  // The fake server answers the first request in full, truncates the
+  // second reply mid-header, and dies.
+  const std::string first = EncodeBinaryReply(*id1, OkReply("pong"));
+  const std::string second = EncodeBinaryReply(*id2, OkReply("pong"));
+  ASSERT_TRUE(WriteFully(sfd, first));
+  ASSERT_TRUE(WriteFully(sfd, std::string_view(second).substr(0, 6)));
+  ::close(sfd);
+
+  auto r1 = client->Await(*id1);
+  ASSERT_TRUE(r1.ok()) << r1.status().message();
+  EXPECT_EQ(*r1, "pong");
+  auto r2 = client->Await(*id2);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInternal);
+
+  // Dead from here on: no call may touch the socket again.
+  auto again = client->Await(*id2);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kInternal);
+  auto rt = client->Roundtrip("PING");
+  ASSERT_FALSE(rt.ok());
+  EXPECT_EQ(rt.status().code(), StatusCode::kInternal);
+  auto id3 = client->SubmitLine("PING");
+  EXPECT_FALSE(id3.ok());
+  ::close(lfd);
 }
 
 TEST(Wire, WriteFullySurvivesAClosedPeerWithoutSignalling) {

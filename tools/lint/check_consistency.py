@@ -16,8 +16,10 @@ Checks (each failure is one line on stderr; exit 1 if any):
   3. Every wire verb is accounted for in metrics: either in the
      kTimedVerbs latency-histogram list (server.cc) or in the
      inline-verbs list documented next to latency_ (server.h).
-  4. Every wire verb is mentioned in tests/server_test.cc
-     (case-insensitive — the test client wraps verbs in methods).
+  4. Every wire verb is mentioned in tests/server_test.cc or
+     tests/cluster_test.cc (case-insensitive — the test client wraps
+     verbs in methods; the cluster verbs REPL/FORWARD live in the
+     cluster suite).
   5. Every docs/server.md command row names a real wire verb (no
      documented-but-unimplemented commands).
   6. Every BENCH_<x>.json baseline has bench/bench_<x>.cc, a
@@ -30,6 +32,11 @@ Checks (each failure is one line on stderr; exit 1 if any):
      text,binary, the checked-in baseline is green (no transport errors
      or verdict mismatches), and every headline field is documented in
      docs/server.md.
+  9. The cluster bench artifact agrees with its source: the fields of
+     BENCH_cluster.json are exactly the literal json.Add keys of
+     bench/bench_cluster.cc, and the checked-in baseline is a green run
+     (zero verdict mismatches, transport errors and failover failures;
+     1->4 scaling at or above the 2.5x acceptance gate).
 
 Run locally:  python3 tools/lint/check_consistency.py [--root DIR]
 """
@@ -97,7 +104,8 @@ def check_wire(root: pathlib.Path, errors: list[str]) -> None:
     server_h = read(root, "src/server/server.h")
     server_cc = read(root, "src/server/server.cc")
     server_md = read(root, "docs/server.md")
-    server_test = read(root, "tests/server_test.cc").lower()
+    server_test = (read(root, "tests/server_test.cc") +
+                   read(root, "tests/cluster_test.cc")).lower()
 
     enumerators = parse_verb_enum(server_h)
     names = parse_verb_names(server_cc)
@@ -122,7 +130,7 @@ def check_wire(root: pathlib.Path, errors: list[str]) -> None:
                 "served without latency accounting")
         if verb.lower() not in server_test:
             errors.append(f"wire verb {verb} is never mentioned in "
-                          "tests/server_test.cc")
+                          "tests/server_test.cc or tests/cluster_test.cc")
 
     implemented = set(names.values())
     for verb in sorted(documented - implemented):
@@ -200,6 +208,37 @@ def check_server_bench(root: pathlib.Path, errors: list[str]) -> None:
                           f"BENCH_server.json field {field}")
 
 
+def check_cluster_bench(root: pathlib.Path, errors: list[str]) -> None:
+    """BENCH_cluster.json fields vs bench/bench_cluster.cc emitted schema."""
+    bench_cc = read(root, "bench/bench_cluster.cc")
+    try:
+        baseline = json.loads(read(root, "BENCH_cluster.json"))
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"BENCH_cluster.json is missing or unparsable: {e}")
+        return
+
+    emitted = set(re.findall(r'json\.Add\("(\w+)"', bench_cc))
+    fields = set(baseline.keys())
+    for field in sorted(emitted - fields):
+        errors.append(f"BENCH_cluster.json lacks field {field}, which "
+                      "bench/bench_cluster.cc emits")
+    for field in sorted(fields - emitted):
+        errors.append(f"BENCH_cluster.json field {field} is not emitted "
+                      "by bench/bench_cluster.cc")
+
+    for gate in ("transport_errors", "verdict_mismatches",
+                 "failover_failures"):
+        if baseline.get(gate) != 0:
+            errors.append(f"checked-in BENCH_cluster.json has {gate}="
+                          f"{baseline.get(gate)!r} — the baseline must be "
+                          "a green run")
+    scaling = baseline.get("scaling_1_to_4", 0)
+    if not isinstance(scaling, (int, float)) or scaling < 2.5:
+        errors.append(f"checked-in BENCH_cluster.json has scaling_1_to_4="
+                      f"{scaling!r}, below the 2.5x acceptance gate — "
+                      "re-run bench_cluster (full mode) for the baseline")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     default_root = pathlib.Path(__file__).resolve().parent.parent.parent
@@ -212,6 +251,7 @@ def main() -> int:
     check_wire(args.root, errors)
     check_bench(args.root, errors)
     check_server_bench(args.root, errors)
+    check_cluster_bench(args.root, errors)
 
     if errors:
         for error in errors:

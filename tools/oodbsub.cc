@@ -19,17 +19,21 @@
 //       send one framed request to a running daemon
 //   oodbsub stats <host:port> [session]
 //       human-readable snapshot of a running daemon's stats + metrics
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "base/status.h"
 #include "base/strings.h"
+#include "cluster/cluster_client.h"
+#include "cluster/membership.h"
 #include "calculus/explain.h"
 #include "calculus/services.h"
 #include "calculus/subsumption.h"
@@ -353,9 +357,15 @@ int Usage() {
       "  oodbsub state <schema.dl> <state.odb> [--deduce]\n"
       "  oodbsub serve [--port=N] [--threads=N] [--max-pending=N]"
       " [--deadline-ms=N]\n"
-      "                [--metrics-threshold-ms=N]\n"
+      "                [--metrics-threshold-ms=N]"
+      " [--cluster=host:port,... --replicas=N]\n"
       "  oodbsub rpc [--binary] <host:port> <VERB> [args...]   (LOAD/STATE"
       " take a file path)\n"
+      "  oodbsub rpc --cluster=host:port,... [--replicas=N] <VERB> [args...]\n"
+      "      route via the failover-aware cluster client; the OWNER"
+      " <session>\n"
+      "      meta-verb prints the session's owner and replicas without"
+      " a request\n"
       "  oodbsub stats <host:port> [session]\n"
       "exit codes: 0 ok, 1 error (diagnostics on stderr), 2 not subsumed,\n"
       "            3 illegal state, 4 server busy, 64 usage\n");
@@ -364,6 +374,8 @@ int Usage() {
 
 int CmdServe(const std::vector<std::string>& args) {
   server::ServerOptions options;
+  std::string cluster_spec;
+  size_t replicas = 1;
   for (const std::string& arg : args) {
     const char* value = nullptr;
     if (arg.rfind("--port=", 0) == 0) {
@@ -383,10 +395,40 @@ int CmdServe(const std::vector<std::string>& args) {
       // request tracing.
       value = arg.c_str() + 23;
       options.slow_threshold_ms = std::strtol(value, nullptr, 10);
+    } else if (arg.rfind("--cluster=", 0) == 0) {
+      value = arg.c_str() + 10;
+      cluster_spec = value;
+    } else if (arg.rfind("--replicas=", 0) == 0) {
+      value = arg.c_str() + 11;
+      replicas = std::strtoul(value, nullptr, 10);
     } else {
       return Usage();
     }
     if (*value == '\0') return Usage();
+  }
+  if (!cluster_spec.empty()) {
+    auto nodes = cluster::ParseClusterSpec(cluster_spec);
+    if (!nodes.ok()) return Fail(nodes.status());
+    if (options.port == 0) {
+      return Fail(InvalidArgumentError(
+          "--cluster requires an explicit --port listed in the spec"));
+    }
+    const size_t self = cluster::SelfIndex(*nodes, options.port);
+    if (self == cluster::kNotAMember) {
+      return Fail(InvalidArgumentError(
+          StrCat("--port=", options.port, " is not in --cluster=",
+                 cluster_spec)));
+    }
+    options.cluster.nodes = std::move(*nodes);
+    options.cluster.self = self;
+    options.cluster.replicas = replicas;
+    // A cluster node needs ≥2 workers: a forwarded mutation parks one
+    // worker on the roundtrip to the owner while the owner's replication
+    // push back here needs another (docs/cluster.md §6).
+    const size_t resolved = options.num_threads != 0
+                                ? options.num_threads
+                                : std::thread::hardware_concurrency();
+    options.num_threads = std::max<size_t>(resolved, 2);
   }
   server::Server daemon(options);
   auto port = daemon.Start();
@@ -409,18 +451,80 @@ int CmdServe(const std::vector<std::string>& args) {
   return 0;
 }
 
+// `rpc --cluster=SPEC <VERB> [args...]`: route through the cluster
+// client instead of one explicit daemon. The connection is always
+// binary; reads retry and fail over per docs/cluster.md §4.
+int CmdRpcCluster(const std::string& spec, size_t replicas,
+                  const std::vector<std::string>& args) {
+  auto nodes = cluster::ParseClusterSpec(spec);
+  if (!nodes.ok()) return Fail(nodes.status());
+  cluster::ClusterConfig config;
+  config.nodes = std::move(*nodes);
+  config.replicas = replicas;
+  if (args.empty()) return Usage();
+  cluster::ClusterClient client(config);
+
+  const std::string& verb = args[0];
+  if (verb == "OWNER") {
+    // Placement query, answered from the ring without any request.
+    if (args.size() != 2) return Usage();
+    const size_t owner = client.OwnerOf(args[1]);
+    std::vector<std::string> addrs;
+    for (const size_t node : client.ReplicasOf(args[1])) {
+      addrs.push_back(config.nodes[node].ToString());
+    }
+    std::printf("owner=%s replicas=%s\n",
+                config.nodes[owner].ToString().c_str(),
+                addrs.empty() ? "none" : StrJoin(addrs, ",").c_str());
+    return 0;
+  }
+  auto roundtrip = [&]() -> Result<std::string> {
+    if (verb == "LOAD" || verb == "STATE") {
+      if (args.size() != 3) {
+        return InvalidArgumentError(StrCat("usage: rpc --cluster=... ", verb,
+                                           " <session> <file>"));
+      }
+      OODB_ASSIGN_OR_RETURN(std::string source, ReadFile(args[2]));
+      return verb == "LOAD" ? client.Load(args[1], source)
+                            : client.LoadState(args[1], source);
+    }
+    return client.Call(StrJoin(args, " "));
+  };
+  auto reply = roundtrip();
+  if (!reply.ok()) {
+    if (reply.status().code() == StatusCode::kResourceExhausted) {
+      std::fprintf(stderr, "busy: admission queue full, retry later\n");
+      return 4;
+    }
+    return Fail(reply.status());
+  }
+  std::printf("%s\n", reply->c_str());
+  return 0;
+}
+
 int CmdRpc(std::vector<std::string> args) {
   // `--binary` anywhere after `rpc` switches the connection to the
-  // length-prefixed framing before the request is sent.
+  // length-prefixed framing before the request is sent. `--cluster=SPEC`
+  // (plus optional `--replicas=N`) switches to routed mode.
   bool binary = false;
+  std::string cluster_spec;
+  size_t replicas = 1;
   for (auto it = args.begin(); it != args.end();) {
     if (*it == "--binary") {
       binary = true;
+      it = args.erase(it);
+    } else if (it->rfind("--cluster=", 0) == 0) {
+      cluster_spec = it->substr(10);
+      if (cluster_spec.empty()) return Usage();
+      it = args.erase(it);
+    } else if (it->rfind("--replicas=", 0) == 0) {
+      replicas = std::strtoul(it->c_str() + 11, nullptr, 10);
       it = args.erase(it);
     } else {
       ++it;
     }
   }
+  if (!cluster_spec.empty()) return CmdRpcCluster(cluster_spec, replicas, args);
   if (args.size() < 2) return Usage();
   const std::string& target = args[0];
   const size_t colon = target.rfind(':');
