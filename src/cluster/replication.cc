@@ -1,5 +1,6 @@
 #include "cluster/replication.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <utility>
 
@@ -23,8 +24,19 @@ bool ParseReplicaGap(const std::string& message, uint64_t* have) {
 
 }  // namespace
 
-PeerPool::PeerPool(std::vector<NodeAddr> nodes)
-    : nodes_(std::move(nodes)), idle_(nodes_.size()) {}
+namespace {
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+PeerPool::PeerPool(std::vector<NodeAddr> nodes, int64_t deadline_ms)
+    : nodes_(std::move(nodes)),
+      deadline_ms_(deadline_ms),
+      idle_(nodes_.size()),
+      stats_(nodes_.size()) {}
 
 Result<std::unique_ptr<server::Client>> PeerPool::Acquire(size_t node) {
   if (node >= nodes_.size()) {
@@ -39,19 +51,45 @@ Result<std::unique_ptr<server::Client>> PeerPool::Acquire(size_t node) {
       return client;
     }
   }
-  OODB_ASSIGN_OR_RETURN(
-      server::Client fresh,
-      server::Client::Connect(nodes_[node].host, nodes_[node].port));
-  auto client = std::make_unique<server::Client>(std::move(fresh));
-  OODB_RETURN_IF_ERROR(client->EnableBinary());
-  return client;
+  auto dialed = [&]() -> Result<std::unique_ptr<server::Client>> {
+    OODB_ASSIGN_OR_RETURN(
+        server::Client fresh,
+        server::Client::Connect(nodes_[node].host, nodes_[node].port));
+    auto client = std::make_unique<server::Client>(std::move(fresh));
+    if (deadline_ms_ > 0) {
+      OODB_RETURN_IF_ERROR(client->SetDeadline(deadline_ms_));
+    }
+    OODB_RETURN_IF_ERROR(client->EnableBinary());
+    return client;
+  }();
+  base::MutexLock lock(&mu_);
+  if (!dialed.ok()) {
+    ++stats_[node].failures;
+    ++stats_[node].consecutive_failures;
+    return dialed.status();
+  }
+  ++stats_[node].dials;
+  return std::move(*dialed);
 }
 
 void PeerPool::Release(size_t node, std::unique_ptr<server::Client> client,
                        bool healthy) {
-  if (!healthy || node >= nodes_.size() || client == nullptr) return;
+  if (node >= nodes_.size() || client == nullptr) return;
   base::MutexLock lock(&mu_);
+  if (!healthy) {
+    ++stats_[node].failures;
+    ++stats_[node].consecutive_failures;
+    if (client->timed_out()) ++stats_[node].timeouts;
+    return;  // drop the connection: its framing may be poisoned
+  }
+  stats_[node].consecutive_failures = 0;
+  stats_[node].last_ok_ms = SteadyNowMs();
   idle_[node].push_back(std::move(client));
+}
+
+std::vector<PeerPool::PeerStats> PeerPool::stats() const {
+  base::MutexLock lock(&mu_);
+  return stats_;
 }
 
 Replicator::Replicator(const ClusterConfig& config, const Ring& ring,
@@ -59,7 +97,7 @@ Replicator::Replicator(const ClusterConfig& config, const Ring& ring,
     : config_(config), ring_(ring), peers_(peers) {}
 
 uint64_t Replicator::Record(const std::string& session, std::string line,
-                            std::string payload) {
+                            std::string payload, uint64_t trace_id) {
   base::MutexLock lock(&mu_);
   Log& log = logs_[session];
   if (!log.placed) {
@@ -71,7 +109,8 @@ uint64_t Replicator::Record(const std::string& session, std::string line,
   // A LOAD rebuilds the session from scratch: everything before it is
   // superseded, so the retained log restarts at the LOAD entry.
   if (line.rfind("LOAD ", 0) == 0) log.entries.clear();
-  log.entries.push_back(Entry{seq, std::move(line), std::move(payload)});
+  log.entries.push_back(
+      Entry{seq, std::move(line), std::move(payload), trace_id});
   recorded_.fetch_add(1, std::memory_order_relaxed);
   return seq;
 }
@@ -120,7 +159,12 @@ bool Replicator::PushToReplica(const std::string& session, size_t slot) {
   bool healthy = true;
   bool rewound = false;
   for (const Entry& e : tail) {
-    const std::string line = StrCat("REPL ", e.seq, " ", e.line);
+    // The `@<origin>:<trace>` header names this node and the owner-side
+    // trace id so the replica can stamp route/peer/origin on its trace
+    // (docs/observability.md §6). Replicas without the header support
+    // would see it as a malformed seq, so the fleet upgrades in step.
+    const std::string line = StrCat("REPL @", config_.self, ":", e.trace_id,
+                                    " ", e.seq, " ", e.line);
     sent_.fetch_add(1, std::memory_order_relaxed);
     auto r =
         peer->Roundtrip(line, e.payload.empty() ? nullptr : &e.payload);
@@ -169,7 +213,10 @@ Replicator::Stats Replicator::stats() const {
   for (const auto& [name, log] : logs_) {
     for (const uint64_t acked : log.acked) {
       const uint64_t applied = log.next_seq - 1;
-      if (applied > acked) s.max_lag = std::max(s.max_lag, applied - acked);
+      if (applied > acked) {
+        s.max_lag = std::max(s.max_lag, applied - acked);
+        s.lag_sum += applied - acked;
+      }
     }
   }
   return s;

@@ -32,12 +32,34 @@
 
 namespace oodb::cluster {
 
+// Every pooled connection carries send/recv deadlines so a stuck peer
+// fails the borrowing worker after this long instead of parking it
+// forever (docs/cluster.md §6).
+inline constexpr int64_t kDefaultPeerDeadlineMs = 5000;
+
 // A pool of connected binary-mode clients, one free-list per peer node.
 // Checkout/return keeps connections out of each other's reply streams:
 // a borrowed client is exclusively owned until released. Thread-safe.
+// The pool also keeps per-peer health tallies (fed by Acquire/Release
+// outcomes) that back the oodb_cluster_peer_* gauges.
 class PeerPool {
  public:
-  explicit PeerPool(std::vector<NodeAddr> nodes);
+  // Liveness tallies for one peer, as seen from this node's traffic.
+  struct PeerStats {
+    uint64_t dials = 0;      // fresh connections established
+    uint64_t failures = 0;   // dial failures + unhealthy releases
+    uint64_t timeouts = 0;   // deadline expiries (subset of failures)
+    // Failures since the last healthy release; 0 means the peer looked
+    // up the last time we talked to it.
+    uint64_t consecutive_failures = 0;
+    // steady_clock ms of the last healthy release; -1 = never.
+    int64_t last_ok_ms = -1;
+  };
+
+  // `deadline_ms` arms SO_SNDTIMEO/SO_RCVTIMEO on every fresh
+  // connection; <= 0 disables deadlines (tests that freeze peers).
+  explicit PeerPool(std::vector<NodeAddr> nodes,
+                    int64_t deadline_ms = kDefaultPeerDeadlineMs);
 
   // Borrows a connected client to `node`, dialing a fresh connection if
   // the free list is empty. Fails if the peer refuses the connection.
@@ -46,17 +68,24 @@ class PeerPool {
 
   // Returns a borrowed client. `healthy=false` drops the connection on
   // the floor instead of recycling it (transport errors poison the
-  // framing).
+  // framing) and counts a failure — a timeout, specifically, if the
+  // client's deadline expired.
   void Release(size_t node, std::unique_ptr<server::Client> client,
                bool healthy) EXCLUDES(mu_);
 
   const std::vector<NodeAddr>& nodes() const { return nodes_; }
+  int64_t deadline_ms() const { return deadline_ms_; }
+
+  // Snapshot of the per-peer tallies, indexed like nodes().
+  std::vector<PeerStats> stats() const EXCLUDES(mu_);
 
  private:
   const std::vector<NodeAddr> nodes_;
-  base::Mutex mu_;
+  const int64_t deadline_ms_;
+  mutable base::Mutex mu_;
   std::vector<std::vector<std::unique_ptr<server::Client>>> idle_
       GUARDED_BY(mu_);
+  std::vector<PeerStats> stats_ GUARDED_BY(mu_);
 };
 
 // The owner half of the replication protocol: per-session mutation logs
@@ -71,6 +100,7 @@ class Replicator {
     uint64_t failures = 0;   // transport/BUSY failures (retried later)
     uint64_t resyncs = 0;    // replica_gap answers that rewound a cursor
     uint64_t max_lag = 0;    // worst entries-behind over live logs
+    uint64_t lag_sum = 0;    // total entries-behind over all replica slots
   };
 
   Replicator(const ClusterConfig& config, const Ring& ring,
@@ -78,9 +108,13 @@ class Replicator {
 
   // Appends one applied mutation (`line` exactly as dispatched, plus
   // its payload) to the session's log and returns its sequence number.
-  // A LOAD line resets the retained log. Cheap: no I/O.
+  // `trace_id` is the owner-side trace id of the request that made the
+  // mutation; it rides in the REPL envelope header so the replica's
+  // slow-query entry can be joined back to the owner's. A LOAD line
+  // resets the retained log. Cheap: no I/O.
   uint64_t Record(const std::string& session, std::string line,
-                  std::string payload) EXCLUDES(mu_);
+                  std::string payload, uint64_t trace_id = 0)
+      EXCLUDES(mu_);
 
   // Pushes every entry not yet acknowledged by each of the session's
   // replicas, in sequence order. Serialized internally; failures leave
@@ -94,6 +128,7 @@ class Replicator {
     uint64_t seq = 0;
     std::string line;
     std::string payload;
+    uint64_t trace_id = 0;  // owner-side trace id, for the REPL header
   };
   struct Log {
     uint64_t next_seq = 1;

@@ -21,6 +21,10 @@ const char* PhaseName(Phase phase) {
       return "engine";
     case Phase::kReply:
       return "reply";
+    case Phase::kForward:
+      return "forward";
+    case Phase::kReplicate:
+      return "replicate";
     case Phase::kCount:
       break;
   }
@@ -92,6 +96,16 @@ std::string TraceContext::ToJsonLine() const {
   AppendU64(&out, wall_unix_ms < 0 ? 0 : static_cast<uint64_t>(wall_unix_ms));
   out += ",\"total_ns\":";
   AppendU64(&out, total_ns);
+  out += ",\"route\":";
+  AppendJsonString(&out, route);
+  if (!peer.empty()) {
+    out += ",\"peer\":";
+    AppendJsonString(&out, peer);
+  }
+  if (origin_trace_id != 0) {
+    out += ",\"origin\":";
+    AppendU64(&out, origin_trace_id);
+  }
   out += ",\"phases\":{";
   for (size_t i = 0; i < kNumPhases; ++i) {
     if (i != 0) out.push_back(',');

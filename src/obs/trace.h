@@ -22,7 +22,11 @@ namespace oodb::obs {
 // Request phases, in pipeline order. kParse covers DL/ODB source parsing,
 // kTranslate query-class -> concept translation, kPrefilter the structural
 // pre-filter, kMemo memo-cache lookups/inserts, kEngine completion runs,
-// kReply serializing + writing the wire reply.
+// kReply serializing + writing the wire reply. The cluster hop phases:
+// kForward is the full proxy roundtrip to a peer (network + remote
+// processing), kReplicate the synchronous replication push after a
+// mutation — together they make a slow cross-node request attributable
+// to network vs remote engine time (docs/observability.md §6).
 enum class Phase : uint8_t {
   kParse = 0,
   kTranslate,
@@ -30,6 +34,8 @@ enum class Phase : uint8_t {
   kMemo,
   kEngine,
   kReply,
+  kForward,
+  kReplicate,
   kCount,
 };
 
@@ -47,6 +53,19 @@ struct TraceContext {
   bool ok = false;
   uint64_t total_ns = 0;
   int64_t wall_unix_ms = 0;  // stamped when the trace is finished
+  // How the request reached this node: "client" (an ordinary connection),
+  // "forwarded" (a FORWARD envelope from a peer), or "replica" (a REPL
+  // apply). Single-node requests are always "client".
+  std::string route = "client";
+  // The cluster peer involved in this request, as "host:port": the node
+  // we proxied to (outgoing FORWARD) or the envelope's origin node
+  // (incoming FORWARD/REPL). Empty when no peer was involved.
+  std::string peer;
+  // Trace id of the originating request on the origin node, carried in
+  // the FORWARD/REPL envelope header; 0 when the request arrived
+  // directly from a client. Lets a slow forwarded entry on the owner be
+  // joined with its counterpart in the forwarder's slow-query log.
+  uint64_t origin_trace_id = 0;
   std::array<uint64_t, kNumPhases> phase_ns{};
   // Free-form named counters, e.g. calculus rule applications ("rule:D1").
   std::vector<std::pair<std::string, uint64_t>> counters;

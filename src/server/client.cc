@@ -4,8 +4,10 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdlib>
 #include <utility>
 
@@ -21,6 +23,8 @@ Client::Client(Client&& other) noexcept
       reader_(std::move(other.reader_)),
       binary_(other.binary_),
       dead_(other.dead_),
+      timed_out_(other.timed_out_),
+      deadline_armed_(other.deadline_armed_),
       next_id_(other.next_id_),
       out_(std::move(other.out_)),
       in_(std::move(other.in_)),
@@ -34,6 +38,8 @@ Client& Client::operator=(Client&& other) noexcept {
     reader_ = std::move(other.reader_);
     binary_ = other.binary_;
     dead_ = other.dead_;
+    timed_out_ = other.timed_out_;
+    deadline_armed_ = other.deadline_armed_;
     next_id_ = other.next_id_;
     out_ = std::move(other.out_);
     in_ = std::move(other.in_);
@@ -75,11 +81,35 @@ Status DeadConnectionError() {
 }
 }  // namespace
 
+Status Client::SetDeadline(int64_t ms) {
+  if (dead_) return DeadConnectionError();
+  if (ms <= 0) return InvalidArgumentError("deadline must be positive");
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return InternalError("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO) failed");
+  }
+  deadline_armed_ = true;
+  return Status::Ok();
+}
+
+// Marks the connection dead after a failed send/recv and classifies the
+// fault: with a deadline armed, EAGAIN/EWOULDBLOCK means the timer
+// expired (a stuck peer), anything else a refusal/reset/close.
+void Client::NoteTransportFault() {
+  dead_ = true;
+  if (deadline_armed_ && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    timed_out_ = true;
+  }
+}
+
 Status Client::EnableBinary() {
   if (binary_) return Status::Ok();
   if (dead_) return DeadConnectionError();
   if (!WriteFully(fd_, kBinaryPreamble)) {
-    dead_ = true;
+    NoteTransportFault();
     return InternalError("connection lost while negotiating binary mode");
   }
   binary_ = true;
@@ -109,7 +139,7 @@ Status Client::Flush() {
   if (dead_) return DeadConnectionError();
   if (out_.empty()) return Status::Ok();
   if (!WriteFully(fd_, out_)) {
-    dead_ = true;
+    NoteTransportFault();
     return InternalError("connection lost while sending");
   }
   out_.clear();
@@ -177,8 +207,13 @@ Result<BinaryReply> Client::ReadReplyFrame() {
     if (n <= 0) {
       // The peer closed (or the socket died) with replies outstanding.
       // Mark the client dead so a pipelined caller awaiting further ids
-      // fails immediately instead of re-reading a closed socket.
-      dead_ = true;
+      // fails immediately instead of re-reading a closed socket. n == 0
+      // is a clean close, never a timeout — errno is stale there.
+      if (n < 0) {
+        NoteTransportFault();
+      } else {
+        dead_ = true;
+      }
       return InternalError("connection lost while awaiting reply");
     }
     in_.append(chunk, static_cast<size_t>(n));
@@ -215,12 +250,12 @@ Result<std::string> Client::Roundtrip(const std::string& line,
     frame += '\n';
   }
   if (!SendAll(fd_, frame)) {
-    dead_ = true;
+    NoteTransportFault();
     return InternalError("connection lost while sending");
   }
   std::string reply;
   if (!reader_->ReadLine(&reply)) {
-    dead_ = true;
+    NoteTransportFault();
     return InternalError("connection lost while awaiting reply");
   }
   if (reply == "BUSY") return ResourceExhaustedError("BUSY");
@@ -244,7 +279,7 @@ Result<std::string> Client::Roundtrip(const std::string& line,
   }
   std::string body;
   if (!reader_->ReadPayload(static_cast<size_t>(nbytes), &body)) {
-    dead_ = true;
+    NoteTransportFault();
     return InternalError("connection lost while reading reply payload");
   }
   return body;

@@ -48,6 +48,15 @@ class Client {
   Status EnableBinary();
   bool binary() const { return binary_; }
 
+  // Arms SO_SNDTIMEO/SO_RCVTIMEO on the socket: any later send or
+  // receive that stalls past `ms` milliseconds fails the call (and, like
+  // every transport fault, kills the connection — the stream position is
+  // unknowable after a partial frame). timed_out() reports whether the
+  // fault that killed this connection was such an expiry, so pools can
+  // count peer timeouts apart from refused/reset connections.
+  Status SetDeadline(int64_t ms);
+  bool timed_out() const { return timed_out_; }
+
   // Sends one already-framed request line (no trailing newline) plus an
   // optional payload, and reads the reply. Returns the OK payload;
   // BUSY maps to kResourceExhausted with message "BUSY", ERR frames to
@@ -110,6 +119,9 @@ class Client {
  private:
   explicit Client(int fd);
 
+  // Marks the connection dead and, when a deadline is armed and errno
+  // says EAGAIN/EWOULDBLOCK, flags the fault as a timeout.
+  void NoteTransportFault();
   // Stages one encoded binary frame, returning the id it carries.
   Result<uint64_t> SendFrame(uint64_t id, std::string frame);
   // Reads exactly one binary reply frame off the socket.
@@ -125,6 +137,10 @@ class Client {
   // so every later call fails fast instead of desynchronizing — or
   // blocking forever — on a dead socket.
   bool dead_ = false;
+  // The fault that set dead_ was a SetDeadline() expiry (EAGAIN on a
+  // socket with a send/recv timeout armed), not a refusal or reset.
+  bool timed_out_ = false;
+  bool deadline_armed_ = false;
   uint64_t next_id_ = 1;
   std::string out_;  // staged frames awaiting Flush
   std::string in_;   // binary mode receive buffer

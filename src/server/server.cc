@@ -63,6 +63,23 @@ bool ParseSize(const std::string& token, size_t* out) {
   return true;
 }
 
+// Optional trace-propagation header on the cluster envelopes: the token
+// right after FORWARD/REPL may be `@<origin-node-index>:<trace-id>`,
+// naming the sending node and its request's trace id. Absent header =
+// pre-header framing (hand-crafted frames in tests keep working).
+bool ParseEnvelopeHeader(const std::string& token, size_t* origin,
+                         uint64_t* trace_id) {
+  if (token.size() < 4 || token[0] != '@') return false;
+  const size_t colon = token.find(':');
+  if (colon == std::string::npos || colon == 1 || colon + 1 >= token.size()) {
+    return false;
+  }
+  size_t id = 0;
+  return ParseSize(token.substr(1, colon - 1), origin) &&
+         ParseSize(token.substr(colon + 1), &id) &&
+         (*trace_id = id, true);
+}
+
 }  // namespace
 
 const char* VerbName(Verb verb) {
@@ -95,6 +112,8 @@ const char* VerbName(Verb verb) {
       return "METRICS";
     case Verb::kTrace:
       return "TRACE";
+    case Verb::kHealth:
+      return "HEALTH";
     case Verb::kRepl:
       return "REPL";
     case Verb::kForward:
@@ -178,6 +197,25 @@ void Server::RegisterMetrics() {
         "End-to-end request latency (admission to reply written)",
         {{"verb", VerbName(verb)}}, 1e-9);
   }
+  loop_batch_hist_ = registry_.GetHistogram(
+      "oodb_loop_ready_batch", "Ready events per epoll_wait return", {}, 1);
+  loop_lag_hist_ = registry_.GetHistogram(
+      "oodb_loop_iteration_lag_seconds",
+      "Event-loop iteration service time (epoll_wait return to "
+      "completions drained)",
+      {}, 1e-9);
+  if (options_.cluster.enabled()) {
+    forward_rtt_.assign(options_.cluster.nodes.size(), nullptr);
+    peer_names_.reserve(options_.cluster.nodes.size());
+    for (size_t i = 0; i < options_.cluster.nodes.size(); ++i) {
+      peer_names_.push_back(options_.cluster.nodes[i].ToString());
+      if (i == options_.cluster.self) continue;
+      forward_rtt_[i] = registry_.GetHistogram(
+          "oodb_cluster_forward_roundtrip_seconds",
+          "FORWARD proxy round-trip to a peer (network + remote engine)",
+          {{"peer", peer_names_[i]}}, 1e-9);
+    }
+  }
   registry_.AddCallback(
       [this](obs::Collector& out) { AppendServerMetrics(out); });
 }
@@ -217,6 +255,24 @@ void Server::AppendServerMetrics(obs::Collector& out) const {
                "Connections registered with the event loop", {},
                open_conns_.load(relaxed));
   out.AddGauge("oodb_server_threads", "Worker threads", {}, pool_->size());
+  // Event-loop self-instrumentation (the companion histograms
+  // oodb_loop_ready_batch / oodb_loop_iteration_lag_seconds are
+  // registry-owned and render on their own).
+  out.AddGauge("oodb_loop_connections",
+               "Connections owned by the event loop", {},
+               open_conns_.load(relaxed));
+  out.AddGauge("oodb_loop_write_queue_bytes",
+               "Unwritten reply bytes across all connection output queues",
+               {}, write_queue_bytes_.load(relaxed));
+  {
+    size_t depth = 0;
+    {
+      base::MutexLock lock(&comp_mu_);
+      depth = completions_.size();
+    }
+    out.AddGauge("oodb_loop_completion_queue_depth",
+                 "Encoded replies awaiting the event loop", {}, depth);
+  }
   if (ring_ != nullptr) {
     // Cluster-only series: a single-node daemon's exposition is
     // byte-identical to what it was before cluster mode existed.
@@ -250,6 +306,46 @@ void Server::AppendServerMetrics(obs::Collector& out) const {
                    "Replica resyncs (cursor rewinds)", {}, rs.resyncs);
     out.AddGauge("oodb_server_repl_max_lag",
                  "Worst replica lag in log entries", {}, rs.max_lag);
+    // Replication lag, exported under the cluster family alongside the
+    // per-peer health gauges (oodb_server_repl_max_lag kept above for
+    // compatibility).
+    out.AddGauge("oodb_cluster_repl_lag_max",
+                 "Worst replica lag over live logs, in log entries", {},
+                 rs.max_lag);
+    out.AddGauge("oodb_cluster_repl_lag_sum",
+                 "Total replica lag over all replica slots, in log entries",
+                 {}, rs.lag_sum);
+    // Per-peer liveness, as seen from this node's FORWARD/REPL traffic.
+    const int64_t now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    const std::vector<cluster::PeerPool::PeerStats> ps = peers_->stats();
+    for (size_t i = 0; i < ps.size(); ++i) {
+      if (i == options_.cluster.self) continue;
+      const obs::Labels labels = {
+          {"peer", options_.cluster.nodes[i].ToString()}};
+      out.AddGauge("oodb_cluster_peer_up",
+                   "1 if the last exchange with this peer succeeded",
+                   labels, ps[i].consecutive_failures == 0 ? 1 : 0);
+      out.AddGauge("oodb_cluster_peer_consecutive_failures",
+                   "Failures since the last healthy exchange", labels,
+                   ps[i].consecutive_failures);
+      out.AddGauge(
+          "oodb_cluster_peer_last_ack_age_ms",
+          "Milliseconds since the last healthy exchange (-1 = never)",
+          labels,
+          ps[i].last_ok_ms < 0 ? -1 : now_ms - ps[i].last_ok_ms);
+      out.AddCounter("oodb_cluster_peer_dials_total",
+                     "Fresh connections established to this peer", labels,
+                     ps[i].dials);
+      out.AddCounter("oodb_cluster_peer_failures_total",
+                     "Dial failures plus poisoned connections", labels,
+                     ps[i].failures);
+      out.AddCounter("oodb_cluster_peer_timeouts_total",
+                     "Send/recv deadline expiries (subset of failures)",
+                     labels, ps[i].timeouts);
+    }
   }
   std::vector<std::pair<std::string, std::shared_ptr<Session>>> all;
   {
@@ -319,6 +415,7 @@ Result<int> Server::Start() {
 
 void Server::EventLoop() {
   bool listener_active = true;
+  uint64_t loop_iters = 0;
   std::array<epoll_event, 128> events;
   for (;;) {
     if (stopping_.load(std::memory_order_acquire) && listener_active) {
@@ -342,6 +439,15 @@ void Server::EventLoop() {
       if (errno == EINTR) continue;
       break;
     }
+    // Iteration sampling: the batch-size histogram is one lock-free
+    // record per wakeup. The lag histogram needs two clock reads, which
+    // are costly on hosts without a vDSO fast path, so it is taken on
+    // 1-in-16 wakeups (bench_obs E21 budget) — it is a service-time
+    // distribution; totals come from the verb counters.
+    const bool sample_loop = obs::Enabled();
+    const bool sample_lag = sample_loop && (loop_iters++ & 15) == 0;
+    std::chrono::steady_clock::time_point iter_start;
+    if (sample_lag) iter_start = std::chrono::steady_clock::now();
     for (int i = 0; i < n; ++i) {
       const uint64_t tag = events[i].data.u64;
       if (tag == kListenTag) {
@@ -364,11 +470,19 @@ void Server::EventLoop() {
       if (events[i].events & EPOLLOUT) HandleWritable(*it->second);
     }
     DrainCompletions();
+    if (sample_loop) loop_batch_hist_->RecordAlways(static_cast<uint64_t>(n));
+    if (sample_lag) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - iter_start)
+                          .count();
+      loop_lag_hist_->RecordAlways(ns > 0 ? static_cast<uint64_t>(ns) : 1);
+    }
   }
   // Loop exit: drop whatever is left.
   for (auto& [id, conn] : conns_) ::close(conn->fd);
   conns_.clear();
   open_conns_.store(0, std::memory_order_relaxed);
+  write_queue_bytes_.store(0, std::memory_order_relaxed);
   if (listener_active) ::close(listen_fd_);
 }
 
@@ -500,6 +614,9 @@ bool Server::ParseTextFrame(Connection& conn) {
   } else if (verb == "FORWARD") {
     inner = 1;
   }
+  // An `@origin:trace` header after the envelope verb shifts the inner
+  // command one token to the right.
+  if (inner > 0 && tokens.size() > 1 && tokens[1].front() == '@') ++inner;
   const bool bare_payload_verb = verb == "LOAD" || verb == "STATE";
   const bool wrapped_payload_verb =
       inner > 0 && tokens.size() == inner + 3 &&
@@ -595,6 +712,15 @@ void Server::HandleFrame(Connection& conn, uint64_t request_id,
   // under overload and while draining by the same rule.
   if (verb == "PING") {
     return QueueReply(conn, request_id, OkReply("pong"), vkind);
+  }
+  if (verb == "HEALTH") {
+    // Inline like METRICS: load balancers and smoke tests must get an
+    // answer under overload and while draining.
+    if (tokens.size() != 1) {
+      return QueueReply(conn, request_id,
+                        ErrReply(kErrProto, "usage: HEALTH"), vkind);
+    }
+    return QueueReply(conn, request_id, OkReply(HealthText()), vkind);
   }
   if (verb == "METRICS") {
     if (tokens.size() != 1) {
@@ -715,6 +841,7 @@ void Server::QueueReply(Connection& conn, uint64_t request_id,
 
 void Server::AppendOutput(Connection& conn, std::string bytes) {
   conn.out_bytes += bytes.size();
+  write_queue_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
   if (!conn.outq.empty() &&
       conn.outq.back().size() + bytes.size() <= kOutChunk) {
     conn.outq.back().append(bytes);
@@ -725,6 +852,7 @@ void Server::AppendOutput(Connection& conn, std::string bytes) {
 
 void Server::ConsumeOutput(Connection& conn, size_t n) {
   conn.out_bytes -= n;
+  write_queue_bytes_.fetch_sub(n, std::memory_order_relaxed);
   while (n > 0) {
     std::string& front = conn.outq.front();
     const size_t avail = front.size() - conn.out_head;
@@ -899,6 +1027,8 @@ void Server::CloseConnection(uint64_t conn_id) {
   if (it == conns_.end()) return;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
   ::close(it->second->fd);
+  write_queue_bytes_.fetch_sub(it->second->out_bytes,
+                               std::memory_order_relaxed);
   conns_.erase(it);
   open_conns_.fetch_sub(1, std::memory_order_relaxed);
 }
@@ -959,10 +1089,31 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
     if (route != Route::kClient) {
       return ErrReply(kErrProto, "nested FORWARD");
     }
-    if (tokens.size() < 2) {
-      return ErrReply(kErrProto, "usage: FORWARD <verb> ...");
+    // Optional `@origin:trace` header: stamp where the request came
+    // from onto this node's trace, then strip it.
+    size_t idx = 1;
+    size_t origin = 0;
+    uint64_t origin_trace = 0;
+    if (tokens.size() >= 2 &&
+        ParseEnvelopeHeader(tokens[1], &origin, &origin_trace)) {
+      idx = 2;
+      if (trace != nullptr) {
+        trace->route = "forwarded";
+        trace->origin_trace_id = origin_trace;
+        if (origin < peer_names_.size()) {
+          trace->peer = peer_names_[origin];
+        }
+      }
+    } else if (trace != nullptr) {
+      trace->route = "forwarded";
     }
-    const std::vector<std::string> inner(tokens.begin() + 1, tokens.end());
+    if (tokens.size() < idx + 1) {
+      return ErrReply(kErrProto, "usage: FORWARD [@o:t] <verb> ...");
+    }
+    const std::vector<std::string> inner(tokens.begin() + idx, tokens.end());
+    if (trace != nullptr && inner.size() >= 2 && IsSessionVerb(inner[0])) {
+      trace->session = inner[1];
+    }
     return Dispatch(inner, payload, trace, Route::kForwarded);
   }
   if (verb == "REPL") return DispatchRepl(tokens, payload, trace);
@@ -982,7 +1133,7 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
       if (replica_read) {
         replica_reads_.fetch_add(1, std::memory_order_relaxed);
       } else {
-        return ForwardToOwner(owner, tokens, payload);
+        return ForwardToOwner(owner, tokens, payload, trace);
       }
     }
   }
@@ -996,7 +1147,12 @@ Reply Server::Dispatch(const std::vector<std::string>& tokens,
       reply.kind == Reply::Kind::kOk && tokens.size() >= 2 &&
       IsMutationVerb(verb)) {
     const std::string& session = tokens[1];
-    replicator_->Record(session, StrJoin(tokens, " "), payload);
+    // The push is synchronous: its cost is this request's, so it gets
+    // its own phase. The REPL header carries this trace's id so the
+    // replica's entry can be joined back here.
+    obs::ScopedSpan span(trace, obs::Phase::kReplicate);
+    replicator_->Record(session, StrJoin(tokens, " "), payload,
+                        trace != nullptr ? trace->id : 0);
     replicator_->Flush(session);
   }
   return reply;
@@ -1008,16 +1164,38 @@ Reply Server::DispatchRepl(const std::vector<std::string>& tokens,
   if (ring_ == nullptr) {
     return ErrReply(kErrProto, "REPL outside cluster mode");
   }
-  size_t seq = 0;
-  if (tokens.size() < 4 || !ParseSize(tokens[1], &seq) || seq == 0) {
-    return ErrReply(kErrProto, "usage: REPL <seq> <verb> <session> ...");
+  // Optional `@origin:trace` header before the sequence number.
+  size_t idx = 1;
+  {
+    size_t origin = 0;
+    uint64_t origin_trace = 0;
+    if (tokens.size() >= 2 &&
+        ParseEnvelopeHeader(tokens[1], &origin, &origin_trace)) {
+      idx = 2;
+      if (trace != nullptr) {
+        trace->route = "replica";
+        trace->origin_trace_id = origin_trace;
+        if (origin < peer_names_.size()) {
+          trace->peer = peer_names_[origin];
+        }
+      }
+    } else if (trace != nullptr) {
+      trace->route = "replica";
+    }
   }
-  const std::vector<std::string> inner(tokens.begin() + 2, tokens.end());
+  size_t seq = 0;
+  if (tokens.size() < idx + 3 || !ParseSize(tokens[idx], &seq) || seq == 0) {
+    return ErrReply(kErrProto,
+                    "usage: REPL [@o:t] <seq> <verb> <session> ...");
+  }
+  const std::vector<std::string> inner(tokens.begin() + idx + 1,
+                                       tokens.end());
   if (!IsMutationVerb(inner[0])) {
     return ErrReply(kErrProto,
                     StrCat("REPL cannot carry '", inner[0], "'"));
   }
   const std::string& session = inner[1];
+  if (trace != nullptr) trace->session = session;
   // Serialized per daemon: pipelined REPL frames for one session may
   // land on different workers, and they must apply in sequence order.
   base::MutexLock lock(&repl_mu_);
@@ -1042,9 +1220,16 @@ Reply Server::DispatchRepl(const std::vector<std::string>& tokens,
 
 Reply Server::ForwardToOwner(size_t owner,
                              const std::vector<std::string>& tokens,
-                             const std::string& payload) {
+                             const std::string& payload,
+                             obs::TraceContext* trace) {
   forwards_.fetch_add(1, std::memory_order_relaxed);
-  const std::string line = StrCat("FORWARD ", StrJoin(tokens, " "));
+  // The whole proxy attempt — dialing, the round trip(s), failover — is
+  // the forward phase: total_ns minus forward_ns is what this node
+  // spent, forward_ns is network plus the remote node's work.
+  obs::ScopedSpan span(trace, obs::Phase::kForward);
+  const std::string line =
+      StrCat("FORWARD @", options_.cluster.self, ":",
+             trace != nullptr ? trace->id : 0, " ", StrJoin(tokens, " "));
   // The owner first; for idempotent reads, the session's replicas next,
   // so every node keeps answering reads while the owner is down.
   std::vector<size_t> targets{owner};
@@ -1056,7 +1241,12 @@ Reply Server::ForwardToOwner(size_t owner,
   }
   Reply reply = ErrReply("unavailable", "no cluster peer reachable");
   for (const size_t node : targets) {
-    if (ForwardTo(node, line, payload, &reply)) return reply;
+    if (ForwardTo(node, line, payload, &reply)) {
+      if (trace != nullptr && node < peer_names_.size()) {
+        trace->peer = peer_names_[node];
+      }
+      return reply;
+    }
   }
   forward_failures_.fetch_add(1, std::memory_order_relaxed);
   return reply;
@@ -1071,7 +1261,23 @@ bool Server::ForwardTo(size_t node, const std::string& line,
     return false;
   }
   std::unique_ptr<Client> peer = std::move(*borrowed);
+  // RTT is sampled 1-in-8 forwards: the two clock reads it needs are the
+  // expensive part on hosts without a vDSO fast path (bench_obs E21
+  // budget). The histogram is a latency distribution; forward totals
+  // come from the per-verb request counters.
+  const bool sample =
+      obs::Enabled() &&
+      (forward_samples_.fetch_add(1, std::memory_order_relaxed) & 7) == 0;
+  std::chrono::steady_clock::time_point t0;
+  if (sample) t0 = std::chrono::steady_clock::now();
   auto r = peer->Roundtrip(line, payload.empty() ? nullptr : &payload);
+  if (sample && node < forward_rtt_.size() &&
+      forward_rtt_[node] != nullptr) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    forward_rtt_[node]->RecordAlways(ns > 0 ? static_cast<uint64_t>(ns) : 1);
+  }
   bool healthy = true;
   bool answered = true;
   if (r.ok()) {
@@ -1308,6 +1514,30 @@ Reply Server::DispatchStats(const std::vector<std::string>& tokens) {
     for (const auto& [name, session] : all) append(name, session);
   }
   return OkReply(std::move(text));
+}
+
+std::string Server::HealthText() const {
+  const char* status = "ok";
+  std::string detail;
+  if (ring_ != nullptr) {
+    // Degraded: a peer whose last exchange failed, or a replica behind
+    // its owner's log (docs/cluster.md §2). Both heal without operator
+    // action — the next successful exchange / the next flushed mutation
+    // — so degraded means "watch", down peers mean "act".
+    size_t peers_down = 0;
+    const std::vector<cluster::PeerPool::PeerStats> ps = peers_->stats();
+    for (size_t i = 0; i < ps.size(); ++i) {
+      if (i != options_.cluster.self && ps[i].consecutive_failures > 0) {
+        ++peers_down;
+      }
+    }
+    const cluster::Replicator::Stats rs = replicator_->stats();
+    if (peers_down > 0 || rs.max_lag > 0) status = "degraded";
+    detail = StrCat(" peers_down=", peers_down, " repl_lag_max=", rs.max_lag,
+                    " repl_lag_sum=", rs.lag_sum);
+  }
+  if (stopping_.load(std::memory_order_relaxed)) status = "draining";
+  return StrCat("status=", status, detail);
 }
 
 std::shared_ptr<Session> Server::FindSession(const std::string& name) {

@@ -65,6 +65,7 @@ enum class Verb : uint8_t {
   kShutdown,
   kMetrics,
   kTrace,
+  kHealth,   // ok/degraded summary for load balancers and smoke tests
   kRepl,     // owner → replica: apply one logged mutation (cluster mode)
   kForward,  // peer → owner: proxy a request for a session we don't own
   kOther,
@@ -261,8 +262,11 @@ class Server {
       EXCLUDES(repl_mu_);
   // Proxies `tokens` to the owning node as a FORWARD frame; idempotent
   // reads fail over to the session's replicas when the owner is down.
+  // The whole proxy attempt is a kForward span on `trace`, and the peer
+  // that answered is stamped into trace->peer.
   Reply ForwardToOwner(size_t owner, const std::vector<std::string>& tokens,
-                       const std::string& payload);
+                       const std::string& payload,
+                       obs::TraceContext* trace);
   // One proxy attempt. Returns true if the peer answered (authoritative
   // reply in *reply), false on a transport fault (try another node).
   bool ForwardTo(size_t node, const std::string& line,
@@ -272,6 +276,9 @@ class Server {
   Reply DispatchState(const std::vector<std::string>& tokens,
                       const std::string& payload, obs::TraceContext* trace);
   Reply DispatchStats(const std::vector<std::string>& tokens);
+  // The HEALTH verb body: "status=ok|degraded|draining" plus, in
+  // cluster mode, the degraded criteria (down peers, replica lag).
+  std::string HealthText() const;
   // Registers the per-verb latency histograms and the snapshot callback.
   void RegisterMetrics();
   // Snapshot callback: server counters + every session's metrics.
@@ -314,7 +321,8 @@ class Server {
   std::map<std::string, std::shared_ptr<Session>> sessions_
       GUARDED_BY(sessions_mu_);
 
-  base::Mutex comp_mu_;
+  // mutable: the metrics callback (const) samples the queue depth.
+  mutable base::Mutex comp_mu_;
   std::vector<Completion> completions_ GUARDED_BY(comp_mu_);
 
   // Connection table: event-loop thread only (thread-confined).
@@ -353,8 +361,26 @@ class Server {
   obs::SlowQueryLog slow_log_;
   std::atomic<uint64_t> trace_seq_{0};
   // Request-latency histograms by verb (registry-owned); null for verbs
-  // answered inline (PING/METRICS/TRACE/SHUTDOWN) and unknown commands.
+  // answered inline (PING/HEALTH/METRICS/TRACE/SHUTDOWN) and unknown
+  // commands.
   std::array<obs::Histogram*, kNumVerbs> latency_{};
+
+  // Event-loop self-instrumentation (registry-owned; docs/observability
+  // §6). Recorded once per epoll iteration behind one obs::Enabled()
+  // check, so the disabled cost is a single relaxed load per iteration.
+  obs::Histogram* loop_batch_hist_ = nullptr;  // events per epoll_wait
+  obs::Histogram* loop_lag_hist_ = nullptr;    // iteration service time
+  // Unwritten reply bytes across every connection's output queue.
+  // Written by the loop thread only; atomic so the scrape callback may
+  // read it from another thread.
+  mutable std::atomic<size_t> write_queue_bytes_{0};
+  // FORWARD round-trip histograms, indexed by peer node (null for self
+  // and in single-node mode). Sampled 1-in-8 via forward_samples_.
+  std::vector<obs::Histogram*> forward_rtt_;
+  std::atomic<uint64_t> forward_samples_{0};
+  // "host:port" per node, rendered once: trace stamping on the hot
+  // forward/replica paths must not re-allocate it per request.
+  std::vector<std::string> peer_names_;
 };
 
 }  // namespace oodb::server

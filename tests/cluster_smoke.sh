@@ -104,6 +104,17 @@ done
 # The cluster stats line shows replication happened.
 "$BIN" rpc "127.0.0.1:$P1" STATS | grep -q 'cluster: nodes=3'
 
+# Every node reports healthy, and the fleet-wide scrape renders all
+# three plus the merged totals with zero scrape errors.
+for T in "127.0.0.1:$P1" "127.0.0.1:$P2" "127.0.0.1:$P3"; do
+  "$BIN" rpc "$T" HEALTH | grep -q '^status=ok'
+done
+"$BIN" stats --cluster="$SPEC" >"$TMP/fleet.out"
+for T in "127.0.0.1:$P1" "127.0.0.1:$P2" "127.0.0.1:$P3"; do
+  grep -q "^node $T: status=ok" "$TMP/fleet.out"
+done
+grep -q 'scrape_errors=0' "$TMP/fleet.out"
+
 # Kill the owner of A (kill -9: no drain, no goodbye) and read on.
 case "$OWNER_A" in
   *:$P1) kill -9 "$SRV1"; SRV1= ;;
@@ -112,6 +123,22 @@ case "$OWNER_A" in
   *) echo "FAIL: unexpected owner $OWNER_A"; exit 1 ;;
 esac
 echo "killed owner of $A ($OWNER_A)"
+
+# Wait for the fleet to notice by polling HEALTH, not by sleeping: a
+# forwarded mutation makes a survivor dial the dead owner, which marks
+# the peer down and flips that survivor's HEALTH to degraded.
+SURV=
+for T in "127.0.0.1:$P1" "127.0.0.1:$P2" "127.0.0.1:$P3"; do
+  [ "$T" = "$OWNER_A" ] || SURV=$T
+done
+i=0
+until "$BIN" rpc "$SURV" HEALTH | grep -q '^status=degraded'; do
+  "$BIN" rpc "$SURV" VIEW "$A" QueryPatient >/dev/null 2>&1 || true
+  i=$((i+1))
+  [ $i -lt 50 ] || { echo "FAIL: survivor never reported degraded"; exit 1; }
+  sleep 0.1
+done
+echo "survivor $SURV reports degraded"
 
 # Reads on A fail over to its replica — verdicts unchanged, zero
 # mismatches — and B never notices. Repeat to exercise the retry loop.

@@ -24,6 +24,8 @@
 #include "cluster/replication.h"
 #include "cluster/ring.h"
 #include "gen/dl_gen.h"
+#include "obs/exposition.h"
+#include "obs/trace.h"
 #include "server/client.h"
 #include "server/server.h"
 
@@ -168,7 +170,11 @@ struct Fleet {
   ClusterConfig config;  // self = kNotAMember (the client's view)
   std::vector<std::unique_ptr<server::Server>> servers;
 
-  static std::unique_ptr<Fleet> Start(size_t n, size_t replicas) {
+  // `slow_threshold_ms` feeds every node's slow-query log; 0 logs every
+  // request (the trace-propagation tests), 100 (the default) logs none
+  // of the fast test traffic.
+  static std::unique_ptr<Fleet> Start(size_t n, size_t replicas,
+                                      int64_t slow_threshold_ms = 100) {
     auto fleet = std::make_unique<Fleet>();
     for (size_t i = 0; i < n; ++i) {
       fleet->config.nodes.push_back(
@@ -176,21 +182,31 @@ struct Fleet {
     }
     fleet->config.replicas = replicas;
     for (size_t i = 0; i < n; ++i) {
-      server::ServerOptions options;
-      options.port = static_cast<uint16_t>(fleet->config.nodes[i].port);
-      // ≥2 workers per node: a forwarded mutation occupies one worker on
-      // the forwarder while the owner's replication push back to it
-      // needs another (docs/cluster.md §6).
-      options.num_threads = 2;
-      options.cluster = fleet->config;
-      options.cluster.self = i;
-      auto server = std::make_unique<server::Server>(std::move(options));
-      auto port = server->Start();
-      EXPECT_TRUE(port.ok()) << "node " << i << ": " << port.status();
-      if (!port.ok()) return nullptr;
-      fleet->servers.push_back(std::move(server));
+      fleet->servers.push_back(StartNode(fleet->config, i,
+                                         slow_threshold_ms));
+      if (fleet->servers.back() == nullptr) return nullptr;
     }
     return fleet;
+  }
+
+  // Starts (or restarts, after a Shutdown) one node of the fleet on its
+  // spec'd port.
+  static std::unique_ptr<server::Server> StartNode(
+      const ClusterConfig& config, size_t i, int64_t slow_threshold_ms) {
+    server::ServerOptions options;
+    options.port = static_cast<uint16_t>(config.nodes[i].port);
+    // ≥2 workers per node: a forwarded mutation occupies one worker on
+    // the forwarder while the owner's replication push back to it
+    // needs another (docs/cluster.md §6).
+    options.num_threads = 2;
+    options.slow_threshold_ms = slow_threshold_ms;
+    options.cluster = config;
+    options.cluster.self = i;
+    auto server = std::make_unique<server::Server>(std::move(options));
+    auto port = server->Start();
+    EXPECT_TRUE(port.ok()) << "node " << i << ": " << port.status();
+    if (!port.ok()) return nullptr;
+    return server;
   }
 
   void ShutdownAll() {
@@ -370,6 +386,212 @@ TEST(Cluster, ClusterClientRoutesToOwnersAndFailsOverReads) {
   ASSERT_TRUE(after_b.ok()) << after_b.status();
   EXPECT_EQ(*after_b, *before_b);
   EXPECT_FALSE(client.DefineView(a, "Q1").ok());
+  fleet->ShutdownAll();
+}
+
+TEST(Cluster, ForwardedRequestTraceCarriesOriginRouteAndPeer) {
+  // Threshold 0: every request lands in the slow-query log, so the hop
+  // metadata of a single forwarded CHECK is inspectable on both sides.
+  auto fleet = Fleet::Start(3, 1, /*slow_threshold_ms=*/0);
+  ASSERT_NE(fleet, nullptr);
+  const Ring ring(fleet->config.nodes);
+  // Find a session with a node that is neither owner nor replica: a
+  // CHECK addressed there must take the FORWARD hop to the owner.
+  std::string session;
+  size_t owner = 0, third = 0;
+  for (int i = 0;; ++i) {
+    ASSERT_LT(i, 1000);
+    session = StrCat("hop-", i);
+    owner = ring.OwnerOf(session);
+    const std::vector<size_t> replicas = ring.ReplicasOf(session, 1);
+    ASSERT_EQ(replicas.size(), 1u);
+    third = 3 - owner - replicas[0];
+    if (third != owner && third != replicas[0]) break;
+  }
+
+  const std::string source = TinyCorpus();
+  server::Client via_owner = MustConnect(fleet->config.nodes[owner].port);
+  auto loaded = via_owner.Load(session, source);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  server::Client via_third = MustConnect(fleet->config.nodes[third].port);
+  auto verdict = via_third.Check(session, "Q0", "Q0");
+  ASSERT_TRUE(verdict.ok()) << verdict.status();
+
+  const size_t fwd = static_cast<size_t>(obs::Phase::kForward);
+  const size_t rep = static_cast<size_t>(obs::Phase::kReply);
+
+  // Forwarder side: an ordinary client request whose cost is dominated
+  // by the kForward span, attributed to the owner peer.
+  obs::TraceContext fwd_trace;
+  bool found_fwd = false;
+  for (const obs::TraceContext& t :
+       fleet->servers[third]->slow_log().Last(16)) {
+    if (t.verb == "CHECK") {
+      fwd_trace = t;
+      found_fwd = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found_fwd);
+  EXPECT_EQ(fwd_trace.route, "client");
+  EXPECT_EQ(fwd_trace.session, session);
+  EXPECT_EQ(fwd_trace.origin_trace_id, 0u);
+  EXPECT_EQ(fwd_trace.peer, fleet->config.nodes[owner].ToString());
+  EXPECT_GT(fwd_trace.phase_ns[fwd], 0u);
+  // The hop breakdown stays within the request total: the forward and
+  // reply spans are disjoint slices of total_ns.
+  EXPECT_LE(fwd_trace.phase_ns[fwd] + fwd_trace.phase_ns[rep],
+            fwd_trace.total_ns);
+
+  // Owner side: the same request arrives as route=forwarded, naming the
+  // forwarder as its peer and carrying the forwarder's trace id.
+  obs::TraceContext own_trace;
+  bool found_own = false;
+  for (const obs::TraceContext& t :
+       fleet->servers[owner]->slow_log().Last(16)) {
+    if (t.verb == "FORWARD" && t.route == "forwarded") {
+      own_trace = t;
+      found_own = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found_own);
+  EXPECT_EQ(own_trace.session, session);
+  EXPECT_EQ(own_trace.peer, fleet->config.nodes[third].ToString());
+  EXPECT_EQ(own_trace.origin_trace_id, fwd_trace.id);
+  fleet->ShutdownAll();
+}
+
+TEST(Cluster, ReplicatorLagArithmeticAcrossDupGapResync) {
+  auto fleet = Fleet::Start(2, 1);
+  ASSERT_NE(fleet, nullptr);
+  const Ring ring(fleet->config.nodes);
+  // Pose as node 0's owner half with our own Replicator, so the lag
+  // arithmetic (owner seq − highest replicated seq) is observable
+  // directly against node 1 as the live replica.
+  std::string session;
+  for (int i = 0;; ++i) {
+    ASSERT_LT(i, 1000);
+    session = StrCat("lag-", i);
+    if (ring.OwnerOf(session) == 0) break;
+  }
+  ClusterConfig config = fleet->config;
+  config.self = 0;
+  PeerPool pool(config.nodes);
+  Replicator repl(config, ring, &pool);
+  const std::string source = TinyCorpus();
+
+  // Two unflushed mutations: lag counts entries, max == sum with one
+  // replica slot.
+  repl.Record(session, StrCat("LOAD ", session, " ", source.size()),
+              source);
+  repl.Record(session, StrCat("VIEW ", session, " Q0"), "");
+  Replicator::Stats s = repl.stats();
+  EXPECT_EQ(s.recorded, 2u);
+  EXPECT_EQ(s.max_lag, 2u);
+  EXPECT_EQ(s.lag_sum, 2u);
+
+  repl.Flush(session);
+  s = repl.stats();
+  EXPECT_EQ(s.sent, 2u);
+  EXPECT_EQ(s.acked, 2u);
+  EXPECT_EQ(s.max_lag, 0u);
+  EXPECT_EQ(s.lag_sum, 0u);
+
+  // Dup: a restarted owner re-pushes from sequence 1; the replica
+  // answers dup=true, which still advances the cursor — no failure, no
+  // residual lag.
+  Replicator fresh(config, ring, &pool);
+  fresh.Record(session, StrCat("LOAD ", session, " ", source.size()),
+               source);
+  fresh.Flush(session);
+  const Replicator::Stats fs = fresh.stats();
+  EXPECT_EQ(fs.acked, 1u);
+  EXPECT_EQ(fs.failures, 0u);
+  EXPECT_EQ(fs.max_lag, 0u);
+
+  // Gap + resync: restart the replica (its applied cursor is gone), then
+  // push a fresh entry. The first attempt may burn a stale pooled
+  // connection; the push after that hits `replica_gap have=0`, rewinds,
+  // and replays the retained log from its leading LOAD.
+  fleet->servers[1]->Shutdown();
+  fleet->servers[1].reset();
+  fleet->servers[1] = Fleet::StartNode(fleet->config, 1, 100);
+  ASSERT_NE(fleet->servers[1], nullptr);
+  repl.Record(session, StrCat("VIEW ", session, " Q1"), "");
+  for (int i = 0; i < 5 && repl.stats().resyncs == 0; ++i) {
+    repl.Flush(session);
+  }
+  s = repl.stats();
+  EXPECT_GE(s.resyncs, 1u);
+  EXPECT_EQ(s.max_lag, 0u);
+  EXPECT_EQ(s.lag_sum, 0u);
+
+  // The resynced replica answers reads again.
+  server::Client via_replica = MustConnect(config.nodes[1].port);
+  auto verdict = via_replica.Check(session, "Q0", "Q0");
+  ASSERT_TRUE(verdict.ok()) << verdict.status();
+  EXPECT_TRUE(*verdict);
+  fleet->ShutdownAll();
+}
+
+TEST(Cluster, HealthVerbReportsDegradationAndPeerDeadlinesFire) {
+  auto fleet = Fleet::Start(2, 1);
+  ASSERT_NE(fleet, nullptr);
+  server::Client node0 = MustConnect(fleet->config.nodes[0].port);
+
+  // Healthy fleet: HEALTH is ok and carries the degraded criteria.
+  auto health = node0.Roundtrip("HEALTH");
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(*health,
+            "status=ok peers_down=0 repl_lag_max=0 repl_lag_sum=0");
+
+  // A borrowed pool connection with a short deadline: a worker parked on
+  // a SLEEPing peer fails after ~the deadline, and the fault is
+  // classified as a timeout in the per-peer tallies.
+  PeerPool pool(fleet->config.nodes, /*deadline_ms=*/100);
+  auto borrowed = pool.Acquire(1);
+  ASSERT_TRUE(borrowed.ok()) << borrowed.status();
+  auto slow = (*borrowed)->Roundtrip("SLEEP 2000");
+  ASSERT_FALSE(slow.ok());
+  EXPECT_TRUE((*borrowed)->timed_out());
+  pool.Release(1, std::move(*borrowed), /*healthy=*/false);
+  const std::vector<PeerPool::PeerStats> ps = pool.stats();
+  EXPECT_EQ(ps[1].timeouts, 1u);
+  EXPECT_EQ(ps[1].consecutive_failures, 1u);
+
+  // Kill the replica and mutate a session node 0 owns: the push fails,
+  // the peer shows down, the replica lags — HEALTH flips to degraded and
+  // the cluster gauges expose the same facts.
+  const Ring ring(fleet->config.nodes);
+  std::string session;
+  for (int i = 0;; ++i) {
+    ASSERT_LT(i, 1000);
+    session = StrCat("deg-", i);
+    if (ring.OwnerOf(session) == 0) break;
+  }
+  fleet->servers[1]->Shutdown();
+  fleet->servers[1].reset();
+  const std::string source = TinyCorpus();
+  auto loaded = node0.Load(session, source);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();  // replication best-effort
+
+  health = node0.Roundtrip("HEALTH");
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_NE(health->find("status=degraded"), std::string::npos) << *health;
+  EXPECT_NE(health->find("repl_lag_max=1"), std::string::npos) << *health;
+
+  auto metrics = node0.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  auto samples = obs::ParseExposition(*metrics);
+  ASSERT_TRUE(samples.ok()) << samples.status();
+  const obs::Labels peer1 = {
+      {"peer", fleet->config.nodes[1].ToString()}};
+  EXPECT_EQ(obs::SampleValue(*samples, "oodb_cluster_peer_up", peer1, -1),
+            0.0);
+  EXPECT_EQ(obs::SampleValue(*samples, "oodb_cluster_repl_lag_max"), 1.0);
+  EXPECT_EQ(obs::SampleValue(*samples, "oodb_cluster_repl_lag_sum"), 1.0);
   fleet->ShutdownAll();
 }
 

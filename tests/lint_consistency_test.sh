@@ -5,7 +5,9 @@
 #      from docs/server.md (the documented-drift case it exists for);
 #   3. it fails when a bench baseline loses its EXPERIMENTS.md row;
 #   4. it fails when BENCH_cluster.json drops a field bench_cluster.cc
-#      emits (schema drift between artifact and source).
+#      emits (schema drift between artifact and source);
+#   5. it fails when a cluster/loop metric emitted in code loses its
+#      docs/observability.md row.
 #
 # usage: lint_consistency_test.sh <repo_root>
 set -eu
@@ -21,7 +23,7 @@ python3 "$LINTER" --root "$ROOT"
 # Build a minimal tree copy holding exactly the files the linter reads.
 mkdir -p "$TMP/src/server" "$TMP/docs" "$TMP/tests" "$TMP/bench"
 cp "$ROOT/src/server/server.h" "$ROOT/src/server/server.cc" "$TMP/src/server/"
-cp "$ROOT/docs/server.md" "$TMP/docs/"
+cp "$ROOT/docs/server.md" "$ROOT/docs/observability.md" "$TMP/docs/"
 cp "$ROOT/tests/server_test.cc" "$ROOT/tests/cluster_test.cc" "$TMP/tests/"
 cp "$ROOT/bench/CMakeLists.txt" "$TMP/bench/"
 cp "$ROOT"/bench/bench_*.cc "$TMP/bench/"
@@ -54,6 +56,15 @@ EOF
 if python3 "$LINTER" --root "$TMP" 2>/dev/null; then
   echo "FAIL: linter passed with scaling_1_to_4 missing from" \
        "BENCH_cluster.json" >&2
+  exit 1
+fi
+cp "$ROOT/BENCH_cluster.json" "$TMP/"
+
+# 5. An emitted cluster metric without an observability.md row must fail.
+grep -v 'oodb_cluster_repl_lag_max' "$ROOT/docs/observability.md" \
+  > "$TMP/docs/observability.md"
+if python3 "$LINTER" --root "$TMP" 2>/dev/null; then
+  echo "FAIL: linter passed with oodb_cluster_repl_lag_max undocumented" >&2
   exit 1
 fi
 

@@ -105,6 +105,41 @@ TEST(Server, PingStatsAndUnknownSession) {
   server.Shutdown();
 }
 
+TEST(Server, HealthIsOkOnASingleNodeAndValidatesItsFrame) {
+  Server server;
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+  Client client = MustConnect(*port);
+
+  // Outside cluster mode there are no peers or replicas to degrade on,
+  // so HEALTH is the bare status with no fleet detail.
+  auto health = client.Roundtrip("HEALTH");
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(*health, "status=ok");
+
+  auto bad = client.Roundtrip("HEALTH verbose");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("usage: HEALTH"), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(Server, ClientDeadlineTripsOnAStuckReply) {
+  Server server;
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+  Client client = MustConnect(*port);
+
+  ASSERT_FALSE(client.SetDeadline(0).ok());
+  ASSERT_TRUE(client.SetDeadline(100).ok());
+  EXPECT_TRUE(client.Ping().ok());  // fast replies beat the deadline
+  EXPECT_FALSE(client.timed_out());
+
+  auto slow = client.Roundtrip("SLEEP 2000");
+  ASSERT_FALSE(slow.ok());
+  EXPECT_TRUE(client.timed_out());
+  server.Shutdown();
+}
+
 TEST(Server, MalformedFramesKeepTheConnectionUsable) {
   Server server;
   auto port = server.Start();

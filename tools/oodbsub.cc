@@ -366,7 +366,10 @@ int Usage() {
       " <session>\n"
       "      meta-verb prints the session's owner and replicas without"
       " a request\n"
-      "  oodbsub stats <host:port> [session]\n"
+      "  oodbsub stats <host:port> [session] [--json]\n"
+      "  oodbsub stats --cluster=host:port,... [--json]\n"
+      "      fan METRICS+HEALTH out to every node; render per-node health\n"
+      "      and a fleet-total snapshot (--json: one JSON line per sample)\n"
       "exit codes: 0 ok, 1 error (diagnostics on stderr), 2 not subsumed,\n"
       "            3 illegal state, 4 server busy, 64 usage\n");
   return 64;
@@ -569,9 +572,126 @@ int CmdRpc(std::vector<std::string> args) {
   return 0;
 }
 
+// One parsed exposition sample as a JSON line, with an optional extra
+// "node" field for cluster fan-outs. Names and label keys come from our
+// own collectors; values are escaped for quotes/backslashes anyway.
+void PrintSampleJson(const obs::Sample& sample, const std::string& node) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::string line = "{";
+  if (!node.empty()) {
+    line += StrCat("\"node\":\"", escape(node), "\",");
+  }
+  line += StrCat("\"name\":\"", escape(sample.name), "\",\"labels\":{");
+  bool first = true;
+  for (const auto& [key, value] : sample.labels) {
+    if (!first) line += ",";
+    first = false;
+    line += StrCat("\"", escape(key), "\":\"", escape(value), "\"");
+  }
+  char value[64];
+  std::snprintf(value, sizeof(value), "%.17g", sample.value);
+  line += StrCat("},\"value\":", value, "}");
+  std::printf("%s\n", line.c_str());
+}
+
+// Fleet aggregation: merge per-node samples by (name, labels). Counters
+// and most gauges add; `_max` companions and ages take the max (the sum
+// of two maxima means nothing).
+void MergeSamples(const std::vector<obs::Sample>& in,
+                  std::vector<obs::Sample>* out) {
+  auto take_max = [](const std::string& name) {
+    return (name.size() >= 4 &&
+            name.compare(name.size() - 4, 4, "_max") == 0) ||
+           name.find("last_ack_age") != std::string::npos;
+  };
+  for (const obs::Sample& s : in) {
+    obs::Sample* found = nullptr;
+    for (obs::Sample& existing : *out) {
+      if (existing.name == s.name && existing.labels == s.labels) {
+        found = &existing;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      out->push_back(s);
+    } else if (take_max(s.name)) {
+      found->value = std::max(found->value, s.value);
+    } else {
+      found->value += s.value;
+    }
+  }
+}
+
+// `stats --cluster=SPEC [--json]`: fan METRICS (and HEALTH) out to every
+// node in the spec and render per-node health plus a fleet-total merged
+// snapshot. --json emits every per-node sample as a JSON line with a
+// "node" field instead.
+int CmdStatsCluster(const std::string& spec, bool json) {
+  auto nodes = cluster::ParseClusterSpec(spec);
+  if (!nodes.ok()) return Fail(nodes.status());
+  size_t scrape_errors = 0;
+  std::vector<obs::Sample> fleet;
+  for (const cluster::NodeAddr& node : *nodes) {
+    const std::string addr = node.ToString();
+    auto scrape = [&]() -> Result<std::string> {
+      OODB_ASSIGN_OR_RETURN(server::Client client,
+                            server::Client::Connect(node.host, node.port));
+      OODB_ASSIGN_OR_RETURN(std::string health, client.Roundtrip("HEALTH"));
+      OODB_ASSIGN_OR_RETURN(std::string metrics, client.Metrics());
+      OODB_ASSIGN_OR_RETURN(std::vector<obs::Sample> samples,
+                            obs::ParseExposition(metrics));
+      if (json) {
+        for (const obs::Sample& s : samples) PrintSampleJson(s, addr);
+      } else {
+        std::printf("node %s: %s\n", addr.c_str(), health.c_str());
+      }
+      MergeSamples(samples, &fleet);
+      return health;
+    };
+    if (auto health = scrape(); !health.ok()) {
+      ++scrape_errors;
+      std::fprintf(stderr, "node %s: scrape failed: %s\n", addr.c_str(),
+                   std::string(health.status().message()).c_str());
+    }
+  }
+  if (!json) {
+    std::printf("\nfleet: nodes=%zu scrape_errors=%zu\n\n", nodes->size(),
+                scrape_errors);
+    std::printf("%s", obs::RenderHumanSnapshot(fleet).c_str());
+  } else {
+    std::fprintf(stderr, "fleet: nodes=%zu scrape_errors=%zu\n",
+                 nodes->size(), scrape_errors);
+  }
+  return scrape_errors == 0 ? 0 : 1;
+}
+
 int CmdStats(const std::vector<std::string>& args) {
-  if (args.empty() || args.size() > 2) return Usage();
-  const std::string& target = args[0];
+  bool json = false;
+  std::string cluster_spec;
+  std::vector<std::string> rest;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--cluster=", 0) == 0) {
+      cluster_spec = arg.substr(10);
+      if (cluster_spec.empty()) return Usage();
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  if (!cluster_spec.empty()) {
+    if (!rest.empty()) return Usage();  // spec replaces the host:port
+    return CmdStatsCluster(cluster_spec, json);
+  }
+  if (rest.empty() || rest.size() > 2) return Usage();
+  const std::string& target = rest[0];
   const size_t colon = target.rfind(':');
   if (colon == std::string::npos || colon + 1 == target.size()) {
     return Usage();
@@ -581,7 +701,17 @@ int CmdStats(const std::vector<std::string>& args) {
       static_cast<int>(std::strtoul(target.c_str() + colon + 1, nullptr, 10));
   auto client = server::Client::Connect(host, port);
   if (!client.ok()) return Fail(client.status());
-  auto stats = args.size() == 2 ? client->Stats(args[1]) : client->Stats();
+  if (json) {
+    // Scripting mode: just the parsed metrics snapshot, one JSON line
+    // per sample, nothing else on stdout.
+    auto metrics = client->Metrics();
+    if (!metrics.ok()) return Fail(metrics.status());
+    auto samples = obs::ParseExposition(*metrics);
+    if (!samples.ok()) return Fail(samples.status());
+    for (const obs::Sample& s : *samples) PrintSampleJson(s, "");
+    return 0;
+  }
+  auto stats = rest.size() == 2 ? client->Stats(rest[1]) : client->Stats();
   if (!stats.ok()) return Fail(stats.status());
   std::printf("%s\n\n", stats->c_str());
   auto metrics = client->Metrics();
